@@ -1,0 +1,153 @@
+#include "bchainbench/bench_chain.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "storage/file.h"
+
+namespace sebdb {
+namespace bench {
+
+Transaction MakeBenchTxn(const std::string& tname, const std::string& sender,
+                         std::vector<Value> values) {
+  Transaction txn(tname, std::move(values));
+  txn.set_sender(sender);
+  txn.set_signature("bench-sig");
+  return txn;
+}
+
+BenchChain::BenchChain(const std::string& tag, const Options& options)
+    : options_(options) {
+  static std::atomic<uint64_t> counter{0};
+  dir_ = "/tmp/sebdb_bench_" + tag + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
+  RemoveDirRecursive(dir_);
+  CreateDirIfMissing(dir_);
+  chain_ = std::make_unique<ChainManager>("bench-node", nullptr);
+  ChainOptions chain_options;
+  chain_options.store = options.store;
+  chain_options.verify_signatures = false;
+  Status s = chain_->Open(chain_options, dir_);
+  if (!s.ok()) {
+    fprintf(stderr, "BenchChain open failed: %s\n", s.ToString().c_str());
+    abort();
+  }
+  connector_ = std::make_unique<LocalOffchainConnector>(&offchain_);
+  executor_ = std::make_unique<Executor>(chain_->store(), chain_->indexes(),
+                                         chain_->catalog(), connector_.get());
+}
+
+BenchChain::~BenchChain() {
+  chain_->Close();
+  RemoveDirRecursive(dir_);
+}
+
+Status BenchChain::CreateDonationSchema() {
+  std::vector<Transaction> schema_txns;
+  auto add = [&](const std::string& name,
+                 std::vector<ColumnDef> columns) -> Status {
+    Schema schema;
+    Status s = Schema::Create(name, std::move(columns), &schema);
+    if (!s.ok()) return s;
+    Transaction txn = Catalog::MakeSchemaTransaction(schema);
+    txn.set_sender("admin");
+    txn.set_ts(NextTs());
+    schema_txns.push_back(std::move(txn));
+    return Status::OK();
+  };
+  Status s = add("donate", {{"donor", ValueType::kString},
+                            {"project", ValueType::kString},
+                            {"amount", ValueType::kInt64}});
+  if (!s.ok()) return s;
+  s = add("transfer", {{"project", ValueType::kString},
+                       {"donor", ValueType::kString},
+                       {"organization", ValueType::kString},
+                       {"amount", ValueType::kInt64}});
+  if (!s.ok()) return s;
+  s = add("distribute", {{"project", ValueType::kString},
+                         {"organization", ValueType::kString},
+                         {"donee", ValueType::kString},
+                         {"amount", ValueType::kInt64}});
+  if (!s.ok()) return s;
+  uint64_t seq = chain_->height() - 1;
+  return chain_->AppendBatch(seq, std::move(schema_txns), ts_, "bench-node",
+                             "sig");
+}
+
+Status BenchChain::Fill(std::vector<Transaction> special,
+                        const Placement& placement,
+                        const std::function<Transaction(int, int)>& filler) {
+  const int n = options_.num_blocks;
+  Random rng(placement.seed);
+
+  // Draw a block for each special transaction.
+  std::vector<std::vector<Transaction>> per_block(n);
+  for (auto& txn : special) {
+    int block;
+    if (placement.gaussian) {
+      block = static_cast<int>(rng.GaussianInRange(
+          n / 2.0, placement.stddev, 0, n - 1));
+    } else {
+      block = static_cast<int>(rng.Uniform(n));
+    }
+    per_block[block].push_back(std::move(txn));
+  }
+
+  for (int b = 0; b < n; b++) {
+    std::vector<Transaction> txns = std::move(per_block[b]);
+    int fill = options_.txns_per_block - static_cast<int>(txns.size());
+    for (int i = 0; i < fill; i++) {
+      txns.push_back(filler(b, i));
+    }
+    // Interleave: shuffle within the block so specials aren't clustered.
+    for (size_t i = txns.size(); i > 1; i--) {
+      std::swap(txns[i - 1], txns[rng.Uniform(i)]);
+    }
+    for (auto& txn : txns) txn.set_ts(NextTs());
+    block_ts_.push_back(ts_);
+    uint64_t seq = chain_->height() - 1;
+    Status s =
+        chain_->AppendBatch(seq, std::move(txns), ts_, "bench-node", "sig");
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status BenchChain::Execute(const std::string& sql, const ExecOptions& options,
+                           ResultSet* result) {
+  return executor_->ExecuteSql(sql, options, result);
+}
+
+Timestamp BenchChain::BlockTimestamp(int data_block) const {
+  if (data_block < 0 || data_block >= static_cast<int>(block_ts_.size())) {
+    return ts_;
+  }
+  return block_ts_[data_block];
+}
+
+void ReportHeader(const std::string& figure, const std::string& title) {
+  printf("\n==== %s: %s ====\n", figure.c_str(), title.c_str());
+  fflush(stdout);
+}
+
+void ReportPoint(const std::string& figure, const std::string& series,
+                 const std::string& x, const std::string& metric,
+                 double value) {
+  printf("FIG %-8s | %-16s | x=%-12s | %s=%.3f\n", figure.c_str(),
+         series.c_str(), x.c_str(), metric.c_str(), value);
+  fflush(stdout);
+}
+
+int BenchScale() {
+  const char* env = getenv("SEBDB_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  int scale = atoi(env);
+  return scale > 0 ? scale : 1;
+}
+
+}  // namespace bench
+}  // namespace sebdb

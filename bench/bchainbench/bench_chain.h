@@ -1,0 +1,107 @@
+// BChainBench (paper §VII-A): shared benchmark fixture. Builds a donation
+// chain (Donate / Transfer / Distribute on-chain tables; DonorInfo /
+// DoneeInfo / ChildrenInfo / Customer off-chain tables) with controlled
+// placement of "result" transactions across blocks — uniform or Gaussian
+// (mean = middle block, configurable variance) — plus timing and
+// figure-output helpers.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/chain_manager.h"
+#include "offchain/offchain_db.h"
+#include "sql/executor.h"
+
+namespace sebdb {
+namespace bench {
+
+/// Placement of special (result) transactions across blocks.
+struct Placement {
+  bool gaussian = false;
+  /// Stddev in blocks for the Gaussian (paper: 20, or 50 for large results).
+  double stddev = 20.0;
+  uint64_t seed = 42;
+};
+
+/// A chain in a scratch directory, with executor plumbing.
+class BenchChain {
+ public:
+  struct Options {
+    int num_blocks = 100;
+    int txns_per_block = 100;
+    BlockStoreOptions store;
+    uint64_t seed = 42;
+  };
+
+  explicit BenchChain(const std::string& tag, const Options& options);
+  ~BenchChain();
+
+  /// Registers the three on-chain donation tables (schema block).
+  Status CreateDonationSchema();
+
+  /// Builds `options.num_blocks` data blocks. `special` transactions are
+  /// placed in blocks drawn from `placement`; every remaining slot is filled
+  /// by `filler(block, slot)`. Transactions receive monotone timestamps
+  /// (10 µs apart) so WINDOW predicates map onto block ranges.
+  Status Fill(std::vector<Transaction> special, const Placement& placement,
+              const std::function<Transaction(int, int)>& filler);
+
+  /// SQL DDL helper (CREATE INDEX etc. executed locally).
+  Status Execute(const std::string& sql, const ExecOptions& options,
+                 ResultSet* result);
+
+  ChainManager& chain() { return *chain_; }
+  Executor* executor() { return executor_.get(); }
+  OffchainDb* offchain() { return &offchain_; }
+  Timestamp last_ts() const { return ts_; }
+  /// Timestamp of a given data block (first data block = 0).
+  Timestamp BlockTimestamp(int data_block) const;
+
+ private:
+  Timestamp NextTs() { return ts_ += 10; }
+
+  std::string dir_;
+  Options options_;
+  std::unique_ptr<ChainManager> chain_;
+  OffchainDb offchain_;
+  std::unique_ptr<LocalOffchainConnector> connector_;
+  std::unique_ptr<Executor> executor_;
+  Timestamp ts_ = 0;
+  std::vector<Timestamp> block_ts_;
+};
+
+/// Builds a transaction without signing (benchmarks skip crypto).
+Transaction MakeBenchTxn(const std::string& tname, const std::string& sender,
+                         std::vector<Value> values);
+
+/// Wall-clock timer in microseconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Uniform figure output: "FIG <id> | <series> | x=<x> | <metric>=<value>".
+void ReportPoint(const std::string& figure, const std::string& series,
+                 const std::string& x, const std::string& metric,
+                 double value);
+void ReportHeader(const std::string& figure, const std::string& title);
+
+/// Benchmark scale factor from $SEBDB_BENCH_SCALE (default 1). Paper scales
+/// divided by 5 at scale 1; scale 5 reproduces the paper's block counts.
+int BenchScale();
+
+}  // namespace bench
+}  // namespace sebdb

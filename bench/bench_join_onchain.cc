@@ -1,0 +1,134 @@
+// Figures 13 & 14 (paper §VII-E): on-chain join Q5
+// (SELECT * FROM transfer, distribute ON transfer.organization =
+//  distribute.organization) under three strategies — hash join over a full
+// scan (S), hash join over bitmap-filtered blocks (B), layered-index
+// sort-merge over intersecting block pairs (L) — with uniform (U) and
+// Gaussian (G) placement.
+//   Fig. 13: fixed result size, varying number of blocks.
+//   Fig. 14: fixed block count, varying result size.
+#include <cstdio>
+
+#include "bchainbench/bench_chain.h"
+
+namespace sebdb {
+namespace bench {
+namespace {
+
+std::unique_ptr<BenchChain> BuildJoinChain(int num_blocks, int result_size,
+                                           int table_size, bool gaussian) {
+  BenchChain::Options options;
+  options.num_blocks = num_blocks;
+  options.txns_per_block = 100;
+  auto chain = std::make_unique<BenchChain>("join", options);
+  if (!chain->CreateDonationSchema().ok()) abort();
+
+  // `result_size` organizations appear exactly once in each table (one join
+  // row each); the rest of both tables uses table-unique organizations.
+  std::vector<Transaction> special;
+  for (int i = 0; i < table_size; i++) {
+    std::string org = i < result_size ? "shared" + std::to_string(i)
+                                      : "tonly" + std::to_string(i);
+    special.push_back(MakeBenchTxn(
+        "transfer", "org" + std::to_string(i % 11),
+        {Value::Str("proj"), Value::Str("d1"), Value::Str(org),
+         Value::Int(i)}));
+  }
+  for (int i = 0; i < table_size; i++) {
+    std::string org = i < result_size ? "shared" + std::to_string(i)
+                                      : "donly" + std::to_string(i);
+    special.push_back(MakeBenchTxn(
+        "distribute", "org" + std::to_string(i % 11),
+        {Value::Str("proj"), Value::Str(org),
+         Value::Str("donee" + std::to_string(i)), Value::Int(i)}));
+  }
+
+  Placement placement;
+  placement.gaussian = gaussian;
+  placement.stddev = 20.0;
+  Random rng(31);
+  Status s = chain->Fill(std::move(special), placement, [&rng](int, int) {
+    return MakeBenchTxn(
+        "donate", "user" + std::to_string(rng.Uniform(50)),
+        {Value::Str("d" + std::to_string(rng.Uniform(50))),
+         Value::Str("proj"),
+         Value::Int(static_cast<int64_t>(rng.Uniform(1000)))});
+  });
+  if (!s.ok()) abort();
+
+  ResultSet ddl;
+  if (!chain->Execute("CREATE INDEX ON transfer(organization)", ExecOptions(),
+                      &ddl)
+           .ok() ||
+      !chain->Execute("CREATE INDEX ON distribute(organization)",
+                      ExecOptions(), &ddl)
+           .ok()) {
+    abort();
+  }
+  return chain;
+}
+
+double RunJoin(BenchChain* chain, JoinStrategy strategy, size_t expected) {
+  ExecOptions options;
+  options.join_strategy = strategy;
+  ResultSet result;
+  WallTimer timer;
+  Status s = chain->Execute(
+      "SELECT * FROM transfer, distribute ON transfer.organization = "
+      "distribute.organization",
+      options, &result);
+  double ms = timer.ElapsedMicros() / 1000.0;
+  if (!s.ok() || result.num_rows() != expected) {
+    fprintf(stderr, "join failed: %s (rows %zu, expected %zu)\n",
+            s.ToString().c_str(), result.num_rows(), expected);
+    abort();
+  }
+  return ms;
+}
+
+void RunPoint(const std::string& figure, int num_blocks, int result_size,
+              int table_size, const std::string& x) {
+  struct Method {
+    JoinStrategy strategy;
+    const char* tag;
+  };
+  const Method methods[] = {{JoinStrategy::kScanHash, "S"},
+                            {JoinStrategy::kBitmapHash, "B"},
+                            {JoinStrategy::kLayeredMerge, "L"}};
+  for (bool gaussian : {false, true}) {
+    auto chain =
+        BuildJoinChain(num_blocks, result_size, table_size, gaussian);
+    for (const auto& method : methods) {
+      double ms = RunJoin(chain.get(), method.strategy, result_size);
+      ReportPoint(figure, std::string(method.tag) + (gaussian ? "G" : "U"), x,
+                  "latency_ms", ms);
+    }
+  }
+}
+
+void Main() {
+  int scale = BenchScale();
+  // Paper: 10,000 txns per table, result 5,000; scaled 1/5.
+  int table_size = 2000 * scale;
+
+  ReportHeader("Fig13", "on-chain join Q5 latency vs number of blocks");
+  for (int blocks : {100, 200, 300, 400, 500}) {
+    RunPoint("Fig13", blocks * scale, 1000 * scale, table_size,
+             std::to_string(blocks * scale));
+  }
+
+  ReportHeader("Fig14", "on-chain join Q5 latency vs result size");
+  int fixed_blocks = 200 * scale;
+  for (int result : {400, 800, 1200, 1600, 2000}) {
+    RunPoint("Fig14", fixed_blocks, result * scale, table_size,
+             std::to_string(result * scale));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sebdb
+
+int main() {
+  sebdb::bench::Main();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Figures 15 & 16 (paper §VII-E): on–off-chain join Q6
+// (SELECT * FROM onchain.distribute, offchain.donorinfo ON
+//  distribute.donee = donorinfo.donee) under scan-hash (S), bitmap-hash (B)
+// and layered-merge (L), uniform (U) vs Gaussian (G).
+//   Fig. 15: fixed result size, varying number of blocks.
+//   Fig. 16: fixed block count, varying result size.
+#include <cstdio>
+
+#include "bchainbench/bench_chain.h"
+
+namespace sebdb {
+namespace bench {
+namespace {
+
+std::unique_ptr<BenchChain> BuildChain(int num_blocks, int result_size,
+                                       int table_size, bool gaussian) {
+  BenchChain::Options options;
+  options.num_blocks = num_blocks;
+  options.txns_per_block = 100;
+  auto chain = std::make_unique<BenchChain>("onoff", options);
+  if (!chain->CreateDonationSchema().ok()) abort();
+
+  // On-chain: `table_size` distribute txns; the first `result_size` have
+  // donees present in the off-chain DonorInfo table.
+  std::vector<Transaction> special;
+  for (int i = 0; i < table_size; i++) {
+    std::string donee = i < result_size ? "donee" + std::to_string(i)
+                                        : "unknown" + std::to_string(i);
+    special.push_back(MakeBenchTxn(
+        "distribute", "org" + std::to_string(i % 11),
+        {Value::Str("proj"), Value::Str("school" + std::to_string(i % 7)),
+         Value::Str(donee), Value::Int(i)}));
+  }
+  Placement placement;
+  placement.gaussian = gaussian;
+  placement.stddev = 20.0;
+  Random rng(41);
+  Status s = chain->Fill(std::move(special), placement, [&rng](int, int) {
+    return MakeBenchTxn(
+        "donate", "user" + std::to_string(rng.Uniform(50)),
+        {Value::Str("d" + std::to_string(rng.Uniform(50))),
+         Value::Str("proj"),
+         Value::Int(static_cast<int64_t>(rng.Uniform(1000)))});
+  });
+  if (!s.ok()) abort();
+
+  // Off-chain: DonorInfo (maintained by the charity) with one row per
+  // matching donee plus unmatched private rows.
+  if (!chain->offchain()
+           ->CreateTable("donorinfo", {{"donee", ValueType::kString},
+                                       {"name", ValueType::kString},
+                                       {"income", ValueType::kInt64}})
+           .ok()) {
+    abort();
+  }
+  for (int i = 0; i < result_size; i++) {
+    chain->offchain()->Insert(
+        "donorinfo", {Value::Str("donee" + std::to_string(i)),
+                      Value::Str("name" + std::to_string(i)),
+                      Value::Int(static_cast<int64_t>(rng.Uniform(100000)))});
+  }
+  for (int i = 0; i < result_size / 2; i++) {
+    chain->offchain()->Insert(
+        "donorinfo", {Value::Str("offonly" + std::to_string(i)),
+                      Value::Str("x"), Value::Int(0)});
+  }
+
+  ResultSet ddl;
+  if (!chain->Execute("CREATE INDEX ON distribute(donee)", ExecOptions(),
+                      &ddl)
+           .ok()) {
+    abort();
+  }
+  return chain;
+}
+
+double RunJoin(BenchChain* chain, JoinStrategy strategy, size_t expected) {
+  ExecOptions options;
+  options.join_strategy = strategy;
+  ResultSet result;
+  WallTimer timer;
+  Status s = chain->Execute(
+      "SELECT * FROM onchain.distribute, offchain.donorinfo ON "
+      "distribute.donee = donorinfo.donee",
+      options, &result);
+  double ms = timer.ElapsedMicros() / 1000.0;
+  if (!s.ok() || result.num_rows() != expected) {
+    fprintf(stderr, "on-off join failed: %s (rows %zu, expected %zu)\n",
+            s.ToString().c_str(), result.num_rows(), expected);
+    abort();
+  }
+  return ms;
+}
+
+void RunPoint(const std::string& figure, int num_blocks, int result_size,
+              int table_size, const std::string& x) {
+  struct Method {
+    JoinStrategy strategy;
+    const char* tag;
+  };
+  const Method methods[] = {{JoinStrategy::kScanHash, "S"},
+                            {JoinStrategy::kBitmapHash, "B"},
+                            {JoinStrategy::kLayeredMerge, "L"}};
+  for (bool gaussian : {false, true}) {
+    auto chain = BuildChain(num_blocks, result_size, table_size, gaussian);
+    for (const auto& method : methods) {
+      double ms = RunJoin(chain.get(), method.strategy, result_size);
+      ReportPoint(figure, std::string(method.tag) + (gaussian ? "G" : "U"), x,
+                  "latency_ms", ms);
+    }
+  }
+}
+
+void Main() {
+  int scale = BenchScale();
+  int table_size = 2000 * scale;  // paper: 10,000 distribute txns
+
+  ReportHeader("Fig15", "on-off join Q6 latency vs number of blocks");
+  for (int blocks : {100, 200, 300, 400, 500}) {
+    RunPoint("Fig15", blocks * scale, 1000 * scale, table_size,
+             std::to_string(blocks * scale));
+  }
+
+  ReportHeader("Fig16", "on-off join Q6 latency vs result size");
+  int fixed_blocks = 200 * scale;
+  for (int result : {400, 800, 1200, 1600, 2000}) {
+    RunPoint("Fig16", fixed_blocks, result * scale, table_size,
+             std::to_string(result * scale));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sebdb
+
+int main() {
+  sebdb::bench::Main();
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Microbenchmarks (google-benchmark) for the building blocks whose costs
+// drive the figure-level results: SHA-256, Merkle tree construction,
+// B+-tree insert/seek/bulk-load, MB-tree build/prove/verify, bitmap AND,
+// block encode/decode and single-transaction random decode.
+#include <benchmark/benchmark.h>
+
+#include "auth/mbtree.h"
+#include "common/bitmap.h"
+#include "common/random.h"
+#include "common/sha256.h"
+#include "index/bptree.h"
+#include "storage/block.h"
+#include "storage/merkle_tree.h"
+
+namespace sebdb {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(300)->Arg(4096)->Arg(1 << 20);
+
+void BM_MerkleTreeBuild(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < state.range(0); i++) {
+    leaves.push_back(Sha256::Digest(Slice("leaf" + std::to_string(i))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree::ComputeRoot(leaves));
+  }
+}
+BENCHMARK(BM_MerkleTreeBuild)->Arg(200)->Arg(1000);
+
+void BM_BpTreeInsert(benchmark::State& state) {
+  Random rng(1);
+  for (auto _ : state) {
+    BpTree<int64_t, int> tree;
+    for (int i = 0; i < state.range(0); i++) {
+      tree.Insert(static_cast<int64_t>(rng.Next() % 100000), i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_BpTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BpTreeBulkLoad(benchmark::State& state) {
+  std::vector<std::pair<int64_t, int>> entries;
+  for (int i = 0; i < state.range(0); i++) entries.push_back({i, i});
+  for (auto _ : state) {
+    BpTree<int64_t, int> tree;
+    auto copy = entries;
+    tree.BulkLoad(std::move(copy));
+    benchmark::DoNotOptimize(tree.height());
+  }
+}
+BENCHMARK(BM_BpTreeBulkLoad)->Arg(1000)->Arg(10000);
+
+void BM_BpTreeSeek(benchmark::State& state) {
+  BpTree<int64_t, int> tree;
+  for (int i = 0; i < 100000; i++) tree.Insert(i, i);
+  Random rng(2);
+  for (auto _ : state) {
+    auto it = tree.SeekGE(static_cast<int64_t>(rng.Uniform(100000)));
+    benchmark::DoNotOptimize(it.Valid());
+  }
+}
+BENCHMARK(BM_BpTreeSeek);
+
+std::unique_ptr<MbTree> BuildMbTree(int n) {
+  std::vector<MbTree::Entry> entries;
+  for (int i = 0; i < n; i++) {
+    entries.push_back(
+        {Value::Int(i), "record-" + std::to_string(i) + std::string(280, 'p')});
+  }
+  return MbTree::Build(std::move(entries));
+}
+
+void BM_MbTreeBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tree = BuildMbTree(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(tree->root_hash());
+  }
+}
+BENCHMARK(BM_MbTreeBuild)->Arg(200)->Arg(1000);
+
+void BM_MbTreeProveRange(benchmark::State& state) {
+  auto tree = BuildMbTree(1000);
+  Value lo = Value::Int(400), hi = Value::Int(500);
+  for (auto _ : state) {
+    VerificationObject vo;
+    tree->ProveRange(&lo, &hi, &vo);
+    benchmark::DoNotOptimize(vo.ByteSize());
+  }
+}
+BENCHMARK(BM_MbTreeProveRange);
+
+void BM_MbTreeVerifyRange(benchmark::State& state) {
+  auto tree = BuildMbTree(1000);
+  Value lo = Value::Int(400), hi = Value::Int(500);
+  VerificationObject vo;
+  tree->ProveRange(&lo, &hi, &vo);
+  auto key_fn = [](const Slice& record, Value* key) -> Status {
+    std::string text = record.ToString();
+    size_t dash = text.find('-');
+    size_t pad = text.find('p');
+    *key = Value::Int(std::stoll(text.substr(dash + 1, pad - dash - 1)));
+    return Status::OK();
+  };
+  for (auto _ : state) {
+    std::vector<std::string> records;
+    Status s = MbTree::VerifyRange(tree->root_hash(), vo, &lo, &hi, key_fn,
+                                   &records);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(records.size());
+  }
+}
+BENCHMARK(BM_MbTreeVerifyRange);
+
+void BM_BitmapAnd(benchmark::State& state) {
+  Random rng(5);
+  Bitmap a(state.range(0)), b(state.range(0));
+  for (int i = 0; i < state.range(0) / 4; i++) {
+    a.Set(rng.Uniform(state.range(0)));
+    b.Set(rng.Uniform(state.range(0)));
+  }
+  for (auto _ : state) {
+    Bitmap c = a;
+    c.And(b);
+    benchmark::DoNotOptimize(c.AnySet());
+  }
+}
+BENCHMARK(BM_BitmapAnd)->Arg(2500)->Arg(100000);
+
+Block MakeBenchBlock(int txns) {
+  BlockBuilder builder;
+  builder.SetHeight(1).SetTimestamp(1).SetFirstTid(1);
+  for (int i = 0; i < txns; i++) {
+    Transaction txn("donate",
+                    {Value::Str("donor" + std::to_string(i)),
+                     Value::Str("project"), Value::Int(i)});
+    txn.set_sender("org" + std::to_string(i % 10));
+    txn.set_ts(i);
+    txn.set_signature(std::string(64, 's'));
+    builder.AddTransaction(std::move(txn));
+  }
+  return std::move(builder).Build("sig");
+}
+
+void BM_BlockEncode(benchmark::State& state) {
+  Block block = MakeBenchBlock(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::string buf;
+    block.EncodeTo(&buf);
+    benchmark::DoNotOptimize(buf.size());
+  }
+}
+BENCHMARK(BM_BlockEncode)->Arg(200);
+
+void BM_BlockDecode(benchmark::State& state) {
+  Block block = MakeBenchBlock(static_cast<int>(state.range(0)));
+  std::string buf;
+  block.EncodeTo(&buf);
+  for (auto _ : state) {
+    Block decoded;
+    Slice input(buf);
+    Status s = Block::DecodeFrom(&input, &decoded);
+    if (!s.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(decoded.transactions().size());
+  }
+  state.SetBytesProcessed(state.iterations() * buf.size());
+}
+BENCHMARK(BM_BlockDecode)->Arg(200);
+
+void BM_BlockDecodeOneTransaction(benchmark::State& state) {
+  Block block = MakeBenchBlock(200);
+  std::string buf;
+  block.EncodeTo(&buf);
+  Random rng(9);
+  for (auto _ : state) {
+    Transaction txn;
+    Status s = Block::DecodeOneTransaction(
+        buf, static_cast<uint32_t>(rng.Uniform(200)), &txn);
+    if (!s.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(txn.tid());
+  }
+}
+BENCHMARK(BM_BlockDecodeOneTransaction);
+
+}  // namespace
+}  // namespace sebdb
+
+BENCHMARK_MAIN();

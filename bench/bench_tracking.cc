@@ -1,0 +1,126 @@
+// Figures 8 & 9 (paper §VII-C): one-dimension tracking query Q2
+// (TRACE OPERATOR = 'org1') under three methods — scan (S), table-level
+// bitmap index (B), layered index (L) — with result transactions placed
+// uniformly (U) or Gaussian (G) across blocks.
+//   Fig. 8: fixed result size, varying number of blocks.
+//   Fig. 9: fixed block count, varying result size.
+// Paper scales (500–2500 blocks, 10k results) are reached with
+// SEBDB_BENCH_SCALE=5; the default runs a 1/5-scale sweep with the same
+// shape.
+#include <cstdio>
+
+#include "bchainbench/bench_chain.h"
+
+namespace sebdb {
+namespace bench {
+namespace {
+
+Transaction DonateFiller(Random* rng, int block) {
+  (void)block;
+  return MakeBenchTxn(
+      "donate", "user" + std::to_string(rng->Uniform(50)),
+      {Value::Str("d" + std::to_string(rng->Uniform(50))), Value::Str("proj"),
+       Value::Int(static_cast<int64_t>(rng->Uniform(100000)))});
+}
+
+std::unique_ptr<BenchChain> BuildTrackingChain(int num_blocks,
+                                               int result_size,
+                                               bool gaussian,
+                                               double stddev) {
+  BenchChain::Options options;
+  options.num_blocks = num_blocks;
+  options.txns_per_block = 100;
+  auto chain = std::make_unique<BenchChain>("tracking", options);
+  if (!chain->CreateDonationSchema().ok()) abort();
+
+  std::vector<Transaction> special;
+  special.reserve(result_size);
+  for (int i = 0; i < result_size; i++) {
+    special.push_back(MakeBenchTxn(
+        "transfer", "org1",
+        {Value::Str("proj"), Value::Str("d1"),
+         Value::Str("school" + std::to_string(i % 7)), Value::Int(i)}));
+  }
+  Placement placement;
+  placement.gaussian = gaussian;
+  placement.stddev = stddev;
+  Random rng(7);
+  Status s = chain->Fill(std::move(special), placement,
+                         [&rng](int block, int) {
+                           return DonateFiller(&rng, block);
+                         });
+  if (!s.ok()) {
+    fprintf(stderr, "fill failed: %s\n", s.ToString().c_str());
+    abort();
+  }
+  return chain;
+}
+
+double RunTrace(BenchChain* chain, AccessPath path, size_t expected) {
+  ExecOptions options;
+  options.access_path = path;
+  double best = 1e18;
+  for (int round = 0; round < 3; round++) {
+    ResultSet result;
+    WallTimer timer;
+    Status s = chain->Execute("TRACE OPERATOR = 'org1'", options, &result);
+    double ms = timer.ElapsedMicros() / 1000.0;
+    if (!s.ok() || result.num_rows() != expected) {
+      fprintf(stderr, "trace failed: %s (rows %zu, expected %zu)\n",
+              s.ToString().c_str(), result.num_rows(), expected);
+      abort();
+    }
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+void RunPoint(const std::string& figure, int num_blocks, int result_size,
+              const std::string& x) {
+  struct Method {
+    AccessPath path;
+    const char* tag;
+  };
+  const Method methods[] = {{AccessPath::kScan, "S"},
+                            {AccessPath::kBitmap, "B"},
+                            {AccessPath::kLayered, "L"}};
+  // Large result sets use the wider Gaussian the paper uses in Fig. 9.
+  double stddev = result_size > 5000 ? 50.0 : 20.0;
+  for (bool gaussian : {false, true}) {
+    auto chain =
+        BuildTrackingChain(num_blocks, result_size, gaussian, stddev);
+    for (const auto& method : methods) {
+      double ms = RunTrace(chain.get(), method.path, result_size);
+      ReportPoint(figure, std::string(method.tag) + (gaussian ? "G" : "U"), x,
+                  "latency_ms", ms);
+    }
+  }
+}
+
+void Main() {
+  int scale = BenchScale();
+
+  ReportHeader("Fig8", "tracking Q2 latency vs number of blocks "
+                       "(result size fixed)");
+  for (int blocks : {100, 200, 300, 400, 500}) {
+    RunPoint("Fig8", blocks * scale, 2000 * scale,
+             std::to_string(blocks * scale));
+  }
+
+  ReportHeader("Fig9", "tracking Q2 latency vs result size "
+                       "(block count fixed)");
+  int fixed_blocks = 200 * scale;
+  for (int result : {400, 2000, 6000, 12000}) {
+    RunPoint("Fig9", fixed_blocks, result * scale,
+             std::to_string(result * scale));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sebdb
+
+int main() {
+  sebdb::bench::Main();
+  return 0;
+}

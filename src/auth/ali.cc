@@ -1,0 +1,184 @@
+#include "auth/ali.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace sebdb {
+
+void AliBlockProof::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, block);
+  vo.EncodeTo(dst);
+}
+
+Status AliBlockProof::DecodeFrom(Slice* input, AliBlockProof* out) {
+  uint64_t bid;
+  if (!GetVarint64(input, &bid)) return Status::Corruption("truncated proof");
+  out->block = bid;
+  return VerificationObject::DecodeFrom(input, &out->vo);
+}
+
+size_t AuthQueryResponse::ByteSize() const {
+  std::string enc;
+  EncodeTo(&enc);
+  return enc.size();
+}
+
+void AuthQueryResponse::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, chain_height);
+  PutVarint32(dst, static_cast<uint32_t>(proofs.size()));
+  for (const auto& proof : proofs) proof.EncodeTo(dst);
+}
+
+Status AuthQueryResponse::DecodeFrom(Slice* input, AuthQueryResponse* out) {
+  uint64_t height;
+  uint32_t n;
+  if (!GetVarint64(input, &height) || !GetVarint32(input, &n)) {
+    return Status::Corruption("truncated auth response");
+  }
+  out->chain_height = height;
+  out->proofs.resize(n);
+  for (auto& proof : out->proofs) {
+    Status s = AliBlockProof::DecodeFrom(input, &proof);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+AuthenticatedLayeredIndex::AuthenticatedLayeredIndex(
+    std::string name, LayeredIndexOptions options, ColumnExtractor extractor,
+    MbTree::Options mb_options)
+    : layered_(std::move(name), options, extractor),
+      extractor_(std::move(extractor)),
+      mb_options_(mb_options) {}
+
+Status AuthenticatedLayeredIndex::SetHistogram(EqualDepthHistogram histogram) {
+  return layered_.SetHistogram(std::move(histogram));
+}
+
+Status AuthenticatedLayeredIndex::AddBlock(const Block& block) {
+  Status s = layered_.AddBlock(block);
+  if (!s.ok()) return s;
+
+  std::vector<MbTree::Entry> entries;
+  for (const auto& txn : block.transactions()) {
+    Value key;
+    if (!extractor_(txn, &key)) continue;
+    std::string record;
+    txn.EncodeTo(&record);
+    entries.push_back({std::move(key), std::move(record)});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const MbTree::Entry& a, const MbTree::Entry& b) {
+                     return a.key.CompareTotal(b.key) < 0;
+                   });
+  block_trees_.push_back(entries.empty() ? nullptr
+                                         : MbTree::Build(std::move(entries),
+                                                         mb_options_));
+  return Status::OK();
+}
+
+Bitmap AuthenticatedLayeredIndex::BlocksToVisit(const Value* lo,
+                                                const Value* hi,
+                                                const Bitmap* window,
+                                                uint64_t height_limit) const {
+  Bitmap candidates = layered_.CandidateBlocks(lo, hi);
+  if (window != nullptr) candidates.And(*window);
+  // Pin the snapshot: ignore blocks at or above the height limit.
+  for (size_t bid = height_limit; bid < candidates.size(); bid++) {
+    if (candidates.Test(bid)) candidates.Clear(bid);
+  }
+  return candidates;
+}
+
+Status AuthenticatedLayeredIndex::BlockRoot(BlockId bid, Hash256* out) const {
+  if (bid >= block_trees_.size()) {
+    return Status::NotFound("block not indexed");
+  }
+  if (block_trees_[bid] == nullptr) {
+    *out = Hash256{};
+    return Status::OK();
+  }
+  *out = block_trees_[bid]->root_hash();
+  return Status::OK();
+}
+
+Status AuthenticatedLayeredIndex::ProveRange(const Value* lo, const Value* hi,
+                                             const Bitmap* window,
+                                             uint64_t chain_height,
+                                             AuthQueryResponse* out) const {
+  out->chain_height = chain_height;
+  out->proofs.clear();
+  Bitmap candidates = BlocksToVisit(lo, hi, window, chain_height);
+  for (size_t bid : candidates.SetBits()) {
+    const MbTree* tree = block_trees_[bid].get();
+    if (tree == nullptr) continue;  // candidate bitmaps only cover non-empty
+    AliBlockProof proof;
+    proof.block = bid;
+    Status s = tree->ProveRange(lo, hi, &proof.vo);
+    if (!s.ok()) return s;
+    out->proofs.push_back(std::move(proof));
+  }
+  return Status::OK();
+}
+
+Status AuthenticatedLayeredIndex::ComputeDigest(const Value* lo,
+                                                const Value* hi,
+                                                const Bitmap* window,
+                                                uint64_t chain_height,
+                                                Hash256* digest) const {
+  Bitmap candidates = BlocksToVisit(lo, hi, window, chain_height);
+  Sha256 ctx;
+  for (size_t bid : candidates.SetBits()) {
+    if (block_trees_[bid] == nullptr) continue;
+    const Hash256& root = block_trees_[bid]->root_hash();
+    ctx.Update(root.bytes.data(), 32);
+  }
+  *digest = ctx.Finish();
+  return Status::OK();
+}
+
+Status AuthenticatedLayeredIndex::VerifyResponse(
+    const AuthQueryResponse& response, const Value* lo, const Value* hi,
+    const RecordKeyFn& key_of, const std::vector<Hash256>& auxiliary_digests,
+    size_t required_matching, std::vector<std::string>* records) {
+  // Reconstruct every block's MB-tree root from its VO and verify the
+  // per-block soundness/completeness rules.
+  std::vector<std::string> all_records;
+  Sha256 digest_ctx;
+  BlockId prev_block = 0;
+  bool first = true;
+  for (const auto& proof : response.proofs) {
+    if (!first && proof.block <= prev_block) {
+      return Status::VerificationFailed("proof blocks out of order");
+    }
+    first = false;
+    prev_block = proof.block;
+    Hash256 root;
+    std::vector<std::string> block_records;
+    Status s =
+        MbTree::ReconstructRoot(proof.vo, lo, hi, key_of, &block_records, &root);
+    if (!s.ok()) return s;
+    digest_ctx.Update(root.bytes.data(), 32);
+    for (auto& record : block_records) {
+      all_records.push_back(std::move(record));
+    }
+  }
+  Hash256 reconstructed = digest_ctx.Finish();
+
+  size_t matching = 0;
+  for (const auto& digest : auxiliary_digests) {
+    if (digest == reconstructed) matching++;
+  }
+  if (matching < required_matching) {
+    return Status::VerificationFailed(
+        "only " + std::to_string(matching) + " of " +
+        std::to_string(auxiliary_digests.size()) +
+        " auxiliary digests match (need " +
+        std::to_string(required_matching) + ")");
+  }
+  for (auto& record : all_records) records->push_back(std::move(record));
+  return Status::OK();
+}
+
+}  // namespace sebdb

@@ -1,0 +1,101 @@
+// ALI — Authenticated Layered Index (paper §VI): the layered index with its
+// per-block second-level B+-trees replaced by MB-trees, plus the two-phase
+// authenticated query protocol:
+//   phase 1: a full node answers a query with one VO per visited block and
+//            the chain height h it executed at;
+//   phase 2: auxiliary full nodes, given the query and h, re-derive the set
+//            of blocks the query must visit and return a digest — the hash
+//            of the concatenation of those blocks' MB-tree roots.
+// The client reconstructs each block's root from its VO, recomputes the
+// digest, and accepts when enough auxiliary digests match (credibility
+// Eqs. 4–6).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auth/mbtree.h"
+#include "common/bitmap.h"
+#include "common/status.h"
+#include "index/layered_index.h"
+#include "storage/block.h"
+
+namespace sebdb {
+
+/// Phase-1 response: per visited block, the block id and its range VO.
+struct AliBlockProof {
+  BlockId block = 0;
+  VerificationObject vo;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, AliBlockProof* out);
+};
+
+struct AuthQueryResponse {
+  /// Chain height the full node executed at (pins the snapshot).
+  uint64_t chain_height = 0;
+  /// One proof per block the query visited, ascending block order. Blocks
+  /// visited but empty of results still get a (emptiness) proof.
+  std::vector<AliBlockProof> proofs;
+
+  size_t ByteSize() const;
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, AuthQueryResponse* out);
+};
+
+class AuthenticatedLayeredIndex {
+ public:
+  AuthenticatedLayeredIndex(std::string name, LayeredIndexOptions options,
+                            ColumnExtractor extractor,
+                            MbTree::Options mb_options = MbTree::Options());
+
+  const std::string& name() const { return layered_.name(); }
+
+  /// Continuous indexes need the histogram before the first block.
+  Status SetHistogram(EqualDepthHistogram histogram);
+
+  /// Indexes a newly chained block: updates the first level and bulk-builds
+  /// the block's MB-tree over (attribute value, encoded transaction).
+  Status AddBlock(const Block& block);
+
+  uint64_t num_blocks() const { return layered_.num_blocks(); }
+  const LayeredIndex& layered() const { return layered_; }
+
+  /// Blocks a range query over [lo, hi] must visit, intersected with an
+  /// optional time-window bitmap, limited to heights < height_limit.
+  Bitmap BlocksToVisit(const Value* lo, const Value* hi, const Bitmap* window,
+                       uint64_t height_limit) const;
+
+  /// Root of one block's MB-tree (zero hash if the block holds no entries —
+  /// such blocks are never candidates).
+  Status BlockRoot(BlockId bid, Hash256* out) const;
+
+  /// Phase 1 (full node): executes the range query and assembles the VO set.
+  Status ProveRange(const Value* lo, const Value* hi, const Bitmap* window,
+                    uint64_t chain_height, AuthQueryResponse* out) const;
+
+  /// Phase 2 (auxiliary node): digest over the roots of the blocks the query
+  /// visits at the pinned height: SHA256(root_1 || root_2 || ...).
+  Status ComputeDigest(const Value* lo, const Value* hi, const Bitmap* window,
+                       uint64_t chain_height, Hash256* digest) const;
+
+  /// Client: verifies a phase-1 response against auxiliary digests. Requires
+  /// at least `required_matching` digests equal to the reconstructed one.
+  /// On success appends the verified records (encoded transactions).
+  static Status VerifyResponse(const AuthQueryResponse& response,
+                               const Value* lo, const Value* hi,
+                               const RecordKeyFn& key_of,
+                               const std::vector<Hash256>& auxiliary_digests,
+                               size_t required_matching,
+                               std::vector<std::string>* records);
+
+ private:
+  LayeredIndex layered_;
+  ColumnExtractor extractor_;
+  MbTree::Options mb_options_;
+  std::vector<std::unique_ptr<MbTree>> block_trees_;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,65 @@
+#include "auth/credibility.h"
+
+#include <cmath>
+
+namespace sebdb {
+
+namespace {
+
+// C(n, k) in double precision (n stays small: n < 2m <= ~2 * cluster size).
+double Choose(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  double result = 1.0;
+  for (int i = 1; i <= k; i++) {
+    result *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+double NegativeBinomialFirst(double p_success, int m) {
+  // Probability that m successes accumulate before m failures, with the
+  // final arrival being a success: p * sum_{i=0}^{m-1} C(m-1+i, i) *
+  // p^{m-1} * (1-p)^i.
+  if (m <= 0) return 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < m; i++) {
+    sum += Choose(m - 1 + i, i) * std::pow(p_success, m - 1) *
+           std::pow(1.0 - p_success, i);
+  }
+  return p_success * sum;
+}
+
+}  // namespace
+
+double WrongFirstProbability(double p, int m) {
+  return NegativeBinomialFirst(p, m);
+}
+
+double RightFirstProbability(double p, int m) {
+  return NegativeBinomialFirst(1.0 - p, m);
+}
+
+double DigestWrongProbability(const CredibilityParams& params) {
+  const double p = params.byzantine_fraction;
+  const int m = params.matching;
+  if (m <= 0 || m > params.requests) return 1.0;
+  if (m > params.max_byzantine) return 0.0;  // Eq. 6, second branch
+  double pw = WrongFirstProbability(p, m);
+  double pr = RightFirstProbability(p, m);
+  if (pw + pr == 0.0) return 0.0;
+  double theta = pw / (pw + pr);
+  if (theta < 0.0) theta = 0.0;
+  if (theta > 1.0) theta = 1.0;
+  return theta;
+}
+
+int MinMatchingForCredibility(double p, int n, int max_byzantine,
+                              double target) {
+  for (int m = 1; m <= n; m++) {
+    CredibilityParams params{p, n, m, max_byzantine};
+    if (DigestWrongProbability(params) <= target) return m;
+  }
+  return -1;
+}
+
+}  // namespace sebdb

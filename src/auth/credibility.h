@@ -1,0 +1,38 @@
+// Credibility of the auxiliary-digest sampling protocol (paper §VI,
+// Eqs. 4–6): when a thin client asks n auxiliary nodes for a digest and m of
+// them agree, what is the probability the agreed digest is wrong, given a
+// Byzantine fraction p and an upper bound `max_byzantine` on the number of
+// Byzantine nodes?
+#pragma once
+
+namespace sebdb {
+
+struct CredibilityParams {
+  double byzantine_fraction = 0.0;  // p
+  int requests = 0;                 // n (auxiliary nodes queried)
+  int matching = 0;                 // m (identical digests received)
+  int max_byzantine = 0;            // max
+};
+
+/// Eq. 4: probability that the m-th identical *wrong* digest arrives after
+/// m-1 wrong and i right ones: p_w = p * sum_{i=0}^{m-1} C(m-1+i, i) *
+/// p^{m-1} * (1-p)^i.
+double WrongFirstProbability(double p, int m);
+
+/// Eq. 5: symmetric probability that m identical *right* digests arrive
+/// first.
+double RightFirstProbability(double p, int m);
+
+/// Eq. 6: theta, the probability the accepted digest is wrong. Zero when
+/// m exceeds the Byzantine bound (a set of m identical digests must then
+/// include an honest node); p_w / (p_w + p_r) otherwise. Returns a value in
+/// [0, 1].
+double DigestWrongProbability(const CredibilityParams& params);
+
+/// Smallest m (<= n) such that DigestWrongProbability <= target, or -1 when
+/// unattainable. Convenience for clients tuning (n, m) "to achieve different
+/// credibilities" (paper §VI).
+int MinMatchingForCredibility(double p, int n, int max_byzantine,
+                              double target);
+
+}  // namespace sebdb

@@ -1,0 +1,11 @@
+#include "common/clock.h"
+
+namespace sebdb {
+
+const std::shared_ptr<SystemClock>& SystemClock::Default() {
+  static std::shared_ptr<SystemClock> instance =
+      std::make_shared<SystemClock>();
+  return instance;
+}
+
+}  // namespace sebdb

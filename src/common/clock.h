@@ -1,0 +1,51 @@
+// Clock abstraction: SystemClock for benchmarks, ManualClock for
+// deterministic consensus / gossip tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace sebdb {
+
+/// Microseconds since the unix epoch (system clock) or since simulation
+/// start (manual clock).
+using Timestamp = int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Timestamp NowMicros() const = 0;
+  Timestamp NowMillis() const { return NowMicros() / 1000; }
+};
+
+class SystemClock : public Clock {
+ public:
+  Timestamp NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+  /// Shared process-wide instance.
+  static const std::shared_ptr<SystemClock>& Default();
+};
+
+/// A clock that only moves when told to; thread-safe.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Timestamp start_micros = 0) : now_(start_micros) {}
+
+  Timestamp NowMicros() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+  void AdvanceMicros(Timestamp delta) {
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+  void SetMicros(Timestamp t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3 polynomial) for on-disk block record integrity.
+#pragma once
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace sebdb {
+
+/// Extends a running CRC with the given bytes (start with crc = 0).
+uint32_t Crc32(uint32_t crc, const void* data, size_t len);
+
+inline uint32_t Crc32(const Slice& s) { return Crc32(0, s.data(), s.size()); }
+
+}  // namespace sebdb

@@ -1,0 +1,109 @@
+// Charge-based LRU cache, used both as the block cache and the transaction
+// cache (paper §VII-H). Thread-safe; values are shared_ptr so a cached entry
+// can outlive its eviction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace sebdb {
+
+template <typename Key, typename Value, typename Hasher = std::hash<Key>>
+class LruCache {
+ public:
+  /// capacity is the total charge budget in arbitrary units (bytes here).
+  explicit LruCache(uint64_t capacity) : capacity_(capacity) {}
+
+  /// Inserts (or replaces) key with the given charge. Entries larger than the
+  /// whole capacity are not cached.
+  void Insert(const Key& key, std::shared_ptr<Value> value, uint64_t charge) {
+    if (charge > capacity_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      usage_ -= it->second->charge;
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+    lru_.push_front(Entry{key, std::move(value), charge});
+    map_[key] = lru_.begin();
+    usage_ += charge;
+    EvictIfNeeded();
+  }
+
+  /// Returns the cached value or nullptr; promotes the entry on hit.
+  std::shared_ptr<Value> Lookup(const Key& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      misses_++;
+      return nullptr;
+    }
+    hits_++;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->value;
+  }
+
+  void Erase(const Key& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    usage_ -= it->second->charge;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    map_.clear();
+    usage_ = 0;
+  }
+
+  uint64_t usage() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return usage_;
+  }
+  uint64_t capacity() const { return capacity_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    std::shared_ptr<Value> value;
+    uint64_t charge;
+  };
+
+  void EvictIfNeeded() {
+    while (usage_ > capacity_ && !lru_.empty()) {
+      const Entry& victim = lru_.back();
+      usage_ -= victim.charge;
+      map_.erase(victim.key);
+      lru_.pop_back();
+    }
+  }
+
+  const uint64_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hasher> map_;
+  uint64_t usage_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace sebdb

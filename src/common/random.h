@@ -1,0 +1,59 @@
+// Seedable PRNG (xorshift64*) with uniform and Gaussian helpers. Used by the
+// BChainBench data generator to place result tuples across blocks (paper
+// §VII-A: uniform and Gaussian distributions).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace sebdb {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Gaussian with the given mean and standard deviation, clamped to
+  /// [lo, hi] (paper clamps placement to valid block ids).
+  int64_t GaussianInRange(double mean, double stddev, int64_t lo, int64_t hi) {
+    double v = mean + stddev * NextGaussian();
+    auto r = static_cast<int64_t>(std::llround(v));
+    if (r < lo) r = lo;
+    if (r > hi) r = hi;
+    return r;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace sebdb

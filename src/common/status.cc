@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+namespace sebdb {
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* name = "Unknown";
+  switch (code()) {
+    case Code::kOk:
+      name = "OK";
+      break;
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kIOError:
+      name = "IOError";
+      break;
+    case Code::kNotSupported:
+      name = "NotSupported";
+      break;
+    case Code::kAborted:
+      name = "Aborted";
+      break;
+    case Code::kBusy:
+      name = "Busy";
+      break;
+    case Code::kVerificationFailed:
+      name = "VerificationFailed";
+      break;
+    case Code::kTimedOut:
+      name = "TimedOut";
+      break;
+  }
+  std::string out = name;
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+}  // namespace sebdb

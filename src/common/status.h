@@ -1,0 +1,92 @@
+// Status: result of a fallible operation. Modeled after the LevelDB/RocksDB
+// idiom: cheap to copy in the OK case, carries a code plus message otherwise.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace sebdb {
+
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kNotSupported = 5,
+    kAborted = 6,
+    kBusy = 7,
+    kVerificationFailed = 8,
+    kTimedOut = 9,
+  };
+
+  /// Creates an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(Code::kAborted, msg);
+  }
+  static Status Busy(std::string_view msg) { return Status(Code::kBusy, msg); }
+  static Status VerificationFailed(std::string_view msg) {
+    return Status(Code::kVerificationFailed, msg);
+  }
+  static Status TimedOut(std::string_view msg) {
+    return Status(Code::kTimedOut, msg);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsCorruption() const { return code() == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsIOError() const { return code() == Code::kIOError; }
+  bool IsNotSupported() const { return code() == Code::kNotSupported; }
+  bool IsAborted() const { return code() == Code::kAborted; }
+  bool IsBusy() const { return code() == Code::kBusy; }
+  bool IsVerificationFailed() const {
+    return code() == Code::kVerificationFailed;
+  }
+  bool IsTimedOut() const { return code() == Code::kTimedOut; }
+
+  Code code() const { return rep_ == nullptr ? Code::kOk : rep_->code; }
+
+  /// Human-readable representation, e.g. "NotFound: block 17".
+  std::string ToString() const;
+
+  /// The message passed at construction ("" for OK).
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ == nullptr ? kEmpty : rep_->msg;
+  }
+
+ private:
+  struct Rep {
+    Code code;
+    std::string msg;
+  };
+
+  Status(Code code, std::string_view msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::string(msg)})) {}
+
+  std::shared_ptr<const Rep> rep_;  // nullptr means OK
+};
+
+}  // namespace sebdb

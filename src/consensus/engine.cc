@@ -1,0 +1,31 @@
+#include "consensus/engine.h"
+
+#include "common/coding.h"
+#include "common/sha256.h"
+
+namespace sebdb {
+
+void EncodeBatch(const std::vector<Transaction>& txns, std::string* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(txns.size()));
+  for (const auto& txn : txns) txn.EncodeTo(dst);
+}
+
+Status DecodeBatch(Slice* input, std::vector<Transaction>* out) {
+  uint32_t n;
+  if (!GetVarint32(input, &n)) return Status::Corruption("truncated batch");
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    Transaction txn;
+    Status s = Transaction::DecodeFrom(input, &txn);
+    if (!s.ok()) return s;
+    out->push_back(std::move(txn));
+  }
+  return Status::OK();
+}
+
+Hash256 BatchDigest(const std::string& encoded_batch) {
+  return Sha256::Digest(encoded_batch);
+}
+
+}  // namespace sebdb

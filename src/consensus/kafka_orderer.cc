@@ -1,0 +1,191 @@
+#include "consensus/kafka_orderer.h"
+
+#include <chrono>
+
+#include "common/coding.h"
+
+namespace sebdb {
+
+namespace {
+
+constexpr char kSubmitType[] = "kafka.submit";
+constexpr char kDeliverType[] = "kafka.deliver";
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string TxnKey(const Transaction& txn) {
+  return txn.Hash().ToHex();
+}
+
+}  // namespace
+
+KafkaOrderer::KafkaOrderer(std::string node_id, std::string broker_id,
+                           std::vector<std::string> participants,
+                           SimNetwork* network, ConsensusOptions options,
+                           BatchCommitFn commit_fn)
+    : node_id_(std::move(node_id)),
+      broker_id_(std::move(broker_id)),
+      participants_(std::move(participants)),
+      network_(network),
+      options_(std::move(options)),
+      commit_fn_(std::move(commit_fn)) {}
+
+KafkaOrderer::~KafkaOrderer() { Stop(); }
+
+Status KafkaOrderer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::Busy("engine already started");
+  running_ = true;
+  if (is_broker()) {
+    cutter_ = std::thread([this] { CutterLoop(); });
+  }
+  return Status::OK();
+}
+
+void KafkaOrderer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    cutter_cv_.notify_all();
+  }
+  if (cutter_.joinable()) cutter_.join();
+  // Fail any callers still waiting for a commit.
+  std::unordered_map<std::string, std::function<void(Status)>> pending_done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_done.swap(done_);
+  }
+  for (auto& [key, done] : pending_done) {
+    if (done) done(Status::Aborted("consensus engine stopped"));
+  }
+}
+
+Status KafkaOrderer::Submit(Transaction txn,
+                            std::function<void(Status)> done) {
+  if (options_.validator) {
+    Status s = options_.validator(txn);
+    if (!s.ok()) {
+      if (done) done(s);
+      return s;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return Status::Aborted("engine not running");
+    if (done) done_[TxnKey(txn)] = std::move(done);
+  }
+  std::string payload;
+  txn.EncodeTo(&payload);
+  network_->Send(Message{kSubmitType, node_id_, broker_id_, payload});
+  return Status::OK();
+}
+
+void KafkaOrderer::HandleMessage(const Message& message) {
+  if (message.type == kSubmitType) {
+    OnSubmit(message);
+  } else if (message.type == kDeliverType) {
+    OnDeliver(message);
+  }
+}
+
+void KafkaOrderer::OnSubmit(const Message& message) {
+  if (!is_broker()) return;
+  Transaction txn;
+  Slice input(message.payload);
+  if (!Transaction::DecodeFrom(&input, &txn).ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_) return;
+  if (pending_.empty()) first_pending_micros_ = NowMicros();
+  pending_.push_back(std::move(txn));
+  if (pending_.size() >= options_.max_batch_txns) {
+    CutBatchLocked();
+  }
+}
+
+void KafkaOrderer::CutBatchLocked() {
+  if (pending_.empty()) return;
+  std::vector<Transaction> batch;
+  batch.swap(pending_);
+  uint64_t seq = next_seq_++;
+
+  std::string payload;
+  PutVarint64(&payload, seq);
+  EncodeBatch(batch, &payload);
+  for (const auto& participant : participants_) {
+    network_->Send(Message{kDeliverType, node_id_, participant, payload});
+  }
+}
+
+void KafkaOrderer::CutterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    if (pending_.empty()) {
+      cutter_cv_.wait_for(lock, std::chrono::milliseconds(
+                                    options_.batch_timeout_millis));
+      continue;
+    }
+    int64_t deadline =
+        first_pending_micros_ + options_.batch_timeout_millis * 1000;
+    int64_t now = NowMicros();
+    if (now >= deadline) {
+      CutBatchLocked();
+    } else {
+      cutter_cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+    }
+  }
+}
+
+void KafkaOrderer::OnDeliver(const Message& message) {
+  Slice input(message.payload);
+  uint64_t seq;
+  std::vector<Transaction> batch;
+  if (!GetVarint64(&input, &seq) || !DecodeBatch(&input, &batch).ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  reorder_buffer_[seq] = std::move(batch);
+  DeliverReady();
+}
+
+void KafkaOrderer::DeliverReady() {
+  // Single drainer at a time: keeps commit_fn invocations strictly ordered
+  // even though they run outside the lock.
+  if (delivering_) return;
+  delivering_ = true;
+  while (true) {
+    auto it = reorder_buffer_.find(next_deliver_seq_);
+    if (it == reorder_buffer_.end()) break;
+    std::vector<Transaction> batch = std::move(it->second);
+    reorder_buffer_.erase(it);
+    uint64_t seq = next_deliver_seq_++;
+    committed_batches_++;
+
+    // Collect completion callbacks for transactions we submitted.
+    std::vector<std::function<void(Status)>> to_fire;
+    for (const auto& txn : batch) {
+      auto done_it = done_.find(TxnKey(txn));
+      if (done_it != done_.end()) {
+        to_fire.push_back(std::move(done_it->second));
+        done_.erase(done_it);
+      }
+    }
+    // Invoke the commit hook and callbacks outside the lock.
+    mu_.unlock();
+    if (commit_fn_) commit_fn_(seq, std::move(batch));
+    for (auto& done : to_fire) {
+      if (done) done(Status::OK());
+    }
+    mu_.lock();
+  }
+  delivering_ = false;
+}
+
+uint64_t KafkaOrderer::committed_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_batches_;
+}
+
+}  // namespace sebdb

@@ -1,0 +1,74 @@
+// Kafka-style ordering service (substitutes Apache Kafka 1.0.0 in the
+// paper's write benchmark). One participant acts as the broker: it sequences
+// submitted transactions in a single topic partition and cuts blocks when
+// the batch reaches max_batch_txns or the batch timeout fires — the same
+// cut-by-size-or-timeout dynamics that shape Fig. 7's latency curve. Ordered
+// batches are broadcast to every participant and delivered in sequence.
+// Crash-fault-tolerant only (like Fabric's Kafka orderer), no BFT.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "consensus/engine.h"
+#include "network/sim_network.h"
+
+namespace sebdb {
+
+class KafkaOrderer : public ConsensusEngine {
+ public:
+  KafkaOrderer(std::string node_id, std::string broker_id,
+               std::vector<std::string> participants, SimNetwork* network,
+               ConsensusOptions options, BatchCommitFn commit_fn);
+  ~KafkaOrderer() override;
+
+  std::string name() const override { return "kafka"; }
+  Status Start() override;
+  void Stop() override;
+  Status Submit(Transaction txn, std::function<void(Status)> done) override;
+  uint64_t committed_batches() const override;
+
+  /// Routes "kafka.*" messages; wire into the node's network handler.
+  void HandleMessage(const Message& message);
+
+  bool is_broker() const { return node_id_ == broker_id_; }
+
+ private:
+  void OnSubmit(const Message& message);
+  void OnDeliver(const Message& message);
+  void CutBatchLocked();  // broker: pending -> sequenced batch, broadcast
+  void CutterLoop();      // broker: timeout-based cutting
+  void DeliverReady();    // apply buffered batches in sequence order
+
+  const std::string node_id_;
+  const std::string broker_id_;
+  const std::vector<std::string> participants_;
+  SimNetwork* network_;
+  const ConsensusOptions options_;
+  BatchCommitFn commit_fn_;
+
+  mutable std::mutex mu_;
+  bool running_ = false;
+  std::thread cutter_;
+  std::condition_variable cutter_cv_;
+
+  // Broker state.
+  std::vector<Transaction> pending_;
+  int64_t first_pending_micros_ = 0;
+  uint64_t next_seq_ = 0;
+
+  // Every participant: in-order delivery.
+  std::map<uint64_t, std::vector<Transaction>> reorder_buffer_;
+  uint64_t next_deliver_seq_ = 0;
+  uint64_t committed_batches_ = 0;
+  bool delivering_ = false;
+
+  // Local completion callbacks, keyed by transaction content hash.
+  std::unordered_map<std::string, std::function<void(Status)>> done_;
+};
+
+}  // namespace sebdb

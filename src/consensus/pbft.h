@@ -1,0 +1,133 @@
+// Practical Byzantine Fault Tolerance (Castro & Liskov, OSDI'99) — the BFT
+// option of SEBDB's pluggable consensus layer. n = 3f+1 replicas; the view's
+// primary batches client requests (same size/timeout cutting as the Kafka
+// orderer) and drives the three-phase protocol:
+//   pre-prepare (primary)  ->  prepare (all, 2f matching to become prepared)
+//   ->  commit (all, 2f+1 matching to become committed-local).
+// Batches are delivered in sequence order. A progress timer triggers view
+// changes: replicas that hold undelivered requests and see no progress
+// broadcast VIEW-CHANGE; on 2f+1 the new primary installs the view and
+// re-proposes outstanding requests (replicas re-send pending requests to the
+// new primary).
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/sha256.h"
+#include "consensus/engine.h"
+#include "network/sim_network.h"
+
+namespace sebdb {
+
+struct PbftOptions {
+  /// No-progress interval after which a replica suspects the primary.
+  int64_t view_timeout_millis = 1000;
+};
+
+class PbftEngine : public ConsensusEngine {
+ public:
+  /// `participants` is the agreed replica list; its order defines replica
+  /// numbering and the view's primary: primary(view) = participants[view % n].
+  PbftEngine(std::string node_id, std::vector<std::string> participants,
+             SimNetwork* network, ConsensusOptions options,
+             BatchCommitFn commit_fn, PbftOptions pbft_options = PbftOptions());
+  ~PbftEngine() override;
+
+  std::string name() const override { return "pbft"; }
+  Status Start() override;
+  void Stop() override;
+  Status Submit(Transaction txn, std::function<void(Status)> done) override;
+  uint64_t committed_batches() const override;
+
+  void HandleMessage(const Message& message);
+
+  uint64_t view() const;
+  bool is_primary() const;
+  int max_faulty() const { return f_; }
+
+ private:
+  struct SlotState {
+    std::string batch_payload;  // encoded batch (set by pre-prepare)
+    Hash256 digest;
+    bool preprepared = false;
+    std::set<std::string> prepares;  // replicas that sent matching PREPARE
+    std::set<std::string> commits;   // replicas that sent matching COMMIT
+    bool sent_commit = false;
+    bool delivered = false;
+  };
+
+  std::string PrimaryOf(uint64_t view) const {
+    return participants_[view % participants_.size()];
+  }
+
+  void OnRequest(const Message& message);
+  void AddToBatchLocked(Transaction txn);
+  void OnPrePrepare(const Message& message);
+  void OnPrepare(const Message& message);
+  void OnCommit(const Message& message);
+  void OnViewChange(const Message& message);
+  void OnNewView(const Message& message);
+
+  void CutBatchLocked();
+  void MaybePrepareLocked(uint64_t seq);
+  void MaybeCommitLocked(uint64_t seq);
+  void DeliverReadyLocked();
+  void TimerLoop();
+  void BroadcastToReplicas(const std::string& type,
+                           const std::string& payload);
+  void StartViewChangeLocked(uint64_t new_view);
+  void EnterViewLocked(uint64_t new_view);
+
+  const std::string node_id_;
+  const std::vector<std::string> participants_;
+  SimNetwork* network_;
+  const ConsensusOptions options_;
+  BatchCommitFn commit_fn_;
+  const PbftOptions pbft_options_;
+  const int f_;
+
+  mutable std::mutex mu_;
+  bool running_ = false;
+  std::thread timer_;
+  std::condition_variable timer_cv_;
+
+  uint64_t view_ = 0;
+  uint64_t next_seq_ = 0;           // primary: next sequence to assign
+  uint64_t next_deliver_seq_ = 0;
+  uint64_t committed_batches_ = 0;
+  bool delivering_ = false;
+  std::map<uint64_t, SlotState> slots_;  // keyed by seq
+
+  // Primary batching.
+  std::vector<Transaction> batch_pending_;
+  int64_t first_pending_micros_ = 0;
+
+  // Requests this node accepted from clients and not yet seen committed.
+  struct PendingRequest {
+    Transaction txn;
+    std::function<void(Status)> done;
+  };
+  std::unordered_map<std::string, PendingRequest> pending_requests_;
+  // Keys ever batched by this node as primary (primary-side dedup), and keys
+  // of committed transactions (guards against re-admitting stale requests).
+  std::unordered_set<std::string> batched_keys_;
+  std::unordered_set<std::string> committed_keys_;
+  int64_t last_progress_micros_ = 0;
+
+  // View change bookkeeping: view -> replicas voting for it.
+  std::map<uint64_t, std::set<std::string>> view_votes_;
+  bool in_view_change_ = false;
+  uint64_t highest_reported_seq_ = 0;  // from VIEW-CHANGE messages
+
+  // Committed batch payloads served to lagging replicas (state transfer).
+  std::map<uint64_t, std::string> delivered_payloads_;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,334 @@
+#include "consensus/tendermint.h"
+
+#include <chrono>
+
+#include "common/coding.h"
+
+namespace sebdb {
+
+namespace {
+
+constexpr char kTxType[] = "tm.tx";
+constexpr char kProposalType[] = "tm.proposal";
+constexpr char kPrevoteType[] = "tm.prevote";
+constexpr char kPrecommitType[] = "tm.precommit";
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string TxnKey(const Transaction& txn) { return txn.Hash().ToHex(); }
+
+bool GetHash(Slice* input, Hash256* out) {
+  if (input->size() < 32) return false;
+  memcpy(out->bytes.data(), input->data(), 32);
+  input->remove_prefix(32);
+  return true;
+}
+
+}  // namespace
+
+TendermintEngine::TendermintEngine(std::string node_id,
+                                   std::vector<std::string> participants,
+                                   SimNetwork* network,
+                                   ConsensusOptions options,
+                                   BatchCommitFn commit_fn,
+                                   TendermintOptions tm_options)
+    : node_id_(std::move(node_id)),
+      participants_(std::move(participants)),
+      network_(network),
+      options_(std::move(options)),
+      commit_fn_(std::move(commit_fn)),
+      tm_options_(tm_options) {}
+
+TendermintEngine::~TendermintEngine() { Stop(); }
+
+Status TendermintEngine::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::Busy("engine already started");
+  running_ = true;
+  round_started_micros_ = NowMicros();
+  timer_ = std::thread([this] { TimerLoop(); });
+  return Status::OK();
+}
+
+void TendermintEngine::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    timer_cv_.notify_all();
+  }
+  if (timer_.joinable()) timer_.join();
+  std::unordered_map<std::string, std::function<void(Status)>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(done_);
+  }
+  for (auto& [key, done] : pending) {
+    if (done) done(Status::Aborted("consensus engine stopped"));
+  }
+}
+
+uint64_t TendermintEngine::height() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return height_;
+}
+
+void TendermintEngine::SerialWork(size_t txn_count) const {
+  // Spin for txn_count * serial_txn_cost_micros, modeling the serial
+  // CheckTx/DeliverTx pipeline.
+  if (tm_options_.serial_txn_cost_micros <= 0 || txn_count == 0) return;
+  int64_t until = NowMicros() + static_cast<int64_t>(txn_count) *
+                                    tm_options_.serial_txn_cost_micros;
+  while (NowMicros() < until) {
+    // busy wait, like a single-threaded ABCI app
+  }
+}
+
+void TendermintEngine::BroadcastToReplicas(const std::string& type,
+                                           const std::string& payload) {
+  for (const auto& replica : participants_) {
+    if (replica == node_id_) continue;
+    network_->Send(Message{type, node_id_, replica, payload});
+  }
+}
+
+Status TendermintEngine::Submit(Transaction txn,
+                                std::function<void(Status)> done) {
+  if (options_.validator) {
+    Status s = options_.validator(txn);
+    if (!s.ok()) {
+      if (done) done(s);
+      return s;
+    }
+  }
+  // Serial CheckTx before mempool admission.
+  SerialWork(1);
+  std::string key = TxnKey(txn);
+  std::string payload;
+  txn.EncodeTo(&payload);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return Status::Aborted("engine not running");
+    if (done) done_[key] = std::move(done);
+    if (!mempool_keys_.contains(key)) {
+      if (mempool_.empty()) first_mempool_micros_ = NowMicros();
+      mempool_keys_.insert(key);
+      mempool_.push_back(std::move(txn));
+    }
+    MaybeProposeLocked();
+  }
+  BroadcastToReplicas(kTxType, payload);
+  return Status::OK();
+}
+
+void TendermintEngine::HandleMessage(const Message& message) {
+  if (message.type == kTxType) OnTx(message);
+  else if (message.type == kProposalType) OnProposal(message);
+  else if (message.type == kPrevoteType) OnPrevote(message);
+  else if (message.type == kPrecommitType) OnPrecommit(message);
+}
+
+void TendermintEngine::OnTx(const Message& message) {
+  Transaction txn;
+  Slice input(message.payload);
+  if (!Transaction::DecodeFrom(&input, &txn).ok()) return;
+  // Serial CheckTx on gossiped transactions too.
+  SerialWork(1);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_) return;
+  std::string key = TxnKey(txn);
+  if (mempool_keys_.contains(key)) return;
+  if (mempool_.empty()) first_mempool_micros_ = NowMicros();
+  mempool_keys_.insert(key);
+  mempool_.push_back(std::move(txn));
+  MaybeProposeLocked();
+}
+
+void TendermintEngine::MaybeProposeLocked() {
+  if (ProposerOf(height_, round_) != node_id_ ||
+      round_state_.have_proposal || mempool_.empty()) {
+    return;
+  }
+  bool full = mempool_.size() >= options_.max_batch_txns;
+  bool timed_out = NowMicros() - first_mempool_micros_ >=
+                   options_.batch_timeout_millis * 1000;
+  if (!full && !timed_out) return;
+
+  std::vector<Transaction> batch;
+  size_t take = std::min<size_t>(options_.max_batch_txns, mempool_.size());
+  for (size_t i = 0; i < take; i++) {
+    batch.push_back(std::move(mempool_.front()));
+    mempool_.pop_front();
+  }
+  if (!mempool_.empty()) first_mempool_micros_ = NowMicros();
+
+  std::string batch_payload;
+  EncodeBatch(batch, &batch_payload);
+  round_state_.proposal_payload = batch_payload;
+  round_state_.digest = BatchDigest(batch_payload);
+  round_state_.have_proposal = true;
+
+  std::string payload;
+  PutVarint64(&payload, height_);
+  PutVarint32(&payload, round_);
+  PutLengthPrefixed(&payload, batch_payload);
+  BroadcastToReplicas(kProposalType, payload);
+
+  // Proposer prevotes its own proposal.
+  round_state_.sent_prevote = true;
+  round_state_.prevotes.insert(node_id_);
+  std::string vote;
+  PutVarint64(&vote, height_);
+  PutVarint32(&vote, round_);
+  vote.append(reinterpret_cast<const char*>(round_state_.digest.bytes.data()),
+              32);
+  BroadcastToReplicas(kPrevoteType, vote);
+  MaybePrecommitLocked();
+}
+
+void TendermintEngine::OnProposal(const Message& message) {
+  Slice input(message.payload);
+  uint64_t height;
+  uint32_t round;
+  Slice batch_payload;
+  if (!GetVarint64(&input, &height) || !GetVarint32(&input, &round) ||
+      !GetLengthPrefixed(&input, &batch_payload)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_ || height != height_ || round != round_) return;
+  if (message.from != ProposerOf(height_, round_)) return;
+  if (round_state_.have_proposal) return;
+  round_state_.proposal_payload = batch_payload.ToString();
+  round_state_.digest = BatchDigest(round_state_.proposal_payload);
+  round_state_.have_proposal = true;
+
+  if (!round_state_.sent_prevote) {
+    round_state_.sent_prevote = true;
+    round_state_.prevotes.insert(node_id_);
+    std::string vote;
+    PutVarint64(&vote, height_);
+    PutVarint32(&vote, round_);
+    vote.append(
+        reinterpret_cast<const char*>(round_state_.digest.bytes.data()), 32);
+    BroadcastToReplicas(kPrevoteType, vote);
+  }
+  MaybePrecommitLocked();
+}
+
+void TendermintEngine::OnPrevote(const Message& message) {
+  Slice input(message.payload);
+  uint64_t height;
+  uint32_t round;
+  Hash256 digest;
+  if (!GetVarint64(&input, &height) || !GetVarint32(&input, &round) ||
+      !GetHash(&input, &digest)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_ || height != height_ || round != round_) return;
+  if (round_state_.have_proposal && digest != round_state_.digest) return;
+  round_state_.prevotes.insert(message.from);
+  MaybePrecommitLocked();
+}
+
+void TendermintEngine::MaybePrecommitLocked() {
+  if (!round_state_.have_proposal || round_state_.sent_precommit) return;
+  if (static_cast<int>(round_state_.prevotes.size()) < QuorumSize()) return;
+  round_state_.sent_precommit = true;
+  round_state_.precommits.insert(node_id_);
+  std::string vote;
+  PutVarint64(&vote, height_);
+  PutVarint32(&vote, round_);
+  vote.append(reinterpret_cast<const char*>(round_state_.digest.bytes.data()),
+              32);
+  BroadcastToReplicas(kPrecommitType, vote);
+  MaybeCommitLocked();
+}
+
+void TendermintEngine::OnPrecommit(const Message& message) {
+  Slice input(message.payload);
+  uint64_t height;
+  uint32_t round;
+  Hash256 digest;
+  if (!GetVarint64(&input, &height) || !GetVarint32(&input, &round) ||
+      !GetHash(&input, &digest)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_ || height != height_ || round != round_) return;
+  if (round_state_.have_proposal && digest != round_state_.digest) return;
+  round_state_.precommits.insert(message.from);
+  MaybeCommitLocked();
+}
+
+void TendermintEngine::MaybeCommitLocked() {
+  if (!round_state_.have_proposal || committing_) return;
+  if (static_cast<int>(round_state_.precommits.size()) < QuorumSize()) return;
+  committing_ = true;
+
+  std::vector<Transaction> batch;
+  Slice input(round_state_.proposal_payload);
+  if (!DecodeBatch(&input, &batch).ok()) batch.clear();
+
+  uint64_t seq = height_;
+  height_++;
+  round_ = 0;
+  round_state_ = RoundState();
+  round_started_micros_ = NowMicros();
+  committed_batches_++;
+
+  // Remove committed transactions from the mempool and collect callbacks.
+  std::vector<std::function<void(Status)>> to_fire;
+  for (const auto& txn : batch) {
+    std::string key = TxnKey(txn);
+    mempool_keys_.erase(key);
+    auto done_it = done_.find(key);
+    if (done_it != done_.end()) {
+      if (done_it->second) to_fire.push_back(std::move(done_it->second));
+      done_.erase(done_it);
+    }
+  }
+  for (auto it = mempool_.begin(); it != mempool_.end();) {
+    if (!mempool_keys_.contains(TxnKey(*it))) it = mempool_.erase(it);
+    else ++it;
+  }
+
+  mu_.unlock();
+  // Serial DeliverTx: one transaction at a time into the application.
+  SerialWork(batch.size());
+  if (commit_fn_) commit_fn_(seq, std::move(batch));
+  for (auto& done : to_fire) done(Status::OK());
+  mu_.lock();
+  committing_ = false;
+  MaybeProposeLocked();
+}
+
+void TendermintEngine::TimerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    timer_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    if (!running_) return;
+    MaybeProposeLocked();
+    // Round timeout: rotate the proposer within the same height.
+    if (!round_state_.have_proposal && !mempool_.empty() &&
+        NowMicros() - round_started_micros_ >
+            tm_options_.propose_timeout_millis * 1000) {
+      round_++;
+      round_state_ = RoundState();
+      round_started_micros_ = NowMicros();
+      MaybeProposeLocked();
+    }
+  }
+}
+
+uint64_t TendermintEngine::committed_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_batches_;
+}
+
+}  // namespace sebdb

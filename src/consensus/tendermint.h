@@ -1,0 +1,109 @@
+// Tendermint-style BFT engine (substitutes Tendermint 0.19.3 in the write
+// benchmark). Height-based rounds with a rotating proposer:
+//   proposal (proposer of the round) -> prevote (all) -> precommit on >2/3
+//   prevotes -> commit on >2/3 precommits.
+// Submitted transactions enter a gossiped mempool after a *serial* CheckTx;
+// committed transactions pass through a *serial* DeliverTx. The paper
+// attributes Tendermint's limited throughput exactly to this serial
+// check-then-deliver path, so both are modeled with a configurable per-
+// transaction cost.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/sha256.h"
+#include "consensus/engine.h"
+#include "network/sim_network.h"
+
+namespace sebdb {
+
+struct TendermintOptions {
+  /// Simulated serial work per transaction in CheckTx and DeliverTx.
+  int64_t serial_txn_cost_micros = 50;
+  /// Proposal timeout: after this, the next round's proposer takes over.
+  int64_t propose_timeout_millis = 1000;
+};
+
+class TendermintEngine : public ConsensusEngine {
+ public:
+  TendermintEngine(std::string node_id, std::vector<std::string> participants,
+                   SimNetwork* network, ConsensusOptions options,
+                   BatchCommitFn commit_fn,
+                   TendermintOptions tm_options = TendermintOptions());
+  ~TendermintEngine() override;
+
+  std::string name() const override { return "tendermint"; }
+  Status Start() override;
+  void Stop() override;
+  Status Submit(Transaction txn, std::function<void(Status)> done) override;
+  uint64_t committed_batches() const override;
+
+  void HandleMessage(const Message& message);
+
+  uint64_t height() const;
+
+ private:
+  struct RoundState {
+    std::string proposal_payload;
+    Hash256 digest;
+    bool have_proposal = false;
+    bool sent_prevote = false;
+    bool sent_precommit = false;
+    std::set<std::string> prevotes;
+    std::set<std::string> precommits;
+  };
+
+  std::string ProposerOf(uint64_t height, uint32_t round) const {
+    return participants_[(height + round) % participants_.size()];
+  }
+  int QuorumSize() const {  // strictly more than 2/3
+    return static_cast<int>(participants_.size() * 2 / 3) + 1;
+  }
+
+  void OnTx(const Message& message);
+  void OnProposal(const Message& message);
+  void OnPrevote(const Message& message);
+  void OnPrecommit(const Message& message);
+  void MaybeProposeLocked();
+  void MaybePrecommitLocked();
+  void MaybeCommitLocked();
+  void TimerLoop();
+  void BroadcastToReplicas(const std::string& type,
+                           const std::string& payload);
+  void SerialWork(size_t txn_count) const;
+
+  const std::string node_id_;
+  const std::vector<std::string> participants_;
+  SimNetwork* network_;
+  const ConsensusOptions options_;
+  BatchCommitFn commit_fn_;
+  const TendermintOptions tm_options_;
+
+  mutable std::mutex mu_;
+  bool running_ = false;
+  std::thread timer_;
+  std::condition_variable timer_cv_;
+
+  uint64_t height_ = 0;   // next batch sequence to commit
+  uint32_t round_ = 0;
+  int64_t round_started_micros_ = 0;
+  RoundState round_state_;
+  bool committing_ = false;
+
+  // Mempool in arrival order; keys deduplicate gossiped transactions.
+  std::deque<Transaction> mempool_;
+  std::unordered_set<std::string> mempool_keys_;
+  int64_t first_mempool_micros_ = 0;
+
+  uint64_t committed_batches_ = 0;
+  std::unordered_map<std::string, std::function<void(Status)>> done_;
+};
+
+}  // namespace sebdb

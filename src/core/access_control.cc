@@ -1,0 +1,45 @@
+#include "core/access_control.h"
+
+namespace sebdb {
+
+Status AccessControl::AssignTable(const std::string& table,
+                                  const std::string& channel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_channel_.find(table);
+  if (it != table_channel_.end() && it->second != channel) {
+    return Status::InvalidArgument("table " + table +
+                                   " already belongs to channel " +
+                                   it->second);
+  }
+  table_channel_[table] = channel;
+  return Status::OK();
+}
+
+Status AccessControl::AddMember(const std::string& channel,
+                                const std::string& identity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  channel_members_[channel].insert(identity);
+  return Status::OK();
+}
+
+Status AccessControl::CheckAccess(const std::string& identity,
+                                  const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_channel_.find(table);
+  if (it == table_channel_.end()) return Status::OK();  // public table
+  auto members = channel_members_.find(it->second);
+  if (members != channel_members_.end() &&
+      members->second.contains(identity)) {
+    return Status::OK();
+  }
+  return Status::InvalidArgument("identity " + identity +
+                                 " is not a member of channel " + it->second +
+                                 " for table " + table);
+}
+
+bool AccessControl::IsPublic(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !table_channel_.contains(table);
+}
+
+}  // namespace sebdb

@@ -1,0 +1,36 @@
+// Access control (paper §III-B application layer): before a request
+// executes, its sender's permission is checked. A lightweight multi-channel
+// model: tables belong to channels, identities are channel members, and a
+// request may only read or write tables of channels the sender belongs to.
+// Tables outside any channel are public.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+
+namespace sebdb {
+
+class AccessControl {
+ public:
+  /// Assigns a table to a channel (a table joins at most one channel).
+  Status AssignTable(const std::string& table, const std::string& channel);
+  /// Adds an identity to a channel.
+  Status AddMember(const std::string& channel, const std::string& identity);
+
+  /// OK when the table is public or the sender belongs to its channel.
+  Status CheckAccess(const std::string& identity,
+                     const std::string& table) const;
+
+  bool IsPublic(const std::string& table) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> table_channel_;
+  std::map<std::string, std::set<std::string>> channel_members_;
+};
+
+}  // namespace sebdb

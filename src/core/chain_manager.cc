@@ -1,0 +1,150 @@
+#include "core/chain_manager.h"
+
+namespace sebdb {
+
+Status ChainManager::Open(const ChainOptions& options,
+                          const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_) return Status::Busy("chain already open");
+  options_ = options;
+  Status s = store_.Open(options.store, dir);
+  if (!s.ok()) return s;
+  IndexSetOptions index_options = options.indexes;
+  if (index_options.manifest_path.empty()) {
+    index_options.manifest_path = dir + "/indexes.manifest";
+  }
+  indexes_ = std::make_unique<IndexSet>(&store_, index_options);
+
+  if (store_.num_blocks() == 0) {
+    // Fresh chain: write the genesis block (height 0, no transactions).
+    BlockBuilder builder;
+    builder.SetHeight(0).SetTimestamp(0).SetFirstTid(1);
+    Block genesis = std::move(builder).Build("genesis");
+    s = store_.Append(genesis);
+    if (!s.ok()) return s;
+    s = ApplyBlock(genesis);
+    if (!s.ok()) return s;
+  } else {
+    // Recovery: replay every persisted block into indexes and catalog.
+    for (uint64_t h = 0; h < store_.num_blocks(); h++) {
+      std::shared_ptr<const Block> block;
+      s = store_.ReadBlock(h, &block);
+      if (!s.ok()) return s;
+      s = block->Validate();
+      if (!s.ok()) return s;
+      s = ApplyBlock(*block);
+      if (!s.ok()) return s;
+    }
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Status ChainManager::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_ = false;
+  return store_.Close();
+}
+
+Status ChainManager::ApplyBlock(const Block& block) {
+  Status s = indexes_->AddBlock(block);
+  if (!s.ok()) return s;
+  for (const auto& txn : block.transactions()) {
+    catalog_.MaybeApplySchemaTransaction(txn);
+  }
+  tip_hash_ = block.header().block_hash;
+  last_ts_ = block.header().timestamp;
+  if (block.header().num_transactions > 0) {
+    next_tid_ = block.header().first_tid + block.header().num_transactions;
+  }
+  return Status::OK();
+}
+
+Status ChainManager::AppendBatch(uint64_t seq, std::vector<Transaction> txns,
+                                 Timestamp timestamp,
+                                 const std::string& packager,
+                                 const std::string& packager_signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::Aborted("chain not open");
+  uint64_t expected_height = seq + 1;  // genesis occupies height 0
+  if (store_.num_blocks() != expected_height) {
+    if (store_.num_blocks() > expected_height) {
+      return Status::OK();  // already applied (e.g. arrived via gossip first)
+    }
+    return Status::InvalidArgument(
+        "batch " + std::to_string(seq) + " arrived at chain height " +
+        std::to_string(store_.num_blocks()));
+  }
+
+  // Block timestamps must be deterministic across replicas and monotone;
+  // callers pass a content-derived timestamp (max transaction ts) and we
+  // clamp against the previous block.
+  if (timestamp < last_ts_) timestamp = last_ts_;
+  BlockBuilder builder;
+  builder.SetPrevHash(tip_hash_)
+      .SetHeight(expected_height)
+      .SetTimestamp(timestamp)
+      .SetFirstTid(next_tid_);
+  for (auto& txn : txns) builder.AddTransaction(std::move(txn));
+  Block block = std::move(builder).Build(packager_signature);
+  (void)packager;
+
+  Status s = store_.Append(block);
+  if (!s.ok()) return s;
+  return ApplyBlock(block);
+}
+
+Status ChainManager::ApplyBlockRecord(BlockId height,
+                                      const std::string& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::Aborted("chain not open");
+  if (height < store_.num_blocks()) return Status::OK();  // stale
+  if (height > store_.num_blocks()) {
+    return Status::InvalidArgument("gap before block " +
+                                   std::to_string(height));
+  }
+  Block block;
+  Slice input(record);
+  Status s = Block::DecodeFrom(&input, &block);
+  if (!s.ok()) return s;
+  if (block.height() != height) {
+    return Status::Corruption("block record height mismatch");
+  }
+  s = block.Validate();
+  if (!s.ok()) return s;
+  if (height > 0 && block.header().prev_hash != tip_hash_) {
+    return Status::Corruption("prev hash mismatch at height " +
+                              std::to_string(height));
+  }
+  if (options_.verify_signatures && keystore_ != nullptr) {
+    for (const auto& txn : block.transactions()) {
+      s = keystore_->VerifyTransaction(txn);
+      if (!s.ok()) return s;
+    }
+  }
+  s = store_.Append(block);
+  if (!s.ok()) return s;
+  return ApplyBlock(block);
+}
+
+Status ChainManager::GetBlockRecord(BlockId height, std::string* record) {
+  return store_.ReadRawRecord(height, record);
+}
+
+uint64_t ChainManager::height() const { return store_.num_blocks(); }
+
+Hash256 ChainManager::tip_hash() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tip_hash_;
+}
+
+TransactionId ChainManager::next_tid() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_tid_;
+}
+
+Status ChainManager::GetHeader(BlockId height, BlockHeader* out) {
+  return store_.ReadHeader(height, out);
+}
+
+}  // namespace sebdb

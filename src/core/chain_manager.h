@@ -1,0 +1,81 @@
+// ChainManager: the node's authoritative chain state. Owns the block store,
+// the index set and the catalog; turns committed consensus batches into
+// blocks (assigning tids, linking prev hashes), validates and applies blocks
+// received via gossip, and replays the persisted chain on recovery so
+// indexes and catalog are rebuilt.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/signer.h"
+#include "sql/catalog.h"
+#include "sql/index_set.h"
+#include "storage/block_store.h"
+
+namespace sebdb {
+
+struct ChainOptions {
+  BlockStoreOptions store;
+  IndexSetOptions indexes;
+  /// Verify every transaction signature when applying foreign blocks.
+  bool verify_signatures = true;
+};
+
+class ChainManager {
+ public:
+  /// `keystore` may be nullptr to skip signature verification.
+  ChainManager(std::string node_id, const KeyStore* keystore)
+      : node_id_(std::move(node_id)), keystore_(keystore) {}
+
+  /// Opens the store in `dir`; writes the genesis block when empty, replays
+  /// all persisted blocks into the indexes and catalog otherwise.
+  Status Open(const ChainOptions& options, const std::string& dir);
+  Status Close();
+
+  /// Packages a committed batch as the next block and applies it. `seq` is
+  /// the consensus sequence (block height seq + 1; genesis is height 0).
+  Status AppendBatch(uint64_t seq, std::vector<Transaction> txns,
+                     Timestamp timestamp, const std::string& packager,
+                     const std::string& packager_signature);
+
+  /// Gossip path: decodes, validates (height, prev hash, merkle root, block
+  /// hash, optionally every signature) and applies a serialized block.
+  /// Blocks from the future are rejected with InvalidArgument (the caller
+  /// pulls the gap first); stale heights are OK no-ops.
+  Status ApplyBlockRecord(BlockId height, const std::string& record);
+
+  /// Raw record for gossip transfer.
+  Status GetBlockRecord(BlockId height, std::string* record);
+
+  uint64_t height() const;  // number of blocks, genesis included
+  Hash256 tip_hash() const;
+  TransactionId next_tid() const;
+
+  Status GetHeader(BlockId height, BlockHeader* out);
+
+  BlockStore* store() { return &store_; }
+  IndexSet* indexes() { return indexes_.get(); }
+  Catalog* catalog() { return &catalog_; }
+
+ private:
+  Status ApplyBlock(const Block& block);  // index + catalog, under mu_
+
+  const std::string node_id_;
+  const KeyStore* keystore_;
+  ChainOptions options_;
+
+  mutable std::mutex mu_;
+  BlockStore store_;
+  std::unique_ptr<IndexSet> indexes_;
+  Catalog catalog_;
+  Hash256 tip_hash_;
+  Timestamp last_ts_ = 0;
+  TransactionId next_tid_ = 1;
+  bool open_ = false;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,76 @@
+#include "core/chainsql_baseline.h"
+
+namespace sebdb {
+
+ChainsqlBaseline::ChainsqlBaseline() {
+  std::vector<ColumnDef> columns = {
+      {"senid", ValueType::kString},
+      {"tname", ValueType::kString},
+      {"ts", ValueType::kTimestamp},
+      {"payload", ValueType::kString},  // encoded transaction
+  };
+  db_.CreateTable("transactions", std::move(columns));
+  table_ = db_.GetTable("transactions");
+  table_->CreateIndex("senid");
+}
+
+Status ChainsqlBaseline::IngestBlock(const Block& block) {
+  for (const auto& txn : block.transactions()) {
+    std::string payload;
+    txn.EncodeTo(&payload);
+    Status s = table_->Insert({Value::Str(txn.sender()),
+                               Value::Str(txn.tname()), Value::Ts(txn.ts()),
+                               Value::Str(std::move(payload))});
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ChainsqlBaseline::IngestChain(ChainManager* chain) {
+  for (uint64_t h = 0; h < chain->height(); h++) {
+    std::shared_ptr<const Block> block;
+    Status s = chain->store()->ReadBlock(h, &block);
+    if (!s.ok()) return s;
+    s = IngestBlock(*block);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+size_t ChainsqlBaseline::num_replicated() const { return table_->num_rows(); }
+
+Status ChainsqlBaseline::GetTransactionsByOperator(
+    const std::string& operator_id, std::vector<Transaction>* out) const {
+  std::vector<size_t> rows;
+  Status s = table_->Lookup("senid", Value::Str(operator_id), &rows);
+  if (!s.ok()) return s;
+  for (size_t row_id : rows) {
+    const OffchainRow& row = table_->row(row_id);
+    Transaction txn;
+    Slice input(row[3].AsString());
+    s = Transaction::DecodeFrom(&input, &txn);
+    if (!s.ok()) return s;
+    out->push_back(std::move(txn));
+  }
+  return Status::OK();
+}
+
+Status ChainsqlBaseline::TrackClientSide(const std::string& operator_id,
+                                         const std::string& operation,
+                                         Timestamp window_start,
+                                         Timestamp window_end,
+                                         std::vector<Transaction>* out) const {
+  // Server returns everything the operator sent...
+  std::vector<Transaction> all;
+  Status s = GetTransactionsByOperator(operator_id, &all);
+  if (!s.ok()) return s;
+  // ...and the client filters.
+  for (auto& txn : all) {
+    if (!operation.empty() && txn.tname() != operation) continue;
+    if (txn.ts() < window_start || txn.ts() > window_end) continue;
+    out->push_back(std::move(txn));
+  }
+  return Status::OK();
+}
+
+}  // namespace sebdb

@@ -1,0 +1,49 @@
+// ChainSQL-style baseline (paper §VII-G): ChainSQL replicates every on-chain
+// transaction into a commercial RDBMS and serves tracking through a
+// GET_TRANSACTION-style API — all transactions of an operator are returned
+// and the *client* filters by operation/time window. This class reproduces
+// exactly that behaviour on top of the off-chain mini engine (one indexed
+// "transactions" table), so Figs. 20–21 can compare SEBDB's optimized
+// tracking against it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/chain_manager.h"
+#include "offchain/offchain_db.h"
+
+namespace sebdb {
+
+class ChainsqlBaseline {
+ public:
+  ChainsqlBaseline();
+
+  /// Replicates a block's transactions into the relational replica (called
+  /// as blocks commit, like ChainSQL's outer loop).
+  Status IngestBlock(const Block& block);
+  /// Replicates the whole chain.
+  Status IngestChain(ChainManager* chain);
+
+  size_t num_replicated() const;
+
+  /// GET_TRANSACTION: every transaction sent by `operator_id` (index-backed
+  /// lookup, no server-side filtering by operation or window).
+  Status GetTransactionsByOperator(const std::string& operator_id,
+                                   std::vector<Transaction>* out) const;
+
+  /// Client-side tracking: fetch by operator, then filter by operation
+  /// and/or window locally — the paper's explanation for ChainSQL's latency
+  /// growth in Fig. 21.
+  Status TrackClientSide(const std::string& operator_id,
+                         const std::string& operation, Timestamp window_start,
+                         Timestamp window_end,
+                         std::vector<Transaction>* out) const;
+
+ private:
+  OffchainDb db_;
+  OffchainTable* table_ = nullptr;  // owned by db_
+};
+
+}  // namespace sebdb

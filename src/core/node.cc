@@ -1,0 +1,504 @@
+#include "core/node.h"
+
+#include <algorithm>
+
+#include "consensus/kafka_orderer.h"
+#include "consensus/pbft.h"
+#include "consensus/tendermint.h"
+#include "common/coding.h"
+#include "core/thin_client_transport.h"
+#include "sql/eval.h"
+
+namespace sebdb {
+
+SebdbNode::SebdbNode(NodeOptions options, KeyStore* keystore,
+                     OffchainDb* offchain)
+    : options_(std::move(options)),
+      keystore_(keystore),
+      offchain_db_(offchain),
+      chain_(options_.node_id,
+             options_.chain.verify_signatures ? keystore : nullptr) {
+  if (offchain_db_ != nullptr) {
+    offchain_connector_ = std::make_unique<LocalOffchainConnector>(offchain_db_);
+  }
+}
+
+SebdbNode::~SebdbNode() { Stop(); }
+
+Status SebdbNode::Start(SimNetwork* network) {
+  if (started_) return Status::Busy("node already started");
+  network_ = network;
+
+  Status s = chain_.Open(options_.chain, options_.data_dir);
+  if (!s.ok()) return s;
+  executor_ = std::make_unique<Executor>(chain_.store(), chain_.indexes(),
+                                         chain_.catalog(),
+                                         offchain_connector_.get());
+
+  SetupRpcMethods();
+  s = network_->Register(options_.node_id,
+                         [this](const Message& m) { OnMessage(m); });
+  if (!s.ok()) return s;
+
+  // Consensus engine (only when this node is a participant).
+  bool participant =
+      std::find(options_.participants.begin(), options_.participants.end(),
+                options_.node_id) != options_.participants.end();
+  if (participant) {
+    ConsensusOptions consensus_options = options_.consensus_options;
+    if (!consensus_options.validator && keystore_ != nullptr) {
+      const KeyStore* keystore = keystore_;
+      consensus_options.validator = [keystore](const Transaction& txn) {
+        return keystore->VerifyTransaction(txn);
+      };
+    }
+    BatchCommitFn commit = [this](uint64_t seq,
+                                  std::vector<Transaction> txns) {
+      OnBatchCommitted(seq, std::move(txns));
+    };
+    switch (options_.consensus) {
+      case ConsensusKind::kKafka: {
+        std::string broker = options_.kafka_broker.empty()
+                                 ? options_.participants.front()
+                                 : options_.kafka_broker;
+        engine_ = std::make_unique<KafkaOrderer>(
+            options_.node_id, broker, options_.participants, network_,
+            consensus_options, commit);
+        break;
+      }
+      case ConsensusKind::kPbft:
+        engine_ = std::make_unique<PbftEngine>(
+            options_.node_id, options_.participants, network_,
+            consensus_options, commit);
+        break;
+      case ConsensusKind::kTendermint:
+        engine_ = std::make_unique<TendermintEngine>(
+            options_.node_id, options_.participants, network_,
+            consensus_options, commit);
+        break;
+    }
+    s = engine_->Start();
+    if (!s.ok()) return s;
+  }
+
+  if (options_.enable_gossip) {
+    std::vector<std::string> peers;
+    for (const auto& peer : options_.participants) {
+      if (peer != options_.node_id) peers.push_back(peer);
+    }
+    gossip_ = std::make_unique<GossipAgent>(options_.node_id, network_, this,
+                                            std::move(peers), options_.gossip);
+    gossip_->Start();
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void SebdbNode::Stop() {
+  if (!started_) return;
+  started_ = false;
+  if (gossip_ != nullptr) gossip_->Stop();
+  if (engine_ != nullptr) engine_->Stop();
+  if (network_ != nullptr) network_->Unregister(options_.node_id);
+  chain_.Close();
+}
+
+void SebdbNode::OnMessage(const Message& message) {
+  if (message.type.rfind("gossip.", 0) == 0) {
+    if (gossip_ != nullptr) gossip_->HandleMessage(message);
+    return;
+  }
+  if (message.type == RpcDispatcher::kRequestType) {
+    rpc_dispatcher_.HandleMessage(network_, options_.node_id, message);
+    return;
+  }
+  if (engine_ == nullptr) return;
+  if (message.type.rfind("kafka.", 0) == 0) {
+    static_cast<KafkaOrderer*>(engine_.get())->HandleMessage(message);
+  } else if (message.type.rfind("pbft.", 0) == 0) {
+    static_cast<PbftEngine*>(engine_.get())->HandleMessage(message);
+  } else if (message.type.rfind("tm.", 0) == 0) {
+    static_cast<TendermintEngine*>(engine_.get())->HandleMessage(message);
+  }
+}
+
+void SebdbNode::OnBatchCommitted(uint64_t seq,
+                                 std::vector<Transaction> txns) {
+  // Deterministic block timestamp: the greatest transaction timestamp (the
+  // chain clamps it monotone against the previous block).
+  Timestamp ts = 0;
+  for (const auto& txn : txns) ts = std::max(ts, txn.ts());
+
+  std::string packager_signature;
+  if (keystore_ != nullptr) {
+    std::string batch;
+    EncodeBatch(txns, &batch);
+    keystore_->Sign(options_.node_id, BatchDigest(batch).AsSlice(),
+                    &packager_signature);
+  }
+  Status s = chain_.AppendBatch(seq, std::move(txns), ts, options_.node_id,
+                                packager_signature);
+  if (s.ok() && gossip_ != nullptr) {
+    // Eager push so observers learn about the block before the next
+    // anti-entropy round.
+    BlockId height = chain_.height() - 1;
+    std::string record;
+    if (chain_.GetBlockRecord(height, &record).ok()) {
+      gossip_->PushBlock(height, record);
+    }
+  }
+}
+
+void SebdbNode::SetupRpcMethods() {
+  rpc_dispatcher_.RegisterMethod(
+      thin_rpc::kGetHeaders,
+      [this](const Slice& request, std::string* response) -> Status {
+        Slice input = request;
+        uint64_t from;
+        if (!GetVarint64(&input, &from)) {
+          return Status::Corruption("bad get_headers request");
+        }
+        std::vector<BlockHeader> headers;
+        Status s = GetHeaders(from, &headers);
+        if (!s.ok()) return s;
+        thin_rpc::EncodeHeaders(headers, response);
+        return Status::OK();
+      });
+  rpc_dispatcher_.RegisterMethod(
+      thin_rpc::kGetRawBlock,
+      [this](const Slice& request, std::string* response) -> Status {
+        Slice input = request;
+        uint64_t height;
+        if (!GetVarint64(&input, &height)) {
+          return Status::Corruption("bad get_raw_block request");
+        }
+        return GetRawBlock(height, response);
+      });
+  rpc_dispatcher_.RegisterMethod(
+      thin_rpc::kProveRange,
+      [this](const Slice& request, std::string* response) -> Status {
+        Slice input = request;
+        thin_rpc::RangeRequest req;
+        Status s = thin_rpc::RangeRequest::DecodeFrom(&input, &req);
+        if (!s.ok()) return s;
+        AuthQueryResponse out;
+        s = AuthProveRange(req.table, req.column,
+                           req.has_lo ? &req.lo : nullptr,
+                           req.has_hi ? &req.hi : nullptr, &out);
+        if (!s.ok()) return s;
+        out.EncodeTo(response);
+        return Status::OK();
+      });
+  rpc_dispatcher_.RegisterMethod(
+      thin_rpc::kDigestRange,
+      [this](const Slice& request, std::string* response) -> Status {
+        Slice input = request;
+        thin_rpc::RangeRequest req;
+        Status s = thin_rpc::RangeRequest::DecodeFrom(&input, &req);
+        if (!s.ok()) return s;
+        Hash256 digest;
+        s = AuthDigestRange(req.table, req.column,
+                            req.has_lo ? &req.lo : nullptr,
+                            req.has_hi ? &req.hi : nullptr, req.height,
+                            &digest);
+        if (!s.ok()) return s;
+        response->assign(reinterpret_cast<const char*>(digest.bytes.data()),
+                         32);
+        return Status::OK();
+      });
+  rpc_dispatcher_.RegisterMethod(
+      thin_rpc::kProveTrace,
+      [this](const Slice& request, std::string* response) -> Status {
+        Slice input = request;
+        thin_rpc::TraceRequest req;
+        Status s = thin_rpc::TraceRequest::DecodeFrom(&input, &req);
+        if (!s.ok()) return s;
+        AuthQueryResponse out;
+        s = AuthProveTrace(req.by_sender, req.key, &out,
+                           req.has_window ? &req.window_start : nullptr,
+                           req.has_window ? &req.window_end : nullptr);
+        if (!s.ok()) return s;
+        out.EncodeTo(response);
+        return Status::OK();
+      });
+  rpc_dispatcher_.RegisterMethod(
+      thin_rpc::kDigestTrace,
+      [this](const Slice& request, std::string* response) -> Status {
+        Slice input = request;
+        thin_rpc::TraceRequest req;
+        Status s = thin_rpc::TraceRequest::DecodeFrom(&input, &req);
+        if (!s.ok()) return s;
+        Hash256 digest;
+        s = AuthDigestTrace(req.by_sender, req.key, req.height, &digest,
+                            req.has_window ? &req.window_start : nullptr,
+                            req.has_window ? &req.window_end : nullptr);
+        if (!s.ok()) return s;
+        response->assign(reinterpret_cast<const char*>(digest.bytes.data()),
+                         32);
+        return Status::OK();
+      });
+}
+
+Status SebdbNode::MakeInsertTransaction(const std::string& identity,
+                                        const std::string& table,
+                                        std::vector<Value> values,
+                                        Transaction* out) {
+  Schema schema;
+  Status s = chain_.catalog()->GetSchema(table, &schema);
+  if (!s.ok()) return s;
+  if (static_cast<int>(values.size()) != schema.num_app_columns()) {
+    return Status::InvalidArgument(
+        "INSERT arity " + std::to_string(values.size()) + " != " +
+        std::to_string(schema.num_app_columns()) + " columns of " + table);
+  }
+  for (size_t i = 0; i < values.size(); i++) {
+    const ColumnDef& col =
+        schema.columns()[Schema::kNumSystemColumns + static_cast<int>(i)];
+    Value& v = values[i];
+    if (v.is_null() || v.type() == col.type) continue;
+    // Numeric widening: int literals fit decimal/double/timestamp columns.
+    if (v.type() == ValueType::kInt64) {
+      if (col.type == ValueType::kDecimal) {
+        v = Value::Dec(Decimal::FromInt(v.AsInt()));
+        continue;
+      }
+      if (col.type == ValueType::kDouble) {
+        v = Value::Double(static_cast<double>(v.AsInt()));
+        continue;
+      }
+      if (col.type == ValueType::kTimestamp) {
+        v = Value::Ts(v.AsInt());
+        continue;
+      }
+    }
+    if (v.type() == ValueType::kDecimal && col.type == ValueType::kDouble) {
+      v = Value::Double(v.AsDecimal().ToDouble());
+      continue;
+    }
+    return Status::InvalidArgument(
+        "value " + std::to_string(i + 1) + " has type " +
+        ValueTypeName(v.type()) + ", column " + col.name + " wants " +
+        ValueTypeName(col.type));
+  }
+
+  Transaction txn(table, std::move(values));
+  txn.set_ts(SystemClock::Default()->NowMicros());
+  if (keystore_ == nullptr) {
+    txn.set_sender(identity);
+  } else {
+    s = keystore_->SignTransaction(identity, &txn);
+    if (!s.ok()) return s;
+  }
+  *out = std::move(txn);
+  return Status::OK();
+}
+
+Status SebdbNode::SubmitAsync(Transaction txn,
+                              std::function<void(Status)> done) {
+  if (engine_ == nullptr) {
+    return Status::NotSupported("node is not a consensus participant");
+  }
+  return engine_->Submit(std::move(txn), std::move(done));
+}
+
+Status SebdbNode::SubmitAndWait(Transaction txn) {
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    Status status;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  Status s = SubmitAsync(std::move(txn), [waiter](Status status) {
+    std::lock_guard<std::mutex> lock(waiter->mu);
+    waiter->status = std::move(status);
+    waiter->ready = true;
+    waiter->cv.notify_all();
+  });
+  if (!s.ok()) return s;
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  if (!waiter->cv.wait_for(
+          lock, std::chrono::milliseconds(options_.write_timeout_millis),
+          [&] { return waiter->ready; })) {
+    return Status::TimedOut("write not committed within timeout");
+  }
+  return waiter->status;
+}
+
+Status SebdbNode::ExecInsert(const InsertStmt& stmt,
+                             const ExecOptions& options, ResultSet* result) {
+  Status s = access_control_.CheckAccess(options_.node_id, stmt.table);
+  if (!s.ok()) return s;
+  // Multi-row INSERT: sign every transaction up front (all-or-nothing
+  // validation), then submit and wait for each commit.
+  std::vector<Transaction> txns;
+  txns.reserve(stmt.rows.size());
+  for (const auto& row : stmt.rows) {
+    std::vector<Value> values;
+    values.reserve(row.size());
+    for (const auto& expr : row) {
+      Value v;
+      s = EvalConstExpr(*expr, options.params, &v);
+      if (!s.ok()) return s;
+      values.push_back(std::move(v));
+    }
+    Transaction txn;
+    s = MakeInsertTransaction(options_.node_id, stmt.table, std::move(values),
+                              &txn);
+    if (!s.ok()) return s;
+    txns.push_back(std::move(txn));
+  }
+  for (auto& txn : txns) {
+    s = SubmitAndWait(std::move(txn));
+    if (!s.ok()) return s;
+  }
+  result->plan = "Insert(" + stmt.table + ", " +
+                 std::to_string(stmt.rows.size()) + " rows)";
+  return Status::OK();
+}
+
+Status SebdbNode::ExecCreateTable(const CreateTableStmt& stmt,
+                                  ResultSet* result) {
+  Schema schema;
+  Status s = Schema::Create(stmt.table, stmt.columns, &schema);
+  if (!s.ok()) return s;
+  if (chain_.catalog()->HasTable(schema.table_name())) {
+    return Status::InvalidArgument("table exists: " + schema.table_name());
+  }
+  Transaction txn = Catalog::MakeSchemaTransaction(schema);
+  txn.set_ts(SystemClock::Default()->NowMicros());
+  if (keystore_ != nullptr) {
+    s = keystore_->SignTransaction(options_.node_id, &txn);
+    if (!s.ok()) return s;
+  } else {
+    txn.set_sender(options_.node_id);
+  }
+  s = SubmitAndWait(std::move(txn));
+  if (!s.ok()) return s;
+  result->plan = "CreateTable(" + schema.table_name() + ")";
+  return Status::OK();
+}
+
+Status SebdbNode::ExecuteSql(std::string_view sql, const ExecOptions& options,
+                             ResultSet* result) {
+  StatementPtr stmt;
+  Status s = ParseStatement(sql, &stmt);
+  if (!s.ok()) return s;
+  if (const auto* insert = std::get_if<InsertStmt>(&stmt->node)) {
+    return ExecInsert(*insert, options, result);
+  }
+  if (const auto* create = std::get_if<CreateTableStmt>(&stmt->node)) {
+    return ExecCreateTable(*create, result);
+  }
+  // Read statements: access control on the referenced on-chain tables.
+  if (const auto* select = std::get_if<SelectStmt>(&stmt->node)) {
+    for (const auto& table : select->tables) {
+      if (table.offchain) continue;
+      s = access_control_.CheckAccess(options_.node_id, table.name);
+      if (!s.ok()) return s;
+    }
+  }
+  return executor_->Execute(*stmt, options, result);
+}
+
+Status SebdbNode::GetHeaders(BlockId from, std::vector<BlockHeader>* out) {
+  out->clear();
+  uint64_t height = chain_.height();
+  for (BlockId h = from; h < height; h++) {
+    BlockHeader header;
+    Status s = chain_.GetHeader(h, &header);
+    if (!s.ok()) return s;
+    out->push_back(std::move(header));
+  }
+  return Status::OK();
+}
+
+Status SebdbNode::GetRawBlock(BlockId height, std::string* record) {
+  return chain_.GetBlockRecord(height, record);
+}
+
+AuthenticatedLayeredIndex* SebdbNode::FindAli(const std::string& table,
+                                              const std::string& column) {
+  return chain_.indexes()->GetAli(table, column);
+}
+
+Status SebdbNode::AuthProveRange(const std::string& table,
+                                 const std::string& column, const Value* lo,
+                                 const Value* hi, AuthQueryResponse* out) {
+  AuthenticatedLayeredIndex* ali = FindAli(table, column);
+  if (ali == nullptr) {
+    return Status::NotFound("no authenticated index on " + table + "." +
+                            column);
+  }
+  return ali->ProveRange(lo, hi, /*window=*/nullptr, ali->num_blocks(), out);
+}
+
+Status SebdbNode::AuthDigestRange(const std::string& table,
+                                  const std::string& column, const Value* lo,
+                                  const Value* hi, uint64_t height,
+                                  Hash256* digest) {
+  AuthenticatedLayeredIndex* ali = FindAli(table, column);
+  if (ali == nullptr) {
+    return Status::NotFound("no authenticated index on " + table + "." +
+                            column);
+  }
+  if (height > ali->num_blocks()) {
+    return Status::InvalidArgument("pinned height beyond local chain");
+  }
+  return ali->ComputeDigest(lo, hi, /*window=*/nullptr, height, digest);
+}
+
+Status SebdbNode::AuthProveTrace(bool by_sender, const std::string& key,
+                                 AuthQueryResponse* out,
+                                 const Timestamp* window_start,
+                                 const Timestamp* window_end) {
+  AuthenticatedLayeredIndex* ali = by_sender
+                                       ? chain_.indexes()->senid_ali()
+                                       : chain_.indexes()->tname_ali();
+  if (ali == nullptr) {
+    return Status::NotFound("authenticated system indices disabled");
+  }
+  Value v = Value::Str(key);
+  std::optional<Bitmap> window;
+  if (window_start != nullptr && window_end != nullptr) {
+    window = chain_.indexes()->block_index().BlocksInWindow(*window_start,
+                                                            *window_end);
+  }
+  return ali->ProveRange(&v, &v, window.has_value() ? &*window : nullptr,
+                         ali->num_blocks(), out);
+}
+
+Status SebdbNode::AuthDigestTrace(bool by_sender, const std::string& key,
+                                  uint64_t height, Hash256* digest,
+                                  const Timestamp* window_start,
+                                  const Timestamp* window_end) {
+  AuthenticatedLayeredIndex* ali = by_sender
+                                       ? chain_.indexes()->senid_ali()
+                                       : chain_.indexes()->tname_ali();
+  if (ali == nullptr) {
+    return Status::NotFound("authenticated system indices disabled");
+  }
+  if (height > ali->num_blocks()) {
+    return Status::InvalidArgument("pinned height beyond local chain");
+  }
+  Value v = Value::Str(key);
+  std::optional<Bitmap> window;
+  if (window_start != nullptr && window_end != nullptr) {
+    window = chain_.indexes()->block_index().BlocksInWindow(*window_start,
+                                                            *window_end);
+  }
+  return ali->ComputeDigest(&v, &v, window.has_value() ? &*window : nullptr,
+                            height, digest);
+}
+
+uint64_t SebdbNode::ChainHeight() { return chain_.height(); }
+
+Status SebdbNode::GetBlockRecord(BlockId height, std::string* record) {
+  return chain_.GetBlockRecord(height, record);
+}
+
+Status SebdbNode::ApplyBlockRecord(BlockId height, const std::string& record) {
+  return chain_.ApplyBlockRecord(height, record);
+}
+
+}  // namespace sebdb

@@ -1,0 +1,140 @@
+// SebdbNode: a full node — chain state, pluggable consensus, gossip,
+// query processing, access control, and the server side of the thin-client
+// authenticated-query protocol (paper Fig. 2's five layers wired together).
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auth/ali.h"
+#include "common/clock.h"
+#include "consensus/engine.h"
+#include "core/access_control.h"
+#include "core/chain_manager.h"
+#include "core/signer.h"
+#include "network/gossip.h"
+#include "network/rpc.h"
+#include "network/sim_network.h"
+#include "offchain/offchain_db.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+
+namespace sebdb {
+
+enum class ConsensusKind { kKafka, kPbft, kTendermint };
+
+struct NodeOptions {
+  std::string node_id;
+  std::string data_dir;
+  ConsensusKind consensus = ConsensusKind::kKafka;
+  /// Replica set; for Kafka the broker defaults to participants[0].
+  std::vector<std::string> participants;
+  std::string kafka_broker;
+  ConsensusOptions consensus_options;
+  ChainOptions chain;
+  bool enable_gossip = true;
+  GossipOptions gossip;
+  /// How long a blocking write waits for its commit.
+  int64_t write_timeout_millis = 30000;
+};
+
+class SebdbNode : public GossipDelegate {
+ public:
+  /// `keystore` holds every identity's signing secret (shared directory);
+  /// `offchain` is this site's private RDBMS (may be nullptr).
+  SebdbNode(NodeOptions options, KeyStore* keystore, OffchainDb* offchain);
+  ~SebdbNode() override;
+
+  /// Opens the chain, registers on the network, starts consensus and gossip.
+  Status Start(SimNetwork* network);
+  void Stop();
+
+  const std::string& node_id() const { return options_.node_id; }
+
+  /// Executes one SQL statement. Reads run locally; INSERT / CREATE TABLE
+  /// become signed transactions, go through consensus, and return once
+  /// committed and applied on this node.
+  Status ExecuteSql(std::string_view sql, const ExecOptions& options,
+                    ResultSet* result);
+
+  /// Builds and signs an INSERT transaction on behalf of `identity` (which
+  /// must exist in the keystore). Values are type-checked against the
+  /// schema; ints are widened to decimal/double columns.
+  Status MakeInsertTransaction(const std::string& identity,
+                               const std::string& table,
+                               std::vector<Value> values, Transaction* out);
+
+  /// Submits a signed transaction; blocks until it commits locally.
+  Status SubmitAndWait(Transaction txn);
+  /// Fire-and-forget variant with completion callback (write benchmark).
+  Status SubmitAsync(Transaction txn, std::function<void(Status)> done);
+
+  ChainManager& chain() { return chain_; }
+  Executor* executor() { return executor_.get(); }
+  AccessControl* access_control() { return &access_control_; }
+  ConsensusEngine* consensus() { return engine_.get(); }
+  GossipAgent* gossip() { return gossip_.get(); }
+
+  // --- thin-client server API (in-process "RPC") ---
+
+  Status GetHeaders(BlockId from, std::vector<BlockHeader>* out);
+  Status GetRawBlock(BlockId height, std::string* record);
+
+  /// Phase 1 of the authenticated range query over table.column (the ALI
+  /// must exist). The response pins the current chain height.
+  Status AuthProveRange(const std::string& table, const std::string& column,
+                        const Value* lo, const Value* hi,
+                        AuthQueryResponse* out);
+  /// Phase 2: the auxiliary node's digest at the pinned height.
+  Status AuthDigestRange(const std::string& table, const std::string& column,
+                         const Value* lo, const Value* hi, uint64_t height,
+                         Hash256* digest);
+  /// Phase 1/2 of the authenticated one-dimension tracking query (OPERATOR
+  /// via the SenID ALI when `by_sender`, OPERATION via the Tname ALI). An
+  /// optional time window restricts the visited blocks; because block
+  /// timestamps are deterministic, every node derives the same window
+  /// bitmap, so the digests still agree.
+  Status AuthProveTrace(bool by_sender, const std::string& key,
+                        AuthQueryResponse* out,
+                        const Timestamp* window_start = nullptr,
+                        const Timestamp* window_end = nullptr);
+  Status AuthDigestTrace(bool by_sender, const std::string& key,
+                         uint64_t height, Hash256* digest,
+                         const Timestamp* window_start = nullptr,
+                         const Timestamp* window_end = nullptr);
+
+  // --- GossipDelegate ---
+  uint64_t ChainHeight() override;
+  Status GetBlockRecord(BlockId height, std::string* record) override;
+  Status ApplyBlockRecord(BlockId height, const std::string& record) override;
+
+ private:
+  void OnMessage(const Message& message);
+  void OnBatchCommitted(uint64_t seq, std::vector<Transaction> txns);
+  void SetupRpcMethods();
+  Status ExecInsert(const InsertStmt& stmt, const ExecOptions& options,
+                    ResultSet* result);
+  Status ExecCreateTable(const CreateTableStmt& stmt, ResultSet* result);
+  AuthenticatedLayeredIndex* FindAli(const std::string& table,
+                                     const std::string& column);
+
+  NodeOptions options_;
+  KeyStore* keystore_;
+  OffchainDb* offchain_db_;
+  std::unique_ptr<LocalOffchainConnector> offchain_connector_;
+  ChainManager chain_;
+  std::unique_ptr<Executor> executor_;
+  AccessControl access_control_;
+  SimNetwork* network_ = nullptr;
+  std::unique_ptr<ConsensusEngine> engine_;
+  std::unique_ptr<GossipAgent> gossip_;
+  // Serves the thin-client API over the network (see thin_client_transport).
+  RpcDispatcher rpc_dispatcher_;
+  bool started_ = false;
+};
+
+}  // namespace sebdb

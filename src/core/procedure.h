@@ -1,0 +1,40 @@
+// Smart-contract-lite: named stored procedures of SQL-like statements
+// (paper §III-B: "the system supports smart contract embedded SQL-like
+// language to define a DApp, where SQL-like is responsible for accessing
+// data"). A procedure is a parameterized statement list executed in order
+// against one node; '?' placeholders are bound from the invocation
+// arguments, numbered across the whole procedure.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+
+namespace sebdb {
+
+class ProcedureRegistry {
+ public:
+  /// Registers a procedure. Each statement is validated by parsing it now.
+  Status Register(const std::string& name,
+                  std::vector<std::string> statements);
+
+  bool Has(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// Runs every statement in order on `node`, binding `params` positionally
+  /// across all statements ('?' number 1 is the first ? of statement 1,
+  /// and numbering continues through later statements). Stops at the first
+  /// failure. Results of read statements are appended to `results`.
+  Status Invoke(SebdbNode* node, const std::string& name,
+                const std::vector<Value>& params,
+                std::vector<ResultSet>* results) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::string>> procedures_;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,65 @@
+#include "core/signer.h"
+
+namespace sebdb {
+
+Status KeyStore::AddIdentity(const std::string& id,
+                             const std::string& secret) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = secrets_.find(id);
+  if (it != secrets_.end()) {
+    if (it->second == secret) return Status::OK();
+    return Status::InvalidArgument("identity already registered: " + id);
+  }
+  secrets_[id] = secret;
+  return Status::OK();
+}
+
+bool KeyStore::HasIdentity(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return secrets_.contains(id);
+}
+
+Status KeyStore::Sign(const std::string& id, const Slice& payload,
+                      std::string* signature) const {
+  std::string secret;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = secrets_.find(id);
+    if (it == secrets_.end()) {
+      return Status::NotFound("unknown identity: " + id);
+    }
+    secret = it->second;
+  }
+  Sha256 ctx;
+  ctx.Update(secret.data(), secret.size());
+  ctx.Update(payload);
+  *signature = ctx.Finish().ToHex();
+  return Status::OK();
+}
+
+Status KeyStore::Verify(const std::string& id, const Slice& payload,
+                        const std::string& signature) const {
+  std::string expected;
+  Status s = Sign(id, payload, &expected);
+  if (!s.ok()) return s;
+  if (expected != signature) {
+    return Status::VerificationFailed("bad signature for identity " + id);
+  }
+  return Status::OK();
+}
+
+Status KeyStore::SignTransaction(const std::string& id,
+                                 Transaction* txn) const {
+  txn->set_sender(id);
+  std::string signature;
+  Status s = Sign(id, txn->SigningPayload(), &signature);
+  if (!s.ok()) return s;
+  txn->set_signature(std::move(signature));
+  return Status::OK();
+}
+
+Status KeyStore::VerifyTransaction(const Transaction& txn) const {
+  return Verify(txn.sender(), txn.SigningPayload(), txn.signature());
+}
+
+}  // namespace sebdb

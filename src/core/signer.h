@@ -1,0 +1,44 @@
+// Transaction and block signatures. The paper uses public-key signatures
+// (the Sig system attribute guarantees unforgeability); we substitute a
+// keyed-hash MAC — sig = SHA256(secret || payload) — with a shared identity
+// directory standing in for the PKI. The experiments never measure crypto
+// cost, and unforgeability holds within the simulation as long as secrets
+// stay with their owners (see DESIGN.md, substitutions).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/sha256.h"
+#include "common/status.h"
+#include "types/transaction.h"
+
+namespace sebdb {
+
+class KeyStore {
+ public:
+  /// Registers an identity with its signing secret. Re-registration with a
+  /// different secret fails.
+  Status AddIdentity(const std::string& id, const std::string& secret);
+  bool HasIdentity(const std::string& id) const;
+
+  /// MAC over `payload` with the identity's secret, hex-encoded.
+  Status Sign(const std::string& id, const Slice& payload,
+              std::string* signature) const;
+
+  /// Recomputes and compares; VerificationFailed on mismatch.
+  Status Verify(const std::string& id, const Slice& payload,
+                const std::string& signature) const;
+
+  /// Signs a transaction in place: sets sender and the Sig attribute over
+  /// the transaction's signing payload.
+  Status SignTransaction(const std::string& id, Transaction* txn) const;
+  Status VerifyTransaction(const Transaction& txn) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> secrets_;
+};
+
+}  // namespace sebdb

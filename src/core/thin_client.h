@@ -1,0 +1,93 @@
+// Thin client (paper §VI): stores only block headers and verifies query
+// results from untrusted full nodes. Two modes, matching the evaluation's
+// comparison (Figs. 17–19):
+//  - ALI: the two-phase protocol — VO from one full node, digests from
+//    auxiliary full nodes, client-side reconstruction and soundness/
+//    completeness checks;
+//  - basic: every (candidate) block is transferred whole; the client
+//    recomputes each block's transaction Merkle root against its stored
+//    headers and filters locally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/node.h"
+#include "core/thin_client_transport.h"
+
+namespace sebdb {
+
+/// Metrics of one authenticated query, the three axes of Figs. 17–19.
+struct AuthQueryStats {
+  size_t vo_bytes = 0;        // verification object size
+  int64_t server_micros = 0;  // query processing at the full node
+  int64_t aux_micros = 0;     // digest computation at auxiliary nodes
+  int64_t client_micros = 0;  // verification at the client
+  size_t result_count = 0;
+};
+
+class ThinClient {
+ public:
+  /// Talks to full nodes in-process (DirectTransport).
+  explicit ThinClient(std::vector<SebdbNode*> full_nodes, uint64_t seed = 1);
+  /// Talks to full nodes through any transport — e.g. RpcThinTransport to
+  /// go over the (simulated) network like the paper's remote thin clients.
+  explicit ThinClient(std::unique_ptr<ThinClientTransport> transport,
+                      uint64_t seed = 1);
+
+  /// Pulls any new block headers from a randomly selected full node.
+  Status SyncHeaders();
+  size_t num_headers() const { return headers_.size(); }
+
+  /// Authenticated range query over table.column, where `column_index` is
+  /// the column's position in the table schema. Queries one random full
+  /// node for the VO and `num_auxiliary` others for digests; accepts with
+  /// `required_matching` identical digests.
+  Status AuthRangeQuery(const std::string& table, const std::string& column,
+                        int column_index, const Value* lo, const Value* hi,
+                        size_t num_auxiliary, size_t required_matching,
+                        std::vector<Transaction>* out, AuthQueryStats* stats);
+
+  /// Authenticated one-dimension tracking query (OPERATOR when `by_sender`);
+  /// optionally restricted to a block time window [window_start,
+  /// window_end].
+  Status AuthTraceQuery(bool by_sender, const std::string& key,
+                        size_t num_auxiliary, size_t required_matching,
+                        std::vector<Transaction>* out, AuthQueryStats* stats,
+                        const Timestamp* window_start = nullptr,
+                        const Timestamp* window_end = nullptr);
+
+  /// Authenticated two-dimension tracking (paper Q3): OPERATOR through the
+  /// SenID ALI and OPERATION through the Tname ALI, both pinned at the same
+  /// height. Each dimension's VO set is verified independently (soundness +
+  /// completeness per dimension); the verified result sets are intersected
+  /// by transaction id — a transaction survives iff both its sender and its
+  /// type were proven, so the intersection is itself sound and complete.
+  Status AuthTraceTwoDimQuery(const std::string& operator_id,
+                              const std::string& operation,
+                              size_t num_auxiliary, size_t required_matching,
+                              std::vector<Transaction>* out,
+                              AuthQueryStats* stats);
+
+  /// Basic approach: transfer all blocks, verify Merkle roots against the
+  /// stored headers, filter matching transactions locally.
+  Status BasicRangeQuery(const std::string& table, int column_index,
+                         const Value* lo, const Value* hi,
+                         std::vector<Transaction>* out, AuthQueryStats* stats);
+  Status BasicTraceQuery(bool by_sender, const std::string& key,
+                         std::vector<Transaction>* out, AuthQueryStats* stats);
+
+ private:
+  const std::string& PickNode();
+  Status BasicScan(const std::function<bool(const Transaction&)>& keep,
+                   std::vector<Transaction>* out, AuthQueryStats* stats);
+
+  std::unique_ptr<ThinClientTransport> transport_;
+  std::vector<std::string> node_ids_;
+  Random rng_;
+  std::vector<BlockHeader> headers_;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,160 @@
+// Transport abstraction between a thin client and full nodes. The paper's
+// thin clients are remote: DirectTransport calls nodes in-process (tests,
+// benchmarks), RpcThinTransport carries the same calls over the simulated
+// network through network/rpc.h — a node answers them via
+// SebdbNode's RPC dispatcher.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auth/ali.h"
+#include "common/clock.h"
+#include "network/rpc.h"
+#include "storage/block.h"
+
+namespace sebdb {
+
+class SebdbNode;
+
+class ThinClientTransport {
+ public:
+  virtual ~ThinClientTransport() = default;
+
+  /// Ids of the reachable full nodes.
+  virtual std::vector<std::string> Nodes() = 0;
+
+  virtual Status GetHeaders(const std::string& node, BlockId from,
+                            std::vector<BlockHeader>* out) = 0;
+  virtual Status GetRawBlock(const std::string& node, BlockId height,
+                             std::string* record) = 0;
+  virtual Status ProveRange(const std::string& node, const std::string& table,
+                            const std::string& column, const Value* lo,
+                            const Value* hi, AuthQueryResponse* out) = 0;
+  virtual Status DigestRange(const std::string& node,
+                             const std::string& table,
+                             const std::string& column, const Value* lo,
+                             const Value* hi, uint64_t height,
+                             Hash256* digest) = 0;
+  virtual Status ProveTrace(const std::string& node, bool by_sender,
+                            const std::string& key,
+                            const Timestamp* window_start,
+                            const Timestamp* window_end,
+                            AuthQueryResponse* out) = 0;
+  virtual Status DigestTrace(const std::string& node, bool by_sender,
+                             const std::string& key, uint64_t height,
+                             const Timestamp* window_start,
+                             const Timestamp* window_end,
+                             Hash256* digest) = 0;
+};
+
+/// In-process transport over direct node pointers.
+class DirectTransport : public ThinClientTransport {
+ public:
+  explicit DirectTransport(const std::vector<SebdbNode*>& nodes);
+
+  std::vector<std::string> Nodes() override;
+  Status GetHeaders(const std::string& node, BlockId from,
+                    std::vector<BlockHeader>* out) override;
+  Status GetRawBlock(const std::string& node, BlockId height,
+                     std::string* record) override;
+  Status ProveRange(const std::string& node, const std::string& table,
+                    const std::string& column, const Value* lo,
+                    const Value* hi, AuthQueryResponse* out) override;
+  Status DigestRange(const std::string& node, const std::string& table,
+                     const std::string& column, const Value* lo,
+                     const Value* hi, uint64_t height,
+                     Hash256* digest) override;
+  Status ProveTrace(const std::string& node, bool by_sender,
+                    const std::string& key, const Timestamp* window_start,
+                    const Timestamp* window_end,
+                    AuthQueryResponse* out) override;
+  Status DigestTrace(const std::string& node, bool by_sender,
+                     const std::string& key, uint64_t height,
+                     const Timestamp* window_start,
+                     const Timestamp* window_end, Hash256* digest) override;
+
+ private:
+  Status Find(const std::string& node, SebdbNode** out);
+  std::map<std::string, SebdbNode*> nodes_;
+};
+
+/// Network transport: every call is one RPC round trip.
+class RpcThinTransport : public ThinClientTransport {
+ public:
+  /// `client_id` registers on the network; `nodes` are the full-node ids.
+  RpcThinTransport(std::string client_id, SimNetwork* network,
+                   std::vector<std::string> nodes,
+                   int64_t call_timeout_millis = 5000);
+
+  std::vector<std::string> Nodes() override { return nodes_; }
+  Status GetHeaders(const std::string& node, BlockId from,
+                    std::vector<BlockHeader>* out) override;
+  Status GetRawBlock(const std::string& node, BlockId height,
+                     std::string* record) override;
+  Status ProveRange(const std::string& node, const std::string& table,
+                    const std::string& column, const Value* lo,
+                    const Value* hi, AuthQueryResponse* out) override;
+  Status DigestRange(const std::string& node, const std::string& table,
+                     const std::string& column, const Value* lo,
+                     const Value* hi, uint64_t height,
+                     Hash256* digest) override;
+  Status ProveTrace(const std::string& node, bool by_sender,
+                    const std::string& key, const Timestamp* window_start,
+                    const Timestamp* window_end,
+                    AuthQueryResponse* out) override;
+  Status DigestTrace(const std::string& node, bool by_sender,
+                     const std::string& key, uint64_t height,
+                     const Timestamp* window_start,
+                     const Timestamp* window_end, Hash256* digest) override;
+
+ private:
+  RpcClient client_;
+  std::vector<std::string> nodes_;
+  int64_t call_timeout_millis_;
+};
+
+// ---- wire codecs shared by the transports and the node dispatcher ----
+
+namespace thin_rpc {
+
+constexpr const char* kGetHeaders = "thin.get_headers";
+constexpr const char* kGetRawBlock = "thin.get_raw_block";
+constexpr const char* kProveRange = "thin.prove_range";
+constexpr const char* kDigestRange = "thin.digest_range";
+constexpr const char* kProveTrace = "thin.prove_trace";
+constexpr const char* kDigestTrace = "thin.digest_trace";
+
+struct RangeRequest {
+  std::string table;
+  std::string column;
+  bool has_lo = false;
+  bool has_hi = false;
+  Value lo;
+  Value hi;
+  uint64_t height = 0;  // digest calls only
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, RangeRequest* out);
+};
+
+struct TraceRequest {
+  bool by_sender = true;
+  std::string key;
+  bool has_window = false;
+  Timestamp window_start = 0;
+  Timestamp window_end = 0;
+  uint64_t height = 0;  // digest calls only
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, TraceRequest* out);
+};
+
+void EncodeHeaders(const std::vector<BlockHeader>& headers, std::string* dst);
+Status DecodeHeaders(Slice* input, std::vector<BlockHeader>* out);
+
+}  // namespace thin_rpc
+
+}  // namespace sebdb

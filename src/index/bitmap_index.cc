@@ -1,0 +1,49 @@
+#include "index/bitmap_index.h"
+
+#include <algorithm>
+
+namespace sebdb {
+
+void DiscreteBitmapIndex::AddBlock(BlockId bid,
+                                   const std::vector<std::string>& keys) {
+  if (bid >= num_blocks_) num_blocks_ = bid + 1;
+  for (const auto& key : keys) {
+    bitmaps_[key].SetGrow(bid);
+  }
+}
+
+Bitmap DiscreteBitmapIndex::Lookup(const std::string& key) const {
+  auto it = bitmaps_.find(key);
+  Bitmap result(num_blocks_);
+  if (it != bitmaps_.end()) result.Or(it->second);
+  return result;
+}
+
+Bitmap DiscreteBitmapIndex::LookupAny(
+    const std::vector<std::string>& keys) const {
+  Bitmap result(num_blocks_);
+  for (const auto& key : keys) {
+    auto it = bitmaps_.find(key);
+    if (it != bitmaps_.end()) result.Or(it->second);
+  }
+  return result;
+}
+
+std::vector<std::string> DiscreteBitmapIndex::Keys() const {
+  std::vector<std::string> out;
+  out.reserve(bitmaps_.size());
+  for (const auto& [key, bitmap] : bitmaps_) out.push_back(key);
+  return out;
+}
+
+void TableBitmapIndex::AddBlock(const Block& block) {
+  std::vector<std::string> tables;
+  for (const auto& txn : block.transactions()) {
+    if (std::find(tables.begin(), tables.end(), txn.tname()) == tables.end()) {
+      tables.push_back(txn.tname());
+    }
+  }
+  index_.AddBlock(block.height(), tables);
+}
+
+}  // namespace sebdb

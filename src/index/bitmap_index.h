@@ -1,0 +1,68 @@
+// Table-level bitmap index (paper §IV-B): one bitmap per key (table name —
+// or SenID when created for tracking queries); bit i is set iff block i
+// contains at least one matching transaction. Generic over the string key so
+// the same structure serves Tname and SenID.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/status.h"
+#include "storage/block.h"
+
+namespace sebdb {
+
+class DiscreteBitmapIndex {
+ public:
+  DiscreteBitmapIndex() = default;
+
+  /// Registers block `bid` as containing the given keys. Blocks must be added
+  /// in order (dense heights).
+  void AddBlock(BlockId bid, const std::vector<std::string>& keys);
+
+  uint64_t num_blocks() const { return num_blocks_; }
+  size_t num_keys() const { return bitmaps_.size(); }
+
+  /// Bitmap for one key (all-zero bitmap of current width if unseen).
+  Bitmap Lookup(const std::string& key) const;
+
+  /// Union of the bitmaps of several keys (used by on-off join on discrete
+  /// attributes: OR over the distinct off-chain join values).
+  Bitmap LookupAny(const std::vector<std::string>& keys) const;
+
+  bool Contains(const std::string& key) const {
+    return bitmaps_.contains(key);
+  }
+
+  /// All indexed keys (unordered).
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::unordered_map<std::string, Bitmap> bitmaps_;
+  uint64_t num_blocks_ = 0;
+};
+
+/// The paper's table-level index: DiscreteBitmapIndex keyed by Tname,
+/// updated from each chained block.
+class TableBitmapIndex {
+ public:
+  /// Scans the block's transactions and flips the bit of every table that
+  /// appears in it.
+  void AddBlock(const Block& block);
+
+  uint64_t num_blocks() const { return index_.num_blocks(); }
+  Bitmap BlocksWithTable(const std::string& table_name) const {
+    return index_.Lookup(table_name);
+  }
+  bool HasTable(const std::string& table_name) const {
+    return index_.Contains(table_name);
+  }
+
+ private:
+  DiscreteBitmapIndex index_;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,85 @@
+#include "index/block_index.h"
+
+namespace sebdb {
+
+Status BlockIndex::Add(const BlockHeader& header) {
+  if (header.height != tree_.size()) {
+    return Status::InvalidArgument("non-consecutive block index entry");
+  }
+  if (header.timestamp < last_ts_) {
+    return Status::InvalidArgument("block timestamp went backwards");
+  }
+  if (header.num_transactions > 0 && header.first_tid < next_tid_) {
+    return Status::InvalidArgument("block first_tid went backwards");
+  }
+  BlockIndexKey key{header.height, header.first_tid, header.timestamp};
+  BlockIndexEntry entry{header.height, header.first_tid,
+                        header.num_transactions, header.timestamp};
+  tree_.Insert(key, entry);
+  last_ts_ = header.timestamp;
+  if (header.num_transactions > 0) {
+    next_tid_ = header.first_tid + header.num_transactions;
+  }
+  return Status::OK();
+}
+
+Status BlockIndex::FindByBlockId(BlockId bid, BlockIndexEntry* out) const {
+  auto it = tree_.SeekFirstTrue(
+      [bid](const BlockIndexKey& k) { return k.bid >= bid; });
+  if (!it.Valid() || it.key().bid != bid) {
+    return Status::NotFound("no block with id " + std::to_string(bid));
+  }
+  *out = it.value();
+  return Status::OK();
+}
+
+Status BlockIndex::FindByTid(TransactionId tid, BlockIndexEntry* out) const {
+  // The containing block is the last one with first_tid <= tid. Seek the
+  // first block with first_tid > tid; the answer is its predecessor (bids
+  // are dense, so predecessor lookup is by id).
+  auto it = tree_.SeekFirstTrue(
+      [tid](const BlockIndexKey& k) { return k.first_tid > tid; });
+  BlockId candidate;
+  if (it.Valid()) {
+    if (it.key().bid == 0) {
+      return Status::NotFound("tid precedes the chain");
+    }
+    candidate = it.key().bid - 1;
+  } else {
+    if (tree_.empty()) return Status::NotFound("empty chain");
+    candidate = tree_.size() - 1;
+  }
+  BlockIndexEntry entry;
+  Status s = FindByBlockId(candidate, &entry);
+  if (!s.ok()) return s;
+  if (tid < entry.first_tid ||
+      tid >= entry.first_tid + entry.num_transactions) {
+    return Status::NotFound("no block contains tid " + std::to_string(tid));
+  }
+  *out = entry;
+  return Status::OK();
+}
+
+Status BlockIndex::FindFirstAtOrAfter(Timestamp ts,
+                                      BlockIndexEntry* out) const {
+  auto it =
+      tree_.SeekFirstTrue([ts](const BlockIndexKey& k) { return k.ts >= ts; });
+  if (!it.Valid()) {
+    return Status::NotFound("no block at or after the given timestamp");
+  }
+  *out = it.value();
+  return Status::OK();
+}
+
+Bitmap BlockIndex::BlocksInWindow(Timestamp start, Timestamp end) const {
+  Bitmap result(tree_.size());
+  if (end < start) return result;
+  auto it = tree_.SeekFirstTrue(
+      [start](const BlockIndexKey& k) { return k.ts >= start; });
+  for (; it.Valid() && it.key().ts <= end; it.Next()) {
+    result.Set(it.key().bid);
+  }
+  return result;
+}
+
+}  // namespace sebdb

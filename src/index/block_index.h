@@ -1,0 +1,67 @@
+// Block-level B+-tree (paper §IV-B): keyed by the co-monotone triple
+// (bid, tid, Ts). One tree answers three lookups — block by id, block
+// containing a transaction id, block covering a timestamp — each via a
+// monotone-predicate descent. Entries are appended in order, so leaves stay
+// full (the paper's observation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bitmap.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "index/bptree.h"
+#include "storage/block.h"
+
+namespace sebdb {
+
+struct BlockIndexKey {
+  BlockId bid = 0;
+  TransactionId first_tid = 0;
+  Timestamp ts = 0;
+};
+
+struct BlockIndexEntry {
+  BlockId bid = 0;
+  TransactionId first_tid = 0;  // tid of the block's first transaction
+  uint32_t num_transactions = 0;
+  Timestamp ts = 0;  // packaging timestamp
+};
+
+class BlockIndex {
+ public:
+  BlockIndex() : tree_(KeyCmp{}) {}
+
+  /// Appends the entry for a newly chained block; heights must be dense and
+  /// ascending.
+  Status Add(const BlockHeader& header);
+
+  uint64_t num_blocks() const { return tree_.size(); }
+
+  /// Block with the given id.
+  Status FindByBlockId(BlockId bid, BlockIndexEntry* out) const;
+  /// Block containing the given global transaction id.
+  Status FindByTid(TransactionId tid, BlockIndexEntry* out) const;
+  /// First block with packaging timestamp >= ts (NotFound past the tip).
+  Status FindFirstAtOrAfter(Timestamp ts, BlockIndexEntry* out) const;
+
+  /// Bitmap over blocks whose timestamp lies in [start, end] (paper
+  /// Algorithms 1–3, line "B <- BI(c, e)").
+  Bitmap BlocksInWindow(Timestamp start, Timestamp end) const;
+
+  int tree_height() const { return tree_.height(); }
+
+ private:
+  struct KeyCmp {
+    bool operator()(const BlockIndexKey& a, const BlockIndexKey& b) const {
+      return a.bid < b.bid;  // co-monotone with first_tid and ts
+    }
+  };
+
+  BpTree<BlockIndexKey, BlockIndexEntry, KeyCmp> tree_;
+  Timestamp last_ts_ = INT64_MIN;
+  TransactionId next_tid_ = 0;
+};
+
+}  // namespace sebdb

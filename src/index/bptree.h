@@ -1,0 +1,336 @@
+// In-memory B+-tree (paper §IV-B). Used for the block-level index — keyed by
+// the co-monotone triple (bid, tid, Ts) — and for the per-block second level
+// of the layered index. Supports duplicate keys, ordered iteration over a
+// linked leaf level, point/range seeks and one-shot bulk loading (blocks are
+// immutable, so per-block trees are built once, full, and never rebalanced).
+//
+// In addition to ordinary comparator-based seeks, SeekFirstTrue descends with
+// any monotone predicate over keys. Because (bid, tid, Ts) are co-monotone
+// (paper's invariant), one tree serves lookups by block id, transaction id or
+// timestamp.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace sebdb {
+
+template <typename Key, typename Val, typename Cmp = std::less<Key>>
+class BpTree {
+ public:
+  static constexpr int kFanout = 64;  // max children / leaf entries
+
+  BpTree() = default;
+  explicit BpTree(Cmp cmp) : cmp_(std::move(cmp)) {}
+
+  BpTree(const BpTree&) = delete;
+  BpTree& operator=(const BpTree&) = delete;
+  BpTree(BpTree&&) = default;
+  BpTree& operator=(BpTree&&) = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const { return height_; }
+
+  /// Inserts key/value; duplicates permitted (placed after existing equals).
+  void Insert(const Key& key, Val value);
+
+  /// Builds the tree from entries already sorted by key. Leaves are packed
+  /// full — the append-only usage pattern of the block-level index.
+  void BulkLoad(std::vector<std::pair<Key, Val>> sorted_entries);
+
+  class Iterator {
+   public:
+    Iterator() = default;
+    bool Valid() const { return leaf_ != nullptr; }
+    const Key& key() const { return leaf_->keys[pos_]; }
+    const Val& value() const { return leaf_->vals[pos_]; }
+    void Next() {
+      if (leaf_ == nullptr) return;
+      if (++pos_ >= leaf_->keys.size()) {
+        leaf_ = leaf_->next;
+        pos_ = 0;
+      }
+    }
+
+   private:
+    friend class BpTree;
+    struct Leaf;
+    Iterator(const Leaf* leaf, size_t pos) : leaf_(leaf), pos_(pos) {}
+    const Leaf* leaf_ = nullptr;
+    size_t pos_ = 0;
+  };
+
+  /// Iterator at the smallest key.
+  Iterator Begin() const;
+  /// First entry with key >= target (end iterator if none).
+  Iterator SeekGE(const Key& target) const;
+  /// First entry with key > target.
+  Iterator SeekGT(const Key& target) const;
+  /// First entry where pred(key) is true. pred must be monotone over the key
+  /// order: false for a (possibly empty) prefix, then true.
+  Iterator SeekFirstTrue(const std::function<bool(const Key&)>& pred) const;
+
+  /// Collects values for all keys in [lo, hi] into *out; returns the count.
+  size_t RangeScan(const Key& lo, const Key& hi, std::vector<Val>* out) const;
+
+ private:
+  struct Node;
+  using Leaf = typename Iterator::Leaf;
+
+  struct Node {
+    bool is_leaf = false;
+    virtual ~Node() = default;
+  };
+
+  struct Internal : Node {
+    // children.size() == keys.size() + 1; keys[i] is the smallest key in the
+    // subtree of children[i + 1].
+    std::vector<Key> keys;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  // Defined inside Iterator so the iterator can hold it without a forward
+  // declaration dance.
+ public:
+  // (implementation detail; public only for the nested-type definition)
+ private:
+  // Split result propagated up during insert.
+  struct SplitResult {
+    bool split = false;
+    Key separator{};  // smallest key of the new right sibling
+    std::unique_ptr<Node> right;
+  };
+
+  bool Less(const Key& a, const Key& b) const { return cmp_(a, b); }
+
+  SplitResult InsertRec(Node* node, const Key& key, Val&& value);
+  const Leaf* LeftmostLeaf() const;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  int height_ = 0;
+  Cmp cmp_{};
+};
+
+// ---- implementation ----
+
+template <typename Key, typename Val, typename Cmp>
+struct BpTree<Key, Val, Cmp>::Iterator::Leaf : BpTree<Key, Val, Cmp>::Node {
+  std::vector<Key> keys;
+  std::vector<Val> vals;
+  Leaf* next = nullptr;
+  Leaf() { this->is_leaf = true; }
+};
+
+template <typename Key, typename Val, typename Cmp>
+void BpTree<Key, Val, Cmp>::Insert(const Key& key, Val value) {
+  if (root_ == nullptr) {
+    auto leaf = std::make_unique<Leaf>();
+    leaf->keys.push_back(key);
+    leaf->vals.push_back(std::move(value));
+    root_ = std::move(leaf);
+    size_ = 1;
+    height_ = 1;
+    return;
+  }
+  SplitResult split = InsertRec(root_.get(), key, std::move(value));
+  size_++;
+  if (split.split) {
+    auto new_root = std::make_unique<Internal>();
+    new_root->keys.push_back(split.separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split.right));
+    root_ = std::move(new_root);
+    height_++;
+  }
+}
+
+template <typename Key, typename Val, typename Cmp>
+typename BpTree<Key, Val, Cmp>::SplitResult BpTree<Key, Val, Cmp>::InsertRec(
+    Node* node, const Key& key, Val&& value) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<Leaf*>(node);
+    // upper_bound: after existing duplicates.
+    size_t pos = std::upper_bound(leaf->keys.begin(), leaf->keys.end(), key,
+                                  cmp_) -
+                 leaf->keys.begin();
+    leaf->keys.insert(leaf->keys.begin() + pos, key);
+    leaf->vals.insert(leaf->vals.begin() + pos, std::move(value));
+    if (leaf->keys.size() <= kFanout) return {};
+
+    auto right = std::make_unique<Leaf>();
+    size_t mid = leaf->keys.size() / 2;
+    right->keys.assign(leaf->keys.begin() + mid, leaf->keys.end());
+    right->vals.assign(std::make_move_iterator(leaf->vals.begin() + mid),
+                       std::make_move_iterator(leaf->vals.end()));
+    leaf->keys.resize(mid);
+    leaf->vals.resize(mid);
+    right->next = leaf->next;
+    leaf->next = right.get();
+    SplitResult result;
+    result.split = true;
+    result.separator = right->keys.front();
+    result.right = std::move(right);
+    return result;
+  }
+
+  auto* internal = static_cast<Internal*>(node);
+  // Child index: first key > target goes right of that separator.
+  size_t child = std::upper_bound(internal->keys.begin(), internal->keys.end(),
+                                  key, cmp_) -
+                 internal->keys.begin();
+  SplitResult child_split =
+      InsertRec(internal->children[child].get(), key, std::move(value));
+  if (!child_split.split) return {};
+
+  internal->keys.insert(internal->keys.begin() + child, child_split.separator);
+  internal->children.insert(internal->children.begin() + child + 1,
+                            std::move(child_split.right));
+  if (internal->children.size() <= kFanout) return {};
+
+  auto right = std::make_unique<Internal>();
+  size_t mid_key = internal->keys.size() / 2;
+  SplitResult result;
+  result.split = true;
+  result.separator = internal->keys[mid_key];
+  right->keys.assign(internal->keys.begin() + mid_key + 1,
+                     internal->keys.end());
+  right->children.assign(
+      std::make_move_iterator(internal->children.begin() + mid_key + 1),
+      std::make_move_iterator(internal->children.end()));
+  internal->keys.resize(mid_key);
+  internal->children.resize(mid_key + 1);
+  result.right = std::move(right);
+  return result;
+}
+
+template <typename Key, typename Val, typename Cmp>
+void BpTree<Key, Val, Cmp>::BulkLoad(
+    std::vector<std::pair<Key, Val>> sorted_entries) {
+  root_.reset();
+  size_ = sorted_entries.size();
+  height_ = 0;
+  if (sorted_entries.empty()) return;
+
+  // Level 0: packed leaves.
+  std::vector<std::unique_ptr<Node>> level;
+  std::vector<Key> level_min_keys;
+  Leaf* prev = nullptr;
+  for (size_t i = 0; i < sorted_entries.size();) {
+    auto leaf = std::make_unique<Leaf>();
+    size_t take = std::min<size_t>(kFanout, sorted_entries.size() - i);
+    for (size_t j = 0; j < take; j++) {
+      leaf->keys.push_back(sorted_entries[i + j].first);
+      leaf->vals.push_back(std::move(sorted_entries[i + j].second));
+    }
+    if (prev != nullptr) prev->next = leaf.get();
+    prev = leaf.get();
+    level_min_keys.push_back(leaf->keys.front());
+    level.push_back(std::move(leaf));
+    i += take;
+  }
+  height_ = 1;
+
+  // Build internal levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> up;
+    std::vector<Key> up_min_keys;
+    for (size_t i = 0; i < level.size();) {
+      auto internal = std::make_unique<Internal>();
+      size_t take = std::min<size_t>(kFanout, level.size() - i);
+      for (size_t j = 0; j < take; j++) {
+        if (j > 0) internal->keys.push_back(level_min_keys[i + j]);
+        internal->children.push_back(std::move(level[i + j]));
+      }
+      up_min_keys.push_back(level_min_keys[i]);
+      up.push_back(std::move(internal));
+      i += take;
+    }
+    level = std::move(up);
+    level_min_keys = std::move(up_min_keys);
+    height_++;
+  }
+  root_ = std::move(level[0]);
+}
+
+template <typename Key, typename Val, typename Cmp>
+const typename BpTree<Key, Val, Cmp>::Leaf*
+BpTree<Key, Val, Cmp>::LeftmostLeaf() const {
+  const Node* node = root_.get();
+  if (node == nullptr) return nullptr;
+  while (!node->is_leaf) {
+    node = static_cast<const Internal*>(node)->children.front().get();
+  }
+  return static_cast<const Leaf*>(node);
+}
+
+template <typename Key, typename Val, typename Cmp>
+typename BpTree<Key, Val, Cmp>::Iterator BpTree<Key, Val, Cmp>::Begin() const {
+  const Leaf* leaf = LeftmostLeaf();
+  if (leaf == nullptr || leaf->keys.empty()) return Iterator();
+  return Iterator(leaf, 0);
+}
+
+template <typename Key, typename Val, typename Cmp>
+typename BpTree<Key, Val, Cmp>::Iterator BpTree<Key, Val, Cmp>::SeekGE(
+    const Key& target) const {
+  return SeekFirstTrue(
+      [&](const Key& k) { return !Less(k, target); });  // k >= target
+}
+
+template <typename Key, typename Val, typename Cmp>
+typename BpTree<Key, Val, Cmp>::Iterator BpTree<Key, Val, Cmp>::SeekGT(
+    const Key& target) const {
+  return SeekFirstTrue([&](const Key& k) { return Less(target, k); });
+}
+
+template <typename Key, typename Val, typename Cmp>
+typename BpTree<Key, Val, Cmp>::Iterator BpTree<Key, Val, Cmp>::SeekFirstTrue(
+    const std::function<bool(const Key&)>& pred) const {
+  const Node* node = root_.get();
+  if (node == nullptr) return Iterator();
+  while (!node->is_leaf) {
+    const auto* internal = static_cast<const Internal*>(node);
+    // First separator where pred holds: descend left of it (the subtree that
+    // may contain earlier true keys); if none, rightmost child.
+    size_t lo = 0, hi = internal->keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (pred(internal->keys[mid])) hi = mid;
+      else lo = mid + 1;
+    }
+    node = internal->children[lo].get();
+  }
+  const auto* leaf = static_cast<const Leaf*>(node);
+  size_t lo = 0, hi = leaf->keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (pred(leaf->keys[mid])) hi = mid;
+    else lo = mid + 1;
+  }
+  if (lo < leaf->keys.size()) return Iterator(leaf, lo);
+  // The first true key, if any, is in the next leaf.
+  const Leaf* next = leaf->next;
+  while (next != nullptr && next->keys.empty()) next = next->next;
+  if (next == nullptr) return Iterator();
+  return pred(next->keys.front()) ? Iterator(next, 0) : Iterator();
+}
+
+template <typename Key, typename Val, typename Cmp>
+size_t BpTree<Key, Val, Cmp>::RangeScan(const Key& lo, const Key& hi,
+                                        std::vector<Val>* out) const {
+  size_t n = 0;
+  for (Iterator it = SeekGE(lo); it.Valid() && !Less(hi, it.key());
+       it.Next()) {
+    out->push_back(it.value());
+    n++;
+  }
+  return n;
+}
+
+}  // namespace sebdb

@@ -1,0 +1,144 @@
+#include "index/layered_index.h"
+
+#include <algorithm>
+
+namespace sebdb {
+
+Status LayeredIndex::SetHistogram(EqualDepthHistogram histogram) {
+  if (options_.discrete) {
+    return Status::InvalidArgument("discrete index takes no histogram");
+  }
+  if (num_blocks_ > 0) {
+    return Status::InvalidArgument("histogram must be set before indexing");
+  }
+  if (histogram.num_buckets() == 0) {
+    return Status::InvalidArgument("histogram not built");
+  }
+  histogram_ = std::move(histogram);
+  histogram_set_ = true;
+  return Status::OK();
+}
+
+Status LayeredIndex::AddBlock(const Block& block) {
+  if (block.height() != num_blocks_) {
+    return Status::InvalidArgument("layered index blocks must arrive in order");
+  }
+
+  // Gather (value, position) pairs for transactions this index covers.
+  std::vector<std::pair<Value, uint32_t>> entries;
+  const auto& txns = block.transactions();
+  for (uint32_t i = 0; i < txns.size(); i++) {
+    Value v;
+    if (extractor_(txns[i], &v)) entries.emplace_back(std::move(v), i);
+  }
+
+  // An index created on an empty chain has no history to sample; bootstrap
+  // the equal-depth histogram from the first block that carries entries.
+  if (!options_.discrete && !histogram_set_ && !entries.empty()) {
+    std::vector<Value> sample;
+    sample.reserve(entries.size());
+    for (const auto& [v, pos] : entries) sample.push_back(v);
+    EqualDepthHistogram histogram;
+    Status s = EqualDepthHistogram::Build(std::move(sample),
+                                          options_.histogram_buckets,
+                                          &histogram);
+    if (!s.ok()) return s;
+    histogram_ = std::move(histogram);
+    histogram_set_ = true;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              int c = a.first.CompareTotal(b.first);
+              return c != 0 ? c < 0 : a.second < b.second;
+            });
+
+  // First level.
+  if (options_.discrete) {
+    for (const auto& [v, pos] : entries) {
+      value_blocks_[v].SetGrow(block.height());
+    }
+  } else {
+    Bitmap buckets(histogram_.num_buckets());
+    for (const auto& [v, pos] : entries) {
+      buckets.Set(histogram_.BucketOf(v));
+    }
+    block_buckets_.push_back(std::move(buckets));
+  }
+
+  // Second level: bulk-load the per-block tree.
+  std::unique_ptr<SecondLevelTree> tree;
+  if (!entries.empty()) {
+    tree = std::make_unique<SecondLevelTree>();
+    tree->BulkLoad(std::move(entries));
+  }
+  total_entries_ += tree ? tree->size() : 0;
+  block_trees_.push_back(std::move(tree));
+  num_blocks_++;
+  return Status::OK();
+}
+
+Bitmap LayeredIndex::CandidateBlocks(const Value* lo, const Value* hi) const {
+  Bitmap result(num_blocks_);
+  if (options_.discrete) {
+    if (lo != nullptr && hi != nullptr && lo->CompareTotal(*hi) == 0) {
+      return BlocksWithValue(*lo);
+    }
+    // Range over a discrete attribute: union of all values in the range.
+    for (const auto& [v, blocks] : value_blocks_) {
+      if (lo != nullptr && v.CompareTotal(*lo) < 0) continue;
+      if (hi != nullptr && v.CompareTotal(*hi) > 0) break;
+      result.Or(blocks);
+    }
+    return result;
+  }
+  Bitmap query_buckets = histogram_.BucketsOverlapping(lo, hi);
+  for (uint64_t bid = 0; bid < block_buckets_.size(); bid++) {
+    Bitmap probe = block_buckets_[bid];  // copy; AND is destructive
+    probe.And(query_buckets);
+    if (probe.AnySet()) result.Set(bid);
+  }
+  return result;
+}
+
+Bitmap LayeredIndex::BlocksWithEntries() const {
+  Bitmap result(num_blocks_);
+  for (uint64_t bid = 0; bid < block_trees_.size(); bid++) {
+    if (block_trees_[bid] != nullptr) result.Set(bid);
+  }
+  return result;
+}
+
+Status LayeredIndex::SearchBlock(BlockId bid, const Value* lo, const Value* hi,
+                                 std::vector<TxnPointer>* out) const {
+  if (bid >= num_blocks_) {
+    return Status::InvalidArgument("block not indexed yet");
+  }
+  const SecondLevelTree* tree = block_trees_[bid].get();
+  if (tree == nullptr) return Status::OK();
+  auto it = lo != nullptr ? tree->SeekGE(*lo) : tree->Begin();
+  for (; it.Valid(); it.Next()) {
+    if (hi != nullptr && it.key().CompareTotal(*hi) > 0) break;
+    out->push_back(TxnPointer{bid, it.value()});
+  }
+  return Status::OK();
+}
+
+const LayeredIndex::SecondLevelTree* LayeredIndex::BlockTree(
+    BlockId bid) const {
+  if (bid >= block_trees_.size()) return nullptr;
+  return block_trees_[bid].get();
+}
+
+const Bitmap* LayeredIndex::BlockBuckets(BlockId bid) const {
+  if (options_.discrete || bid >= block_buckets_.size()) return nullptr;
+  return &block_buckets_[bid];
+}
+
+Bitmap LayeredIndex::BlocksWithValue(const Value& v) const {
+  Bitmap result(num_blocks_);
+  auto it = value_blocks_.find(v);
+  if (it != value_blocks_.end()) result.Or(it->second);
+  return result;
+}
+
+}  // namespace sebdb

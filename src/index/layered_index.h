@@ -1,0 +1,126 @@
+// Layered index (paper §IV-B, Fig. 4). Two levels:
+//   1. per-block summaries of the indexed attribute's values — for a
+//      continuous attribute, a bitmap over the buckets of an equal-depth
+//      histogram; for a discrete attribute, one bitmap over blocks per value;
+//   2. one B+-tree per block on the attribute, bulk-loaded when the block is
+//      chained (no rebalancing, batch-append friendly).
+// A range query ANDs the query's bucket bitmap against each block entry to
+// filter blocks, then searches the surviving blocks' trees.
+//
+// Created on an application-level column of one table (range/point queries),
+// or on a system-level column (SenID / Tname) across all tables (tracking
+// queries).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/status.h"
+#include "index/bptree.h"
+#include "index/histogram.h"
+#include "index/txn_pointer.h"
+#include "storage/block.h"
+#include "types/value.h"
+
+namespace sebdb {
+
+/// Extracts the indexed attribute from a transaction. Returns false when the
+/// transaction does not participate in this index (different table).
+using ColumnExtractor = std::function<bool(const Transaction&, Value*)>;
+
+struct LayeredIndexOptions {
+  /// Discrete attributes get per-value block bitmaps; continuous attributes
+  /// get histogram-bucket bitmaps.
+  bool discrete = false;
+  /// Bucket count of the equal-depth histogram (continuous only). The paper
+  /// sets "the depth of histogram" to 100 in the range-query experiments.
+  size_t histogram_buckets = 100;
+};
+
+class LayeredIndex {
+ public:
+  struct ValueCmp {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.CompareTotal(b) < 0;
+    }
+  };
+  /// Per-block second level: attribute value -> position in block.
+  using SecondLevelTree = BpTree<Value, uint32_t, ValueCmp>;
+
+  LayeredIndex(std::string name, LayeredIndexOptions options,
+               ColumnExtractor extractor)
+      : name_(std::move(name)),
+        options_(options),
+        extractor_(std::move(extractor)) {}
+
+  const std::string& name() const { return name_; }
+  const LayeredIndexOptions& options() const { return options_; }
+
+  /// Installs the histogram (continuous indexes only; required before the
+  /// first AddBlock). Typically built by sampling historical transactions.
+  Status SetHistogram(EqualDepthHistogram histogram);
+  const EqualDepthHistogram& histogram() const { return histogram_; }
+
+  /// Indexes a newly chained block: appends the first-level entry and
+  /// bulk-loads the block's second-level tree. Blocks must arrive in order.
+  Status AddBlock(const Block& block);
+
+  uint64_t num_blocks() const { return num_blocks_; }
+
+  /// First-level filter: bitmap over blocks that may contain values in
+  /// [lo, hi] (either bound may be null for unbounded; lo == hi for point).
+  Bitmap CandidateBlocks(const Value* lo, const Value* hi) const;
+
+  /// Bitmap of blocks that contain at least one indexed entry.
+  Bitmap BlocksWithEntries() const;
+
+  /// Second-level search in one block; appends matching positions to *out in
+  /// attribute order.
+  Status SearchBlock(BlockId bid, const Value* lo, const Value* hi,
+                     std::vector<TxnPointer>* out) const;
+
+  /// The block's second-level tree (nullptr if the block holds no entries).
+  /// Leaf order is attribute order — what the sort-merge joins exploit.
+  const SecondLevelTree* BlockTree(BlockId bid) const;
+
+  /// First-level bucket bitmap of one block (continuous only; empty bitmap
+  /// if the block holds no entries). Used by the join intersect() tests.
+  const Bitmap* BlockBuckets(BlockId bid) const;
+
+  /// Discrete only: blocks containing the exact value.
+  Bitmap BlocksWithValue(const Value& v) const;
+
+  /// Discrete only: the full first level, value -> blocks containing it.
+  /// (The discrete on-chain join iterates common values; paper Alg. 2.)
+  const std::map<Value, Bitmap, ValueCmp>& discrete_values() const {
+    return value_blocks_;
+  }
+
+  /// Approximate memory footprint (reported by index stats).
+  size_t ApproximateEntryCount() const { return total_entries_; }
+
+ private:
+  std::string name_;
+  LayeredIndexOptions options_;
+  ColumnExtractor extractor_;
+  EqualDepthHistogram histogram_;
+  bool histogram_set_ = false;
+
+  // First level. Continuous: block -> bucket bitmap. Discrete: value ->
+  // block bitmap.
+  std::vector<Bitmap> block_buckets_;
+  std::map<Value, Bitmap, ValueCmp> value_blocks_;
+
+  // Second level: one bulk-loaded tree per block (nullptr when empty).
+  std::vector<std::unique_ptr<SecondLevelTree>> block_trees_;
+
+  uint64_t num_blocks_ = 0;
+  size_t total_entries_ = 0;
+};
+
+}  // namespace sebdb

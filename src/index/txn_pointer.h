@@ -1,0 +1,25 @@
+// Pointer to a transaction's physical position: (block height, position in
+// block). What the second level of the layered index stores and what
+// BlockStore::ReadTransaction dereferences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/block.h"
+
+namespace sebdb {
+
+struct TxnPointer {
+  BlockId block = 0;
+  uint32_t index = 0;
+
+  bool operator==(const TxnPointer&) const = default;
+  auto operator<=>(const TxnPointer&) const = default;
+
+  std::string ToString() const {
+    return "(" + std::to_string(block) + "," + std::to_string(index) + ")";
+  }
+};
+
+}  // namespace sebdb

@@ -1,0 +1,139 @@
+#include "network/gossip.h"
+
+#include <chrono>
+
+#include "common/coding.h"
+
+namespace sebdb {
+
+namespace {
+
+constexpr char kDigestType[] = "gossip.digest";
+constexpr char kPullType[] = "gossip.pull";
+constexpr char kBlocksType[] = "gossip.blocks";
+
+}  // namespace
+
+GossipAgent::GossipAgent(std::string node_id, SimNetwork* network,
+                         GossipDelegate* delegate,
+                         std::vector<std::string> peers,
+                         const GossipOptions& options)
+    : node_id_(std::move(node_id)),
+      network_(network),
+      delegate_(delegate),
+      peers_(std::move(peers)),
+      options_(options),
+      rng_(options.seed ^ std::hash<std::string>{}(node_id_)) {}
+
+GossipAgent::~GossipAgent() { Stop(); }
+
+void GossipAgent::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  ticker_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      RunRound();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.interval_millis));
+    }
+  });
+}
+
+void GossipAgent::Stop() {
+  if (!running_.exchange(false)) {
+    if (ticker_.joinable()) ticker_.join();
+    return;
+  }
+  if (ticker_.joinable()) ticker_.join();
+}
+
+void GossipAgent::RunRound() {
+  if (peers_.empty()) return;
+  int fanout = std::min<int>(options_.fanout, static_cast<int>(peers_.size()));
+  for (int i = 0; i < fanout; i++) {
+    SendDigest(peers_[rng_.Uniform(peers_.size())]);
+  }
+}
+
+void GossipAgent::SendDigest(const std::string& peer) {
+  std::string payload;
+  PutVarint64(&payload, delegate_->ChainHeight());
+  network_->Send(Message{kDigestType, node_id_, peer, payload});
+}
+
+void GossipAgent::HandleMessage(const Message& message) {
+  if (message.type == kDigestType) {
+    OnDigest(message);
+  } else if (message.type == kPullType) {
+    OnPull(message);
+  } else if (message.type == kBlocksType) {
+    OnBlocks(message);
+  }
+}
+
+void GossipAgent::OnDigest(const Message& message) {
+  Slice input(message.payload);
+  uint64_t peer_height;
+  if (!GetVarint64(&input, &peer_height)) return;
+  uint64_t my_height = delegate_->ChainHeight();
+  if (peer_height > my_height) {
+    // Behind: pull from our height onward.
+    std::string payload;
+    PutVarint64(&payload, my_height);
+    network_->Send(Message{kPullType, node_id_, message.from, payload});
+  } else if (peer_height < my_height) {
+    // Peer is behind: let it know so it pulls from us.
+    SendDigest(message.from);
+  }
+}
+
+void GossipAgent::OnPull(const Message& message) {
+  Slice input(message.payload);
+  uint64_t from_height;
+  if (!GetVarint64(&input, &from_height)) return;
+  uint64_t my_height = delegate_->ChainHeight();
+  if (from_height >= my_height) return;
+
+  std::string payload;
+  uint32_t count = 0;
+  std::string body;
+  for (uint64_t h = from_height;
+       h < my_height && count < options_.max_blocks_per_pull; h++, count++) {
+    std::string record;
+    if (!delegate_->GetBlockRecord(h, &record).ok()) break;
+    PutVarint64(&body, h);
+    PutLengthPrefixed(&body, record);
+  }
+  PutVarint32(&payload, count);
+  payload.append(body);
+  network_->Send(Message{kBlocksType, node_id_, message.from, payload});
+}
+
+void GossipAgent::OnBlocks(const Message& message) {
+  Slice input(message.payload);
+  uint32_t count;
+  if (!GetVarint32(&input, &count)) return;
+  for (uint32_t i = 0; i < count; i++) {
+    uint64_t height;
+    Slice record;
+    if (!GetVarint64(&input, &height) || !GetLengthPrefixed(&input, &record)) {
+      return;
+    }
+    // Apply in order; stale or future blocks are the delegate's call.
+    delegate_->ApplyBlockRecord(height, record.ToString());
+  }
+  // If we may still be behind, keep the exchange going.
+  SendDigest(message.from);
+}
+
+void GossipAgent::PushBlock(BlockId height, const std::string& record) {
+  std::string payload;
+  PutVarint32(&payload, 1);
+  PutVarint64(&payload, height);
+  PutLengthPrefixed(&payload, record);
+  for (const auto& peer : peers_) {
+    network_->Send(Message{kBlocksType, node_id_, peer, payload});
+  }
+}
+
+}  // namespace sebdb

@@ -1,0 +1,82 @@
+// Gossip anti-entropy for block propagation and data recovery (paper §III-B:
+// SEBDB's network layer uses gossip as in Dynamo/Cassandra and the major
+// blockchains). Each agent periodically advertises its chain height to a few
+// random peers; a peer that is behind pulls the missing block records and
+// applies them in order. New blocks can also be pushed eagerly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "network/sim_network.h"
+#include "storage/block.h"
+
+namespace sebdb {
+
+/// What the gossip agent needs from its node: chain height, raw block
+/// records for serving pulls, and an apply hook for received blocks
+/// (validation happens inside the hook).
+class GossipDelegate {
+ public:
+  virtual ~GossipDelegate() = default;
+  virtual uint64_t ChainHeight() = 0;
+  virtual Status GetBlockRecord(BlockId height, std::string* record) = 0;
+  virtual Status ApplyBlockRecord(BlockId height, const std::string& record) = 0;
+};
+
+struct GossipOptions {
+  /// Anti-entropy round interval (real time).
+  int64_t interval_millis = 50;
+  /// Peers contacted per round.
+  int fanout = 2;
+  /// Max blocks returned per pull response.
+  uint32_t max_blocks_per_pull = 32;
+  uint64_t seed = 7;
+};
+
+class GossipAgent {
+ public:
+  GossipAgent(std::string node_id, SimNetwork* network,
+              GossipDelegate* delegate, std::vector<std::string> peers,
+              const GossipOptions& options = GossipOptions());
+  ~GossipAgent();
+
+  /// Starts the periodic anti-entropy thread.
+  void Start();
+  void Stop();
+
+  /// Routes "gossip.*" messages; call from the node's network handler.
+  void HandleMessage(const Message& message);
+
+  /// Eagerly pushes a freshly committed block to all peers.
+  void PushBlock(BlockId height, const std::string& record);
+
+  /// One synchronous anti-entropy round (digest to `fanout` random peers);
+  /// useful in deterministic tests without the background thread.
+  void RunRound();
+
+  const std::string& node_id() const { return node_id_; }
+
+ private:
+  void SendDigest(const std::string& peer);
+  void OnDigest(const Message& message);
+  void OnPull(const Message& message);
+  void OnBlocks(const Message& message);
+
+  std::string node_id_;
+  SimNetwork* network_;
+  GossipDelegate* delegate_;
+  std::vector<std::string> peers_;
+  GossipOptions options_;
+  Random rng_;
+  std::thread ticker_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace sebdb

@@ -1,0 +1,136 @@
+#include "network/rpc.h"
+
+#include <chrono>
+
+#include "common/coding.h"
+
+namespace sebdb {
+
+void RpcDispatcher::RegisterMethod(const std::string& name,
+                                   RpcMethod method) {
+  methods_[name] = std::move(method);
+}
+
+void RpcDispatcher::HandleMessage(SimNetwork* network,
+                                  const std::string& self_id,
+                                  const Message& message) const {
+  Slice input(message.payload);
+  uint64_t request_id;
+  Slice method_name, body;
+  if (!GetFixed64(&input, &request_id) ||
+      !GetLengthPrefixed(&input, &method_name) ||
+      !GetLengthPrefixed(&input, &body)) {
+    return;  // malformed request: nothing to answer
+  }
+
+  Status status;
+  std::string response_body;
+  auto it = methods_.find(method_name.ToString());
+  if (it == methods_.end()) {
+    status = Status::NotFound("no RPC method " + method_name.ToString());
+  } else {
+    status = it->second(body, &response_body);
+  }
+
+  std::string payload;
+  PutFixed64(&payload, request_id);
+  payload.push_back(static_cast<char>(status.code()));
+  PutLengthPrefixed(&payload, status.message());
+  PutLengthPrefixed(&payload, response_body);
+  network->Send(Message{RpcDispatcher::kResponseType, self_id, message.from,
+                        payload});
+}
+
+RpcClient::RpcClient(std::string client_id, SimNetwork* network)
+    : client_id_(std::move(client_id)), network_(network) {
+  network_->Register(client_id_,
+                     [this](const Message& m) { OnResponse(m); });
+}
+
+RpcClient::~RpcClient() { network_->Unregister(client_id_); }
+
+void RpcClient::OnResponse(const Message& message) {
+  if (message.type != RpcDispatcher::kResponseType) return;
+  Slice input(message.payload);
+  uint64_t request_id;
+  if (!GetFixed64(&input, &request_id)) return;
+  if (input.empty()) return;
+  auto code = static_cast<Status::Code>((input)[0]);
+  input.remove_prefix(1);
+  Slice status_msg, body;
+  if (!GetLengthPrefixed(&input, &status_msg) ||
+      !GetLengthPrefixed(&input, &body)) {
+    return;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;  // timed out already
+  it->second.done = true;
+  switch (code) {
+    case Status::Code::kOk:
+      it->second.status = Status::OK();
+      break;
+    case Status::Code::kNotFound:
+      it->second.status = Status::NotFound(status_msg.ToStringView());
+      break;
+    case Status::Code::kCorruption:
+      it->second.status = Status::Corruption(status_msg.ToStringView());
+      break;
+    case Status::Code::kInvalidArgument:
+      it->second.status = Status::InvalidArgument(status_msg.ToStringView());
+      break;
+    case Status::Code::kIOError:
+      it->second.status = Status::IOError(status_msg.ToStringView());
+      break;
+    case Status::Code::kNotSupported:
+      it->second.status = Status::NotSupported(status_msg.ToStringView());
+      break;
+    case Status::Code::kAborted:
+      it->second.status = Status::Aborted(status_msg.ToStringView());
+      break;
+    case Status::Code::kBusy:
+      it->second.status = Status::Busy(status_msg.ToStringView());
+      break;
+    case Status::Code::kVerificationFailed:
+      it->second.status =
+          Status::VerificationFailed(status_msg.ToStringView());
+      break;
+    case Status::Code::kTimedOut:
+      it->second.status = Status::TimedOut(status_msg.ToStringView());
+      break;
+  }
+  it->second.body = body.ToString();
+  cv_.notify_all();
+}
+
+Status RpcClient::Call(const std::string& server, const std::string& method,
+                       const std::string& request, std::string* response,
+                       int64_t timeout_millis) {
+  uint64_t request_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    request_id = next_request_id_++;
+    pending_[request_id] = Pending{};
+  }
+  std::string payload;
+  PutFixed64(&payload, request_id);
+  PutLengthPrefixed(&payload, method);
+  PutLengthPrefixed(&payload, request);
+  network_->Send(
+      Message{RpcDispatcher::kRequestType, client_id_, server, payload});
+
+  std::unique_lock<std::mutex> lock(mu_);
+  bool got = cv_.wait_for(lock, std::chrono::milliseconds(timeout_millis),
+                          [&] { return pending_[request_id].done; });
+  Pending pending = std::move(pending_[request_id]);
+  pending_.erase(request_id);
+  if (!got) {
+    return Status::TimedOut("no response from " + server + " for " + method);
+  }
+  if (!pending.status.ok()) return pending.status;
+  *response = std::move(pending.body);
+  return Status::OK();
+}
+
+}  // namespace sebdb

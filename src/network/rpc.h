@@ -1,0 +1,80 @@
+// Request/response RPC on top of the simulated network. The paper's thin
+// clients are remote processes that "send a query to a randomly selected
+// full node" (§VI); this layer carries those calls over the wire instead of
+// via in-process pointers.
+//
+// Wire format: an "rpc.request" message whose payload is
+//   [request_id u64][method lp][body lp]
+// answered by an "rpc.response" to the caller:
+//   [request_id u64][status_code u8][status_msg lp][body lp]
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "network/sim_network.h"
+
+namespace sebdb {
+
+/// Server-side method: consumes a serialized request body, produces a
+/// serialized response body.
+using RpcMethod =
+    std::function<Status(const Slice& request, std::string* response)>;
+
+/// Dispatch table a node plugs into its network handler.
+class RpcDispatcher {
+ public:
+  void RegisterMethod(const std::string& name, RpcMethod method);
+
+  /// Handles an "rpc.request" message and replies via `network` as
+  /// `self_id`. Unknown methods answer with NotFound.
+  void HandleMessage(SimNetwork* network, const std::string& self_id,
+                     const Message& message) const;
+
+  static constexpr const char* kRequestType = "rpc.request";
+  static constexpr const char* kResponseType = "rpc.response";
+
+ private:
+  std::map<std::string, RpcMethod> methods_;
+};
+
+/// Blocking client: registers itself on the network under `client_id`,
+/// correlates responses by request id.
+class RpcClient {
+ public:
+  RpcClient(std::string client_id, SimNetwork* network);
+  ~RpcClient();
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Synchronous call; the server's Status is propagated (TimedOut when no
+  /// response arrives in time — e.g. the node is down or partitioned).
+  Status Call(const std::string& server, const std::string& method,
+              const std::string& request, std::string* response,
+              int64_t timeout_millis = 5000);
+
+  const std::string& client_id() const { return client_id_; }
+
+ private:
+  struct Pending {
+    bool done = false;
+    Status status;
+    std::string body;
+  };
+  void OnResponse(const Message& message);
+
+  const std::string client_id_;
+  SimNetwork* network_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, Pending> pending_;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,196 @@
+#include "network/sim_network.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sebdb {
+
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SimNetwork::SimNetwork(const SimNetworkOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+SimNetwork::~SimNetwork() { Shutdown(); }
+
+int64_t SimNetwork::NowMicros() const { return SteadyNowMicros(); }
+
+Status SimNetwork::Register(const std::string& node_id, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return Status::Aborted("network shut down");
+  if (endpoints_.contains(node_id)) {
+    return Status::InvalidArgument("node already registered: " + node_id);
+  }
+  auto endpoint = std::make_unique<Endpoint>(std::move(handler));
+  Endpoint* ep = endpoint.get();
+  endpoints_[node_id] = std::move(endpoint);
+  ep->worker = std::thread([this, node_id, ep] { WorkerLoop(node_id, ep); });
+  return Status::OK();
+}
+
+Status SimNetwork::Unregister(const std::string& node_id) {
+  std::unique_ptr<Endpoint> endpoint;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = endpoints_.find(node_id);
+    if (it == endpoints_.end()) {
+      return Status::NotFound("node not registered: " + node_id);
+    }
+    endpoint = std::move(it->second);
+    endpoints_.erase(it);
+    endpoint->stop = true;
+    endpoint->cv.notify_all();
+  }
+  if (endpoint->worker.joinable()) endpoint->worker.join();
+  return Status::OK();
+}
+
+void SimNetwork::Send(Message message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return;
+  stats_.messages_sent++;
+  stats_.bytes_sent += message.ByteSize();
+
+  auto it = endpoints_.find(message.to);
+  if (it == endpoints_.end()) {
+    stats_.messages_dropped++;
+    return;
+  }
+  auto link = std::minmax(message.from, message.to);
+  if (down_links_.contains({link.first, link.second})) {
+    stats_.messages_dropped++;
+    return;
+  }
+  if (options_.drop_rate > 0 && rng_.NextDouble() < options_.drop_rate) {
+    stats_.messages_dropped++;
+    return;
+  }
+
+  int64_t latency = options_.min_latency_micros;
+  if (options_.max_latency_micros > options_.min_latency_micros) {
+    latency += static_cast<int64_t>(rng_.Uniform(static_cast<uint64_t>(
+        options_.max_latency_micros - options_.min_latency_micros + 1)));
+  }
+  int64_t deliver_at = NowMicros() + latency;
+  Endpoint* ep = it->second.get();
+  // Keep the queue ordered by delivery time (stable for equal times).
+  auto pos = std::upper_bound(
+      ep->queue.begin(), ep->queue.end(), deliver_at,
+      [](int64_t t, const auto& entry) { return t < entry.first; });
+  ep->queue.insert(pos, {deliver_at, std::move(message)});
+  ep->cv.notify_all();
+}
+
+void SimNetwork::Broadcast(const std::string& from, const std::string& type,
+                           const std::string& payload) {
+  std::vector<std::string> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [node_id, endpoint] : endpoints_) {
+      if (node_id != from) targets.push_back(node_id);
+    }
+  }
+  for (const auto& target : targets) {
+    Send(Message{type, from, target, payload});
+  }
+}
+
+std::vector<std::string> SimNetwork::Nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(endpoints_.size());
+  for (const auto& [node_id, endpoint] : endpoints_) out.push_back(node_id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SimNetwork::SetLinkDown(const std::string& a, const std::string& b,
+                             bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto link = std::minmax(a, b);
+  if (down) {
+    down_links_.insert({link.first, link.second});
+  } else {
+    down_links_.erase({link.first, link.second});
+  }
+}
+
+void SimNetwork::WorkerLoop(const std::string& node_id, Endpoint* endpoint) {
+  (void)node_id;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (endpoint->stop) return;
+    if (endpoint->queue.empty()) {
+      endpoint->cv.wait(lock, [endpoint] {
+        return endpoint->stop || !endpoint->queue.empty();
+      });
+      continue;
+    }
+    int64_t deliver_at = endpoint->queue.front().first;
+    int64_t now = NowMicros();
+    if (deliver_at > now) {
+      endpoint->cv.wait_for(lock,
+                            std::chrono::microseconds(deliver_at - now));
+      continue;
+    }
+    Message message = std::move(endpoint->queue.front().second);
+    endpoint->queue.pop_front();
+    endpoint->busy = true;
+    Handler handler = endpoint->handler;
+    stats_.messages_delivered++;
+    lock.unlock();
+    handler(message);
+    lock.lock();
+    endpoint->busy = false;
+    endpoint->cv.notify_all();
+  }
+}
+
+void SimNetwork::DrainAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    bool idle = true;
+    for (const auto& [node_id, endpoint] : endpoints_) {
+      if (!endpoint->queue.empty() || endpoint->busy) {
+        idle = false;
+        break;
+      }
+    }
+    if (idle) return;
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    lock.lock();
+  }
+}
+
+NetworkStats SimNetwork::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SimNetwork::Shutdown() {
+  std::vector<std::unique_ptr<Endpoint>> endpoints;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    for (auto& [node_id, endpoint] : endpoints_) {
+      endpoint->stop = true;
+      endpoint->cv.notify_all();
+      endpoints.push_back(std::move(endpoint));
+    }
+    endpoints_.clear();
+  }
+  for (auto& endpoint : endpoints) {
+    if (endpoint->worker.joinable()) endpoint->worker.join();
+  }
+}
+
+}  // namespace sebdb

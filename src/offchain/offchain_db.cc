@@ -1,0 +1,238 @@
+#include "offchain/offchain_db.h"
+
+#include <algorithm>
+
+namespace sebdb {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+int OffchainTable::ColumnIndex(std::string_view column) const {
+  std::string lower = ToLower(column);
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (columns_[i].name == lower) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status OffchainTable::Insert(OffchainRow row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table " +
+        name_ + " (" + std::to_string(columns_.size()) + " columns)");
+  }
+  for (size_t i = 0; i < row.size(); i++) {
+    if (!row[i].is_null() && row[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          "type mismatch for column " + columns_[i].name + ": expected " +
+          ValueTypeName(columns_[i].type) + ", got " +
+          ValueTypeName(row[i].type()));
+    }
+  }
+  size_t row_id = rows_.size();
+  for (auto& [column, tree] : indexes_) {
+    int ci = ColumnIndex(column);
+    tree->Insert(row[ci], row_id);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::vector<size_t> OffchainTable::Scan(
+    const std::function<bool(const OffchainRow&)>& pred) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rows_.size(); i++) {
+    if (pred(rows_[i])) out.push_back(i);
+  }
+  return out;
+}
+
+Status OffchainTable::CreateIndex(std::string_view column) {
+  int ci = ColumnIndex(column);
+  if (ci < 0) return Status::NotFound("no column " + std::string(column));
+  auto tree = std::make_unique<ColumnIndexTree>();
+  for (size_t i = 0; i < rows_.size(); i++) {
+    tree->Insert(rows_[i][ci], i);
+  }
+  indexes_[ToLower(column)] = std::move(tree);
+  return Status::OK();
+}
+
+bool OffchainTable::HasIndex(std::string_view column) const {
+  return indexes_.contains(ToLower(column));
+}
+
+Status OffchainTable::SortedBy(std::string_view column,
+                               std::vector<size_t>* out) const {
+  int ci = ColumnIndex(column);
+  if (ci < 0) return Status::NotFound("no column " + std::string(column));
+  out->clear();
+  auto it = indexes_.find(ToLower(column));
+  if (it != indexes_.end()) {
+    for (auto iter = it->second->Begin(); iter.Valid(); iter.Next()) {
+      out->push_back(iter.value());
+    }
+    return Status::OK();
+  }
+  out->resize(rows_.size());
+  for (size_t i = 0; i < rows_.size(); i++) (*out)[i] = i;
+  std::stable_sort(out->begin(), out->end(), [&](size_t a, size_t b) {
+    return rows_[a][ci].CompareTotal(rows_[b][ci]) < 0;
+  });
+  return Status::OK();
+}
+
+Status OffchainTable::MinMax(std::string_view column, Value* min,
+                             Value* max) const {
+  int ci = ColumnIndex(column);
+  if (ci < 0) return Status::NotFound("no column " + std::string(column));
+  if (rows_.empty()) return Status::NotFound("table " + name_ + " is empty");
+  *min = rows_[0][ci];
+  *max = rows_[0][ci];
+  for (const auto& row : rows_) {
+    if (row[ci].CompareTotal(*min) < 0) *min = row[ci];
+    if (row[ci].CompareTotal(*max) > 0) *max = row[ci];
+  }
+  return Status::OK();
+}
+
+Status OffchainTable::Distinct(std::string_view column,
+                               std::vector<Value>* out) const {
+  int ci = ColumnIndex(column);
+  if (ci < 0) return Status::NotFound("no column " + std::string(column));
+  std::vector<Value> values;
+  values.reserve(rows_.size());
+  for (const auto& row : rows_) values.push_back(row[ci]);
+  std::sort(values.begin(), values.end(), [](const Value& a, const Value& b) {
+    return a.CompareTotal(b) < 0;
+  });
+  values.erase(std::unique(values.begin(), values.end(),
+                           [](const Value& a, const Value& b) {
+                             return a.CompareTotal(b) == 0;
+                           }),
+               values.end());
+  *out = std::move(values);
+  return Status::OK();
+}
+
+Status OffchainTable::Lookup(std::string_view column, const Value& v,
+                             std::vector<size_t>* out) const {
+  int ci = ColumnIndex(column);
+  if (ci < 0) return Status::NotFound("no column " + std::string(column));
+  auto it = indexes_.find(ToLower(column));
+  if (it != indexes_.end()) {
+    for (auto iter = it->second->SeekGE(v);
+         iter.Valid() && iter.key().CompareTotal(v) == 0; iter.Next()) {
+      out->push_back(iter.value());
+    }
+    return Status::OK();
+  }
+  for (size_t i = 0; i < rows_.size(); i++) {
+    if (rows_[i][ci].CompareTotal(v) == 0) out->push_back(i);
+  }
+  return Status::OK();
+}
+
+Status OffchainDb::CreateTable(const std::string& name,
+                               std::vector<ColumnDef> columns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string lower = ToLower(name);
+  if (tables_.contains(lower)) {
+    return Status::InvalidArgument("off-chain table exists: " + lower);
+  }
+  for (auto& col : columns) col.name = ToLower(col.name);
+  tables_[lower] = std::make_unique<OffchainTable>(lower, std::move(columns));
+  return Status::OK();
+}
+
+Status OffchainDb::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("no off-chain table " + name);
+  }
+  return Status::OK();
+}
+
+OffchainTable* OffchainDb::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const OffchainTable* OffchainDb::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status OffchainDb::Insert(const std::string& table, OffchainRow row) {
+  OffchainTable* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no off-chain table " + table);
+  return t->Insert(std::move(row));
+}
+
+std::vector<std::string> OffchainDb::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status LocalOffchainConnector::TableColumns(const std::string& table,
+                                            std::vector<ColumnDef>* out) {
+  const OffchainTable* t = db_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("no off-chain table " + table);
+  *out = t->columns();
+  return Status::OK();
+}
+
+Status LocalOffchainConnector::FetchAll(const std::string& table,
+                                        std::vector<OffchainRow>* out) {
+  const OffchainTable* t = db_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("no off-chain table " + table);
+  out->clear();
+  out->reserve(t->num_rows());
+  for (size_t i = 0; i < t->num_rows(); i++) out->push_back(t->row(i));
+  return Status::OK();
+}
+
+Status LocalOffchainConnector::FetchSortedBy(const std::string& table,
+                                             const std::string& column,
+                                             std::vector<OffchainRow>* out) {
+  const OffchainTable* t = db_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("no off-chain table " + table);
+  std::vector<size_t> order;
+  Status s = t->SortedBy(column, &order);
+  if (!s.ok()) return s;
+  out->clear();
+  out->reserve(order.size());
+  for (size_t i : order) out->push_back(t->row(i));
+  return Status::OK();
+}
+
+Status LocalOffchainConnector::MinMax(const std::string& table,
+                                      const std::string& column, Value* min,
+                                      Value* max) {
+  const OffchainTable* t = db_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("no off-chain table " + table);
+  return t->MinMax(column, min, max);
+}
+
+Status LocalOffchainConnector::Distinct(const std::string& table,
+                                        const std::string& column,
+                                        std::vector<Value>* out) {
+  const OffchainTable* t = db_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("no off-chain table " + table);
+  return t->Distinct(column, out);
+}
+
+}  // namespace sebdb

@@ -1,0 +1,133 @@
+// Off-chain relational store (paper §IV-A): private per-site data managed by
+// a local RDBMS and accessed through a connector interface (the paper uses
+// MySQL via ODBC/JDBC; we substitute an in-process engine exposing the same
+// operations the on–off-chain join needs — predicate scans, sorted retrieval
+// on the join attribute, min/max and DISTINCT).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/bptree.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace sebdb {
+
+/// One off-chain row: values positionally matched to the table's columns.
+using OffchainRow = std::vector<Value>;
+
+class OffchainTable {
+ public:
+  OffchainTable(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  int ColumnIndex(std::string_view column) const;
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row after arity and type checking (NULLs always accepted).
+  Status Insert(OffchainRow row);
+
+  const OffchainRow& row(size_t i) const { return rows_[i]; }
+
+  /// Row indices matching a predicate (full scan).
+  std::vector<size_t> Scan(
+      const std::function<bool(const OffchainRow&)>& pred) const;
+
+  /// Builds (or rebuilds) a B+-tree index on a column; speeds up
+  /// FetchSortedBy and point lookups.
+  Status CreateIndex(std::string_view column);
+  bool HasIndex(std::string_view column) const;
+
+  /// Row indices ordered by the column's value (uses the index when
+  /// present, otherwise sorts). The on–off-chain join consumes this: its
+  /// sort-merge pass needs off-chain rows sorted on the join attribute.
+  Status SortedBy(std::string_view column, std::vector<size_t>* out) const;
+
+  /// Minimum and maximum value of a column (NotFound for an empty table).
+  Status MinMax(std::string_view column, Value* min, Value* max) const;
+
+  /// Distinct values of a column, sorted ascending.
+  Status Distinct(std::string_view column, std::vector<Value>* out) const;
+
+  /// Row indices whose column equals v (index-backed when available).
+  Status Lookup(std::string_view column, const Value& v,
+                std::vector<size_t>* out) const;
+
+ private:
+  struct ValueCmp {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.CompareTotal(b) < 0;
+    }
+  };
+  using ColumnIndexTree = BpTree<Value, size_t, ValueCmp>;
+
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<OffchainRow> rows_;
+  std::map<std::string, std::unique_ptr<ColumnIndexTree>> indexes_;
+};
+
+/// A named collection of off-chain tables — one per participant site in the
+/// donation scenario (DonorInfo at the charity, DoneeInfo at the school...).
+class OffchainDb {
+ public:
+  Status CreateTable(const std::string& name, std::vector<ColumnDef> columns);
+  Status DropTable(const std::string& name);
+  /// nullptr when absent.
+  OffchainTable* GetTable(const std::string& name);
+  const OffchainTable* GetTable(const std::string& name) const;
+  Status Insert(const std::string& table, OffchainRow row);
+  std::vector<std::string> TableNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<OffchainTable>> tables_;
+};
+
+/// The ODBC/JDBC stand-in: what the query processor sees of the local RDBMS.
+class OffchainConnector {
+ public:
+  virtual ~OffchainConnector() = default;
+  virtual Status TableColumns(const std::string& table,
+                              std::vector<ColumnDef>* out) = 0;
+  virtual Status FetchAll(const std::string& table,
+                          std::vector<OffchainRow>* out) = 0;
+  /// Rows sorted ascending by `column` (the join attribute).
+  virtual Status FetchSortedBy(const std::string& table,
+                               const std::string& column,
+                               std::vector<OffchainRow>* out) = 0;
+  virtual Status MinMax(const std::string& table, const std::string& column,
+                        Value* min, Value* max) = 0;
+  virtual Status Distinct(const std::string& table, const std::string& column,
+                          std::vector<Value>* out) = 0;
+};
+
+class LocalOffchainConnector : public OffchainConnector {
+ public:
+  explicit LocalOffchainConnector(OffchainDb* db) : db_(db) {}
+
+  Status TableColumns(const std::string& table,
+                      std::vector<ColumnDef>* out) override;
+  Status FetchAll(const std::string& table,
+                  std::vector<OffchainRow>* out) override;
+  Status FetchSortedBy(const std::string& table, const std::string& column,
+                       std::vector<OffchainRow>* out) override;
+  Status MinMax(const std::string& table, const std::string& column,
+                Value* min, Value* max) override;
+  Status Distinct(const std::string& table, const std::string& column,
+                  std::vector<Value>* out) override;
+
+ private:
+  OffchainDb* db_;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,164 @@
+// Abstract syntax for the SQL-like language. Statements (Table II of the
+// paper):
+//   CREATE [TABLE] t (col type, ...)
+//   CREATE [LAYERED|DISCRETE] INDEX ON t(col)      -- index DDL
+//   INSERT INTO t VALUES (...)
+//   SELECT cols FROM t [WHERE pred] [WINDOW [s, e]]
+//   SELECT cols FROM t1, t2 ON t1.a = t2.b ...     -- on-chain join (Q5)
+//   SELECT cols FROM onchain.t, offchain.s ON ...  -- on-off join (Q6)
+//   TRACE [s, e] OPERATOR = 'x', OPERATION = 'y'   -- tracking (Q2, Q3)
+//   GET BLOCK ID|TID|TS = v                        -- block lookup (Q7)
+//   EXPLAIN <statement>
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace sebdb {
+
+// ---- expressions ----
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct ColumnRef {
+  std::string table;  // optional qualifier ("" if unqualified)
+  std::string column;
+};
+
+struct Literal {
+  Value value;
+};
+
+struct Parameter {
+  int index = 0;  // 0-based position among '?' in the statement
+};
+
+struct BinaryExpr {
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+};
+
+/// col BETWEEN lo AND hi (kept as its own node: directly sargable).
+struct BetweenExpr {
+  ColumnRef column;
+  ExprPtr lo;
+  ExprPtr hi;
+};
+
+struct Expr {
+  std::variant<ColumnRef, Literal, Parameter, BinaryExpr, BetweenExpr> node;
+
+  std::string ToString() const;
+};
+
+// ---- statements ----
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+struct CreateIndexStmt {
+  std::string table;
+  std::string column;
+  bool discrete = false;  // CREATE DISCRETE INDEX ...
+};
+
+struct InsertStmt {
+  std::string table;
+  /// One or more VALUES tuples: INSERT INTO t VALUES (..), (..), ...
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct TableRef {
+  std::string name;
+  bool offchain = false;  // offchain.<name> qualifier
+};
+
+struct JoinCondition {
+  ColumnRef left;
+  ColumnRef right;
+};
+
+struct TimeWindow {
+  ExprPtr start;
+  ExprPtr end;
+};
+
+/// Aggregate call in the projection: COUNT(*) / COUNT(c) / SUM / AVG /
+/// MIN / MAX. A select is either plain (projection) or fully aggregated
+/// (aggregates) — no GROUP BY (future work the paper defers too).
+struct AggCall {
+  enum class Fn { kCount, kSum, kAvg, kMin, kMax };
+  Fn fn = Fn::kCount;
+  bool star = false;  // COUNT(*)
+  ColumnRef column;   // when !star
+
+  std::string ToString() const;
+};
+
+struct SelectStmt {
+  bool star = false;
+  std::vector<ColumnRef> projection;  // empty when star or aggregated
+  std::vector<AggCall> aggregates;    // non-empty = aggregate query
+  std::vector<TableRef> tables;       // 1 (scan) or 2 (join)
+  std::optional<JoinCondition> join;  // required when tables.size() == 2
+  ExprPtr where;                      // may be null
+  std::optional<TimeWindow> window;
+  /// GROUP BY column (aggregate queries only; single grouping key).
+  std::optional<ColumnRef> group_by;
+  struct OrderBy {
+    ColumnRef column;
+    bool descending = false;
+  };
+  std::optional<OrderBy> order_by;
+  int64_t limit = -1;  // -1 = unlimited
+};
+
+struct TraceStmt {
+  std::optional<TimeWindow> window;
+  ExprPtr operator_id;  // OPERATOR = <expr> (SenID dimension); may be null
+  ExprPtr operation;    // OPERATION = <expr> (Tname dimension); may be null
+};
+
+struct GetBlockStmt {
+  enum class By { kId, kTid, kTs };
+  By by = By::kId;
+  ExprPtr value;
+};
+
+struct Statement;
+using StatementPtr = std::unique_ptr<Statement>;
+
+struct ExplainStmt {
+  StatementPtr inner;
+};
+
+struct Statement {
+  std::variant<CreateTableStmt, CreateIndexStmt, InsertStmt, SelectStmt,
+               TraceStmt, GetBlockStmt, ExplainStmt>
+      node;
+};
+
+}  // namespace sebdb

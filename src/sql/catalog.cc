@@ -1,0 +1,59 @@
+#include "sql/catalog.h"
+
+namespace sebdb {
+
+Status Catalog::RegisterSchema(Schema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = schemas_.find(schema.table_name());
+  if (it != schemas_.end()) {
+    if (it->second == schema) return Status::OK();  // idempotent replay
+    return Status::InvalidArgument("table already exists with a different "
+                                   "schema: " +
+                                   schema.table_name());
+  }
+  schemas_[schema.table_name()] = std::move(schema);
+  return Status::OK();
+}
+
+Status Catalog::GetSchema(const std::string& table, Schema* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = schemas_.find(table);
+  if (it == schemas_.end()) {
+    return Status::NotFound("no on-chain table named " + table);
+  }
+  *out = it->second;
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return schemas_.contains(table);
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(schemas_.size());
+  for (const auto& [name, schema] : schemas_) names.push_back(name);
+  return names;
+}
+
+Transaction Catalog::MakeSchemaTransaction(const Schema& schema) {
+  std::string encoded;
+  schema.EncodeTo(&encoded);
+  return Transaction(kSchemaTable, {Value::Str(std::move(encoded))});
+}
+
+bool Catalog::MaybeApplySchemaTransaction(const Transaction& txn) {
+  if (txn.tname() != kSchemaTable || txn.values().size() != 1 ||
+      txn.values()[0].type() != ValueType::kString) {
+    return false;
+  }
+  Slice input(txn.values()[0].AsString());
+  Schema schema;
+  if (!Schema::DecodeFrom(&input, &schema).ok()) return false;
+  RegisterSchema(std::move(schema)).ok();
+  return true;
+}
+
+}  // namespace sebdb

@@ -1,0 +1,70 @@
+// Cost model for select operations (paper §IV-B, Eqs. 1–3):
+//   C_no-index = n·t_S + (f·n / b)·t_T          — scan every block
+//   C_bitmap   = k·t_S + (f·k / b)·t_T (k <= n) — read candidate blocks
+//   C_layered  = p·t_S + p·t_T                   — random-read p tuples
+// where n = chain height, k = blocks containing the table, p = result
+// tuples, f = packaged block size, b = disk block size, t_S = average disk
+// block access (seek) time, t_T = transfer time per disk block.
+//
+// The planner uses these estimates to pick bitmap vs layered access when
+// both are possible — the paper's observation that "if the size of the
+// query result is large, using table-level bitmap index may outperform
+// layered index since random I/O is slow".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "index/layered_index.h"
+#include "types/value.h"
+
+namespace sebdb {
+
+struct CostParams {
+  /// Average disk block access time t_S (micros per random access,
+  /// including decode).
+  double seek_micros = 10.0;
+  /// Transfer time per disk block t_T (micros).
+  double transfer_micros = 25.0;
+  /// Disk block size b (bytes).
+  double disk_block_bytes = 4096.0;
+  /// Packaged block size f (bytes); the executor refines this from storage
+  /// stats at plan time.
+  double chain_block_bytes = 4.0 * 1024 * 1024;
+  /// Average tuple size (bytes; the paper's workload uses 300 B txns).
+  double tuple_bytes = 300.0;
+};
+
+/// Eq. 1: full scan of an n-block chain.
+double ScanCost(uint64_t n, const CostParams& params);
+/// Eq. 2: read the k blocks the table-level bitmap marks.
+double BitmapCost(uint64_t k, const CostParams& params);
+/// Eq. 3: random-read p result tuples through the layered index.
+double LayeredCost(uint64_t p, const CostParams& params);
+
+/// Estimated number of tuples a layered index returns for [lo, hi]:
+/// total entries scaled by the fraction of histogram buckets the range
+/// overlaps (continuous), or by the candidate-block share (discrete).
+uint64_t EstimateLayeredResult(const LayeredIndex& index, const Value* lo,
+                               const Value* hi);
+
+struct AccessPathCosts {
+  double scan = 0;
+  double bitmap = 0;
+  double layered = 0;
+  uint64_t estimated_result = 0;
+
+  bool LayeredWins() const { return layered <= bitmap; }
+  std::string ToString() const;
+};
+
+/// Costs for one single-table select: n = chain blocks, k = table blocks,
+/// layered estimate from the index (index may be null -> layered = +inf).
+AccessPathCosts EstimateSelectCosts(uint64_t chain_blocks,
+                                    uint64_t table_blocks,
+                                    const LayeredIndex* index,
+                                    const Value* lo, const Value* hi,
+                                    const CostParams& params);
+
+}  // namespace sebdb

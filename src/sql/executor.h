@@ -1,0 +1,101 @@
+// Query execution engine (paper §V). Plans and runs SELECT / TRACE /
+// GET BLOCK / CREATE INDEX statements against the block store, the index
+// set, the catalog and the off-chain connector. Write statements (CREATE
+// TABLE, INSERT) become on-chain transactions and are handled by the node
+// (core/), not here.
+//
+// Access paths implement the three methods the paper benchmarks side by
+// side (scan / table-level bitmap / layered index), selectable per query
+// through ExecOptions for the method-comparison figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "offchain/offchain_db.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/eval.h"
+#include "sql/index_set.h"
+#include "sql/result.h"
+#include "storage/block_store.h"
+
+namespace sebdb {
+
+enum class AccessPath {
+  kAuto,     // layered if usable, else bitmap, else scan
+  kScan,     // read every block
+  kBitmap,   // table-level bitmap index
+  kLayered,  // layered index on the constrained column
+};
+
+enum class JoinStrategy {
+  kAuto,          // layered-merge if indices exist, else bitmap-hash
+  kScanHash,      // hash join over a full chain scan
+  kBitmapHash,    // hash join over bitmap-filtered blocks
+  kLayeredMerge,  // per-block-pair sort-merge via layered indices (Alg. 2/3)
+};
+
+struct ExecOptions {
+  AccessPath access_path = AccessPath::kAuto;
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+  /// Positional bindings for '?' parameters.
+  std::vector<Value> params;
+};
+
+class Executor {
+ public:
+  Executor(BlockStore* store, IndexSet* indexes, Catalog* catalog,
+           OffchainConnector* offchain)
+      : store_(store),
+        indexes_(indexes),
+        catalog_(catalog),
+        offchain_(offchain) {}
+
+  /// Executes one parsed statement. EXPLAIN fills only ResultSet::plan.
+  Status Execute(const Statement& stmt, const ExecOptions& options,
+                 ResultSet* result);
+
+  /// Convenience: parse + execute.
+  Status ExecuteSql(std::string_view sql, const ExecOptions& options,
+                    ResultSet* result);
+
+ private:
+  Status ExecSelect(const SelectStmt& stmt, const ExecOptions& options,
+                    bool explain_only, ResultSet* result);
+  Status ExecSingleTable(const SelectStmt& stmt, const ExecOptions& options,
+                         bool explain_only, ResultSet* result);
+  Status ExecOffchainOnly(const SelectStmt& stmt, const ExecOptions& options,
+                          bool explain_only, ResultSet* result);
+  Status ExecOnChainJoin(const SelectStmt& stmt, const ExecOptions& options,
+                         bool explain_only, ResultSet* result);
+  Status ExecOnOffJoin(const SelectStmt& stmt, const ExecOptions& options,
+                       bool explain_only, ResultSet* result);
+  Status ExecTrace(const TraceStmt& stmt, const ExecOptions& options,
+                   bool explain_only, ResultSet* result);
+  Status ExecGetBlock(const GetBlockStmt& stmt, const ExecOptions& options,
+                      bool explain_only, ResultSet* result);
+  Status ExecCreateIndex(const CreateIndexStmt& stmt, bool explain_only,
+                         ResultSet* result);
+
+  /// Evaluates an optional time window into a block bitmap (nullopt when the
+  /// statement has no window).
+  Status ResolveWindow(const std::optional<TimeWindow>& window,
+                       const std::vector<Value>& params,
+                       std::optional<Bitmap>* out) const;
+
+  /// Appends a transaction as a full schema row (system + app columns).
+  static std::vector<Value> TxnToRow(const Transaction& txn, int num_columns);
+
+  /// Applies projection to assembled rows (in place on `result`).
+  Status Project(const SelectStmt& stmt, const ColumnBindings& bindings,
+                 ResultSet* result) const;
+
+  BlockStore* store_;
+  IndexSet* indexes_;
+  Catalog* catalog_;
+  OffchainConnector* offchain_;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,226 @@
+#include "sql/index_set.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sebdb {
+
+namespace {
+
+ColumnExtractor MakeColumnExtractor(const std::string& table, int app_index) {
+  return [table, app_index](const Transaction& txn, Value* out) {
+    if (txn.tname() != table) return false;
+    int pos = app_index - Schema::kNumSystemColumns;
+    if (pos < 0 || pos >= static_cast<int>(txn.values().size())) return false;
+    *out = txn.values()[pos];
+    return true;
+  };
+}
+
+}  // namespace
+
+ColumnExtractor IndexSet::MakeSystemExtractor(bool sender) {
+  return [sender](const Transaction& txn, Value* out) {
+    *out = Value::Str(sender ? txn.sender() : txn.tname());
+    return true;
+  };
+}
+
+IndexSet::IndexSet(BlockStore* store, IndexSetOptions options)
+    : store_(store), options_(std::move(options)) {
+  LayeredIndexOptions discrete_options;
+  discrete_options.discrete = true;
+  senid_index_ = std::make_unique<LayeredIndex>(
+      "sys.senid", discrete_options, MakeSystemExtractor(/*sender=*/true));
+  tname_index_ = std::make_unique<LayeredIndex>(
+      "sys.tname", discrete_options, MakeSystemExtractor(/*sender=*/false));
+  if (options_.build_auth_indexes) {
+    senid_ali_ = std::make_unique<AuthenticatedLayeredIndex>(
+        "sys.senid.auth", discrete_options,
+        MakeSystemExtractor(/*sender=*/true));
+    tname_ali_ = std::make_unique<AuthenticatedLayeredIndex>(
+        "sys.tname.auth", discrete_options,
+        MakeSystemExtractor(/*sender=*/false));
+  }
+  if (!options_.manifest_path.empty()) LoadManifest();
+}
+
+void IndexSet::LoadManifest() {
+  FILE* f = fopen(options_.manifest_path.c_str(), "r");
+  if (f == nullptr) return;  // no manifest yet
+  char table[256], column[256];
+  int schema_index, discrete;
+  while (fscanf(f, "%255s %255s %d %d", table, column, &schema_index,
+                &discrete) == 4) {
+    // Created before any block is replayed, so no backfill is needed; the
+    // replay loop feeds every block through AddBlock.
+    CreateLayeredIndexLocked(table, column, schema_index, discrete != 0)
+        .ok();
+  }
+  fclose(f);
+}
+
+void IndexSet::AppendManifest(const std::string& table,
+                              const std::string& column,
+                              int schema_column_index, bool discrete) {
+  if (options_.manifest_path.empty()) return;
+  FILE* f = fopen(options_.manifest_path.c_str(), "a");
+  if (f == nullptr) return;
+  fprintf(f, "%s %s %d %d\n", table.c_str(), column.c_str(),
+          schema_column_index, discrete ? 1 : 0);
+  fclose(f);
+}
+
+Status IndexSet::AddBlock(const Block& block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (block.height() != num_blocks_) {
+    return Status::InvalidArgument("index set blocks must arrive in order");
+  }
+  Status s = block_index_.Add(block.header());
+  if (!s.ok()) return s;
+  table_index_.AddBlock(block);
+  s = senid_index_->AddBlock(block);
+  if (!s.ok()) return s;
+  s = tname_index_->AddBlock(block);
+  if (!s.ok()) return s;
+  if (senid_ali_ != nullptr) {
+    s = senid_ali_->AddBlock(block);
+    if (!s.ok()) return s;
+  }
+  if (tname_ali_ != nullptr) {
+    s = tname_ali_->AddBlock(block);
+    if (!s.ok()) return s;
+  }
+  for (auto& [key, index] : user_indexes_) {
+    s = index.layered->AddBlock(block);
+    if (!s.ok()) return s;
+    if (index.ali != nullptr) {
+      s = index.ali->AddBlock(block);
+      if (!s.ok()) return s;
+    }
+  }
+  num_blocks_++;
+  return Status::OK();
+}
+
+uint64_t IndexSet::num_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_blocks_;
+}
+
+Status IndexSet::CreateLayeredIndex(const std::string& table,
+                                    const std::string& column,
+                                    int schema_column_index, bool discrete) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s =
+      CreateLayeredIndexLocked(table, column, schema_column_index, discrete);
+  if (!s.ok()) return s;
+  AppendManifest(table, column, schema_column_index, discrete);
+  return Status::OK();
+}
+
+Status IndexSet::CreateLayeredIndexLocked(const std::string& table,
+                                          const std::string& column,
+                                          int schema_column_index,
+                                          bool discrete) {
+  auto key = std::make_pair(table, column);
+  if (user_indexes_.contains(key)) {
+    return Status::InvalidArgument("index already exists on " + table + "." +
+                                   column);
+  }
+  if (schema_column_index < Schema::kNumSystemColumns) {
+    return Status::InvalidArgument(
+        "layered indices on system columns are built in (SenID, Tname)");
+  }
+
+  UserIndex index;
+  LayeredIndexOptions layered_options;
+  layered_options.discrete = discrete;
+  layered_options.histogram_buckets = options_.histogram_buckets;
+  ColumnExtractor extractor = MakeColumnExtractor(table, schema_column_index);
+  std::string name = table + "." + column;
+  index.layered = std::make_unique<LayeredIndex>(name, layered_options,
+                                                 extractor);
+  if (options_.build_auth_indexes) {
+    index.ali = std::make_unique<AuthenticatedLayeredIndex>(
+        name + ".auth", layered_options, extractor);
+  }
+
+  Status backfill = BackfillIndex(&index, !discrete, extractor);
+  if (!backfill.ok()) return backfill;
+  user_indexes_[key] = std::move(index);
+  return Status::OK();
+}
+
+Status IndexSet::BackfillIndex(UserIndex* index, bool continuous,
+                               const ColumnExtractor& extractor) {
+  if (num_blocks_ == 0) return Status::OK();
+  if (store_ == nullptr) {
+    return Status::InvalidArgument(
+        "cannot backfill an index without a block store");
+  }
+
+  // Pass 1 (continuous only): sample historical values for the histogram.
+  if (continuous) {
+    std::vector<Value> sample;
+    for (uint64_t bid = 0;
+         bid < num_blocks_ && sample.size() < options_.histogram_sample_limit;
+         bid++) {
+      std::shared_ptr<const Block> block;
+      Status s = store_->ReadBlock(bid, &block);
+      if (!s.ok()) return s;
+      for (const auto& txn : block->transactions()) {
+        Value v;
+        if (extractor(txn, &v)) sample.push_back(std::move(v));
+      }
+    }
+    if (!sample.empty()) {
+      EqualDepthHistogram histogram;
+      Status s = EqualDepthHistogram::Build(
+          std::move(sample), options_.histogram_buckets, &histogram);
+      if (!s.ok()) return s;
+      s = index->layered->SetHistogram(histogram);
+      if (!s.ok()) return s;
+      if (index->ali != nullptr) {
+        s = index->ali->SetHistogram(std::move(histogram));
+        if (!s.ok()) return s;
+      }
+    }
+  }
+
+  // Pass 2: index every existing block.
+  for (uint64_t bid = 0; bid < num_blocks_; bid++) {
+    std::shared_ptr<const Block> block;
+    Status s = store_->ReadBlock(bid, &block);
+    if (!s.ok()) return s;
+    s = index->layered->AddBlock(*block);
+    if (!s.ok()) return s;
+    if (index->ali != nullptr) {
+      s = index->ali->AddBlock(*block);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+LayeredIndex* IndexSet::GetLayered(const std::string& table,
+                                   const std::string& column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = user_indexes_.find(std::make_pair(table, column));
+  return it == user_indexes_.end() ? nullptr : it->second.layered.get();
+}
+
+AuthenticatedLayeredIndex* IndexSet::GetAli(const std::string& table,
+                                            const std::string& column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = user_indexes_.find(std::make_pair(table, column));
+  return it == user_indexes_.end() ? nullptr : it->second.ali.get();
+}
+
+bool IndexSet::HasLayered(const std::string& table,
+                          const std::string& column) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return user_indexes_.contains(std::make_pair(table, column));
+}
+
+}  // namespace sebdb

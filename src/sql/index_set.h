@@ -1,0 +1,103 @@
+// All indices of one node, updated together as blocks are chained
+// (paper §IV-B): the block-level B+-tree, the table-level bitmap index, the
+// two system-wide discrete layered indices on SenID and Tname that power
+// TRACE, any user-created per-column layered indices, and (optionally) their
+// authenticated twins (ALI) for thin-client queries.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "auth/ali.h"
+#include "common/status.h"
+#include "index/bitmap_index.h"
+#include "index/block_index.h"
+#include "index/layered_index.h"
+#include "storage/block_store.h"
+
+namespace sebdb {
+
+struct IndexSetOptions {
+  /// Buckets of the equal-depth histogram for continuous layered indices
+  /// (the paper sets "the depth of histogram" to 100).
+  size_t histogram_buckets = 100;
+  /// Sample cap when backfilling a histogram from existing blocks.
+  size_t histogram_sample_limit = 100000;
+  /// Also maintain MB-tree-based authenticated indices alongside every
+  /// layered index (and the system Tname/SenID indices).
+  bool build_auth_indexes = true;
+  /// When set, user-created indices are recorded here and recreated on the
+  /// next open (before chain replay), so CREATE INDEX survives restarts.
+  std::string manifest_path;
+};
+
+class IndexSet {
+ public:
+  /// `store` is used only to backfill when an index is created after blocks
+  /// already exist; may be nullptr if indices always precede data.
+  IndexSet(BlockStore* store, IndexSetOptions options = IndexSetOptions());
+
+  /// Indexes a newly chained block in every structure. Must be called once
+  /// per block, in height order.
+  Status AddBlock(const Block& block);
+
+  uint64_t num_blocks() const;
+
+  const BlockIndex& block_index() const { return block_index_; }
+  const TableBitmapIndex& table_index() const { return table_index_; }
+
+  /// System-wide layered indices (discrete, spanning all tables).
+  LayeredIndex* senid_index() { return senid_index_.get(); }
+  LayeredIndex* tname_index() { return tname_index_.get(); }
+  AuthenticatedLayeredIndex* senid_ali() { return senid_ali_.get(); }
+  AuthenticatedLayeredIndex* tname_ali() { return tname_ali_.get(); }
+
+  /// Creates a layered index on table.column, where `schema_column_index` is
+  /// the column's position in the table schema (resolved by the caller from
+  /// the catalog; must be an application-level column). When blocks already
+  /// exist the index is backfilled: a first pass samples values for the
+  /// histogram (continuous only), a second pass indexes every block.
+  Status CreateLayeredIndex(const std::string& table,
+                            const std::string& column,
+                            int schema_column_index, bool discrete);
+
+  /// nullptr when no such index exists.
+  LayeredIndex* GetLayered(const std::string& table,
+                           const std::string& column);
+  AuthenticatedLayeredIndex* GetAli(const std::string& table,
+                                    const std::string& column);
+  bool HasLayered(const std::string& table, const std::string& column) const;
+
+ private:
+  struct UserIndex {
+    std::unique_ptr<LayeredIndex> layered;
+    std::unique_ptr<AuthenticatedLayeredIndex> ali;  // null unless enabled
+  };
+
+  static ColumnExtractor MakeSystemExtractor(bool sender);
+  Status BackfillIndex(UserIndex* index, bool continuous,
+                       const ColumnExtractor& extractor);
+  Status CreateLayeredIndexLocked(const std::string& table,
+                                  const std::string& column,
+                                  int schema_column_index, bool discrete);
+  void LoadManifest();
+  void AppendManifest(const std::string& table, const std::string& column,
+                      int schema_column_index, bool discrete);
+
+  BlockStore* store_;
+  IndexSetOptions options_;
+
+  mutable std::mutex mu_;
+  BlockIndex block_index_;
+  TableBitmapIndex table_index_;
+  std::unique_ptr<LayeredIndex> senid_index_;
+  std::unique_ptr<LayeredIndex> tname_index_;
+  std::unique_ptr<AuthenticatedLayeredIndex> senid_ali_;
+  std::unique_ptr<AuthenticatedLayeredIndex> tname_ali_;
+  std::map<std::pair<std::string, std::string>, UserIndex> user_indexes_;
+  uint64_t num_blocks_ = 0;
+};
+
+}  // namespace sebdb

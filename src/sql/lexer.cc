@@ -1,0 +1,161 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace sebdb {
+
+namespace {
+
+const std::array<std::string_view, 37> kKeywords = {
+    "SELECT", "FROM",   "WHERE",    "INSERT", "INTO",     "VALUES",
+    "CREATE", "TABLE",  "ON",       "AND",    "OR",       "NOT",
+    "BETWEEN", "TRACE", "OPERATOR", "OPERATION", "GET",   "BLOCK",
+    "ID",     "TID",    "TS",       "WINDOW", "EXPLAIN",  "JOIN",
+    "NULL",   "TRUE",   "FALSE",    "INDEX",  "LAYERED",  "DISCRETE",
+    "AS",     "GROUP",  "ORDER",    "BY",     "ASC",      "DESC",
+    "LIMIT",
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Status Tokenize(std::string_view input, std::vector<Token>* out) {
+  out->clear();
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    Token token;
+    token.position = i;
+
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) i++;
+      std::string word(input.substr(start, i - start));
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      if (std::find(kKeywords.begin(), kKeywords.end(), upper) !=
+          kKeywords.end()) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        std::transform(word.begin(), word.end(), word.begin(),
+                       [](unsigned char ch) { return std::tolower(ch); });
+        token.text = word;
+      }
+      out->push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])) &&
+         (out->empty() || out->back().type == TokenType::kOperator ||
+          out->back().IsSymbol("(") || out->back().IsSymbol(",") ||
+          out->back().IsSymbol("[") || out->back().IsKeyword("BETWEEN") ||
+          out->back().IsKeyword("AND") || out->back().IsKeyword("VALUES")))) {
+      size_t start = i;
+      if (c == '-') i++;
+      bool saw_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       (input[i] == '.' && !saw_dot))) {
+        if (input[i] == '.') saw_dot = true;
+        i++;
+      }
+      token.type = saw_dot ? TokenType::kNumber : TokenType::kInteger;
+      token.text = std::string(input.substr(start, i - start));
+      out->push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      i++;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == quote) {
+          if (i + 1 < n && input[i + 1] == quote) {  // escaped quote
+            text.push_back(quote);
+            i += 2;
+            continue;
+          }
+          closed = true;
+          i++;
+          break;
+        }
+        text.push_back(input[i]);
+        i++;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at position " +
+            std::to_string(token.position));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(text);
+      out->push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '?') {
+      token.type = TokenType::kParameter;
+      token.text = "?";
+      i++;
+      out->push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '<' || c == '>' || c == '=' || c == '!') {
+      std::string op(1, c);
+      i++;
+      if (i < n && (input[i] == '=' || (c == '<' && input[i] == '>'))) {
+        op.push_back(input[i]);
+        i++;
+      }
+      if (op == "<>") op = "!=";
+      if (op == "!") {
+        return Status::InvalidArgument("unexpected '!' at position " +
+                                       std::to_string(token.position));
+      }
+      token.type = TokenType::kOperator;
+      token.text = std::move(op);
+      out->push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '(' || c == ')' || c == ',' || c == '.' || c == ';' ||
+        c == '[' || c == ']' || c == '*') {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      i++;
+      out->push_back(std::move(token));
+      continue;
+    }
+
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at position " +
+                                   std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  out->push_back(std::move(end));
+  return Status::OK();
+}
+
+}  // namespace sebdb

@@ -1,0 +1,44 @@
+// Tokenizer for the SQL-like language (paper §III-A): CREATE / INSERT /
+// SELECT plus the blockchain-specific TRACE and GET BLOCK clauses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sebdb {
+
+enum class TokenType {
+  kIdentifier,   // table, column names (lowercased)
+  kKeyword,      // SELECT, FROM, ... (uppercased)
+  kString,       // 'text' or "text"
+  kInteger,      // 123
+  kNumber,       // 12.5 (decimal literal)
+  kParameter,    // ?
+  kSymbol,       // ( ) , . ; [ ] *
+  kOperator,     // = < > <= >= != <>
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // normalized (keywords uppercase, identifiers lowercase)
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(std::string_view sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+  bool IsOperator(std::string_view op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// Tokenizes `input`; the final token is always kEnd. Fails on unterminated
+/// strings or unexpected characters.
+Status Tokenize(std::string_view input, std::vector<Token>* out);
+
+}  // namespace sebdb

@@ -1,0 +1,671 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace sebdb {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  struct Printer {
+    std::string operator()(const ColumnRef& c) const {
+      return c.table.empty() ? c.column : c.table + "." + c.column;
+    }
+    std::string operator()(const Literal& l) const {
+      if (l.value.type() == ValueType::kString) {
+        return "'" + l.value.ToString() + "'";
+      }
+      return l.value.ToString();
+    }
+    std::string operator()(const Parameter& p) const {
+      return "?" + std::to_string(p.index + 1);
+    }
+    std::string operator()(const BinaryExpr& b) const {
+      return "(" + b.left->ToString() + " " + BinaryOpName(b.op) + " " +
+             b.right->ToString() + ")";
+    }
+    std::string operator()(const BetweenExpr& b) const {
+      std::string col =
+          b.column.table.empty() ? b.column.column
+                                 : b.column.table + "." + b.column.column;
+      return "(" + col + " BETWEEN " + b.lo->ToString() + " AND " +
+             b.hi->ToString() + ")";
+    }
+  };
+  return std::visit(Printer{}, node);
+}
+
+std::string AggCall::ToString() const {
+  const char* name = "count";
+  switch (fn) {
+    case Fn::kCount:
+      name = "count";
+      break;
+    case Fn::kSum:
+      name = "sum";
+      break;
+    case Fn::kAvg:
+      name = "avg";
+      break;
+    case Fn::kMin:
+      name = "min";
+      break;
+    case Fn::kMax:
+      name = "max";
+      break;
+  }
+  std::string arg = star ? "*"
+                         : (column.table.empty()
+                                ? column.column
+                                : column.table + "." + column.column);
+  return std::string(name) + "(" + arg + ")";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Status Parse(StatementPtr* out) {
+    Status s = ParseStatementInternal(out);
+    if (!s.ok()) return s;
+    if (Cur().IsSymbol(";")) Advance();
+    if (Cur().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t n = 1) const {
+    size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) pos_++;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("parse error at position " +
+                                   std::to_string(Cur().position) + ": " +
+                                   message);
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!Cur().IsKeyword(kw)) {
+      return Error("expected " + std::string(kw));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(std::string_view sym) {
+    if (!Cur().IsSymbol(sym)) {
+      return Error("expected '" + std::string(sym) + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectIdentifier(std::string* out) {
+    // Non-reserved keywords may double as identifiers (e.g. a column named
+    // "id" or "ts").
+    if (Cur().type == TokenType::kIdentifier) {
+      *out = Cur().text;
+      Advance();
+      return Status::OK();
+    }
+    if (Cur().type == TokenType::kKeyword &&
+        (Cur().text == "ID" || Cur().text == "TID" || Cur().text == "TS" ||
+         Cur().text == "OPERATOR" || Cur().text == "OPERATION" ||
+         Cur().text == "BLOCK")) {
+      std::string lower = Cur().text;
+      for (auto& c : lower) c = static_cast<char>(std::tolower(c));
+      *out = lower;
+      Advance();
+      return Status::OK();
+    }
+    return Error("expected identifier");
+  }
+
+  Status ParseStatementInternal(StatementPtr* out) {
+    if (Cur().IsKeyword("EXPLAIN")) {
+      Advance();
+      ExplainStmt explain;
+      Status s = ParseStatementInternal(&explain.inner);
+      if (!s.ok()) return s;
+      *out = std::make_unique<Statement>();
+      (*out)->node = std::move(explain);
+      return Status::OK();
+    }
+    if (Cur().IsKeyword("CREATE")) return ParseCreate(out);
+    if (Cur().IsKeyword("INSERT")) return ParseInsert(out);
+    if (Cur().IsKeyword("SELECT")) return ParseSelect(out);
+    if (Cur().IsKeyword("TRACE")) return ParseTrace(out);
+    if (Cur().IsKeyword("GET")) return ParseGetBlock(out);
+    return Error("expected a statement");
+  }
+
+  Status ParseCreate(StatementPtr* out) {
+    Advance();  // CREATE
+    bool discrete = false;
+    bool is_index = false;
+    if (Cur().IsKeyword("LAYERED")) {
+      Advance();
+      is_index = true;
+    } else if (Cur().IsKeyword("DISCRETE")) {
+      Advance();
+      discrete = true;
+      is_index = true;
+    }
+    if (Cur().IsKeyword("INDEX")) {
+      Advance();
+      is_index = true;
+    } else if (is_index) {
+      return Error("expected INDEX");
+    }
+
+    if (is_index) {
+      CreateIndexStmt stmt;
+      stmt.discrete = discrete;
+      Status s = ExpectKeyword("ON");
+      if (!s.ok()) return s;
+      s = ExpectIdentifier(&stmt.table);
+      if (!s.ok()) return s;
+      s = ExpectSymbol("(");
+      if (!s.ok()) return s;
+      s = ExpectIdentifier(&stmt.column);
+      if (!s.ok()) return s;
+      s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      *out = std::make_unique<Statement>();
+      (*out)->node = std::move(stmt);
+      return Status::OK();
+    }
+
+    if (Cur().IsKeyword("TABLE")) Advance();
+    CreateTableStmt stmt;
+    Status s = ExpectIdentifier(&stmt.table);
+    if (!s.ok()) return s;
+    s = ExpectSymbol("(");
+    if (!s.ok()) return s;
+    while (true) {
+      ColumnDef col;
+      s = ExpectIdentifier(&col.name);
+      if (!s.ok()) return s;
+      std::string type_name;
+      s = ExpectIdentifier(&type_name);
+      if (!s.ok()) return s;
+      if (!ParseValueType(type_name, &col.type)) {
+        return Error("unknown column type " + type_name);
+      }
+      stmt.columns.push_back(std::move(col));
+      if (Cur().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    s = ExpectSymbol(")");
+    if (!s.ok()) return s;
+    *out = std::make_unique<Statement>();
+    (*out)->node = std::move(stmt);
+    return Status::OK();
+  }
+
+  Status ParseInsert(StatementPtr* out) {
+    Advance();  // INSERT
+    Status s = ExpectKeyword("INTO");
+    if (!s.ok()) return s;
+    InsertStmt stmt;
+    s = ExpectIdentifier(&stmt.table);
+    if (!s.ok()) return s;
+    s = ExpectKeyword("VALUES");
+    if (!s.ok()) return s;
+    while (true) {  // one or more value tuples
+      s = ExpectSymbol("(");
+      if (!s.ok()) return s;
+      std::vector<ExprPtr> row;
+      while (true) {
+        ExprPtr expr;
+        s = ParseOperand(&expr);
+        if (!s.ok()) return s;
+        row.push_back(std::move(expr));
+        if (Cur().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      stmt.rows.push_back(std::move(row));
+      if (Cur().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    *out = std::make_unique<Statement>();
+    (*out)->node = std::move(stmt);
+    return Status::OK();
+  }
+
+  Status ParseTableRef(TableRef* out) {
+    std::string first;
+    Status s = ExpectIdentifier(&first);
+    if (!s.ok()) return s;
+    if (Cur().IsSymbol(".")) {
+      Advance();
+      std::string second;
+      s = ExpectIdentifier(&second);
+      if (!s.ok()) return s;
+      if (first == "offchain") {
+        out->offchain = true;
+      } else if (first != "onchain") {
+        return Error("table qualifier must be onchain or offchain, got " +
+                     first);
+      }
+      out->name = second;
+      return Status::OK();
+    }
+    out->name = first;
+    return Status::OK();
+  }
+
+  Status ParseColumnRef(ColumnRef* out) {
+    std::string first;
+    Status s = ExpectIdentifier(&first);
+    if (!s.ok()) return s;
+    if (Cur().IsSymbol(".")) {
+      Advance();
+      std::string second;
+      s = ExpectIdentifier(&second);
+      if (!s.ok()) return s;
+      // Strip on/off-chain qualifiers in column position ("onchain.t.c").
+      if ((first == "onchain" || first == "offchain") && Cur().IsSymbol(".")) {
+        Advance();
+        out->table = second;
+        return ExpectIdentifier(&out->column);
+      }
+      out->table = first;
+      out->column = second;
+      return Status::OK();
+    }
+    out->column = first;
+    return Status::OK();
+  }
+
+  bool AggFnFromName(const std::string& name, AggCall::Fn* fn) {
+    if (name == "count") *fn = AggCall::Fn::kCount;
+    else if (name == "sum") *fn = AggCall::Fn::kSum;
+    else if (name == "avg") *fn = AggCall::Fn::kAvg;
+    else if (name == "min") *fn = AggCall::Fn::kMin;
+    else if (name == "max") *fn = AggCall::Fn::kMax;
+    else return false;
+    return true;
+  }
+
+  Status ParseSelect(StatementPtr* out) {
+    Advance();  // SELECT
+    SelectStmt stmt;
+    if (Cur().IsSymbol("*")) {
+      stmt.star = true;
+      Advance();
+    } else {
+      // Aggregate call: agg_fn '(' (* | column) ')'.
+      AggCall::Fn fn;
+      bool aggregated = Cur().type == TokenType::kIdentifier &&
+                        AggFnFromName(Cur().text, &fn) && Peek().IsSymbol("(");
+      while (true) {
+        if (aggregated) {
+          AggCall agg;
+          if (Cur().type != TokenType::kIdentifier ||
+              !AggFnFromName(Cur().text, &agg.fn)) {
+            return Error("expected an aggregate function");
+          }
+          Advance();
+          Status s = ExpectSymbol("(");
+          if (!s.ok()) return s;
+          if (Cur().IsSymbol("*")) {
+            if (agg.fn != AggCall::Fn::kCount) {
+              return Error("only COUNT accepts *");
+            }
+            agg.star = true;
+            Advance();
+          } else {
+            s = ParseColumnRef(&agg.column);
+            if (!s.ok()) return s;
+          }
+          s = ExpectSymbol(")");
+          if (!s.ok()) return s;
+          stmt.aggregates.push_back(std::move(agg));
+        } else {
+          ColumnRef col;
+          Status s = ParseColumnRef(&col);
+          if (!s.ok()) return s;
+          stmt.projection.push_back(std::move(col));
+        }
+        if (Cur().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (aggregated && !stmt.projection.empty()) {
+        return Error("cannot mix aggregates with plain columns");
+      }
+    }
+    Status s = ExpectKeyword("FROM");
+    if (!s.ok()) return s;
+    TableRef table;
+    s = ParseTableRef(&table);
+    if (!s.ok()) return s;
+    stmt.tables.push_back(std::move(table));
+    if (Cur().IsSymbol(",") || Cur().IsKeyword("JOIN")) {
+      Advance();
+      TableRef right;
+      s = ParseTableRef(&right);
+      if (!s.ok()) return s;
+      stmt.tables.push_back(std::move(right));
+      s = ExpectKeyword("ON");
+      if (!s.ok()) return s;
+      JoinCondition join;
+      s = ParseColumnRef(&join.left);
+      if (!s.ok()) return s;
+      if (!Cur().IsOperator("=")) return Error("join condition must be =");
+      Advance();
+      s = ParseColumnRef(&join.right);
+      if (!s.ok()) return s;
+      stmt.join = std::move(join);
+    }
+    if (Cur().IsKeyword("WHERE")) {
+      Advance();
+      s = ParseOrExpr(&stmt.where);
+      if (!s.ok()) return s;
+    }
+    if (Cur().IsKeyword("WINDOW")) {
+      Advance();
+      TimeWindow window;
+      s = ParseWindowBody(&window);
+      if (!s.ok()) return s;
+      stmt.window = std::move(window);
+    }
+    if (Cur().IsKeyword("GROUP")) {
+      Advance();
+      s = ExpectKeyword("BY");
+      if (!s.ok()) return s;
+      ColumnRef col;
+      s = ParseColumnRef(&col);
+      if (!s.ok()) return s;
+      if (stmt.aggregates.empty()) {
+        return Error("GROUP BY requires aggregate functions in the "
+                     "projection");
+      }
+      stmt.group_by = std::move(col);
+    }
+    if (Cur().IsKeyword("ORDER")) {
+      Advance();
+      s = ExpectKeyword("BY");
+      if (!s.ok()) return s;
+      SelectStmt::OrderBy order;
+      s = ParseColumnRef(&order.column);
+      if (!s.ok()) return s;
+      if (Cur().IsKeyword("DESC")) {
+        order.descending = true;
+        Advance();
+      } else if (Cur().IsKeyword("ASC")) {
+        Advance();
+      }
+      stmt.order_by = std::move(order);
+    }
+    if (Cur().IsKeyword("LIMIT")) {
+      Advance();
+      if (Cur().type != TokenType::kInteger) {
+        return Error("LIMIT expects an integer");
+      }
+      stmt.limit = std::stoll(Cur().text);
+      if (stmt.limit < 0) return Error("LIMIT must be non-negative");
+      Advance();
+    }
+    *out = std::make_unique<Statement>();
+    (*out)->node = std::move(stmt);
+    return Status::OK();
+  }
+
+  Status ParseWindowBody(TimeWindow* out) {
+    Status s = ExpectSymbol("[");
+    if (!s.ok()) return s;
+    s = ParseOperand(&out->start);
+    if (!s.ok()) return s;
+    s = ExpectSymbol(",");
+    if (!s.ok()) return s;
+    s = ParseOperand(&out->end);
+    if (!s.ok()) return s;
+    return ExpectSymbol("]");
+  }
+
+  Status ParseTrace(StatementPtr* out) {
+    Advance();  // TRACE
+    TraceStmt stmt;
+    if (Cur().IsSymbol("[")) {
+      TimeWindow window;
+      Status s = ParseWindowBody(&window);
+      if (!s.ok()) return s;
+      stmt.window = std::move(window);
+    }
+    while (true) {
+      if (Cur().IsKeyword("OPERATOR")) {
+        Advance();
+        if (!Cur().IsOperator("=")) return Error("expected = after OPERATOR");
+        Advance();
+        Status s = ParseOperand(&stmt.operator_id);
+        if (!s.ok()) return s;
+      } else if (Cur().IsKeyword("OPERATION")) {
+        Advance();
+        if (!Cur().IsOperator("=")) return Error("expected = after OPERATION");
+        Advance();
+        Status s = ParseOperand(&stmt.operation);
+        if (!s.ok()) return s;
+      } else {
+        break;
+      }
+      if (Cur().IsSymbol(",") || Cur().IsKeyword("AND")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (stmt.operator_id == nullptr && stmt.operation == nullptr) {
+      return Error("TRACE needs OPERATOR and/or OPERATION");
+    }
+    *out = std::make_unique<Statement>();
+    (*out)->node = std::move(stmt);
+    return Status::OK();
+  }
+
+  Status ParseGetBlock(StatementPtr* out) {
+    Advance();  // GET
+    Status s = ExpectKeyword("BLOCK");
+    if (!s.ok()) return s;
+    GetBlockStmt stmt;
+    if (Cur().IsKeyword("ID")) {
+      stmt.by = GetBlockStmt::By::kId;
+    } else if (Cur().IsKeyword("TID")) {
+      stmt.by = GetBlockStmt::By::kTid;
+    } else if (Cur().IsKeyword("TS")) {
+      stmt.by = GetBlockStmt::By::kTs;
+    } else {
+      return Error("expected ID, TID or TS");
+    }
+    Advance();
+    if (!Cur().IsOperator("=")) return Error("expected =");
+    Advance();
+    s = ParseOperand(&stmt.value);
+    if (!s.ok()) return s;
+    *out = std::make_unique<Statement>();
+    (*out)->node = std::move(stmt);
+    return Status::OK();
+  }
+
+  // where-expression grammar: Or := And (OR And)*; And := Term (AND Term)*;
+  // Term := '(' Or ')' | Comparison | Between.
+  Status ParseOrExpr(ExprPtr* out) {
+    ExprPtr left;
+    Status s = ParseAndExpr(&left);
+    if (!s.ok()) return s;
+    while (Cur().IsKeyword("OR")) {
+      Advance();
+      ExprPtr right;
+      s = ParseAndExpr(&right);
+      if (!s.ok()) return s;
+      auto combined = std::make_unique<Expr>();
+      combined->node =
+          BinaryExpr{BinaryOp::kOr, std::move(left), std::move(right)};
+      left = std::move(combined);
+    }
+    *out = std::move(left);
+    return Status::OK();
+  }
+
+  Status ParseAndExpr(ExprPtr* out) {
+    ExprPtr left;
+    Status s = ParseTerm(&left);
+    if (!s.ok()) return s;
+    while (Cur().IsKeyword("AND")) {
+      Advance();
+      ExprPtr right;
+      s = ParseTerm(&right);
+      if (!s.ok()) return s;
+      auto combined = std::make_unique<Expr>();
+      combined->node =
+          BinaryExpr{BinaryOp::kAnd, std::move(left), std::move(right)};
+      left = std::move(combined);
+    }
+    *out = std::move(left);
+    return Status::OK();
+  }
+
+  Status ParseTerm(ExprPtr* out) {
+    if (Cur().IsSymbol("(")) {
+      Advance();
+      Status s = ParseOrExpr(out);
+      if (!s.ok()) return s;
+      return ExpectSymbol(")");
+    }
+    ExprPtr left;
+    Status s = ParseOperand(&left);
+    if (!s.ok()) return s;
+    if (Cur().IsKeyword("BETWEEN")) {
+      auto* col = std::get_if<ColumnRef>(&left->node);
+      if (col == nullptr) {
+        return Error("BETWEEN requires a column on the left");
+      }
+      Advance();
+      BetweenExpr between;
+      between.column = *col;
+      s = ParseOperand(&between.lo);
+      if (!s.ok()) return s;
+      s = ExpectKeyword("AND");
+      if (!s.ok()) return s;
+      s = ParseOperand(&between.hi);
+      if (!s.ok()) return s;
+      *out = std::make_unique<Expr>();
+      (*out)->node = std::move(between);
+      return Status::OK();
+    }
+    if (Cur().type != TokenType::kOperator) {
+      return Error("expected a comparison operator");
+    }
+    BinaryOp op;
+    const std::string& text = Cur().text;
+    if (text == "=") op = BinaryOp::kEq;
+    else if (text == "!=") op = BinaryOp::kNe;
+    else if (text == "<") op = BinaryOp::kLt;
+    else if (text == "<=") op = BinaryOp::kLe;
+    else if (text == ">") op = BinaryOp::kGt;
+    else if (text == ">=") op = BinaryOp::kGe;
+    else return Error("unknown operator " + text);
+    Advance();
+    ExprPtr right;
+    s = ParseOperand(&right);
+    if (!s.ok()) return s;
+    *out = std::make_unique<Expr>();
+    (*out)->node = BinaryExpr{op, std::move(left), std::move(right)};
+    return Status::OK();
+  }
+
+  Status ParseOperand(ExprPtr* out) {
+    auto expr = std::make_unique<Expr>();
+    if (Cur().type == TokenType::kString) {
+      expr->node = Literal{Value::Str(Cur().text)};
+      Advance();
+    } else if (Cur().type == TokenType::kInteger) {
+      expr->node = Literal{Value::Int(std::stoll(Cur().text))};
+      Advance();
+    } else if (Cur().type == TokenType::kNumber) {
+      Decimal d;
+      Status s = Decimal::FromString(Cur().text, &d);
+      if (!s.ok()) return Error("bad decimal literal " + Cur().text);
+      expr->node = Literal{Value::Dec(d)};
+      Advance();
+    } else if (Cur().type == TokenType::kParameter) {
+      expr->node = Parameter{next_param_++};
+      Advance();
+    } else if (Cur().IsKeyword("NULL")) {
+      expr->node = Literal{Value::Null()};
+      Advance();
+    } else if (Cur().IsKeyword("TRUE") || Cur().IsKeyword("FALSE")) {
+      expr->node = Literal{Value::Bool(Cur().text == "TRUE")};
+      Advance();
+    } else if (Cur().type == TokenType::kIdentifier ||
+               Cur().type == TokenType::kKeyword) {
+      ColumnRef col;
+      Status s = ParseColumnRef(&col);
+      if (!s.ok()) return s;
+      expr->node = std::move(col);
+    } else {
+      return Error("expected an operand");
+    }
+    *out = std::move(expr);
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int next_param_ = 0;
+};
+
+}  // namespace
+
+Status ParseStatement(std::string_view sql, StatementPtr* out) {
+  std::vector<Token> tokens;
+  Status s = Tokenize(sql, &tokens);
+  if (!s.ok()) return s;
+  Parser parser(std::move(tokens));
+  return parser.Parse(out);
+}
+
+}  // namespace sebdb

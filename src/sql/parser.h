@@ -1,0 +1,12 @@
+// Recursive-descent parser for the SQL-like language.
+#pragma once
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace sebdb {
+
+/// Parses exactly one statement (an optional trailing ';' is allowed).
+Status ParseStatement(std::string_view sql, StatementPtr* out);
+
+}  // namespace sebdb

@@ -1,0 +1,27 @@
+#include "sql/result.h"
+
+namespace sebdb {
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); i++) {
+    if (i > 0) out += " | ";
+    out += columns[i];
+  }
+  out += "\n";
+  size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= max_rows) {
+      out += "... (" + std::to_string(rows.size() - max_rows) + " more)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); i++) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sebdb

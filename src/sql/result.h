@@ -1,0 +1,22 @@
+// Materialized query result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace sebdb {
+
+struct ResultSet {
+  std::vector<std::string> columns;        // qualified names, row order
+  std::vector<std::vector<Value>> rows;
+  std::string plan;                        // EXPLAIN text (set when planned)
+
+  size_t num_rows() const { return rows.size(); }
+
+  /// Tabular rendering for examples and debugging.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,357 @@
+#include "storage/block_store.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace sebdb {
+
+namespace {
+
+constexpr uint32_t kRecordMagic = 0x5ebdb10c;
+constexpr size_t kFrameHeaderSize = 8;  // magic + payload length
+constexpr size_t kFrameTrailerSize = 4;  // crc32 of payload
+
+std::string SegmentName(uint32_t id) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "seg_%06u.blk", id);
+  return buf;
+}
+
+uint64_t TxnCacheKey(BlockId height, uint32_t index) {
+  return (height << 20) | index;  // blocks hold far fewer than 2^20 txns
+}
+
+}  // namespace
+
+Status BlockStore::Open(const BlockStoreOptions& options,
+                        const std::string& dir) {
+  if (open_) return Status::Busy("block store already open");
+  options_ = options;
+  dir_ = dir;
+  Status s = CreateDirIfMissing(dir);
+  if (!s.ok()) return s;
+  if (options_.block_cache_bytes > 0) {
+    block_cache_ = std::make_unique<LruCache<uint64_t, const Block>>(
+        options_.block_cache_bytes);
+  }
+  if (options_.transaction_cache_bytes > 0) {
+    txn_cache_ = std::make_unique<LruCache<uint64_t, const Transaction>>(
+        options_.transaction_cache_bytes);
+  }
+  s = RecoverSegments();
+  if (!s.ok()) return s;
+  open_ = true;
+  return Status::OK();
+}
+
+Status BlockStore::RecoverSegments() {
+  std::vector<std::string> files;
+  Status s = ListDir(dir_, &files);
+  if (!s.ok()) return s;
+  std::vector<std::string> segments;
+  for (const auto& f : files) {
+    if (f.size() == 14 && f.rfind(".blk") == 10 && f.rfind("seg_", 0) == 0) {
+      segments.push_back(f);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  for (uint32_t seg_id = 0; seg_id < segments.size(); seg_id++) {
+    RandomAccessFile file;
+    s = file.Open(dir_ + "/" + segments[seg_id]);
+    if (!s.ok()) return s;
+    uint64_t offset = 0;
+    while (offset + kFrameHeaderSize <= file.size()) {
+      std::string frame;
+      s = file.Read(offset, kFrameHeaderSize, &frame);
+      if (!s.ok()) return s;
+      uint32_t magic = DecodeFixed32(frame.data());
+      uint32_t len = DecodeFixed32(frame.data() + 4);
+      if (magic != kRecordMagic) {
+        return Status::Corruption("bad record magic in " + segments[seg_id]);
+      }
+      if (offset + kFrameHeaderSize + len + kFrameTrailerSize > file.size()) {
+        // Torn tail from a crash mid-append: ignore the partial record.
+        break;
+      }
+      locations_.push_back(
+          {seg_id, offset + kFrameHeaderSize, len});
+      offset += kFrameHeaderSize + len + kFrameTrailerSize;
+    }
+    file.Close();
+  }
+
+  active_segment_ =
+      segments.empty() ? 0 : static_cast<uint32_t>(segments.size() - 1);
+  return OpenSegmentForAppend(active_segment_);
+}
+
+Status BlockStore::OpenSegmentForAppend(uint32_t segment_id) {
+  Status s = writer_.Close();
+  if (!s.ok()) return s;
+  active_segment_ = segment_id;
+  return writer_.Open(dir_ + "/" + SegmentName(segment_id));
+}
+
+Status BlockStore::Append(const Block& block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::IOError("block store not open");
+  if (block.height() != locations_.size()) {
+    return Status::InvalidArgument(
+        "non-consecutive block height " + std::to_string(block.height()) +
+        " (expected " + std::to_string(locations_.size()) + ")");
+  }
+
+  std::string payload;
+  block.EncodeTo(&payload);
+
+  if (writer_.size() + kFrameHeaderSize + payload.size() + kFrameTrailerSize >
+          options_.segment_size &&
+      writer_.size() > 0) {
+    Status s = OpenSegmentForAppend(active_segment_ + 1);
+    if (!s.ok()) return s;
+  }
+
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size() + kFrameTrailerSize);
+  PutFixed32(&frame, kRecordMagic);
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  uint64_t payload_offset = writer_.size() + frame.size();
+  frame.append(payload);
+  PutFixed32(&frame, Crc32(payload));
+
+  Status s = writer_.Append(frame);
+  if (!s.ok()) return s;
+  if (options_.sync_on_append) {
+    s = writer_.Sync();
+    if (!s.ok()) return s;
+  }
+
+  locations_.push_back({active_segment_, payload_offset,
+                        static_cast<uint32_t>(payload.size())});
+  stats_.blocks_appended.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_appended.fetch_add(frame.size(), std::memory_order_relaxed);
+
+  // A freshly appended segment invalidates any stale reader for it (size
+  // changed); drop it so the next read reopens.
+  if (active_segment_ < readers_.size()) {
+    readers_[active_segment_].reset();
+  }
+  return Status::OK();
+}
+
+uint64_t BlockStore::num_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locations_.size();
+}
+
+std::shared_ptr<RandomAccessFile> BlockStore::Reader(uint32_t segment) const {
+  if (segment >= readers_.size()) readers_.resize(segment + 1);
+  if (readers_[segment] == nullptr) {
+    auto file = std::make_shared<RandomAccessFile>();
+    Status s = file->Open(dir_ + "/" + SegmentName(segment));
+    if (!s.ok()) return nullptr;
+    readers_[segment] = std::move(file);
+  }
+  return readers_[segment];
+}
+
+Status BlockStore::ReadAt(uint32_t segment, uint64_t offset, size_t n,
+                          std::string* out) const {
+  std::shared_ptr<RandomAccessFile> reader;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reader = Reader(segment);
+  }
+  if (reader == nullptr) {
+    return Status::IOError("cannot open segment " + std::to_string(segment));
+  }
+  return reader->Read(offset, n, out);
+}
+
+Status BlockStore::ReadPayload(const Location& loc, std::string* out) const {
+  std::string with_crc;
+  Status s =
+      ReadAt(loc.segment, loc.offset, loc.length + kFrameTrailerSize, &with_crc);
+  if (!s.ok()) return s;
+  uint32_t stored_crc = DecodeFixed32(with_crc.data() + loc.length);
+  if (Crc32(0, with_crc.data(), loc.length) != stored_crc) {
+    return Status::Corruption("block record crc mismatch");
+  }
+  with_crc.resize(loc.length);
+  *out = std::move(with_crc);
+  return Status::OK();
+}
+
+Status BlockStore::ReadBlock(BlockId height,
+                             std::shared_ptr<const Block>* out) {
+  if (block_cache_ != nullptr) {
+    if (auto cached = block_cache_->Lookup(height)) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      *out = std::move(cached);
+      return Status::OK();
+    }
+  }
+  Location loc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (height >= locations_.size()) {
+      return Status::NotFound("no block at height " + std::to_string(height));
+    }
+    loc = locations_[height];
+  }
+  std::string payload;
+  Status s = ReadPayload(loc, &payload);
+  if (!s.ok()) return s;
+  stats_.blocks_read.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(payload.size(), std::memory_order_relaxed);
+
+  auto block = std::make_shared<Block>();
+  Slice input(payload);
+  s = Block::DecodeFrom(&input, block.get());
+  if (!s.ok()) return s;
+  if (block_cache_ != nullptr) {
+    block_cache_->Insert(height, block, block->ByteSize());
+  }
+  *out = std::move(block);
+  return Status::OK();
+}
+
+Status BlockStore::ReadHeader(BlockId height, BlockHeader* out) {
+  if (block_cache_ != nullptr) {
+    if (auto cached = block_cache_->Lookup(height)) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      *out = cached->header();
+      return Status::OK();
+    }
+  }
+  Location loc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (height >= locations_.size()) {
+      return Status::NotFound("no block at height " + std::to_string(height));
+    }
+    loc = locations_[height];
+  }
+  // First positional read: the header length prefix; second: the header.
+  std::string prefix;
+  Status s = ReadAt(loc.segment, loc.offset, 4, &prefix);
+  if (!s.ok()) return s;
+  uint32_t header_len = DecodeFixed32(prefix.data());
+  if (header_len + 4 > loc.length) {
+    return Status::Corruption("block header length out of range");
+  }
+  std::string header_bytes;
+  s = ReadAt(loc.segment, loc.offset + 4, header_len, &header_bytes);
+  if (!s.ok()) return s;
+  stats_.headers_read.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(4 + header_bytes.size(),
+                              std::memory_order_relaxed);
+  Slice input(header_bytes);
+  return BlockHeader::DecodeFrom(&input, out);
+}
+
+Status BlockStore::ReadTransaction(BlockId height, uint32_t index,
+                                   std::shared_ptr<const Transaction>* out) {
+  const uint64_t cache_key = TxnCacheKey(height, index);
+  if (txn_cache_ != nullptr) {
+    if (auto cached = txn_cache_->Lookup(cache_key)) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      *out = std::move(cached);
+      return Status::OK();
+    }
+  }
+  if (block_cache_ != nullptr) {
+    if (auto cached = block_cache_->Lookup(height)) {
+      if (index >= cached->transactions().size()) {
+        return Status::InvalidArgument("transaction index out of range");
+      }
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      auto txn = std::make_shared<Transaction>(cached->transactions()[index]);
+      if (txn_cache_ != nullptr) {
+        txn_cache_->Insert(cache_key, txn, txn->ByteSize());
+      }
+      *out = std::move(txn);
+      return Status::OK();
+    }
+  }
+
+  Location loc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (height >= locations_.size()) {
+      return Status::NotFound("no block at height " + std::to_string(height));
+    }
+    loc = locations_[height];
+  }
+
+  // Random-read path: (1) header length, (2) txn count + offset entries,
+  // (3) the transaction bytes themselves.
+  std::string prefix;
+  Status s = ReadAt(loc.segment, loc.offset, 4, &prefix);
+  if (!s.ok()) return s;
+  uint32_t header_len = DecodeFixed32(prefix.data());
+  uint64_t count_off = loc.offset + 4 + header_len;
+
+  std::string count_bytes;
+  s = ReadAt(loc.segment, count_off, 4, &count_bytes);
+  if (!s.ok()) return s;
+  uint32_t n = DecodeFixed32(count_bytes.data());
+  if (index >= n) return Status::InvalidArgument("transaction index out of range");
+
+  // Read offsets[index] and, when available, offsets[index + 1].
+  bool has_next = index + 1 < n;
+  std::string offset_bytes;
+  s = ReadAt(loc.segment, count_off + 4 + static_cast<uint64_t>(index) * 4,
+             has_next ? 8 : 4, &offset_bytes);
+  if (!s.ok()) return s;
+  uint32_t start = DecodeFixed32(offset_bytes.data());
+  uint64_t body_off = count_off + 4 + static_cast<uint64_t>(n) * 4;
+  uint64_t body_len = loc.offset + loc.length - body_off;
+  uint64_t end = has_next ? DecodeFixed32(offset_bytes.data() + 4) : body_len;
+  if (start > end || end > body_len) {
+    return Status::Corruption("bad transaction offsets");
+  }
+
+  std::string txn_bytes;
+  s = ReadAt(loc.segment, body_off + start, static_cast<size_t>(end - start),
+             &txn_bytes);
+  if (!s.ok()) return s;
+  stats_.transactions_read.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(16 + txn_bytes.size(),
+                              std::memory_order_relaxed);
+
+  auto txn = std::make_shared<Transaction>();
+  Slice input(txn_bytes);
+  s = Transaction::DecodeFrom(&input, txn.get());
+  if (!s.ok()) return s;
+  if (txn_cache_ != nullptr) {
+    txn_cache_->Insert(cache_key, txn, txn->ByteSize());
+  }
+  *out = std::move(txn);
+  return Status::OK();
+}
+
+Status BlockStore::ReadRawRecord(BlockId height, std::string* out) {
+  Location loc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (height >= locations_.size()) {
+      return Status::NotFound("no block at height " + std::to_string(height));
+    }
+    loc = locations_[height];
+  }
+  return ReadPayload(loc, out);
+}
+
+Status BlockStore::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::OK();
+  open_ = false;
+  readers_.clear();
+  return writer_.Close();
+}
+
+}  // namespace sebdb

@@ -1,0 +1,120 @@
+// Append-only persistent block store (paper §IV-A): blocks are appended to
+// segment files (default segment size 256 MB, configurable) and are immutable
+// once written. Supports whole-block sequential reads (scan path), header
+// reads (thin client) and single-transaction random reads (layered-index
+// path), with optional block-level and transaction-level LRU caches
+// (§VII-H).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/status.h"
+#include "storage/block.h"
+#include "storage/file.h"
+
+namespace sebdb {
+
+struct BlockStoreOptions {
+  /// Maximum bytes per segment file before rolling to a new one.
+  uint64_t segment_size = 256ull << 20;
+  /// Block cache capacity in bytes; 0 disables it.
+  uint64_t block_cache_bytes = 0;
+  /// Transaction cache capacity in bytes; 0 disables it.
+  uint64_t transaction_cache_bytes = 0;
+  /// fdatasync after every append (off by default; benches measure I/O
+  /// pattern, not fsync latency).
+  bool sync_on_append = false;
+};
+
+/// Cumulative I/O counters; disk "seeks" count distinct pread/append block
+/// accesses (the t_S term of the paper's cost model), bytes the t_T term.
+struct StorageStats {
+  std::atomic<uint64_t> blocks_read{0};
+  std::atomic<uint64_t> headers_read{0};
+  std::atomic<uint64_t> transactions_read{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> blocks_appended{0};
+  std::atomic<uint64_t> bytes_appended{0};
+
+  void Reset() {
+    blocks_read = 0;
+    headers_read = 0;
+    transactions_read = 0;
+    bytes_read = 0;
+    cache_hits = 0;
+    blocks_appended = 0;
+    bytes_appended = 0;
+  }
+};
+
+class BlockStore {
+ public:
+  BlockStore() = default;
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+
+  /// Opens (creating if needed) the store in `dir`, scanning existing
+  /// segments to rebuild the block location table.
+  Status Open(const BlockStoreOptions& options, const std::string& dir);
+  Status Close();
+
+  /// Appends a block; its height must equal num_blocks().
+  Status Append(const Block& block);
+
+  /// Number of blocks stored; block heights are dense in [0, num_blocks()).
+  uint64_t num_blocks() const;
+
+  /// Reads a whole block (sequential-scan unit). Serves from the block cache
+  /// when enabled.
+  Status ReadBlock(BlockId height, std::shared_ptr<const Block>* out);
+
+  /// Reads only the header of a block.
+  Status ReadHeader(BlockId height, BlockHeader* out);
+
+  /// Reads one transaction by (block, position) — the random-read path used
+  /// by second-level indices. Serves from the transaction cache, then the
+  /// block cache, then performs positional reads against the segment file.
+  Status ReadTransaction(BlockId height, uint32_t index,
+                         std::shared_ptr<const Transaction>* out);
+
+  /// Raw serialized record of a block (used by gossip block transfer).
+  Status ReadRawRecord(BlockId height, std::string* out);
+
+  StorageStats& stats() { return stats_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Location {
+    uint32_t segment;
+    uint64_t offset;  // of the payload (past the frame header)
+    uint32_t length;  // payload length
+  };
+
+  Status OpenSegmentForAppend(uint32_t segment_id);
+  Status RecoverSegments();
+  Status ReadPayload(const Location& loc, std::string* out) const;
+  Status ReadAt(uint32_t segment, uint64_t offset, size_t n,
+                std::string* out) const;
+  std::shared_ptr<RandomAccessFile> Reader(uint32_t segment) const;
+
+  BlockStoreOptions options_;
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::vector<Location> locations_;
+  AppendOnlyFile writer_;
+  uint32_t active_segment_ = 0;
+  mutable std::vector<std::shared_ptr<RandomAccessFile>> readers_;
+  std::unique_ptr<LruCache<uint64_t, const Block>> block_cache_;
+  std::unique_ptr<LruCache<uint64_t, const Transaction>> txn_cache_;
+  StorageStats stats_;
+  bool open_ = false;
+};
+
+}  // namespace sebdb

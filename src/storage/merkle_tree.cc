@@ -1,0 +1,68 @@
+#include "storage/merkle_tree.h"
+
+namespace sebdb {
+
+namespace {
+
+std::vector<Hash256> NextLevel(const std::vector<Hash256>& level) {
+  std::vector<Hash256> up;
+  up.reserve((level.size() + 1) / 2);
+  for (size_t i = 0; i < level.size(); i += 2) {
+    const Hash256& left = level[i];
+    const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+    up.push_back(Sha256::DigestPair(left, right));
+  }
+  return up;
+}
+
+}  // namespace
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves)
+    : num_leaves_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = Hash256{};
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    levels_.push_back(NextLevel(levels_.back()));
+  }
+  root_ = levels_.back()[0];
+}
+
+Status MerkleTree::ProveLeaf(uint32_t index, MerkleProof* proof) const {
+  if (index >= num_leaves_) {
+    return Status::InvalidArgument("leaf index out of range");
+  }
+  proof->leaf_index = index;
+  proof->steps.clear();
+  size_t pos = index;
+  for (size_t lvl = 0; lvl + 1 < levels_.size(); lvl++) {
+    const auto& level = levels_[lvl];
+    size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    // Odd level: last node is its own sibling.
+    if (sibling >= level.size()) sibling = pos;
+    proof->steps.push_back({level[sibling], pos % 2 == 1});
+    pos /= 2;
+  }
+  return Status::OK();
+}
+
+Hash256 MerkleTree::RootFromProof(const Hash256& leaf,
+                                  const MerkleProof& proof) {
+  Hash256 h = leaf;
+  for (const auto& step : proof.steps) {
+    h = step.sibling_is_left ? Sha256::DigestPair(step.sibling, h)
+                             : Sha256::DigestPair(h, step.sibling);
+  }
+  return h;
+}
+
+Hash256 MerkleTree::ComputeRoot(const std::vector<Hash256>& leaves) {
+  if (leaves.empty()) return Hash256{};
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) level = NextLevel(level);
+  return level[0];
+}
+
+}  // namespace sebdb

@@ -1,0 +1,51 @@
+// Merkle hash tree over a block's transactions (paper §I, §IV-A). Provides
+// the transRoot header field, per-leaf inclusion proofs, and proof
+// verification — the basis of simple authenticated queries and of the thin
+// client's basic approach (Fig. 17–19 baseline).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+
+namespace sebdb {
+
+/// One step of an audit path: a sibling hash and which side it sits on.
+struct MerkleProofStep {
+  Hash256 sibling;
+  bool sibling_is_left = false;
+};
+
+struct MerkleProof {
+  uint32_t leaf_index = 0;
+  std::vector<MerkleProofStep> steps;
+};
+
+class MerkleTree {
+ public:
+  /// Builds the tree bottom-up. With zero leaves the root is the zero hash;
+  /// odd levels duplicate the last node (Bitcoin convention).
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  const Hash256& root() const { return root_; }
+  size_t num_leaves() const { return num_leaves_; }
+
+  /// Inclusion proof for the i-th leaf.
+  Status ProveLeaf(uint32_t index, MerkleProof* proof) const;
+
+  /// Recomputes the root from a leaf hash and its audit path.
+  static Hash256 RootFromProof(const Hash256& leaf, const MerkleProof& proof);
+
+  /// Convenience: computes only the root, without keeping the levels.
+  static Hash256 ComputeRoot(const std::vector<Hash256>& leaves);
+
+ private:
+  size_t num_leaves_;
+  // levels_[0] = leaves, levels_.back() = {root}.
+  std::vector<std::vector<Hash256>> levels_;
+  Hash256 root_;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,103 @@
+#include "types/schema.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/coding.h"
+
+namespace sebdb {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+Status Schema::Create(std::string table_name,
+                      std::vector<ColumnDef> app_columns, Schema* out) {
+  if (table_name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  Schema s;
+  s.table_name_ = ToLower(table_name);
+  s.columns_ = {
+      {kTid, ValueType::kInt64},   {kTs, ValueType::kTimestamp},
+      {kSig, ValueType::kString},  {kSenId, ValueType::kString},
+      {kTname, ValueType::kString},
+  };
+  for (auto& col : app_columns) {
+    col.name = ToLower(col.name);
+    for (const auto& existing : s.columns_) {
+      if (existing.name == col.name) {
+        return Status::InvalidArgument("duplicate or reserved column name: " +
+                                       col.name);
+      }
+    }
+    s.columns_.push_back(std::move(col));
+  }
+  *out = std::move(s);
+  return Status::OK();
+}
+
+int Schema::ColumnIndex(std::string_view name) const {
+  std::string lower = ToLower(name);
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (columns_[i].name == lower) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<ColumnDef> Schema::AppColumns() const {
+  return std::vector<ColumnDef>(columns_.begin() + kNumSystemColumns,
+                                columns_.end());
+}
+
+void Schema::EncodeTo(std::string* dst) const {
+  PutLengthPrefixed(dst, table_name_);
+  PutVarint32(dst, static_cast<uint32_t>(num_app_columns()));
+  for (int i = kNumSystemColumns; i < num_columns(); i++) {
+    PutLengthPrefixed(dst, columns_[i].name);
+    dst->push_back(static_cast<char>(columns_[i].type));
+  }
+}
+
+Status Schema::DecodeFrom(Slice* input, Schema* out) {
+  Slice name;
+  uint32_t n;
+  if (!GetLengthPrefixed(input, &name) || !GetVarint32(input, &n)) {
+    return Status::Corruption("truncated schema");
+  }
+  std::vector<ColumnDef> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    Slice col_name;
+    if (!GetLengthPrefixed(input, &col_name) || input->empty()) {
+      return Status::Corruption("truncated schema column");
+    }
+    auto type = static_cast<ValueType>((*input)[0]);
+    input->remove_prefix(1);
+    cols.push_back({col_name.ToString(), type});
+  }
+  return Create(name.ToString(), std::move(cols), out);
+}
+
+std::string Schema::ToString() const {
+  std::string out = table_name_ + "(";
+  bool first = true;
+  for (int i = kNumSystemColumns; i < num_columns(); i++) {
+    if (!first) out += ", ";
+    first = false;
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sebdb

@@ -1,0 +1,68 @@
+// Relational schema for a transaction type (paper §III-A). Every table has
+// five system-level columns (Tid, Ts, Sig, SenID, Tname) automatically
+// prepended to the user-declared application-level columns.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "types/value.h"
+
+namespace sebdb {
+
+struct ColumnDef {
+  std::string name;
+  ValueType type;
+
+  bool operator==(const ColumnDef&) const = default;
+};
+
+class Schema {
+ public:
+  /// Names of the automatic system-level columns, in declaration order.
+  static constexpr const char* kTid = "tid";
+  static constexpr const char* kTs = "ts";
+  static constexpr const char* kSig = "sig";
+  static constexpr const char* kSenId = "senid";
+  static constexpr const char* kTname = "tname";
+  static constexpr int kNumSystemColumns = 5;
+
+  Schema() = default;
+  /// Builds a schema for table_name from user-declared columns; the system
+  /// columns are added automatically. Fails on duplicate or reserved names.
+  static Status Create(std::string table_name, std::vector<ColumnDef> app_columns,
+                       Schema* out);
+
+  const std::string& table_name() const { return table_name_; }
+
+  /// All columns, system columns first.
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int num_app_columns() const {
+    return num_columns() - kNumSystemColumns;
+  }
+
+  /// Index of a column by (case-insensitive) name, or -1.
+  int ColumnIndex(std::string_view name) const;
+  bool IsSystemColumn(int index) const { return index < kNumSystemColumns; }
+
+  /// Application column defs only (columns()[5..]).
+  std::vector<ColumnDef> AppColumns() const;
+
+  /// Serialization used by the catalog's schema-sync transactions.
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, Schema* out);
+
+  bool operator==(const Schema&) const = default;
+
+  std::string ToString() const;  // "donate(donor string, ...)" for EXPLAIN
+
+ private:
+  std::string table_name_;
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,124 @@
+// Typed attribute values for on-chain tuples and off-chain rows.
+// Supported types mirror the paper ("string, various flavors of numbers"):
+// bool, int64, double, fixed-point decimal, string, timestamp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace sebdb {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kDecimal = 4,
+  kString = 5,
+  kTimestamp = 6,
+};
+
+/// Name used in CREATE statements ("int", "decimal", ...).
+const char* ValueTypeName(ValueType t);
+/// Parses a type name; returns false if unknown.
+bool ParseValueType(std::string_view name, ValueType* out);
+
+/// Fixed-point decimal with 4 fractional digits, stored as a scaled int64.
+/// Chosen over binary floating point so monetary amounts compare exactly.
+struct Decimal {
+  static constexpr int64_t kScale = 10000;  // 10^4
+  int64_t scaled = 0;
+
+  static Decimal FromInt(int64_t v) { return Decimal{v * kScale}; }
+  static Decimal FromDouble(double v);
+  /// Parses "[-]digits[.digits]" with up to 4 fractional digits.
+  static Status FromString(std::string_view s, Decimal* out);
+
+  double ToDouble() const { return static_cast<double>(scaled) / kScale; }
+  std::string ToString() const;
+
+  bool operator==(const Decimal&) const = default;
+  auto operator<=>(const Decimal&) const = default;
+};
+
+/// A dynamically-typed value. Ordering between two numeric values of
+/// different types compares their numeric magnitude; any other cross-type
+/// comparison is an error surfaced by Value::Compare.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Repr(b)); }
+  static Value Int(int64_t i) { return Value(Repr(i)); }
+  static Value Double(double d) { return Value(Repr(d)); }
+  static Value Dec(Decimal d) { return Value(Repr(d)); }
+  static Value Str(std::string s) { return Value(Repr(std::move(s))); }
+  static Value Ts(Timestamp t) { return Value(Repr(TsRepr{t})); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool IsNumeric() const {
+    ValueType t = type();
+    return t == ValueType::kInt64 || t == ValueType::kDouble ||
+           t == ValueType::kDecimal;
+  }
+
+  bool AsBool() const { return std::get<bool>(v_); }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  Decimal AsDecimal() const { return std::get<Decimal>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  Timestamp AsTimestamp() const { return std::get<TsRepr>(v_).micros; }
+
+  /// Numeric magnitude of any numeric value (int promoted, decimal unscaled).
+  double NumericValue() const;
+
+  /// Three-way comparison. Returns InvalidArgument for incomparable types;
+  /// NULL compares equal to NULL and less than everything else.
+  Status Compare(const Value& other, int* result) const;
+
+  /// Comparison for index keys: never fails; falls back to type-then-value
+  /// ordering for heterogenous keys. Consistent with Compare when Compare
+  /// succeeds.
+  int CompareTotal(const Value& other) const;
+
+  bool operator==(const Value& other) const {
+    return CompareTotal(other) == 0;
+  }
+  bool operator<(const Value& other) const {
+    return CompareTotal(other) < 0;
+  }
+
+  /// Binary self-describing encoding (1 type byte + payload).
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, Value* out);
+
+  /// Rendering used by result printers and EXPLAIN.
+  std::string ToString() const;
+
+  /// Approximate in-memory footprint, used for cache charging.
+  size_t ByteSize() const;
+
+  /// Hash suitable for hash joins (equal values hash equal across numeric
+  /// representations of integral magnitude).
+  size_t HashCode() const;
+
+ private:
+  struct TsRepr {
+    Timestamp micros;
+    bool operator==(const TsRepr&) const = default;
+    auto operator<=>(const TsRepr&) const = default;
+  };
+  using Repr = std::variant<std::monostate, bool, int64_t, double, Decimal,
+                            std::string, TsRepr>;
+  explicit Value(Repr r) : v_(std::move(r)) {}
+
+  Repr v_;
+};
+
+}  // namespace sebdb

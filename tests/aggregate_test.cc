@@ -1,0 +1,282 @@
+// Tests for aggregate queries (COUNT/SUM/AVG/MIN/MAX) and the cost model
+// (paper Eqs. 1-3) including the planner's bitmap-vs-layered switch.
+#include <gtest/gtest.h>
+
+#include "sql/cost_model.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace sebdb {
+namespace {
+
+using testing_util::MakeTxn;
+using testing_util::TestChain;
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    chain_ = std::make_unique<TestChain>("aggregate");
+    Schema schema;
+    ASSERT_TRUE(Schema::Create("donate",
+                               {{"donor", ValueType::kString},
+                                {"amount", ValueType::kInt64}},
+                               &schema)
+                    .ok());
+    Transaction schema_txn = Catalog::MakeSchemaTransaction(schema);
+    schema_txn.set_sender("admin");
+    schema_txn.set_ts(1);
+    ASSERT_TRUE(chain_->AppendBlock({std::move(schema_txn)}).ok());
+
+    // 5 blocks x 10 donate rows, amounts 0..49; donor cycles d0..d4.
+    int amount = 0;
+    for (int b = 0; b < 5; b++) {
+      std::vector<Transaction> txns;
+      for (int i = 0; i < 10; i++, amount++) {
+        txns.push_back(MakeTxn("donate", "s", 100 + amount,
+                               {Value::Str("d" + std::to_string(amount % 5)),
+                                Value::Int(amount)}));
+      }
+      ASSERT_TRUE(chain_->AppendBlock(std::move(txns)).ok());
+    }
+    executor_ = std::make_unique<Executor>(chain_->store(), chain_->indexes(),
+                                           chain_->catalog(), nullptr);
+  }
+
+  ResultSet Run(const std::string& sql) {
+    ResultSet result;
+    Status s = executor_->ExecuteSql(sql, {}, &result);
+    EXPECT_TRUE(s.ok()) << sql << " -> " << s.ToString();
+    return result;
+  }
+
+  std::unique_ptr<TestChain> chain_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(AggregateTest, CountStar) {
+  ResultSet rs = Run("SELECT count(*) FROM donate");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.columns[0], "count(*)");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 50);
+}
+
+TEST_F(AggregateTest, CountWithPredicate) {
+  ResultSet rs = Run("SELECT count(*) FROM donate WHERE amount < 10");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 10);
+}
+
+TEST_F(AggregateTest, SumAvgMinMax) {
+  ResultSet rs = Run(
+      "SELECT sum(amount), avg(amount), min(amount), max(amount) FROM "
+      "donate");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  ASSERT_EQ(rs.columns.size(), 4u);
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].AsDouble(), 49.0 * 50 / 2);
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].AsDouble(), 24.5);
+  EXPECT_EQ(rs.rows[0][2].AsInt(), 0);
+  EXPECT_EQ(rs.rows[0][3].AsInt(), 49);
+}
+
+TEST_F(AggregateTest, MinMaxOnStrings) {
+  ResultSet rs = Run("SELECT min(donor), max(donor) FROM donate");
+  EXPECT_EQ(rs.rows[0][0].AsString(), "d0");
+  EXPECT_EQ(rs.rows[0][1].AsString(), "d4");
+}
+
+TEST_F(AggregateTest, EmptyInput) {
+  ResultSet rs =
+      Run("SELECT count(*), sum(amount), min(amount) FROM donate WHERE "
+          "amount > 1000");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+  EXPECT_TRUE(rs.rows[0][2].is_null());
+}
+
+TEST_F(AggregateTest, SumOnStringFails) {
+  ResultSet rs;
+  EXPECT_TRUE(executor_->ExecuteSql("SELECT sum(donor) FROM donate", {}, &rs)
+                  .IsInvalidArgument());
+}
+
+TEST_F(AggregateTest, MixedAggregateAndColumnRejected) {
+  StatementPtr stmt;
+  EXPECT_FALSE(
+      ParseStatement("SELECT count(*), donor FROM donate", &stmt).ok());
+  EXPECT_FALSE(ParseStatement("SELECT sum(*) FROM donate", &stmt).ok());
+}
+
+TEST_F(AggregateTest, AggregateOverJoinPath) {
+  // Aggregates compose with every access path, including windows.
+  ResultSet rs = Run("SELECT count(*) FROM donate WINDOW [0, 120]");
+  EXPECT_GT(rs.rows[0][0].AsInt(), 0);
+  EXPECT_LT(rs.rows[0][0].AsInt(), 50);
+}
+
+TEST_F(AggregateTest, GroupByDonor) {
+  ResultSet rs = Run(
+      "SELECT count(*), sum(amount) FROM donate GROUP BY donor");
+  ASSERT_EQ(rs.num_rows(), 5u);  // d0..d4
+  ASSERT_EQ(rs.columns.size(), 3u);
+  EXPECT_EQ(rs.columns[0], "donate.donor");
+  // Groups come out in key order; each donor has 10 donations.
+  EXPECT_EQ(rs.rows[0][0].AsString(), "d0");
+  EXPECT_EQ(rs.rows[4][0].AsString(), "d4");
+  for (const auto& row : rs.rows) {
+    EXPECT_EQ(row[1].AsInt(), 10);
+  }
+  // d0 holds amounts 0,5,...,45 = 225; d1: 1,6,...,46 = 235.
+  EXPECT_DOUBLE_EQ(rs.rows[0][2].AsDouble(), 225.0);
+  EXPECT_DOUBLE_EQ(rs.rows[1][2].AsDouble(), 235.0);
+}
+
+TEST_F(AggregateTest, GroupByWithPredicateAndDescLimit) {
+  ResultSet rs = Run(
+      "SELECT count(*) FROM donate WHERE amount >= 25 GROUP BY donor "
+      "ORDER BY donor DESC LIMIT 2");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0].AsString(), "d4");
+  EXPECT_EQ(rs.rows[1][0].AsString(), "d3");
+}
+
+TEST_F(AggregateTest, GroupByRequiresAggregates) {
+  StatementPtr stmt;
+  EXPECT_FALSE(
+      ParseStatement("SELECT donor FROM donate GROUP BY donor", &stmt).ok());
+}
+
+TEST_F(AggregateTest, OrderByAndLimit) {
+  ResultSet rs = Run(
+      "SELECT donor, amount FROM donate ORDER BY amount DESC LIMIT 3");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 49);
+  EXPECT_EQ(rs.rows[1][1].AsInt(), 48);
+  EXPECT_EQ(rs.rows[2][1].AsInt(), 47);
+
+  ResultSet asc = Run("SELECT amount FROM donate ORDER BY amount LIMIT 1");
+  EXPECT_EQ(asc.rows[0][0].AsInt(), 0);
+
+  // ORDER BY may use a column that the projection drops.
+  ResultSet dropped =
+      Run("SELECT donor FROM donate ORDER BY amount DESC LIMIT 1");
+  EXPECT_EQ(dropped.rows[0][0].AsString(), "d4");  // amount 49 -> d4
+}
+
+TEST_F(AggregateTest, LimitZeroAndOversized) {
+  EXPECT_EQ(Run("SELECT * FROM donate LIMIT 0").num_rows(), 0u);
+  EXPECT_EQ(Run("SELECT * FROM donate LIMIT 1000").num_rows(), 50u);
+}
+
+// ---- cost model ----
+
+TEST(CostModelTest, EquationsMonotone) {
+  CostParams params;
+  EXPECT_LT(ScanCost(100, params), ScanCost(200, params));
+  EXPECT_LT(BitmapCost(10, params), ScanCost(100, params));
+  EXPECT_LT(LayeredCost(10, params), LayeredCost(1000, params));
+  // k = n degenerates bitmap to scan.
+  EXPECT_DOUBLE_EQ(BitmapCost(100, params), ScanCost(100, params));
+}
+
+TEST(CostModelTest, LayeredWinsSmallResultsBitmapWinsLarge) {
+  CostParams params;
+  // Small result: per-tuple random reads beat rereading blocks.
+  AccessPathCosts small;
+  small.bitmap = BitmapCost(100, params);
+  small.layered = LayeredCost(10, params);
+  EXPECT_TRUE(small.LayeredWins());
+  // Huge result: random I/O loses.
+  AccessPathCosts large;
+  large.bitmap = BitmapCost(100, params);
+  large.layered = LayeredCost(10000000, params);
+  EXPECT_FALSE(large.LayeredWins());
+}
+
+TEST(CostModelTest, PlannerSwitchesToBitmapForWideRanges) {
+  TestChain chain("cost_planner");
+  Schema schema;
+  ASSERT_TRUE(
+      Schema::Create("d", {{"amount", ValueType::kInt64}}, &schema).ok());
+  Transaction schema_txn = Catalog::MakeSchemaTransaction(schema);
+  schema_txn.set_sender("admin");
+  schema_txn.set_ts(1);
+  ASSERT_TRUE(chain.AppendBlock({std::move(schema_txn)}).ok());
+  int amount = 0;
+  for (int b = 0; b < 20; b++) {
+    std::vector<Transaction> txns;
+    for (int i = 0; i < 50; i++, amount++) {
+      txns.push_back(MakeTxn("d", "s", 100 + amount, {Value::Int(amount)}));
+    }
+    ASSERT_TRUE(chain.AppendBlock(std::move(txns)).ok());
+  }
+  Executor executor(chain.store(), chain.indexes(), chain.catalog(), nullptr);
+  ResultSet rs;
+  ASSERT_TRUE(executor.ExecuteSql("CREATE INDEX ON d(amount)", {}, &rs).ok());
+
+  // Narrow range: planner picks the layered index.
+  ASSERT_TRUE(executor
+                  .ExecuteSql(
+                      "EXPLAIN SELECT * FROM d WHERE amount BETWEEN 10 AND 15",
+                      {}, &rs)
+                  .ok());
+  EXPECT_NE(rs.plan.find("path=layered"), std::string::npos) << rs.plan;
+
+  // Whole-domain range: the estimated result is every tuple, so random
+  // reads lose to sequential bitmap reads.
+  ASSERT_TRUE(
+      executor
+          .ExecuteSql(
+              "EXPLAIN SELECT * FROM d WHERE amount BETWEEN 0 AND 999999", {},
+              &rs)
+          .ok());
+  EXPECT_NE(rs.plan.find("path=bitmap"), std::string::npos) << rs.plan;
+  EXPECT_NE(rs.plan.find("cost{"), std::string::npos);
+
+  // Both paths return identical results either way.
+  ResultSet narrow_bitmap, narrow_layered;
+  ExecOptions bitmap, layered;
+  bitmap.access_path = AccessPath::kBitmap;
+  layered.access_path = AccessPath::kLayered;
+  ASSERT_TRUE(executor
+                  .ExecuteSql("SELECT * FROM d WHERE amount BETWEEN 0 AND "
+                              "999999",
+                              bitmap, &narrow_bitmap)
+                  .ok());
+  ASSERT_TRUE(executor
+                  .ExecuteSql("SELECT * FROM d WHERE amount BETWEEN 0 AND "
+                              "999999",
+                              layered, &narrow_layered)
+                  .ok());
+  EXPECT_EQ(narrow_bitmap.num_rows(), 1000u);
+  EXPECT_EQ(narrow_layered.num_rows(), 1000u);
+}
+
+TEST(CostModelTest, EstimateLayeredResultScalesWithRange) {
+  LayeredIndexOptions options;
+  options.histogram_buckets = 10;
+  LayeredIndex index("e", options, [](const Transaction& txn, Value* out) {
+    if (txn.values().empty()) return false;
+    *out = txn.values()[0];
+    return true;
+  });
+  std::vector<Transaction> txns;
+  for (int i = 0; i < 1000; i++) {
+    txns.push_back(MakeTxn("t", "s", i, {Value::Int(i)}));
+  }
+  BlockBuilder builder;
+  builder.SetHeight(0).SetTimestamp(1).SetFirstTid(1);
+  for (auto& txn : txns) builder.AddTransaction(std::move(txn));
+  ASSERT_TRUE(index.AddBlock(std::move(builder).Build("s")).ok());
+
+  Value narrow_lo = Value::Int(100), narrow_hi = Value::Int(140);
+  Value wide_lo = Value::Int(0), wide_hi = Value::Int(999);
+  uint64_t narrow = EstimateLayeredResult(index, &narrow_lo, &narrow_hi);
+  uint64_t wide = EstimateLayeredResult(index, &wide_lo, &wide_hi);
+  EXPECT_LT(narrow, wide);
+  EXPECT_EQ(wide, 1000u);
+  EXPECT_LE(narrow, 250u);  // one or two buckets of ~100
+  EXPECT_GE(narrow, 50u);
+}
+
+}  // namespace
+}  // namespace sebdb

@@ -1,0 +1,178 @@
+// Unit and property tests for the in-memory B+-tree.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "index/bptree.h"
+
+namespace sebdb {
+namespace {
+
+TEST(BpTreeTest, EmptyTree) {
+  BpTree<int, int> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_FALSE(tree.SeekGE(5).Valid());
+}
+
+TEST(BpTreeTest, InsertAndIterateInOrder) {
+  BpTree<int, int> tree;
+  for (int i = 99; i >= 0; i--) tree.Insert(i, i * 10);
+  EXPECT_EQ(tree.size(), 100u);
+  int expected = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), expected);
+    EXPECT_EQ(it.value(), expected * 10);
+    expected++;
+  }
+  EXPECT_EQ(expected, 100);
+}
+
+TEST(BpTreeTest, SeekSemantics) {
+  BpTree<int, int> tree;
+  for (int i = 0; i < 100; i += 2) tree.Insert(i, i);
+  auto it = tree.SeekGE(10);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 10);
+  it = tree.SeekGE(11);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 12);
+  it = tree.SeekGT(10);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 12);
+  EXPECT_FALSE(tree.SeekGE(99).Valid());
+  EXPECT_TRUE(tree.SeekGE(98).Valid());
+}
+
+TEST(BpTreeTest, DuplicateKeys) {
+  BpTree<int, int> tree;
+  for (int i = 0; i < 50; i++) tree.Insert(7, i);
+  tree.Insert(6, -1);
+  tree.Insert(8, -2);
+  std::vector<int> values;
+  size_t n = tree.RangeScan(7, 7, &values);
+  EXPECT_EQ(n, 50u);
+}
+
+TEST(BpTreeTest, SeekFirstTrueMonotonePredicate) {
+  BpTree<int, int> tree;
+  for (int i = 0; i < 1000; i++) tree.Insert(i, i);
+  for (int threshold : {0, 1, 63, 64, 500, 998, 999}) {
+    auto it = tree.SeekFirstTrue([&](const int& k) { return k >= threshold; });
+    ASSERT_TRUE(it.Valid()) << threshold;
+    EXPECT_EQ(it.key(), threshold);
+  }
+  EXPECT_FALSE(
+      tree.SeekFirstTrue([](const int& k) { return k >= 1000; }).Valid());
+  auto it = tree.SeekFirstTrue([](const int&) { return true; });
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 0);
+}
+
+TEST(BpTreeTest, BulkLoadPacksLeavesFull) {
+  std::vector<std::pair<int, int>> entries;
+  for (int i = 0; i < 1000; i++) entries.push_back({i, i * 2});
+  BpTree<int, int> tree;
+  tree.BulkLoad(std::move(entries));
+  EXPECT_EQ(tree.size(), 1000u);
+  int expected = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), expected);
+    EXPECT_EQ(it.value(), expected * 2);
+    expected++;
+  }
+  EXPECT_EQ(expected, 1000);
+  auto it = tree.SeekGE(777);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.value(), 1554);
+}
+
+TEST(BpTreeTest, BulkLoadEmptyAndSingle) {
+  BpTree<int, int> tree;
+  tree.BulkLoad({});
+  EXPECT_TRUE(tree.empty());
+  tree.BulkLoad({{5, 50}});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.SeekGE(5).value(), 50);
+}
+
+TEST(BpTreeTest, RangeScan) {
+  BpTree<int, int> tree;
+  for (int i = 0; i < 200; i++) tree.Insert(i, i);
+  std::vector<int> out;
+  EXPECT_EQ(tree.RangeScan(50, 59, &out), 10u);
+  EXPECT_EQ(out.front(), 50);
+  EXPECT_EQ(out.back(), 59);
+  out.clear();
+  EXPECT_EQ(tree.RangeScan(500, 600, &out), 0u);
+}
+
+TEST(BpTreeTest, StringKeys) {
+  BpTree<std::string, int> tree;
+  tree.Insert("banana", 2);
+  tree.Insert("apple", 1);
+  tree.Insert("cherry", 3);
+  auto it = tree.Begin();
+  EXPECT_EQ(it.key(), "apple");
+  it = tree.SeekGE("b");
+  EXPECT_EQ(it.key(), "banana");
+}
+
+TEST(BpTreeTest, HeightGrowsLogarithmically) {
+  BpTree<int, int> tree;
+  for (int i = 0; i < 100000; i++) tree.Insert(i, i);
+  // fanout 64: 100k entries fit within height 4.
+  EXPECT_LE(tree.height(), 4);
+  EXPECT_GE(tree.height(), 3);
+}
+
+// Property test: random interleaved inserts match std::multimap across
+// several seeds and sizes.
+class BpTreePropertyTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, int>> {};
+
+TEST_P(BpTreePropertyTest, MatchesMultimap) {
+  auto [seed, n] = GetParam();
+  Random rng(seed);
+  BpTree<int, int> tree;
+  std::multimap<int, int> ref;
+  for (int i = 0; i < n; i++) {
+    int key = static_cast<int>(rng.Uniform(n / 2 + 1));
+    tree.Insert(key, i);
+    ref.emplace(key, i);
+  }
+  ASSERT_EQ(tree.size(), ref.size());
+  // Full iteration yields the same key sequence.
+  auto it = tree.Begin();
+  for (auto& [key, value] : ref) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), key);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+  // Random range scans agree on count.
+  for (int q = 0; q < 50; q++) {
+    int lo = static_cast<int>(rng.Uniform(n / 2 + 1));
+    int hi = lo + static_cast<int>(rng.Uniform(20));
+    std::vector<int> got;
+    tree.RangeScan(lo, hi, &got);
+    size_t expected = 0;
+    for (auto iter = ref.lower_bound(lo);
+         iter != ref.end() && iter->first <= hi; ++iter) {
+      expected++;
+    }
+    EXPECT_EQ(got.size(), expected) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Randomized, BpTreePropertyTest,
+    ::testing::Values(std::make_pair(1ull, 10), std::make_pair(2ull, 100),
+                      std::make_pair(3ull, 1000), std::make_pair(4ull, 5000),
+                      std::make_pair(5ull, 20000)));
+
+}  // namespace
+}  // namespace sebdb

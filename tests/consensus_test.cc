@@ -1,0 +1,392 @@
+// Tests for the consensus engines: Kafka-style ordering, PBFT (including a
+// view change under primary failure) and the Tendermint-style engine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/coding.h"
+#include "consensus/kafka_orderer.h"
+#include "consensus/pbft.h"
+#include "consensus/tendermint.h"
+#include "network/sim_network.h"
+#include "tests/test_util.h"
+
+namespace sebdb {
+namespace {
+
+using testing_util::MakeTxn;
+
+// Collects committed batches per node and lets tests wait on progress.
+class CommitLog {
+ public:
+  BatchCommitFn MakeFn() {
+    return [this](uint64_t seq, std::vector<Transaction> txns) {
+      std::lock_guard<std::mutex> lock(mu_);
+      sequences_.push_back(seq);
+      for (auto& txn : txns) txns_.push_back(std::move(txn));
+      cv_.notify_all();
+    };
+  }
+  bool WaitForTxns(size_t n, int timeout_ms = 10000) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                        [&] { return txns_.size() >= n; });
+  }
+  std::vector<uint64_t> sequences() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sequences_;
+  }
+  std::vector<Transaction> txns() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return txns_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<uint64_t> sequences_;
+  std::vector<Transaction> txns_;
+};
+
+template <typename Engine>
+struct NodeHarness {
+  std::unique_ptr<Engine> engine;
+  CommitLog log;
+};
+
+ConsensusOptions FastOptions(uint32_t max_batch = 10) {
+  ConsensusOptions options;
+  options.max_batch_txns = max_batch;
+  options.batch_timeout_millis = 20;
+  return options;
+}
+
+TEST(KafkaOrdererTest, OrdersAndDeliversOnAllNodes) {
+  SimNetwork net;
+  std::vector<std::string> ids = {"n0", "n1", "n2", "n3"};
+  std::vector<std::unique_ptr<NodeHarness<KafkaOrderer>>> nodes;
+  for (const auto& id : ids) {
+    auto h = std::make_unique<NodeHarness<KafkaOrderer>>();
+    h->engine = std::make_unique<KafkaOrderer>(id, "n0", ids, &net,
+                                               FastOptions(), h->log.MakeFn());
+    KafkaOrderer* engine = h->engine.get();
+    ASSERT_TRUE(
+        net.Register(id, [engine](const Message& m) { engine->HandleMessage(m); })
+            .ok());
+    ASSERT_TRUE(h->engine->Start().ok());
+    nodes.push_back(std::move(h));
+  }
+  EXPECT_TRUE(nodes[0]->engine->is_broker());
+  EXPECT_FALSE(nodes[1]->engine->is_broker());
+
+  std::atomic<int> acks{0};
+  for (int i = 0; i < 25; i++) {
+    Transaction txn = MakeTxn("t", "client", 1000 + i, {Value::Int(i)});
+    ASSERT_TRUE(nodes[i % 4]
+                    ->engine
+                    ->Submit(txn, [&](Status s) {
+                      EXPECT_TRUE(s.ok());
+                      acks++;
+                    })
+                    .ok());
+  }
+  for (auto& node : nodes) {
+    EXPECT_TRUE(node->log.WaitForTxns(25)) << "node missing transactions";
+  }
+  // Every node saw the same order.
+  auto reference = nodes[0]->log.txns();
+  for (auto& node : nodes) {
+    auto txns = node->log.txns();
+    ASSERT_EQ(txns.size(), reference.size());
+    for (size_t i = 0; i < txns.size(); i++) EXPECT_EQ(txns[i], reference[i]);
+    auto seqs = node->log.sequences();
+    for (size_t i = 0; i < seqs.size(); i++) EXPECT_EQ(seqs[i], i);
+  }
+  for (int i = 0; i < 100 && acks.load() < 25; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(acks.load(), 25);
+  for (auto& node : nodes) node->engine->Stop();
+}
+
+TEST(KafkaOrdererTest, TimeoutCutsPartialBatch) {
+  SimNetwork net;
+  std::vector<std::string> ids = {"n0"};
+  NodeHarness<KafkaOrderer> h;
+  h.engine = std::make_unique<KafkaOrderer>("n0", "n0", ids, &net,
+                                            FastOptions(1000), h.log.MakeFn());
+  KafkaOrderer* engine = h.engine.get();
+  ASSERT_TRUE(
+      net.Register("n0", [engine](const Message& m) { engine->HandleMessage(m); })
+          .ok());
+  ASSERT_TRUE(h.engine->Start().ok());
+  // 3 txns, far below the 1000 cut size: only the timeout can cut.
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(
+        h.engine->Submit(MakeTxn("t", "c", i, {Value::Int(i)}), nullptr).ok());
+  }
+  EXPECT_TRUE(h.log.WaitForTxns(3));
+  EXPECT_EQ(h.engine->committed_batches(), 1u);
+  h.engine->Stop();
+}
+
+TEST(KafkaOrdererTest, ValidatorRejectsBadTransactions) {
+  SimNetwork net;
+  ConsensusOptions options = FastOptions();
+  options.validator = [](const Transaction& txn) {
+    return txn.sender().empty() ? Status::InvalidArgument("no sender")
+                                : Status::OK();
+  };
+  CommitLog log;
+  KafkaOrderer engine("n0", "n0", {"n0"}, &net, options, log.MakeFn());
+  ASSERT_TRUE(
+      net.Register("n0", [&](const Message& m) { engine.HandleMessage(m); })
+          .ok());
+  ASSERT_TRUE(engine.Start().ok());
+  Transaction bad("t", {});
+  Status done_status;
+  EXPECT_FALSE(engine
+                   .Submit(bad, [&](Status s) { done_status = s; })
+                   .ok());
+  EXPECT_TRUE(done_status.IsInvalidArgument());
+  engine.Stop();
+}
+
+template <typename Engine, typename... Extra>
+std::vector<std::unique_ptr<NodeHarness<Engine>>> StartCluster(
+    SimNetwork* net, const std::vector<std::string>& ids,
+    const ConsensusOptions& options, Extra... extra) {
+  std::vector<std::unique_ptr<NodeHarness<Engine>>> nodes;
+  for (const auto& id : ids) {
+    auto h = std::make_unique<NodeHarness<Engine>>();
+    h->engine = std::make_unique<Engine>(id, ids, net, options,
+                                         h->log.MakeFn(), extra...);
+    Engine* engine = h->engine.get();
+    EXPECT_TRUE(
+        net->Register(id,
+                      [engine](const Message& m) { engine->HandleMessage(m); })
+            .ok());
+    EXPECT_TRUE(h->engine->Start().ok());
+    nodes.push_back(std::move(h));
+  }
+  return nodes;
+}
+
+TEST(PbftTest, CommitsAcrossFourReplicas) {
+  SimNetwork net;
+  std::vector<std::string> ids = {"r0", "r1", "r2", "r3"};
+  auto nodes = StartCluster<PbftEngine>(&net, ids, FastOptions());
+  EXPECT_EQ(nodes[0]->engine->max_faulty(), 1);
+  EXPECT_TRUE(nodes[0]->engine->is_primary());
+
+  std::atomic<int> acks{0};
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(nodes[i % 4]
+                    ->engine
+                    ->Submit(MakeTxn("t", "c", 100 + i, {Value::Int(i)}),
+                             [&](Status s) {
+                               if (s.ok()) acks++;
+                             })
+                    .ok());
+  }
+  for (auto& node : nodes) EXPECT_TRUE(node->log.WaitForTxns(30));
+  auto reference = nodes[0]->log.txns();
+  for (auto& node : nodes) {
+    auto txns = node->log.txns();
+    ASSERT_EQ(txns.size(), reference.size());
+    for (size_t i = 0; i < txns.size(); i++) EXPECT_EQ(txns[i], reference[i]);
+  }
+  for (auto& node : nodes) node->engine->Stop();
+}
+
+TEST(PbftTest, ViewChangeOnPrimaryFailure) {
+  SimNetwork net;
+  std::vector<std::string> ids = {"r0", "r1", "r2", "r3"};
+  PbftOptions pbft_options;
+  pbft_options.view_timeout_millis = 200;
+  auto nodes =
+      StartCluster<PbftEngine>(&net, ids, FastOptions(), pbft_options);
+
+  // Isolate the primary r0 before it sees anything.
+  for (const auto& other : {"r1", "r2", "r3"}) {
+    net.SetLinkDown("r0", other, true);
+  }
+  std::atomic<int> acks{0};
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(nodes[1]
+                    ->engine
+                    ->Submit(MakeTxn("t", "c", 100 + i, {Value::Int(i)}),
+                             [&](Status s) {
+                               if (s.ok()) acks++;
+                             })
+                    .ok());
+  }
+  // Replicas r1..r3 should time out, move to view 1 (primary r1) and commit.
+  for (int i = 1; i < 4; i++) {
+    EXPECT_TRUE(nodes[i]->log.WaitForTxns(5, 15000)) << "replica " << i;
+    EXPECT_GE(nodes[i]->engine->view(), 1u);
+  }
+  for (int i = 0; i < 200 && acks.load() < 5; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(acks.load(), 5);
+  for (auto& node : nodes) node->engine->Stop();
+}
+
+TEST(TendermintTest, CommitsAcrossFourValidators) {
+  SimNetwork net;
+  std::vector<std::string> ids = {"v0", "v1", "v2", "v3"};
+  TendermintOptions tm_options;
+  tm_options.serial_txn_cost_micros = 0;  // keep the test fast
+  auto nodes =
+      StartCluster<TendermintEngine>(&net, ids, FastOptions(), tm_options);
+
+  std::atomic<int> acks{0};
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(nodes[i % 4]
+                    ->engine
+                    ->Submit(MakeTxn("t", "c", 100 + i, {Value::Int(i)}),
+                             [&](Status s) {
+                               if (s.ok()) acks++;
+                             })
+                    .ok());
+  }
+  for (auto& node : nodes) EXPECT_TRUE(node->log.WaitForTxns(20));
+  auto reference = nodes[0]->log.txns();
+  for (auto& node : nodes) {
+    auto txns = node->log.txns();
+    ASSERT_EQ(txns.size(), reference.size());
+    for (size_t i = 0; i < txns.size(); i++) EXPECT_EQ(txns[i], reference[i]);
+  }
+  for (auto& node : nodes) node->engine->Stop();
+}
+
+TEST(TendermintTest, SerialCostSlowsDelivery) {
+  // Not a timing assertion, just that the serial path still commits.
+  SimNetwork net;
+  std::vector<std::string> ids = {"v0", "v1", "v2", "v3"};
+  TendermintOptions tm_options;
+  tm_options.serial_txn_cost_micros = 100;
+  auto nodes =
+      StartCluster<TendermintEngine>(&net, ids, FastOptions(), tm_options);
+  ASSERT_TRUE(nodes[0]
+                  ->engine
+                  ->Submit(MakeTxn("t", "c", 5, {Value::Int(1)}), nullptr)
+                  .ok());
+  for (auto& node : nodes) EXPECT_TRUE(node->log.WaitForTxns(1));
+  for (auto& node : nodes) node->engine->Stop();
+}
+
+TEST(TendermintTest, ProposerFailureRotatesRound) {
+  SimNetwork net;
+  std::vector<std::string> ids = {"v0", "v1", "v2", "v3"};
+  TendermintOptions tm_options;
+  tm_options.serial_txn_cost_micros = 0;
+  tm_options.propose_timeout_millis = 200;
+  auto nodes =
+      StartCluster<TendermintEngine>(&net, ids, FastOptions(), tm_options);
+
+  // Height 0's proposer is v0; isolate it so the round times out and the
+  // next proposer (v1 at round 1) takes over.
+  for (const auto& other : {"v1", "v2", "v3"}) {
+    net.SetLinkDown("v0", other, true);
+  }
+  std::atomic<int> acks{0};
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(nodes[1]
+                    ->engine
+                    ->Submit(MakeTxn("t", "c", 100 + i, {Value::Int(i)}),
+                             [&](Status s) {
+                               if (s.ok()) acks++;
+                             })
+                    .ok());
+  }
+  for (int i = 1; i < 4; i++) {
+    EXPECT_TRUE(nodes[i]->log.WaitForTxns(3, 15000)) << "validator " << i;
+  }
+  for (int i = 0; i < 200 && acks.load() < 3; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(acks.load(), 3);
+  for (auto& node : nodes) node->engine->Stop();
+}
+
+TEST(PbftTest, RejectsPrePrepareFromNonPrimary) {
+  SimNetwork net;
+  std::vector<std::string> ids = {"r0", "r1", "r2", "r3"};
+  auto nodes = StartCluster<PbftEngine>(&net, ids, FastOptions());
+
+  // A Byzantine backup (r2) forges a pre-prepare; honest replicas must
+  // ignore it (only the view's primary proposes).
+  std::vector<Transaction> forged_batch = {
+      MakeTxn("t", "mallory", 1, {Value::Int(666)})};
+  std::string batch_payload;
+  EncodeBatch(forged_batch, &batch_payload);
+  std::string payload;
+  PutVarint64(&payload, 0);  // view 0
+  PutVarint64(&payload, 0);  // seq 0
+  PutLengthPrefixed(&payload, batch_payload);
+  for (const auto& target : {"r1", "r3"}) {
+    net.Send({"pbft.preprepare", "r2", target, payload});
+  }
+  net.DrainAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (auto& node : nodes) {
+    EXPECT_EQ(node->engine->committed_batches(), 0u);
+  }
+
+  // The cluster still works for legitimate requests afterwards.
+  std::atomic<int> acks{0};
+  ASSERT_TRUE(nodes[0]
+                  ->engine
+                  ->Submit(MakeTxn("t", "c", 5, {Value::Int(1)}),
+                           [&](Status s) {
+                             if (s.ok()) acks++;
+                           })
+                  .ok());
+  for (auto& node : nodes) EXPECT_TRUE(node->log.WaitForTxns(1));
+  for (auto& node : nodes) node->engine->Stop();
+}
+
+TEST(KafkaOrdererTest, StopFailsPendingCallbacks) {
+  SimNetwork net;
+  CommitLog log;
+  KafkaOrderer engine("n0", "broker-gone", {"n0"}, &net, FastOptions(10000),
+                      log.MakeFn());
+  ASSERT_TRUE(
+      net.Register("n0", [&](const Message& m) { engine.HandleMessage(m); })
+          .ok());
+  ASSERT_TRUE(engine.Start().ok());
+  // The broker does not exist, so this submission can never commit.
+  Status done_status;
+  std::atomic<bool> fired{false};
+  ASSERT_TRUE(engine
+                  .Submit(MakeTxn("t", "c", 1, {Value::Int(1)}),
+                          [&](Status s) {
+                            done_status = s;
+                            fired = true;
+                          })
+                  .ok());
+  engine.Stop();
+  EXPECT_TRUE(fired.load());
+  EXPECT_TRUE(done_status.IsAborted());
+}
+
+TEST(BatchCodecTest, RoundTrip) {
+  std::vector<Transaction> batch = {MakeTxn("a", "s1", 1, {Value::Int(1)}),
+                                    MakeTxn("b", "s2", 2, {Value::Str("x")})};
+  std::string buf;
+  EncodeBatch(batch, &buf);
+  Slice input(buf);
+  std::vector<Transaction> decoded;
+  ASSERT_TRUE(DecodeBatch(&input, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0], batch[0]);
+  EXPECT_EQ(decoded[1], batch[1]);
+  EXPECT_FALSE(BatchDigest(buf).IsZero());
+}
+
+}  // namespace
+}  // namespace sebdb

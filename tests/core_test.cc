@@ -1,0 +1,187 @@
+// Core-layer tests: keystore signatures, access control, chain manager
+// recovery, the ChainSQL baseline and stored procedures.
+#include <gtest/gtest.h>
+
+#include "core/access_control.h"
+#include "core/chain_manager.h"
+#include "core/chainsql_baseline.h"
+#include "core/signer.h"
+#include "tests/test_util.h"
+
+namespace sebdb {
+namespace {
+
+using testing_util::MakeTxn;
+using testing_util::ScratchDir;
+using testing_util::TestChain;
+
+TEST(KeyStoreTest, SignAndVerify) {
+  KeyStore keystore;
+  ASSERT_TRUE(keystore.AddIdentity("alice", "secret-a").ok());
+  ASSERT_TRUE(keystore.AddIdentity("bob", "secret-b").ok());
+  EXPECT_TRUE(keystore.HasIdentity("alice"));
+  EXPECT_FALSE(keystore.HasIdentity("carol"));
+  // Same secret re-registration is idempotent; different secret fails.
+  EXPECT_TRUE(keystore.AddIdentity("alice", "secret-a").ok());
+  EXPECT_TRUE(keystore.AddIdentity("alice", "other").IsInvalidArgument());
+
+  std::string signature;
+  ASSERT_TRUE(keystore.Sign("alice", Slice("payload"), &signature).ok());
+  EXPECT_TRUE(keystore.Verify("alice", Slice("payload"), signature).ok());
+  EXPECT_TRUE(keystore.Verify("alice", Slice("other"), signature)
+                  .IsVerificationFailed());
+  EXPECT_TRUE(keystore.Verify("bob", Slice("payload"), signature)
+                  .IsVerificationFailed());
+  EXPECT_TRUE(keystore.Sign("carol", Slice("x"), &signature).IsNotFound());
+}
+
+TEST(KeyStoreTest, TransactionSigning) {
+  KeyStore keystore;
+  ASSERT_TRUE(keystore.AddIdentity("org1", "k1").ok());
+  Transaction txn("donate", {Value::Int(100)});
+  txn.set_ts(5);
+  ASSERT_TRUE(keystore.SignTransaction("org1", &txn).ok());
+  EXPECT_EQ(txn.sender(), "org1");
+  EXPECT_TRUE(keystore.VerifyTransaction(txn).ok());
+  // Tamper with a value: signature breaks.
+  Transaction tampered = txn;
+  tampered.set_values({Value::Int(999)});
+  EXPECT_TRUE(keystore.VerifyTransaction(tampered).IsVerificationFailed());
+  // tid assignment later does NOT break the signature.
+  txn.set_tid(77);
+  EXPECT_TRUE(keystore.VerifyTransaction(txn).ok());
+}
+
+TEST(AccessControlTest, ChannelMembership) {
+  AccessControl acl;
+  ASSERT_TRUE(acl.AssignTable("doneeinfo", "school-channel").ok());
+  ASSERT_TRUE(acl.AddMember("school-channel", "school1").ok());
+  EXPECT_TRUE(acl.CheckAccess("school1", "doneeinfo").ok());
+  EXPECT_TRUE(acl.CheckAccess("outsider", "doneeinfo").IsInvalidArgument());
+  // Public tables are open to anyone.
+  EXPECT_TRUE(acl.CheckAccess("anyone", "donate").ok());
+  EXPECT_TRUE(acl.IsPublic("donate"));
+  EXPECT_FALSE(acl.IsPublic("doneeinfo"));
+  // Re-assigning to another channel fails.
+  EXPECT_TRUE(acl.AssignTable("doneeinfo", "other").IsInvalidArgument());
+}
+
+TEST(ChainManagerTest, GenesisAndAppend) {
+  TestChain chain("cm_basic");
+  EXPECT_EQ(chain.chain().height(), 1u);  // genesis
+  EXPECT_FALSE(chain.chain().tip_hash().IsZero());
+  ASSERT_TRUE(chain.AppendBlock({MakeTxn("t", "a", 10, {Value::Int(1)})}).ok());
+  EXPECT_EQ(chain.chain().height(), 2u);
+  EXPECT_EQ(chain.chain().next_tid(), 2u);
+  // Duplicate seq is a no-op, future seq is rejected.
+  EXPECT_TRUE(chain.chain().AppendBatch(0, {}, 0, "x", "s").ok());
+  EXPECT_TRUE(
+      chain.chain().AppendBatch(5, {}, 0, "x", "s").IsInvalidArgument());
+}
+
+TEST(ChainManagerTest, RecoveryReplaysIndexesAndCatalog) {
+  ScratchDir dir("cm_recover");
+  Schema schema;
+  ASSERT_TRUE(
+      Schema::Create("donate", {{"amount", ValueType::kInt64}}, &schema).ok());
+  {
+    ChainManager chain("n", nullptr);
+    ChainOptions options;
+    options.verify_signatures = false;
+    ASSERT_TRUE(chain.Open(options, dir.path()).ok());
+    Transaction schema_txn = Catalog::MakeSchemaTransaction(schema);
+    schema_txn.set_sender("admin");
+    schema_txn.set_ts(1);
+    ASSERT_TRUE(
+        chain.AppendBatch(0, {std::move(schema_txn)}, 1, "n", "s").ok());
+    ASSERT_TRUE(chain
+                    .AppendBatch(1,
+                                 {MakeTxn("donate", "a", 2, {Value::Int(5)}),
+                                  MakeTxn("donate", "b", 3, {Value::Int(6)})},
+                                 3, "n", "s")
+                    .ok());
+    chain.Close();
+  }
+  ChainManager chain("n", nullptr);
+  ChainOptions options;
+  options.verify_signatures = false;
+  ASSERT_TRUE(chain.Open(options, dir.path()).ok());
+  EXPECT_EQ(chain.height(), 3u);
+  EXPECT_EQ(chain.next_tid(), 4u);
+  EXPECT_TRUE(chain.catalog()->HasTable("donate"));
+  EXPECT_TRUE(chain.indexes()->table_index().BlocksWithTable("donate").Test(2));
+  EXPECT_TRUE(chain.indexes()
+                  ->senid_index()
+                  ->BlocksWithValue(Value::Str("a"))
+                  .Test(2));
+}
+
+TEST(ChainManagerTest, GossipApplyValidates) {
+  TestChain source("cm_gossip_src");
+  ASSERT_TRUE(
+      source.AppendBlock({MakeTxn("t", "a", 10, {Value::Int(1)})}).ok());
+  std::string record;
+  ASSERT_TRUE(source.chain().GetBlockRecord(1, &record).ok());
+
+  TestChain target("cm_gossip_dst");
+  // Future block (gap) rejected.
+  EXPECT_TRUE(
+      target.chain().ApplyBlockRecord(2, record).IsInvalidArgument());
+  // Correct height applies (genesis blocks are identical by construction).
+  ASSERT_TRUE(target.chain().ApplyBlockRecord(1, record).ok());
+  EXPECT_EQ(target.chain().height(), 2u);
+  // Stale re-apply is a no-op.
+  EXPECT_TRUE(target.chain().ApplyBlockRecord(1, record).ok());
+  // Corrupted record rejected.
+  std::string bad = record;
+  bad[bad.size() / 2] ^= 0x1;
+  EXPECT_FALSE(target.chain().ApplyBlockRecord(2, bad).ok());
+}
+
+TEST(ChainManagerTest, TimestampsClampedMonotone) {
+  TestChain chain("cm_ts");
+  ASSERT_TRUE(chain.AppendBlock({MakeTxn("t", "a", 100, {})}).ok());
+  // A batch whose max ts is lower than the tip's gets clamped, not rejected.
+  ASSERT_TRUE(chain.AppendBlock({MakeTxn("t", "a", 50, {})}).ok());
+  BlockHeader h1, h2;
+  ASSERT_TRUE(chain.chain().GetHeader(1, &h1).ok());
+  ASSERT_TRUE(chain.chain().GetHeader(2, &h2).ok());
+  EXPECT_GE(h2.timestamp, h1.timestamp);
+}
+
+TEST(ChainsqlBaselineTest, ReplicatesAndFilters) {
+  TestChain chain("chainsql");
+  for (int b = 0; b < 5; b++) {
+    std::vector<Transaction> txns;
+    for (int i = 0; i < 4; i++) {
+      txns.push_back(MakeTxn(i % 2 == 0 ? "transfer" : "donate",
+                             i < 2 ? "org1" : "org2", b * 100 + i,
+                             {Value::Int(i)}));
+    }
+    ASSERT_TRUE(chain.AppendBlock(std::move(txns)).ok());
+  }
+  ChainsqlBaseline baseline;
+  ASSERT_TRUE(baseline.IngestChain(&chain.chain()).ok());
+  EXPECT_EQ(baseline.num_replicated(), 20u);
+
+  // GET_TRANSACTION returns everything org1 sent (10 txns).
+  std::vector<Transaction> all;
+  ASSERT_TRUE(baseline.GetTransactionsByOperator("org1", &all).ok());
+  EXPECT_EQ(all.size(), 10u);
+
+  // Client-side filtering narrows by operation and window.
+  std::vector<Transaction> filtered;
+  ASSERT_TRUE(baseline
+                  .TrackClientSide("org1", "transfer", 0,
+                                   std::numeric_limits<Timestamp>::max(),
+                                   &filtered)
+                  .ok());
+  EXPECT_EQ(filtered.size(), 5u);
+  filtered.clear();
+  ASSERT_TRUE(
+      baseline.TrackClientSide("org1", "transfer", 0, 150, &filtered).ok());
+  EXPECT_EQ(filtered.size(), 2u);  // ts 0 and 100
+}
+
+}  // namespace
+}  // namespace sebdb

@@ -1,0 +1,193 @@
+// Tests for expression evaluation, column binding and sargable range
+// extraction.
+#include <gtest/gtest.h>
+
+#include "sql/eval.h"
+#include "sql/parser.h"
+
+namespace sebdb {
+namespace {
+
+// Convenience: parse "SELECT * FROM t WHERE <expr>" and return the where.
+const Expr* WhereOf(const std::string& predicate, StatementPtr* keep_alive) {
+  EXPECT_TRUE(
+      ParseStatement("SELECT * FROM t WHERE " + predicate, keep_alive).ok());
+  return std::get<SelectStmt>((*keep_alive)->node).where.get();
+}
+
+TEST(ColumnBindingsTest, QualifiedAndUnqualified) {
+  ColumnBindings bindings;
+  bindings.AddTable("a", {"x", "y"});
+  bindings.AddTable("b", {"y", "z"});
+  int index;
+  ASSERT_TRUE(bindings.Resolve({"", "x"}, &index).ok());
+  EXPECT_EQ(index, 0);
+  ASSERT_TRUE(bindings.Resolve({"b", "y"}, &index).ok());
+  EXPECT_EQ(index, 2);
+  ASSERT_TRUE(bindings.Resolve({"", "z"}, &index).ok());
+  EXPECT_EQ(index, 3);
+  EXPECT_TRUE(bindings.Resolve({"", "y"}, &index).IsInvalidArgument());
+  EXPECT_TRUE(bindings.Resolve({"", "w"}, &index).IsNotFound());
+  EXPECT_TRUE(bindings.Resolve({"c", "x"}, &index).IsNotFound());
+  EXPECT_EQ(bindings.qualified_names()[2], "b.y");
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest() {
+    bindings_.AddTable("t", {"a", "b", "s"});
+    row_ = {Value::Int(5), Value::Dec(Decimal::FromDouble(2.5)),
+            Value::Str("hello")};
+  }
+  bool Eval(const std::string& predicate,
+            const std::vector<Value>& params = {}) {
+    StatementPtr stmt;
+    const Expr* where = WhereOf(predicate, &stmt);
+    bool result = false;
+    Status s = EvalPredicate(*where, bindings_, row_, params, &result);
+    EXPECT_TRUE(s.ok()) << predicate << ": " << s.ToString();
+    return result;
+  }
+  ColumnBindings bindings_;
+  std::vector<Value> row_;
+};
+
+TEST_F(EvalTest, Comparisons) {
+  EXPECT_TRUE(Eval("a = 5"));
+  EXPECT_FALSE(Eval("a != 5"));
+  EXPECT_TRUE(Eval("a > 4"));
+  EXPECT_TRUE(Eval("a >= 5"));
+  EXPECT_FALSE(Eval("a < 5"));
+  EXPECT_TRUE(Eval("a <= 5"));
+  EXPECT_TRUE(Eval("b = 2.5"));
+  EXPECT_TRUE(Eval("b < a"));
+  EXPECT_TRUE(Eval("s = 'hello'"));
+  EXPECT_TRUE(Eval("5 = a"));
+  EXPECT_TRUE(Eval("4 < a"));
+}
+
+TEST_F(EvalTest, BooleanConnectives) {
+  EXPECT_TRUE(Eval("a = 5 AND s = 'hello'"));
+  EXPECT_FALSE(Eval("a = 5 AND s = 'bye'"));
+  EXPECT_TRUE(Eval("a = 9 OR s = 'hello'"));
+  EXPECT_FALSE(Eval("a = 9 OR s = 'bye'"));
+  EXPECT_TRUE(Eval("(a = 9 OR a = 5) AND b > 2"));
+}
+
+TEST_F(EvalTest, Between) {
+  EXPECT_TRUE(Eval("a BETWEEN 5 AND 10"));
+  EXPECT_TRUE(Eval("a BETWEEN 0 AND 5"));
+  EXPECT_FALSE(Eval("a BETWEEN 6 AND 10"));
+  EXPECT_TRUE(Eval("b BETWEEN 2 AND 3"));
+}
+
+TEST_F(EvalTest, Parameters) {
+  EXPECT_TRUE(Eval("a = ?", {Value::Int(5)}));
+  EXPECT_FALSE(Eval("a = ?", {Value::Int(6)}));
+  EXPECT_TRUE(
+      Eval("a BETWEEN ? AND ?", {Value::Int(1), Value::Int(10)}));
+  // Missing parameter is an error.
+  StatementPtr stmt;
+  const Expr* where = WhereOf("a = ?", &stmt);
+  bool result;
+  EXPECT_FALSE(EvalPredicate(*where, bindings_, row_, {}, &result).ok());
+}
+
+TEST_F(EvalTest, NullComparisonsNotTrue) {
+  bindings_ = ColumnBindings();
+  bindings_.AddTable("t", {"a", "b", "s"});
+  row_ = {Value::Null(), Value::Null(), Value::Null()};
+  EXPECT_FALSE(Eval("a = 5"));
+  EXPECT_FALSE(Eval("a != 5"));
+}
+
+TEST_F(EvalTest, TypeMismatchIsError) {
+  StatementPtr stmt;
+  const Expr* where = WhereOf("s > 5", &stmt);
+  bool result;
+  EXPECT_FALSE(EvalPredicate(*where, bindings_, row_, {}, &result).ok());
+}
+
+TEST(EvalConstTest, RejectsColumns) {
+  StatementPtr stmt;
+  ASSERT_TRUE(
+      ParseStatement("INSERT INTO t VALUES (1, 'x', ?)", &stmt).ok());
+  const auto& insert = std::get<InsertStmt>(stmt->node);
+  Value v;
+  ASSERT_TRUE(EvalConstExpr(*insert.rows[0][0], {}, &v).ok());
+  EXPECT_EQ(v.AsInt(), 1);
+  ASSERT_TRUE(EvalConstExpr(*insert.rows[0][2], {Value::Int(9)}, &v).ok());
+  EXPECT_EQ(v.AsInt(), 9);
+}
+
+TEST(RangeExtractionTest, SimpleComparisons) {
+  StatementPtr stmt;
+  const Expr* where = WhereOf("amount >= 10 AND amount <= 20", &stmt);
+  auto range = ExtractColumnRange(where, "t", "amount", {});
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->lo->AsInt(), 10);
+  EXPECT_EQ(range->hi->AsInt(), 20);
+}
+
+TEST(RangeExtractionTest, BetweenAndEquality) {
+  StatementPtr stmt;
+  const Expr* where = WhereOf("amount BETWEEN ? AND ?", &stmt);
+  auto range = ExtractColumnRange(where, "t", "amount",
+                                  {Value::Int(3), Value::Int(7)});
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->lo->AsInt(), 3);
+  EXPECT_EQ(range->hi->AsInt(), 7);
+
+  const Expr* eq = WhereOf("amount = 5", &stmt);
+  range = ExtractColumnRange(eq, "t", "amount", {});
+  ASSERT_TRUE(range.has_value());
+  EXPECT_TRUE(range->IsPoint());
+}
+
+TEST(RangeExtractionTest, FlippedOperand) {
+  StatementPtr stmt;
+  const Expr* where = WhereOf("10 <= amount AND 20 >= amount", &stmt);
+  auto range = ExtractColumnRange(where, "t", "amount", {});
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->lo->AsInt(), 10);
+  EXPECT_EQ(range->hi->AsInt(), 20);
+}
+
+TEST(RangeExtractionTest, OrIsNotSargable) {
+  StatementPtr stmt;
+  const Expr* where = WhereOf("amount = 5 OR amount = 9", &stmt);
+  EXPECT_FALSE(ExtractColumnRange(where, "t", "amount", {}).has_value());
+  // ...but an AND above an OR still uses the AND side.
+  const Expr* mixed = WhereOf("amount > 3 AND (x = 1 OR x = 2)", &stmt);
+  auto range = ExtractColumnRange(mixed, "t", "amount", {});
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->lo->AsInt(), 3);
+  EXPECT_FALSE(range->hi.has_value());
+}
+
+TEST(RangeExtractionTest, TightensAcrossConjuncts) {
+  StatementPtr stmt;
+  const Expr* where =
+      WhereOf("amount >= 5 AND amount >= 8 AND amount <= 100 AND amount <= 50",
+              &stmt);
+  auto range = ExtractColumnRange(where, "t", "amount", {});
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->lo->AsInt(), 8);
+  EXPECT_EQ(range->hi->AsInt(), 50);
+}
+
+TEST(RangeExtractionTest, OtherColumnsIgnored) {
+  StatementPtr stmt;
+  const Expr* where = WhereOf("other = 5 AND x.amount > 2", &stmt);
+  EXPECT_FALSE(ExtractColumnRange(where, "t", "amount", {}).has_value());
+  // Qualified with the right table counts.
+  const Expr* qualified = WhereOf("t.amount > 2", &stmt);
+  EXPECT_TRUE(ExtractColumnRange(qualified, "t", "amount", {}).has_value());
+}
+
+TEST(RangeExtractionTest, NullWhereGivesNothing) {
+  EXPECT_FALSE(ExtractColumnRange(nullptr, "t", "a", {}).has_value());
+}
+
+}  // namespace
+}  // namespace sebdb

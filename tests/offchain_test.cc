@@ -1,0 +1,151 @@
+// Tests for the off-chain mini relational engine and its connector.
+#include <gtest/gtest.h>
+
+#include "offchain/offchain_db.h"
+
+namespace sebdb {
+namespace {
+
+void FillDoneeDb(OffchainDb& db) {
+  EXPECT_TRUE(db.CreateTable("doneeinfo", {{"donee", ValueType::kString},
+                                           {"age", ValueType::kInt64},
+                                           {"income", ValueType::kDecimal}})
+                  .ok());
+  auto insert = [&](const std::string& name, int64_t age, double income) {
+    EXPECT_TRUE(db.Insert("doneeinfo",
+                          {Value::Str(name), Value::Int(age),
+                           Value::Dec(Decimal::FromDouble(income))})
+                    .ok());
+  };
+  insert("tom", 12, 100.5);
+  insert("amy", 9, 80.0);
+  insert("bob", 15, 120.25);
+  insert("amy2", 9, 60.0);
+}
+
+TEST(OffchainDbTest, CreateInsertScan) {
+  OffchainDb db;
+  FillDoneeDb(db);
+  OffchainTable* t = db.GetTable("DoneeInfo");  // case-insensitive
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->num_rows(), 4u);
+  auto rows = t->Scan([](const OffchainRow& row) {
+    return row[1].AsInt() < 13;
+  });
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(OffchainDbTest, InsertTypeChecking) {
+  OffchainDb db;
+  FillDoneeDb(db);
+  EXPECT_TRUE(db.Insert("doneeinfo", {Value::Int(1), Value::Int(2),
+                                      Value::Dec(Decimal::FromInt(1))})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db.Insert("doneeinfo", {Value::Str("x")}).IsInvalidArgument());
+  EXPECT_TRUE(db.Insert("missing", {}).IsNotFound());
+  // NULLs pass the type check.
+  EXPECT_TRUE(
+      db.Insert("doneeinfo", {Value::Null(), Value::Null(), Value::Null()})
+          .ok());
+}
+
+TEST(OffchainDbTest, DuplicateTableRejected) {
+  OffchainDb db;
+  ASSERT_TRUE(db.CreateTable("t", {{"a", ValueType::kInt64}}).ok());
+  EXPECT_TRUE(
+      db.CreateTable("T", {{"b", ValueType::kInt64}}).IsInvalidArgument());
+  EXPECT_TRUE(db.DropTable("t").ok());
+  EXPECT_TRUE(db.DropTable("t").IsNotFound());
+}
+
+TEST(OffchainTableTest, SortedByWithAndWithoutIndex) {
+  OffchainDb db;
+  FillDoneeDb(db);
+  OffchainTable* t = db.GetTable("doneeinfo");
+  std::vector<size_t> order;
+  ASSERT_TRUE(t->SortedBy("age", &order).ok());
+  ASSERT_EQ(order.size(), 4u);
+  ASSERT_TRUE(t->CreateIndex("age").ok());
+  EXPECT_TRUE(t->HasIndex("age"));
+  std::vector<size_t> indexed_order;
+  ASSERT_TRUE(t->SortedBy("age", &indexed_order).ok());
+  ASSERT_EQ(indexed_order.size(), order.size());
+  for (size_t i = 0; i < order.size(); i++) {
+    EXPECT_EQ(t->row(indexed_order[i])[1].CompareTotal(t->row(order[i])[1]),
+              0);
+  }
+}
+
+TEST(OffchainTableTest, MinMaxDistinctLookup) {
+  OffchainDb db;
+  FillDoneeDb(db);
+  OffchainTable* t = db.GetTable("doneeinfo");
+  Value min, max;
+  ASSERT_TRUE(t->MinMax("age", &min, &max).ok());
+  EXPECT_EQ(min.AsInt(), 9);
+  EXPECT_EQ(max.AsInt(), 15);
+
+  std::vector<Value> distinct;
+  ASSERT_TRUE(t->Distinct("age", &distinct).ok());
+  EXPECT_EQ(distinct.size(), 3u);  // 9, 12, 15
+
+  std::vector<size_t> hits;
+  ASSERT_TRUE(t->Lookup("age", Value::Int(9), &hits).ok());
+  EXPECT_EQ(hits.size(), 2u);
+  // Index-backed lookup agrees.
+  ASSERT_TRUE(t->CreateIndex("age").ok());
+  std::vector<size_t> indexed_hits;
+  ASSERT_TRUE(t->Lookup("age", Value::Int(9), &indexed_hits).ok());
+  EXPECT_EQ(indexed_hits.size(), 2u);
+
+  EXPECT_TRUE(t->MinMax("missing", &min, &max).IsNotFound());
+}
+
+TEST(OffchainTableTest, IndexMaintainedAcrossInserts) {
+  OffchainDb db;
+  ASSERT_TRUE(db.CreateTable("t", {{"k", ValueType::kInt64}}).ok());
+  OffchainTable* t = db.GetTable("t");
+  ASSERT_TRUE(t->CreateIndex("k").ok());
+  for (int i = 10; i > 0; i--) {
+    ASSERT_TRUE(t->Insert({Value::Int(i)}).ok());
+  }
+  std::vector<size_t> order;
+  ASSERT_TRUE(t->SortedBy("k", &order).ok());
+  for (size_t i = 1; i < order.size(); i++) {
+    EXPECT_LE(t->row(order[i - 1])[0].AsInt(), t->row(order[i])[0].AsInt());
+  }
+}
+
+TEST(ConnectorTest, AllOperations) {
+  OffchainDb db;
+  FillDoneeDb(db);
+  LocalOffchainConnector connector(&db);
+
+  std::vector<ColumnDef> columns;
+  ASSERT_TRUE(connector.TableColumns("doneeinfo", &columns).ok());
+  EXPECT_EQ(columns.size(), 3u);
+  EXPECT_EQ(columns[0].name, "donee");
+
+  std::vector<OffchainRow> rows;
+  ASSERT_TRUE(connector.FetchAll("doneeinfo", &rows).ok());
+  EXPECT_EQ(rows.size(), 4u);
+
+  std::vector<OffchainRow> sorted;
+  ASSERT_TRUE(connector.FetchSortedBy("doneeinfo", "age", &sorted).ok());
+  for (size_t i = 1; i < sorted.size(); i++) {
+    EXPECT_LE(sorted[i - 1][1].AsInt(), sorted[i][1].AsInt());
+  }
+
+  Value min, max;
+  ASSERT_TRUE(connector.MinMax("doneeinfo", "income", &min, &max).ok());
+  EXPECT_EQ(min.AsDecimal().ToDouble(), 60.0);
+
+  std::vector<Value> distinct;
+  ASSERT_TRUE(connector.Distinct("doneeinfo", "age", &distinct).ok());
+  EXPECT_EQ(distinct.size(), 3u);
+
+  EXPECT_TRUE(connector.FetchAll("nope", &rows).IsNotFound());
+}
+
+}  // namespace
+}  // namespace sebdb

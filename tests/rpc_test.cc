@@ -1,0 +1,187 @@
+// Tests for the RPC layer and the thin client running over the network
+// transport (the paper's remote thin client, §VI).
+#include <gtest/gtest.h>
+
+#include "core/node.h"
+#include "core/thin_client.h"
+#include "core/thin_client_transport.h"
+#include "network/rpc.h"
+#include "tests/test_util.h"
+
+namespace sebdb {
+namespace {
+
+using testing_util::ScratchDir;
+
+TEST(RpcTest, CallRoundTrip) {
+  SimNetwork net;
+  RpcDispatcher dispatcher;
+  dispatcher.RegisterMethod(
+      "echo", [](const Slice& request, std::string* response) {
+        *response = "echo:" + request.ToString();
+        return Status::OK();
+      });
+  dispatcher.RegisterMethod(
+      "fail", [](const Slice&, std::string*) {
+        return Status::InvalidArgument("nope");
+      });
+  ASSERT_TRUE(net.Register("server",
+                           [&](const Message& m) {
+                             dispatcher.HandleMessage(&net, "server", m);
+                           })
+                  .ok());
+
+  RpcClient client("client-1", &net);
+  std::string response;
+  ASSERT_TRUE(client.Call("server", "echo", "hello", &response).ok());
+  EXPECT_EQ(response, "echo:hello");
+
+  // Server-side errors propagate with code and message.
+  Status s = client.Call("server", "fail", "", &response);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "nope");
+
+  // Unknown method and unknown server.
+  EXPECT_TRUE(client.Call("server", "missing", "", &response).IsNotFound());
+  EXPECT_TRUE(
+      client.Call("ghost", "echo", "", &response, 200).IsTimedOut());
+}
+
+TEST(RpcTest, ConcurrentCallsCorrelate) {
+  SimNetworkOptions options;
+  options.min_latency_micros = 100;
+  options.max_latency_micros = 2000;  // responses arrive out of order
+  SimNetwork net(options);
+  RpcDispatcher dispatcher;
+  dispatcher.RegisterMethod("id", [](const Slice& request,
+                                     std::string* response) {
+    *response = request.ToString();
+    return Status::OK();
+  });
+  ASSERT_TRUE(net.Register("server",
+                           [&](const Message& m) {
+                             dispatcher.HandleMessage(&net, "server", m);
+                           })
+                  .ok());
+  RpcClient client("client-1", &net);
+  std::vector<std::thread> threads;
+  std::atomic<int> correct{0};
+  for (int i = 0; i < 16; i++) {
+    threads.emplace_back([&, i] {
+      std::string response;
+      if (client.Call("server", "id", std::to_string(i), &response).ok() &&
+          response == std::to_string(i)) {
+        correct++;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(correct.load(), 16);
+}
+
+TEST(RpcTest, ThinClientOverNetworkTransport) {
+  ScratchDir dir("rpc_thin");
+  SimNetwork net;
+  KeyStore keystore;
+  std::vector<std::string> ids = {"n0", "n1", "n2"};
+  for (const auto& id : ids) keystore.AddIdentity(id, "s-" + id);
+  keystore.AddIdentity("org1", "s-org1");
+
+  std::vector<std::unique_ptr<SebdbNode>> nodes;
+  for (const auto& id : ids) {
+    NodeOptions options;
+    options.node_id = id;
+    options.data_dir = dir.path() + "/" + id;
+    options.participants = ids;
+    options.consensus_options.max_batch_txns = 5;
+    options.consensus_options.batch_timeout_millis = 20;
+    options.gossip.interval_millis = 10;
+    auto node = std::make_unique<SebdbNode>(options, &keystore, nullptr);
+    ASSERT_TRUE(node->Start(&net).ok());
+    nodes.push_back(std::move(node));
+  }
+  ResultSet rs;
+  ASSERT_TRUE(nodes[0]->ExecuteSql("CREATE d (amount int)", {}, &rs).ok());
+  for (int i = 0; i < 20; i++) {
+    Transaction txn;
+    ASSERT_TRUE(nodes[0]
+                    ->MakeInsertTransaction("org1", "d", {Value::Int(i)},
+                                            &txn)
+                    .ok());
+    ASSERT_TRUE(nodes[0]->SubmitAndWait(std::move(txn)).ok());
+  }
+  uint64_t height = nodes[0]->chain().height();
+  for (auto& node : nodes) {
+    for (int i = 0; i < 1000 && node->chain().height() < height; i++) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GE(node->chain().height(), height);
+    ASSERT_TRUE(node->ExecuteSql("CREATE INDEX ON d(amount)", {}, &rs).ok());
+  }
+
+  // The thin client lives at its own network address; every call below is
+  // an RPC round trip through the simulated network.
+  ThinClient client(
+      std::make_unique<RpcThinTransport>("thin-client", &net, ids));
+  ASSERT_TRUE(client.SyncHeaders().ok());
+  EXPECT_EQ(client.num_headers(), height);
+
+  Schema schema;
+  ASSERT_TRUE(nodes[0]->chain().catalog()->GetSchema("d", &schema).ok());
+  Value lo = Value::Int(5), hi = Value::Int(9);
+  std::vector<Transaction> results;
+  AuthQueryStats stats;
+  ASSERT_TRUE(client
+                  .AuthRangeQuery("d", "amount", schema.ColumnIndex("amount"),
+                                  &lo, &hi, 2, 2, &results, &stats)
+                  .ok());
+  EXPECT_EQ(results.size(), 5u);
+
+  results.clear();
+  ASSERT_TRUE(
+      client.AuthTraceQuery(true, "org1", 2, 2, &results, &stats).ok());
+  EXPECT_EQ(results.size(), 20u);
+
+  results.clear();
+  ASSERT_TRUE(
+      client.AuthTraceTwoDimQuery("org1", "d", 2, 2, &results, &stats).ok());
+  EXPECT_EQ(results.size(), 20u);
+
+  // Basic approach over the wire too.
+  std::vector<Transaction> basic;
+  AuthQueryStats basic_stats;
+  ASSERT_TRUE(client
+                  .BasicRangeQuery("d", schema.ColumnIndex("amount"), &lo,
+                                   &hi, &basic, &basic_stats)
+                  .ok());
+  EXPECT_EQ(basic.size(), 5u);
+
+  for (auto& node : nodes) node->Stop();
+}
+
+TEST(RpcTest, PartitionedServerTimesOut) {
+  ScratchDir dir("rpc_partition");
+  SimNetwork net;
+  KeyStore keystore;
+  keystore.AddIdentity("n0", "s");
+  NodeOptions options;
+  options.node_id = "n0";
+  options.data_dir = dir.path() + "/n0";
+  options.participants = {"n0"};
+  options.enable_gossip = false;
+  SebdbNode node(options, &keystore, nullptr);
+  ASSERT_TRUE(node.Start(&net).ok());
+
+  RpcThinTransport transport("thin", &net, {"n0"},
+                             /*call_timeout_millis=*/300);
+  net.SetLinkDown("thin", "n0", true);
+  std::vector<BlockHeader> headers;
+  EXPECT_TRUE(transport.GetHeaders("n0", 0, &headers).IsTimedOut());
+  net.SetLinkDown("thin", "n0", false);
+  EXPECT_TRUE(transport.GetHeaders("n0", 0, &headers).ok());
+  EXPECT_EQ(headers.size(), 1u);  // genesis
+  node.Stop();
+}
+
+}  // namespace
+}  // namespace sebdb

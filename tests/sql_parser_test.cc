@@ -1,0 +1,273 @@
+// Tests for the lexer and parser, covering every statement form in the
+// paper's Table II (Q1–Q7) plus error cases.
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace sebdb {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(
+      Tokenize("SELECT * FROM donate WHERE amount >= 10.5", &tokens).ok());
+  ASSERT_EQ(tokens.size(), 9u);  // incl. kEnd
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsSymbol("*"));
+  EXPECT_TRUE(tokens[2].IsKeyword("FROM"));
+  EXPECT_EQ(tokens[3].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[3].text, "donate");
+  EXPECT_TRUE(tokens[5].type == TokenType::kIdentifier);
+  EXPECT_TRUE(tokens[6].IsOperator(">="));
+  EXPECT_EQ(tokens[7].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[8].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, StringsAndEscapes) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Tokenize("'it''s' \"double\"", &tokens).ok());
+  EXPECT_EQ(tokens[0].text, "it's");
+  EXPECT_EQ(tokens[1].text, "double");
+  EXPECT_FALSE(Tokenize("'unterminated", &tokens).ok());
+}
+
+TEST(LexerTest, OperatorsAndParameters) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Tokenize("a <> b != c <= d ? ;", &tokens).ok());
+  EXPECT_TRUE(tokens[1].IsOperator("!="));  // <> normalized
+  EXPECT_TRUE(tokens[3].IsOperator("!="));
+  EXPECT_TRUE(tokens[5].IsOperator("<="));
+  EXPECT_EQ(tokens[7].type, TokenType::kParameter);
+  EXPECT_TRUE(Tokenize("a ! b", &tokens).IsInvalidArgument());
+  EXPECT_TRUE(Tokenize("a # b", &tokens).IsInvalidArgument());
+}
+
+TEST(LexerTest, NegativeNumbers) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Tokenize("VALUES (-5, -2.5)", &tokens).ok());
+  EXPECT_EQ(tokens[2].text, "-5");
+  EXPECT_EQ(tokens[2].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[4].text, "-2.5");
+  EXPECT_EQ(tokens[4].type, TokenType::kNumber);
+}
+
+TEST(ParserTest, CreateTablePaperSyntax) {
+  // The paper's example omits the TABLE keyword.
+  StatementPtr stmt;
+  ASSERT_TRUE(ParseStatement(
+                  "CREATE Donate (donor string, project string, amount "
+                  "decimal)",
+                  &stmt)
+                  .ok());
+  const auto& create = std::get<CreateTableStmt>(stmt->node);
+  EXPECT_EQ(create.table, "donate");
+  ASSERT_EQ(create.columns.size(), 3u);
+  EXPECT_EQ(create.columns[0].name, "donor");
+  EXPECT_EQ(create.columns[2].type, ValueType::kDecimal);
+
+  // With TABLE is fine too.
+  ASSERT_TRUE(
+      ParseStatement("CREATE TABLE t (a int, b timestamp);", &stmt).ok());
+}
+
+TEST(ParserTest, CreateIndexVariants) {
+  StatementPtr stmt;
+  ASSERT_TRUE(ParseStatement("CREATE INDEX ON donate(amount)", &stmt).ok());
+  auto* index = std::get_if<CreateIndexStmt>(&stmt->node);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->table, "donate");
+  EXPECT_EQ(index->column, "amount");
+  EXPECT_FALSE(index->discrete);
+
+  ASSERT_TRUE(
+      ParseStatement("CREATE DISCRETE INDEX ON t(organization)", &stmt).ok());
+  EXPECT_TRUE(std::get<CreateIndexStmt>(stmt->node).discrete);
+
+  ASSERT_TRUE(ParseStatement("CREATE LAYERED INDEX ON t(c)", &stmt).ok());
+}
+
+TEST(ParserTest, InsertQ1) {
+  StatementPtr stmt;
+  ASSERT_TRUE(
+      ParseStatement("INSERT INTO donate VALUES(?,?,?);", &stmt).ok());
+  const auto& insert = std::get<InsertStmt>(stmt->node);
+  EXPECT_EQ(insert.table, "donate");
+  ASSERT_EQ(insert.rows.size(), 1u);
+  ASSERT_EQ(insert.rows[0].size(), 3u);
+  EXPECT_EQ(std::get<Parameter>(insert.rows[0][0]->node).index, 0);
+  EXPECT_EQ(std::get<Parameter>(insert.rows[0][2]->node).index, 2);
+
+  ASSERT_TRUE(ParseStatement(
+                  "INSERT INTO Donate VALUES ('Jack', 'Education', 100)",
+                  &stmt)
+                  .ok());
+  const auto& literal_insert = std::get<InsertStmt>(stmt->node);
+  EXPECT_EQ(
+      std::get<Literal>(literal_insert.rows[0][0]->node).value.AsString(),
+      "Jack");
+  EXPECT_EQ(std::get<Literal>(literal_insert.rows[0][2]->node).value.AsInt(),
+            100);
+
+  // Multi-row insert.
+  ASSERT_TRUE(
+      ParseStatement("INSERT INTO t VALUES (1), (2), (3)", &stmt).ok());
+  EXPECT_EQ(std::get<InsertStmt>(stmt->node).rows.size(), 3u);
+}
+
+TEST(ParserTest, TraceQ2AndQ3) {
+  StatementPtr stmt;
+  ASSERT_TRUE(ParseStatement("TRACE OPERATOR = 'org1';", &stmt).ok());
+  const auto& q2 = std::get<TraceStmt>(stmt->node);
+  EXPECT_FALSE(q2.window.has_value());
+  ASSERT_NE(q2.operator_id, nullptr);
+  EXPECT_EQ(q2.operation, nullptr);
+
+  ASSERT_TRUE(ParseStatement(
+                  "TRACE [100, 200] OPERATOR = 'org1', OPERATION = "
+                  "'transfer';",
+                  &stmt)
+                  .ok());
+  const auto& q3 = std::get<TraceStmt>(stmt->node);
+  ASSERT_TRUE(q3.window.has_value());
+  ASSERT_NE(q3.operator_id, nullptr);
+  ASSERT_NE(q3.operation, nullptr);
+
+  EXPECT_FALSE(ParseStatement("TRACE [1, 2]", &stmt).ok());  // no dimension
+}
+
+TEST(ParserTest, RangeSelectQ4) {
+  StatementPtr stmt;
+  ASSERT_TRUE(ParseStatement(
+                  "SELECT * FROM donate WHERE amount BETWEEN ? AND ?;", &stmt)
+                  .ok());
+  const auto& select = std::get<SelectStmt>(stmt->node);
+  EXPECT_TRUE(select.star);
+  ASSERT_EQ(select.tables.size(), 1u);
+  EXPECT_EQ(select.tables[0].name, "donate");
+  ASSERT_NE(select.where, nullptr);
+  const auto& between = std::get<BetweenExpr>(select.where->node);
+  EXPECT_EQ(between.column.column, "amount");
+}
+
+TEST(ParserTest, OnChainJoinQ5) {
+  StatementPtr stmt;
+  ASSERT_TRUE(ParseStatement(
+                  "SELECT * FROM transfer, distribute ON "
+                  "transfer.organization = distribute.organization;",
+                  &stmt)
+                  .ok());
+  const auto& select = std::get<SelectStmt>(stmt->node);
+  ASSERT_EQ(select.tables.size(), 2u);
+  EXPECT_FALSE(select.tables[0].offchain);
+  ASSERT_TRUE(select.join.has_value());
+  EXPECT_EQ(select.join->left.table, "transfer");
+  EXPECT_EQ(select.join->right.column, "organization");
+}
+
+TEST(ParserTest, OnOffJoinQ6) {
+  StatementPtr stmt;
+  ASSERT_TRUE(ParseStatement(
+                  "SELECT * FROM onchain.distribute, offchain.donorinfo ON "
+                  "distribute.donee = donorinfo.donee;",
+                  &stmt)
+                  .ok());
+  const auto& select = std::get<SelectStmt>(stmt->node);
+  ASSERT_EQ(select.tables.size(), 2u);
+  EXPECT_FALSE(select.tables[0].offchain);
+  EXPECT_EQ(select.tables[0].name, "distribute");
+  EXPECT_TRUE(select.tables[1].offchain);
+  EXPECT_EQ(select.tables[1].name, "donorinfo");
+}
+
+TEST(ParserTest, GetBlockQ7) {
+  StatementPtr stmt;
+  ASSERT_TRUE(ParseStatement("GET BLOCK ID=?;", &stmt).ok());
+  EXPECT_EQ(std::get<GetBlockStmt>(stmt->node).by, GetBlockStmt::By::kId);
+  ASSERT_TRUE(ParseStatement("GET BLOCK TID = 42", &stmt).ok());
+  EXPECT_EQ(std::get<GetBlockStmt>(stmt->node).by, GetBlockStmt::By::kTid);
+  ASSERT_TRUE(ParseStatement("GET BLOCK TS = 1000", &stmt).ok());
+  EXPECT_EQ(std::get<GetBlockStmt>(stmt->node).by, GetBlockStmt::By::kTs);
+  EXPECT_FALSE(ParseStatement("GET BLOCK HASH = 1", &stmt).ok());
+}
+
+TEST(ParserTest, SelectWithWindowAndProjection) {
+  StatementPtr stmt;
+  ASSERT_TRUE(ParseStatement(
+                  "SELECT donor, amount FROM donate WHERE amount > 10 "
+                  "WINDOW [0, 1000]",
+                  &stmt)
+                  .ok());
+  const auto& select = std::get<SelectStmt>(stmt->node);
+  EXPECT_FALSE(select.star);
+  ASSERT_EQ(select.projection.size(), 2u);
+  EXPECT_EQ(select.projection[1].column, "amount");
+  EXPECT_TRUE(select.window.has_value());
+}
+
+TEST(ParserTest, WherePrecedenceAndOr) {
+  StatementPtr stmt;
+  ASSERT_TRUE(ParseStatement(
+                  "SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3", &stmt)
+                  .ok());
+  const auto& select = std::get<SelectStmt>(stmt->node);
+  const auto& top = std::get<BinaryExpr>(select.where->node);
+  EXPECT_EQ(top.op, BinaryOp::kOr);  // OR binds loosest
+  const auto& left = std::get<BinaryExpr>(top.left->node);
+  EXPECT_EQ(left.op, BinaryOp::kAnd);
+
+  ASSERT_TRUE(ParseStatement(
+                  "SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)", &stmt)
+                  .ok());
+  const auto& p = std::get<SelectStmt>(stmt->node);
+  EXPECT_EQ(std::get<BinaryExpr>(p.where->node).op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ExplainWraps) {
+  StatementPtr stmt;
+  ASSERT_TRUE(ParseStatement("EXPLAIN SELECT * FROM t", &stmt).ok());
+  const auto& explain = std::get<ExplainStmt>(stmt->node);
+  EXPECT_TRUE(std::holds_alternative<SelectStmt>(explain.inner->node));
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  StatementPtr stmt;
+  Status s = ParseStatement("SELECT FROM", &stmt);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("position"), std::string::npos);
+  EXPECT_FALSE(ParseStatement("", &stmt).ok());
+  EXPECT_FALSE(ParseStatement("DELETE FROM t", &stmt).ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t extra garbage", &stmt).ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO t VALUES (1", &stmt).ok());
+  EXPECT_FALSE(ParseStatement("CREATE t (a blob)", &stmt).ok());
+  EXPECT_FALSE(
+      ParseStatement("SELECT * FROM a, b ON a.x < b.y", &stmt).ok());
+}
+
+TEST(ParserTest, ParameterNumbering) {
+  StatementPtr stmt;
+  ASSERT_TRUE(ParseStatement(
+                  "SELECT * FROM t WHERE a = ? AND b BETWEEN ? AND ?", &stmt)
+                  .ok());
+  const auto& select = std::get<SelectStmt>(stmt->node);
+  const auto& top = std::get<BinaryExpr>(select.where->node);
+  const auto& eq = std::get<BinaryExpr>(top.left->node);
+  EXPECT_EQ(std::get<Parameter>(eq.right->node).index, 0);
+  const auto& between = std::get<BetweenExpr>(top.right->node);
+  EXPECT_EQ(std::get<Parameter>(between.lo->node).index, 1);
+  EXPECT_EQ(std::get<Parameter>(between.hi->node).index, 2);
+}
+
+TEST(ParserTest, ExprToString) {
+  StatementPtr stmt;
+  ASSERT_TRUE(ParseStatement(
+                  "SELECT * FROM t WHERE a.x = 'v' AND n BETWEEN 1 AND 2",
+                  &stmt)
+                  .ok());
+  const auto& select = std::get<SelectStmt>(stmt->node);
+  EXPECT_EQ(select.where->ToString(),
+            "((a.x = 'v') AND (n BETWEEN 1 AND 2))");
+}
+
+}  // namespace
+}  // namespace sebdb
