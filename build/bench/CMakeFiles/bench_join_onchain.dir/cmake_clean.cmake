@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_onchain.dir/bench_join_onchain.cc.o"
+  "CMakeFiles/bench_join_onchain.dir/bench_join_onchain.cc.o.d"
+  "bench_join_onchain"
+  "bench_join_onchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_onchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_onoff.dir/bench_join_onoff.cc.o"
+  "CMakeFiles/bench_join_onoff.dir/bench_join_onoff.cc.o.d"
+  "bench_join_onoff"
+  "bench_join_onoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_onoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tracking2d.dir/bench_tracking2d.cc.o"
+  "CMakeFiles/bench_tracking2d.dir/bench_tracking2d.cc.o.d"
+  "bench_tracking2d"
+  "bench_tracking2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracking2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_chainsql.dir/bench_vs_chainsql.cc.o"
+  "CMakeFiles/bench_vs_chainsql.dir/bench_vs_chainsql.cc.o.d"
+  "bench_vs_chainsql"
+  "bench_vs_chainsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_chainsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

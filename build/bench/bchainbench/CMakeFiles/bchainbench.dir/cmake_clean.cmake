@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bchainbench.dir/bench_chain.cc.o"
+  "CMakeFiles/bchainbench.dir/bench_chain.cc.o.d"
+  "libbchainbench.a"
+  "libbchainbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bchainbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

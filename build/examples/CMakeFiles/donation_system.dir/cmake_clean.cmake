@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/donation_system.dir/donation_system.cpp.o"
+  "CMakeFiles/donation_system.dir/donation_system.cpp.o.d"
+  "donation_system"
+  "donation_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/donation_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

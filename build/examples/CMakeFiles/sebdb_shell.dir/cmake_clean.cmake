@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sebdb_shell.dir/sebdb_shell.cpp.o"
+  "CMakeFiles/sebdb_shell.dir/sebdb_shell.cpp.o.d"
+  "sebdb_shell"
+  "sebdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sebdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

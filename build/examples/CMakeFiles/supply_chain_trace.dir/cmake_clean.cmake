@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supply_chain_trace.dir/supply_chain_trace.cpp.o"
+  "CMakeFiles/supply_chain_trace.dir/supply_chain_trace.cpp.o.d"
+  "supply_chain_trace"
+  "supply_chain_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supply_chain_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

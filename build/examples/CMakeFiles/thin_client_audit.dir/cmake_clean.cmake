@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thin_client_audit.dir/thin_client_audit.cpp.o"
+  "CMakeFiles/thin_client_audit.dir/thin_client_audit.cpp.o.d"
+  "thin_client_audit"
+  "thin_client_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thin_client_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

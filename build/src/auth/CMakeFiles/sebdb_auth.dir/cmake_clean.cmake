@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sebdb_auth.dir/ali.cc.o"
+  "CMakeFiles/sebdb_auth.dir/ali.cc.o.d"
+  "CMakeFiles/sebdb_auth.dir/credibility.cc.o"
+  "CMakeFiles/sebdb_auth.dir/credibility.cc.o.d"
+  "CMakeFiles/sebdb_auth.dir/mbtree.cc.o"
+  "CMakeFiles/sebdb_auth.dir/mbtree.cc.o.d"
+  "libsebdb_auth.a"
+  "libsebdb_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sebdb_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sebdb_auth.
+# This may be replaced when dependencies are built.

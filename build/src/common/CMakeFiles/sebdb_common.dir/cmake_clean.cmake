@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sebdb_common.dir/bitmap.cc.o"
+  "CMakeFiles/sebdb_common.dir/bitmap.cc.o.d"
+  "CMakeFiles/sebdb_common.dir/clock.cc.o"
+  "CMakeFiles/sebdb_common.dir/clock.cc.o.d"
+  "CMakeFiles/sebdb_common.dir/coding.cc.o"
+  "CMakeFiles/sebdb_common.dir/coding.cc.o.d"
+  "CMakeFiles/sebdb_common.dir/crc32.cc.o"
+  "CMakeFiles/sebdb_common.dir/crc32.cc.o.d"
+  "CMakeFiles/sebdb_common.dir/sha256.cc.o"
+  "CMakeFiles/sebdb_common.dir/sha256.cc.o.d"
+  "CMakeFiles/sebdb_common.dir/status.cc.o"
+  "CMakeFiles/sebdb_common.dir/status.cc.o.d"
+  "libsebdb_common.a"
+  "libsebdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sebdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/engine.cc" "src/consensus/CMakeFiles/sebdb_consensus.dir/engine.cc.o" "gcc" "src/consensus/CMakeFiles/sebdb_consensus.dir/engine.cc.o.d"
+  "/root/repo/src/consensus/kafka_orderer.cc" "src/consensus/CMakeFiles/sebdb_consensus.dir/kafka_orderer.cc.o" "gcc" "src/consensus/CMakeFiles/sebdb_consensus.dir/kafka_orderer.cc.o.d"
+  "/root/repo/src/consensus/pbft.cc" "src/consensus/CMakeFiles/sebdb_consensus.dir/pbft.cc.o" "gcc" "src/consensus/CMakeFiles/sebdb_consensus.dir/pbft.cc.o.d"
+  "/root/repo/src/consensus/tendermint.cc" "src/consensus/CMakeFiles/sebdb_consensus.dir/tendermint.cc.o" "gcc" "src/consensus/CMakeFiles/sebdb_consensus.dir/tendermint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/network/CMakeFiles/sebdb_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/sebdb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sebdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sebdb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

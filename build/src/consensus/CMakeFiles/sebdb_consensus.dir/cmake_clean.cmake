@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sebdb_consensus.dir/engine.cc.o"
+  "CMakeFiles/sebdb_consensus.dir/engine.cc.o.d"
+  "CMakeFiles/sebdb_consensus.dir/kafka_orderer.cc.o"
+  "CMakeFiles/sebdb_consensus.dir/kafka_orderer.cc.o.d"
+  "CMakeFiles/sebdb_consensus.dir/pbft.cc.o"
+  "CMakeFiles/sebdb_consensus.dir/pbft.cc.o.d"
+  "CMakeFiles/sebdb_consensus.dir/tendermint.cc.o"
+  "CMakeFiles/sebdb_consensus.dir/tendermint.cc.o.d"
+  "libsebdb_consensus.a"
+  "libsebdb_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sebdb_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

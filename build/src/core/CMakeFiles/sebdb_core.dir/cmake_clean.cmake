@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sebdb_core.dir/access_control.cc.o"
+  "CMakeFiles/sebdb_core.dir/access_control.cc.o.d"
+  "CMakeFiles/sebdb_core.dir/chain_manager.cc.o"
+  "CMakeFiles/sebdb_core.dir/chain_manager.cc.o.d"
+  "CMakeFiles/sebdb_core.dir/chainsql_baseline.cc.o"
+  "CMakeFiles/sebdb_core.dir/chainsql_baseline.cc.o.d"
+  "CMakeFiles/sebdb_core.dir/node.cc.o"
+  "CMakeFiles/sebdb_core.dir/node.cc.o.d"
+  "CMakeFiles/sebdb_core.dir/procedure.cc.o"
+  "CMakeFiles/sebdb_core.dir/procedure.cc.o.d"
+  "CMakeFiles/sebdb_core.dir/signer.cc.o"
+  "CMakeFiles/sebdb_core.dir/signer.cc.o.d"
+  "CMakeFiles/sebdb_core.dir/thin_client.cc.o"
+  "CMakeFiles/sebdb_core.dir/thin_client.cc.o.d"
+  "CMakeFiles/sebdb_core.dir/thin_client_transport.cc.o"
+  "CMakeFiles/sebdb_core.dir/thin_client_transport.cc.o.d"
+  "libsebdb_core.a"
+  "libsebdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sebdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/bitmap_index.cc" "src/index/CMakeFiles/sebdb_index.dir/bitmap_index.cc.o" "gcc" "src/index/CMakeFiles/sebdb_index.dir/bitmap_index.cc.o.d"
+  "/root/repo/src/index/block_index.cc" "src/index/CMakeFiles/sebdb_index.dir/block_index.cc.o" "gcc" "src/index/CMakeFiles/sebdb_index.dir/block_index.cc.o.d"
+  "/root/repo/src/index/histogram.cc" "src/index/CMakeFiles/sebdb_index.dir/histogram.cc.o" "gcc" "src/index/CMakeFiles/sebdb_index.dir/histogram.cc.o.d"
+  "/root/repo/src/index/layered_index.cc" "src/index/CMakeFiles/sebdb_index.dir/layered_index.cc.o" "gcc" "src/index/CMakeFiles/sebdb_index.dir/layered_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/sebdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/sebdb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sebdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sebdb_index.dir/bitmap_index.cc.o"
+  "CMakeFiles/sebdb_index.dir/bitmap_index.cc.o.d"
+  "CMakeFiles/sebdb_index.dir/block_index.cc.o"
+  "CMakeFiles/sebdb_index.dir/block_index.cc.o.d"
+  "CMakeFiles/sebdb_index.dir/histogram.cc.o"
+  "CMakeFiles/sebdb_index.dir/histogram.cc.o.d"
+  "CMakeFiles/sebdb_index.dir/layered_index.cc.o"
+  "CMakeFiles/sebdb_index.dir/layered_index.cc.o.d"
+  "libsebdb_index.a"
+  "libsebdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sebdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

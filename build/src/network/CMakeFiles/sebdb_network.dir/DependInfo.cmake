@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/gossip.cc" "src/network/CMakeFiles/sebdb_network.dir/gossip.cc.o" "gcc" "src/network/CMakeFiles/sebdb_network.dir/gossip.cc.o.d"
+  "/root/repo/src/network/rpc.cc" "src/network/CMakeFiles/sebdb_network.dir/rpc.cc.o" "gcc" "src/network/CMakeFiles/sebdb_network.dir/rpc.cc.o.d"
+  "/root/repo/src/network/sim_network.cc" "src/network/CMakeFiles/sebdb_network.dir/sim_network.cc.o" "gcc" "src/network/CMakeFiles/sebdb_network.dir/sim_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/sebdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sebdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/sebdb_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sebdb_network.dir/gossip.cc.o"
+  "CMakeFiles/sebdb_network.dir/gossip.cc.o.d"
+  "CMakeFiles/sebdb_network.dir/rpc.cc.o"
+  "CMakeFiles/sebdb_network.dir/rpc.cc.o.d"
+  "CMakeFiles/sebdb_network.dir/sim_network.cc.o"
+  "CMakeFiles/sebdb_network.dir/sim_network.cc.o.d"
+  "libsebdb_network.a"
+  "libsebdb_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sebdb_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

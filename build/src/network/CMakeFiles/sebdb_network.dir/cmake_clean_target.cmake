@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsebdb_network.a"
+)

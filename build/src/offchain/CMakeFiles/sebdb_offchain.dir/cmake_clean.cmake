@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sebdb_offchain.dir/offchain_db.cc.o"
+  "CMakeFiles/sebdb_offchain.dir/offchain_db.cc.o.d"
+  "libsebdb_offchain.a"
+  "libsebdb_offchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sebdb_offchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

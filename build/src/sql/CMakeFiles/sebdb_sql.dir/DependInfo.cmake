@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/catalog.cc" "src/sql/CMakeFiles/sebdb_sql.dir/catalog.cc.o" "gcc" "src/sql/CMakeFiles/sebdb_sql.dir/catalog.cc.o.d"
+  "/root/repo/src/sql/cost_model.cc" "src/sql/CMakeFiles/sebdb_sql.dir/cost_model.cc.o" "gcc" "src/sql/CMakeFiles/sebdb_sql.dir/cost_model.cc.o.d"
+  "/root/repo/src/sql/eval.cc" "src/sql/CMakeFiles/sebdb_sql.dir/eval.cc.o" "gcc" "src/sql/CMakeFiles/sebdb_sql.dir/eval.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/sebdb_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/sebdb_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/executor_join.cc" "src/sql/CMakeFiles/sebdb_sql.dir/executor_join.cc.o" "gcc" "src/sql/CMakeFiles/sebdb_sql.dir/executor_join.cc.o.d"
+  "/root/repo/src/sql/index_set.cc" "src/sql/CMakeFiles/sebdb_sql.dir/index_set.cc.o" "gcc" "src/sql/CMakeFiles/sebdb_sql.dir/index_set.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/sebdb_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/sebdb_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/sebdb_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/sebdb_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/result.cc" "src/sql/CMakeFiles/sebdb_sql.dir/result.cc.o" "gcc" "src/sql/CMakeFiles/sebdb_sql.dir/result.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/auth/CMakeFiles/sebdb_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sebdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/offchain/CMakeFiles/sebdb_offchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sebdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/sebdb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sebdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sebdb_sql.dir/catalog.cc.o"
+  "CMakeFiles/sebdb_sql.dir/catalog.cc.o.d"
+  "CMakeFiles/sebdb_sql.dir/cost_model.cc.o"
+  "CMakeFiles/sebdb_sql.dir/cost_model.cc.o.d"
+  "CMakeFiles/sebdb_sql.dir/eval.cc.o"
+  "CMakeFiles/sebdb_sql.dir/eval.cc.o.d"
+  "CMakeFiles/sebdb_sql.dir/executor.cc.o"
+  "CMakeFiles/sebdb_sql.dir/executor.cc.o.d"
+  "CMakeFiles/sebdb_sql.dir/executor_join.cc.o"
+  "CMakeFiles/sebdb_sql.dir/executor_join.cc.o.d"
+  "CMakeFiles/sebdb_sql.dir/index_set.cc.o"
+  "CMakeFiles/sebdb_sql.dir/index_set.cc.o.d"
+  "CMakeFiles/sebdb_sql.dir/lexer.cc.o"
+  "CMakeFiles/sebdb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/sebdb_sql.dir/parser.cc.o"
+  "CMakeFiles/sebdb_sql.dir/parser.cc.o.d"
+  "CMakeFiles/sebdb_sql.dir/result.cc.o"
+  "CMakeFiles/sebdb_sql.dir/result.cc.o.d"
+  "libsebdb_sql.a"
+  "libsebdb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sebdb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

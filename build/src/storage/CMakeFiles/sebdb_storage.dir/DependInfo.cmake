@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block.cc" "src/storage/CMakeFiles/sebdb_storage.dir/block.cc.o" "gcc" "src/storage/CMakeFiles/sebdb_storage.dir/block.cc.o.d"
+  "/root/repo/src/storage/block_store.cc" "src/storage/CMakeFiles/sebdb_storage.dir/block_store.cc.o" "gcc" "src/storage/CMakeFiles/sebdb_storage.dir/block_store.cc.o.d"
+  "/root/repo/src/storage/file.cc" "src/storage/CMakeFiles/sebdb_storage.dir/file.cc.o" "gcc" "src/storage/CMakeFiles/sebdb_storage.dir/file.cc.o.d"
+  "/root/repo/src/storage/merkle_tree.cc" "src/storage/CMakeFiles/sebdb_storage.dir/merkle_tree.cc.o" "gcc" "src/storage/CMakeFiles/sebdb_storage.dir/merkle_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/sebdb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sebdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sebdb_storage.dir/block.cc.o"
+  "CMakeFiles/sebdb_storage.dir/block.cc.o.d"
+  "CMakeFiles/sebdb_storage.dir/block_store.cc.o"
+  "CMakeFiles/sebdb_storage.dir/block_store.cc.o.d"
+  "CMakeFiles/sebdb_storage.dir/file.cc.o"
+  "CMakeFiles/sebdb_storage.dir/file.cc.o.d"
+  "CMakeFiles/sebdb_storage.dir/merkle_tree.cc.o"
+  "CMakeFiles/sebdb_storage.dir/merkle_tree.cc.o.d"
+  "libsebdb_storage.a"
+  "libsebdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sebdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

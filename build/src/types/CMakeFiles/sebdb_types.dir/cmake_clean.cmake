@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sebdb_types.dir/schema.cc.o"
+  "CMakeFiles/sebdb_types.dir/schema.cc.o.d"
+  "CMakeFiles/sebdb_types.dir/transaction.cc.o"
+  "CMakeFiles/sebdb_types.dir/transaction.cc.o.d"
+  "CMakeFiles/sebdb_types.dir/value.cc.o"
+  "CMakeFiles/sebdb_types.dir/value.cc.o.d"
+  "libsebdb_types.a"
+  "libsebdb_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sebdb_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sebdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sebdb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/sebdb_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/sebdb_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/sebdb_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/offchain/CMakeFiles/sebdb_offchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sebdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sebdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/sebdb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sebdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchain_test.dir/offchain_test.cc.o"
+  "CMakeFiles/offchain_test.dir/offchain_test.cc.o.d"
+  "offchain_test"
+  "offchain_test.pdb"
+  "offchain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[BChainBenchIntegrationTest.AllSevenQueries]=]  /root/repo/build/tests/integration_test [==[--gtest_filter=BChainBenchIntegrationTest.AllSevenQueries]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[BChainBenchIntegrationTest.AllSevenQueries]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_test_TESTS BChainBenchIntegrationTest.AllSevenQueries)
