@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build and test both the plain and the ASan+UBSan trees.
+#
+#   scripts/check.sh            # both presets
+#   scripts/check.sh default    # plain build only
+#   scripts/check.sh asan-ubsan # sanitized build only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan-ubsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "=== preset: ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  ctest --preset "${preset}" -j "$(nproc)"
+done

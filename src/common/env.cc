@@ -1,0 +1,237 @@
+#include "common/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sebdb {
+
+namespace {
+
+Status PosixError(const std::string& context) {
+  return Status::IOError(context + ": " + strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+  ~PosixWritableFile() override { Close(); }
+
+  Status Append(const Slice& data) override {
+    if (fd_ < 0) return Status::IOError("append to closed file");
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("write " + path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+      size_ += static_cast<uint64_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("sync of closed file");
+    if (::fdatasync(fd_) != 0) return PosixError("fdatasync " + path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int r = ::close(fd_);
+    fd_ = -1;
+    if (r != 0) return PosixError("close " + path_);
+    return Status::OK();
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  uint64_t size_;
+  std::string path_;
+};
+
+class PosixReadableFile : public ReadableFile {
+ public:
+  PosixReadableFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+  ~PosixReadableFile() override { Close(); }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    if (fd_ < 0) return Status::IOError("read from closed file");
+    out->resize(n);
+    char* p = out->data();
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, p + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("pread " + path_);
+      }
+      if (r == 0) break;  // end of file: return the short prefix
+      got += static_cast<size_t>(r);
+    }
+    out->resize(got);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int r = ::close(fd_);
+    fd_ = -1;
+    if (r != 0) return PosixError("close " + path_);
+    return Status::OK();
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  mutable int fd_;
+  uint64_t size_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return PosixError("open " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Status s = PosixError("fstat " + path);
+      ::close(fd);
+      return s;
+    }
+    *out = std::make_unique<PosixWritableFile>(
+        fd, static_cast<uint64_t>(st.st_size), path);
+    return Status::OK();
+  }
+
+  Status NewReadableFile(const std::string& path,
+                         std::unique_ptr<ReadableFile>* out) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError("open " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Status s = PosixError("fstat " + path);
+      ::close(fd);
+      return s;
+    }
+    *out = std::make_unique<PosixReadableFile>(
+        fd, static_cast<uint64_t>(st.st_size), path);
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    std::string partial;
+    size_t i = 0;
+    while (i < path.size()) {
+      size_t next = path.find('/', i + 1);
+      if (next == std::string::npos) next = path.size();
+      partial = path.substr(0, next);
+      if (!partial.empty() && partial != "/") {
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+          return PosixError("mkdir " + partial);
+        }
+      }
+      i = next;
+    }
+    return Status::OK();
+  }
+
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* out) override {
+    out->clear();
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return PosixError("opendir " + path);
+    struct dirent* entry;
+    while ((entry = ::readdir(dir)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      out->push_back(std::move(name));
+    }
+    ::closedir(dir);
+    return Status::OK();
+  }
+
+  Status RemoveDirRecursive(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      if (errno == ENOENT) return Status::OK();
+      return PosixError("opendir " + path);
+    }
+    struct dirent* entry;
+    Status result;
+    while ((entry = ::readdir(dir)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      std::string child = path + "/" + name;
+      struct stat st;
+      if (::lstat(child.c_str(), &st) != 0) {
+        result = PosixError("lstat " + child);
+        break;
+      }
+      if (S_ISDIR(st.st_mode)) {
+        result = RemoveDirRecursive(child);
+        if (!result.ok()) break;
+      } else if (::unlink(child.c_str()) != 0) {
+        result = PosixError("unlink " + child);
+        break;
+      }
+    }
+    ::closedir(dir);
+    if (!result.ok()) return result;
+    if (::rmdir(path.c_str()) != 0) return PosixError("rmdir " + path);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return PosixError("unlink " + path);
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return PosixError("truncate " + path);
+    }
+    return Status::OK();
+  }
+
+  Status FileSize(const std::string& path, uint64_t* size) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return PosixError("stat " + path);
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError("open dir " + path);
+    Status s;
+    if (::fsync(fd) != 0) s = PosixError("fsync dir " + path);
+    ::close(fd);
+    return s;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace sebdb

@@ -1,0 +1,71 @@
+// File-system seam (LevelDB Env idiom): every byte the storage layer writes
+// or reads goes through an Env, so tests can interpose fault injection
+// (torn writes, EIO, sync failures, crash points — see fault_env.h) without
+// touching the production code paths. Env::Default() is the real POSIX
+// implementation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace sebdb {
+
+/// Append-only output stream. Append buffers nothing: a returned OK means
+/// the bytes reached the kernel (durability still requires Sync).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const Slice& data) = 0;
+  /// fdatasync-equivalent; an error here means the file tail state on disk
+  /// is unknown (the caller must treat unacked records as lost).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+  /// Bytes successfully appended so far (existing bytes included at open).
+  virtual uint64_t size() const = 0;
+};
+
+/// Positional (pread-style) input stream.
+class ReadableFile {
+ public:
+  virtual ~ReadableFile() = default;
+  /// Reads up to n bytes at `offset` into *out; *out may come back shorter
+  /// than n only at end-of-file (or under injected short reads).
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+  virtual Status Close() = 0;
+  virtual uint64_t size() const = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment (never deleted).
+  static Env* Default();
+
+  /// Opens `path` for append, creating it if missing.
+  virtual Status NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* out) = 0;
+  virtual Status NewReadableFile(const std::string& path,
+                                 std::unique_ptr<ReadableFile>* out) = 0;
+
+  /// Recursively creates a directory (a la mkdir -p).
+  virtual Status CreateDirIfMissing(const std::string& path) = 0;
+  /// Lists entries in a directory (names only, unsorted).
+  virtual Status ListDir(const std::string& path,
+                         std::vector<std::string>* out) = 0;
+  /// Removes a directory tree (tests and benches use scratch dirs).
+  virtual Status RemoveDirRecursive(const std::string& path) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  /// Truncates `path` to `size` bytes (crash recovery drops torn tails).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  virtual Status FileSize(const std::string& path, uint64_t* size) = 0;
+  /// fsyncs the directory itself so freshly created files survive a crash.
+  virtual Status SyncDir(const std::string& path) = 0;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,217 @@
+#include "common/fault_env.h"
+
+namespace sebdb {
+
+namespace {
+
+Status InjectedCrash() {
+  return Status::IOError("injected crash: file system is down");
+}
+
+}  // namespace
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env), size_(base_->size()) {}
+
+  Status Append(const Slice& data) override {
+    size_t keep = data.size();
+    Status s = env_->OnWrite(data.size(), &keep);
+    if (keep > 0) {
+      // Persist the (possibly torn) prefix even when the op then "crashes":
+      // that is exactly what a kill mid-write leaves on disk.
+      Status ws = base_->Append(Slice(data.data(), keep));
+      if (!ws.ok()) return ws;
+    }
+    if (!s.ok()) return s;
+    size_ += data.size();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    Status s = env_->OnSync();
+    if (!s.ok()) return s;
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+  uint64_t size() const override { return size_; }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+  // Mirrors what the caller believes it wrote; diverges from the base file
+  // after a torn write, as it would for a buffered writer at crash time.
+  uint64_t size_;
+};
+
+class FaultReadableFile : public ReadableFile {
+ public:
+  FaultReadableFile(std::unique_ptr<ReadableFile> base, FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    size_t keep = n;
+    Status s = env_->OnRead(n, &keep);
+    if (!s.ok()) return s;
+    s = base_->Read(offset, keep, out);
+    if (!s.ok()) return s;
+    return Status::OK();
+  }
+
+  Status Close() override { return base_->Close(); }
+  uint64_t size() const override { return base_->size(); }
+
+ private:
+  std::unique_ptr<ReadableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+void FaultInjectionEnv::ScheduleCrash(uint64_t nth_write,
+                                      uint64_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_countdown_ = nth_write;
+  crash_keep_bytes_ = keep_bytes;
+}
+
+void FaultInjectionEnv::ResetCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+  crash_countdown_ = 0;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void FaultInjectionEnv::SetFailWrites(bool fail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_writes_ = fail;
+}
+
+void FaultInjectionEnv::SetFailSyncs(bool fail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_syncs_ = fail;
+}
+
+void FaultInjectionEnv::SetFailReads(bool fail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_reads_ = fail;
+}
+
+void FaultInjectionEnv::SetShortReads(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  short_reads_ = on;
+}
+
+FaultInjectionEnv::Stats FaultInjectionEnv::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status FaultInjectionEnv::OnWrite(size_t len, size_t* keep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.write_ops++;
+  *keep = len;
+  if (crashed_ || fail_writes_) {
+    *keep = 0;
+    stats_.injected_errors++;
+    return InjectedCrash();
+  }
+  if (crash_countdown_ > 0 && --crash_countdown_ == 0) {
+    crashed_ = true;
+    *keep = static_cast<size_t>(
+        crash_keep_bytes_ < len ? crash_keep_bytes_ : len);
+    if (*keep < len) stats_.torn_writes++;
+    stats_.injected_errors++;
+    return InjectedCrash();
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::OnSync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.sync_ops++;
+  if (crashed_ || fail_syncs_) {
+    stats_.injected_errors++;
+    return Status::IOError("injected sync failure");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::OnRead(size_t len, size_t* keep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *keep = len;
+  if (fail_reads_) {
+    stats_.injected_errors++;
+    return Status::IOError("injected read failure");
+  }
+  if (short_reads_ && len > 1) {
+    *keep = len / 2;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewWritableFile(const std::string& path,
+                                          std::unique_ptr<WritableFile>* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return InjectedCrash();
+  }
+  std::unique_ptr<WritableFile> base;
+  Status s = base_->NewWritableFile(path, &base);
+  if (!s.ok()) return s;
+  *out = std::make_unique<FaultWritableFile>(std::move(base), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewReadableFile(const std::string& path,
+                                          std::unique_ptr<ReadableFile>* out) {
+  std::unique_ptr<ReadableFile> base;
+  Status s = base_->NewReadableFile(path, &base);
+  if (!s.ok()) return s;
+  *out = std::make_unique<FaultReadableFile>(std::move(base), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDirIfMissing(const std::string& path) {
+  return base_->CreateDirIfMissing(path);
+}
+
+Status FaultInjectionEnv::ListDir(const std::string& path,
+                                  std::vector<std::string>* out) {
+  return base_->ListDir(path, out);
+}
+
+Status FaultInjectionEnv::RemoveDirRecursive(const std::string& path) {
+  return base_->RemoveDirRecursive(path);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return InjectedCrash();
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return InjectedCrash();
+  }
+  return base_->TruncateFile(path, size);
+}
+
+Status FaultInjectionEnv::FileSize(const std::string& path, uint64_t* size) {
+  return base_->FileSize(path, size);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  Status s = OnSync();
+  if (!s.ok()) return s;
+  return base_->SyncDir(path);
+}
+
+}  // namespace sebdb

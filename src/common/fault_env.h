@@ -1,0 +1,89 @@
+// Fault-injection Env wrapper (LevelDB FaultInjectionTestEnv idiom): wraps a
+// base Env and injects torn writes, EIO on read/write/sync, short reads, and
+// a crash-point counter. Used by the crash-loop tests to prove the block
+// store recovers from a kill at any write boundary.
+//
+// Crash model: ScheduleCrash(n, keep) arms a countdown; the n-th write
+// operation from now persists only its first `keep` bytes (a torn write),
+// and every subsequent write/sync/file-creation fails with IOError as if
+// the process had died. Reads keep working so a test can inspect state, but
+// a real restart is simulated by reopening the store against a clean Env on
+// the same directory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+
+namespace sebdb {
+
+class FaultInjectionEnv : public Env {
+ public:
+  struct Stats {
+    uint64_t write_ops = 0;    // Append calls observed
+    uint64_t sync_ops = 0;     // Sync calls observed
+    uint64_t torn_writes = 0;  // writes truncated by an injected crash
+    uint64_t injected_errors = 0;
+  };
+
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  /// Arms a crash at the n-th write op from now (n >= 1). That write
+  /// persists only its first `keep_bytes` bytes; later I/O fails.
+  void ScheduleCrash(uint64_t nth_write, uint64_t keep_bytes);
+  /// Clears the crashed state and any armed crash (simulated restart).
+  void ResetCrash();
+  bool crashed() const;
+
+  /// Unconditional failure knobs (EIO-style injections).
+  void SetFailWrites(bool fail);
+  void SetFailSyncs(bool fail);
+  void SetFailReads(bool fail);
+  /// When set, every read returns only the first half of the requested
+  /// bytes (a short read the caller must treat as an I/O failure).
+  void SetShortReads(bool on);
+
+  Stats stats() const;
+
+  // --- Env ---
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override;
+  Status NewReadableFile(const std::string& path,
+                         std::unique_ptr<ReadableFile>* out) override;
+  Status CreateDirIfMissing(const std::string& path) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* out) override;
+  Status RemoveDirRecursive(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status FileSize(const std::string& path, uint64_t* size) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultReadableFile;
+
+  /// Called by FaultWritableFile before each append. Returns the number of
+  /// bytes of this write to persist (== data size normally; less on the
+  /// crash-point write) or an error when already crashed / failing writes.
+  Status OnWrite(size_t len, size_t* keep);
+  Status OnSync();
+  Status OnRead(size_t len, size_t* keep);
+
+  Env* const base_;
+  mutable std::mutex mu_;
+  Stats stats_;
+  bool crashed_ = false;
+  bool fail_writes_ = false;
+  bool fail_syncs_ = false;
+  bool fail_reads_ = false;
+  bool short_reads_ = false;
+  uint64_t crash_countdown_ = 0;  // 0 = disarmed
+  uint64_t crash_keep_bytes_ = 0;
+};
+
+}  // namespace sebdb

@@ -24,6 +24,11 @@ struct ConsensusOptions {
   int64_t batch_timeout_millis = 200;
   /// Per-transaction admission check (signature verification etc.).
   std::function<Status(const Transaction&)> validator;
+  /// First batch sequence this engine assigns/delivers. A restarted node
+  /// passes its recovered chain height - 1 so new batches extend the chain
+  /// instead of colliding with already-applied heights (which the chain
+  /// manager would silently treat as duplicates).
+  uint64_t start_sequence = 0;
 };
 
 /// Called on each node, in strictly increasing `seq` (0, 1, 2, ...), with the

@@ -32,7 +32,10 @@ KafkaOrderer::KafkaOrderer(std::string node_id, std::string broker_id,
       participants_(std::move(participants)),
       network_(network),
       options_(std::move(options)),
-      commit_fn_(std::move(commit_fn)) {}
+      commit_fn_(std::move(commit_fn)) {
+  next_seq_ = options_.start_sequence;
+  next_deliver_seq_ = options_.start_sequence;
+}
 
 KafkaOrderer::~KafkaOrderer() { Stop(); }
 

@@ -44,7 +44,10 @@ PbftEngine::PbftEngine(std::string node_id,
       options_(std::move(options)),
       commit_fn_(std::move(commit_fn)),
       pbft_options_(pbft_options),
-      f_(static_cast<int>((participants_.size() - 1) / 3)) {}
+      f_(static_cast<int>((participants_.size() - 1) / 3)) {
+  next_seq_ = options_.start_sequence;
+  next_deliver_seq_ = options_.start_sequence;
+}
 
 PbftEngine::~PbftEngine() { Stop(); }
 

@@ -41,7 +41,9 @@ TendermintEngine::TendermintEngine(std::string node_id,
       network_(network),
       options_(std::move(options)),
       commit_fn_(std::move(commit_fn)),
-      tm_options_(tm_options) {}
+      tm_options_(tm_options) {
+  height_ = options_.start_sequence;
+}
 
 TendermintEngine::~TendermintEngine() { Stop(); }
 
@@ -158,13 +160,12 @@ void TendermintEngine::MaybeProposeLocked() {
                    options_.batch_timeout_millis * 1000;
   if (!full && !timed_out) return;
 
+  // Copy (not pop) the batch: the transactions stay in the mempool until a
+  // commit sweeps them, so abandoning this round cannot lose them.
   std::vector<Transaction> batch;
   size_t take = std::min<size_t>(options_.max_batch_txns, mempool_.size());
-  for (size_t i = 0; i < take; i++) {
-    batch.push_back(std::move(mempool_.front()));
-    mempool_.pop_front();
-  }
-  if (!mempool_.empty()) first_mempool_micros_ = NowMicros();
+  batch.assign(mempool_.begin(),
+               mempool_.begin() + static_cast<ptrdiff_t>(take));
 
   std::string batch_payload;
   EncodeBatch(batch, &batch_payload);
@@ -200,8 +201,17 @@ void TendermintEngine::OnProposal(const Message& message) {
     return;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  if (!running_ || height != height_ || round != round_) return;
-  if (message.from != ProposerOf(height_, round_)) return;
+  if (!running_ || height != height_ || round < round_) return;
+  if (message.from != ProposerOf(height_, round)) return;
+  if (round > round_) {
+    // Round catch-up: a valid proposal for a later round of this height
+    // means the proposer already timed out the rounds we are still in.
+    // Jump forward instead of dropping it — otherwise nodes whose round
+    // timers drifted apart drop every proposal and the height stalls.
+    round_ = round;
+    round_state_ = RoundState();
+    round_started_micros_ = NowMicros();
+  }
   if (round_state_.have_proposal) return;
   round_state_.proposal_payload = batch_payload.ToString();
   round_state_.digest = BatchDigest(round_state_.proposal_payload);
@@ -297,6 +307,7 @@ void TendermintEngine::MaybeCommitLocked() {
     if (!mempool_keys_.contains(TxnKey(*it))) it = mempool_.erase(it);
     else ++it;
   }
+  if (!mempool_.empty()) first_mempool_micros_ = NowMicros();
 
   mu_.unlock();
   // Serial DeliverTx: one transaction at a time into the application.
@@ -314,8 +325,11 @@ void TendermintEngine::TimerLoop() {
     timer_cv_.wait_for(lock, std::chrono::milliseconds(50));
     if (!running_) return;
     MaybeProposeLocked();
-    // Round timeout: rotate the proposer within the same height.
-    if (!round_state_.have_proposal && !mempool_.empty() &&
+    // Round timeout: rotate the proposer within the same height. A round
+    // that *has* a proposal but failed to commit within the timeout is
+    // rotated too — its votes are lost, never arriving (the batch itself is
+    // safe: proposed transactions stay in the mempool until commit).
+    if (!committing_ && (round_state_.have_proposal || !mempool_.empty()) &&
         NowMicros() - round_started_micros_ >
             tm_options_.propose_timeout_millis * 1000) {
       round_++;

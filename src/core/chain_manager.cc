@@ -131,7 +131,12 @@ Status ChainManager::GetBlockRecord(BlockId height, std::string* record) {
   return store_.ReadRawRecord(height, record);
 }
 
-uint64_t ChainManager::height() const { return store_.num_blocks(); }
+// Taking mu_ orders the read after ApplyBlock: a height becomes visible
+// only once the block's catalog and index updates have been applied.
+uint64_t ChainManager::height() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.num_blocks();
+}
 
 Hash256 ChainManager::tip_hash() const {
   std::lock_guard<std::mutex> lock(mu_);

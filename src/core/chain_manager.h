@@ -61,6 +61,12 @@ class ChainManager {
   IndexSet* indexes() { return indexes_.get(); }
   Catalog* catalog() { return &catalog_; }
 
+  /// What the last Open found on disk (torn-tail truncation, records
+  /// recovered); see BlockStore::RecoveryStats.
+  const BlockStore::RecoveryStats& recovery_stats() const {
+    return store_.recovery_stats();
+  }
+
  private:
   Status ApplyBlock(const Block& block);  // index + catalog, under mu_
 

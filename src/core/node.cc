@@ -1,6 +1,7 @@
 #include "core/node.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "consensus/kafka_orderer.h"
 #include "consensus/pbft.h"
@@ -31,6 +32,16 @@ Status SebdbNode::Start(SimNetwork* network) {
 
   Status s = chain_.Open(options_.chain, options_.data_dir);
   if (!s.ok()) return s;
+  const BlockStore::RecoveryStats& recovery = chain_.recovery_stats();
+  if (!recovery.clean()) {
+    fprintf(stderr,
+            "[sebdb] node %s: storage self-healed on startup — %llu block(s) "
+            "recovered, %llu torn byte(s) truncated; the chain resumes from "
+            "the last durable block and gossip refetches the rest\n",
+            options_.node_id.c_str(),
+            static_cast<unsigned long long>(recovery.blocks_recovered),
+            static_cast<unsigned long long>(recovery.bytes_truncated));
+  }
   executor_ = std::make_unique<Executor>(chain_.store(), chain_.indexes(),
                                          chain_.catalog(),
                                          offchain_connector_.get());
@@ -46,6 +57,11 @@ Status SebdbNode::Start(SimNetwork* network) {
                 options_.node_id) != options_.participants.end();
   if (participant) {
     ConsensusOptions consensus_options = options_.consensus_options;
+    // Resume consensus sequencing where the recovered chain left off: block
+    // at height h was built from batch seq h-1, so the next batch is
+    // height-1. Without this a restarted node re-assigns old sequences and
+    // the chain manager drops the batches as already applied.
+    consensus_options.start_sequence = chain_.height() - 1;
     if (!consensus_options.validator && keystore_ != nullptr) {
       const KeyStore* keystore = keystore_;
       consensus_options.validator = [keystore](const Transaction& txn) {

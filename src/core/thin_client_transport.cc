@@ -194,16 +194,30 @@ Status DirectTransport::DigestTrace(const std::string& node, bool by_sender,
 RpcThinTransport::RpcThinTransport(std::string client_id, SimNetwork* network,
                                    std::vector<std::string> nodes,
                                    int64_t call_timeout_millis)
+    : client_(std::move(client_id), network), nodes_(std::move(nodes)) {
+  policy_.max_attempts = 1;
+  policy_.attempt_timeout_millis = call_timeout_millis;
+}
+
+RpcThinTransport::RpcThinTransport(std::string client_id, SimNetwork* network,
+                                   std::vector<std::string> nodes,
+                                   const RetryPolicy& policy)
     : client_(std::move(client_id), network),
       nodes_(std::move(nodes)),
-      call_timeout_millis_(call_timeout_millis) {}
+      policy_(policy) {}
+
+Status RpcThinTransport::DoCall(const std::string& node, const char* method,
+                                const std::string& request,
+                                std::string* response) {
+  return client_.Call(node, method, request, response, policy_);
+}
 
 Status RpcThinTransport::GetHeaders(const std::string& node, BlockId from,
                                     std::vector<BlockHeader>* out) {
   std::string request;
   PutVarint64(&request, from);
   std::string response;
-  Status s = client_.Call(node, thin_rpc::kGetHeaders, request, &response, call_timeout_millis_);
+  Status s = DoCall(node, thin_rpc::kGetHeaders, request, &response);
   if (!s.ok()) return s;
   Slice input(response);
   return thin_rpc::DecodeHeaders(&input, out);
@@ -213,8 +227,7 @@ Status RpcThinTransport::GetRawBlock(const std::string& node, BlockId height,
                                      std::string* record) {
   std::string request;
   PutVarint64(&request, height);
-  return client_.Call(node, thin_rpc::kGetRawBlock, request, record,
-                      call_timeout_millis_);
+  return DoCall(node, thin_rpc::kGetRawBlock, request, record);
 }
 
 Status RpcThinTransport::ProveRange(const std::string& node,
@@ -235,8 +248,7 @@ Status RpcThinTransport::ProveRange(const std::string& node,
   }
   std::string body, response;
   request.EncodeTo(&body);
-  Status s = client_.Call(node, thin_rpc::kProveRange, body, &response,
-                          call_timeout_millis_);
+  Status s = DoCall(node, thin_rpc::kProveRange, body, &response);
   if (!s.ok()) return s;
   Slice input(response);
   return AuthQueryResponse::DecodeFrom(&input, out);
@@ -261,8 +273,7 @@ Status RpcThinTransport::DigestRange(const std::string& node,
   request.height = height;
   std::string body, response;
   request.EncodeTo(&body);
-  Status s = client_.Call(node, thin_rpc::kDigestRange, body, &response,
-                          call_timeout_millis_);
+  Status s = DoCall(node, thin_rpc::kDigestRange, body, &response);
   if (!s.ok()) return s;
   if (response.size() != 32) return Status::Corruption("bad digest size");
   memcpy(digest->bytes.data(), response.data(), 32);
@@ -284,8 +295,7 @@ Status RpcThinTransport::ProveTrace(const std::string& node, bool by_sender,
   }
   std::string body, response;
   request.EncodeTo(&body);
-  Status s = client_.Call(node, thin_rpc::kProveTrace, body, &response,
-                          call_timeout_millis_);
+  Status s = DoCall(node, thin_rpc::kProveTrace, body, &response);
   if (!s.ok()) return s;
   Slice input(response);
   return AuthQueryResponse::DecodeFrom(&input, out);
@@ -307,8 +317,7 @@ Status RpcThinTransport::DigestTrace(const std::string& node, bool by_sender,
   request.height = height;
   std::string body, response;
   request.EncodeTo(&body);
-  Status s = client_.Call(node, thin_rpc::kDigestTrace, body, &response,
-                          call_timeout_millis_);
+  Status s = DoCall(node, thin_rpc::kDigestTrace, body, &response);
   if (!s.ok()) return s;
   if (response.size() != 32) return Status::Corruption("bad digest size");
   memcpy(digest->bytes.data(), response.data(), 32);

@@ -85,9 +85,15 @@ class DirectTransport : public ThinClientTransport {
 class RpcThinTransport : public ThinClientTransport {
  public:
   /// `client_id` registers on the network; `nodes` are the full-node ids.
+  /// This form performs exactly one attempt per call (no retries).
   RpcThinTransport(std::string client_id, SimNetwork* network,
                    std::vector<std::string> nodes,
                    int64_t call_timeout_millis = 5000);
+
+  /// Retrying form: every call is governed by `policy` (backoff, jitter,
+  /// per-attempt timeouts, overall deadline).
+  RpcThinTransport(std::string client_id, SimNetwork* network,
+                   std::vector<std::string> nodes, const RetryPolicy& policy);
 
   std::vector<std::string> Nodes() override { return nodes_; }
   Status GetHeaders(const std::string& node, BlockId from,
@@ -110,10 +116,16 @@ class RpcThinTransport : public ThinClientTransport {
                      const Timestamp* window_start,
                      const Timestamp* window_end, Hash256* digest) override;
 
+  /// Retry attempts performed across all calls so far.
+  uint64_t retries() const { return client_.retries(); }
+
  private:
+  Status DoCall(const std::string& node, const char* method,
+                const std::string& request, std::string* response);
+
   RpcClient client_;
   std::vector<std::string> nodes_;
-  int64_t call_timeout_millis_;
+  RetryPolicy policy_;
 };
 
 // ---- wire codecs shared by the transports and the node dispatcher ----

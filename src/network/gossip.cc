@@ -1,5 +1,6 @@
 #include "network/gossip.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/coding.h"
@@ -11,6 +12,12 @@ namespace {
 constexpr char kDigestType[] = "gossip.digest";
 constexpr char kPullType[] = "gossip.pull";
 constexpr char kBlocksType[] = "gossip.blocks";
+
+int64_t SteadyNowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -49,16 +56,46 @@ void GossipAgent::Stop() {
 
 void GossipAgent::RunRound() {
   if (peers_.empty()) return;
+  MaybeRetryPull();
   int fanout = std::min<int>(options_.fanout, static_cast<int>(peers_.size()));
   for (int i = 0; i < fanout; i++) {
     SendDigest(peers_[rng_.Uniform(peers_.size())]);
   }
 }
 
+void GossipAgent::MaybeRetryPull() {
+  std::string peer;
+  {
+    std::lock_guard<std::mutex> lock(pull_mu_);
+    if (pull_target_height_ == 0) return;
+    uint64_t my_height = delegate_->ChainHeight();
+    if (my_height >= pull_target_height_) {
+      // Caught up: disarm.
+      pull_target_height_ = 0;
+      pull_backoff_millis_ = 0;
+      pull_deadline_millis_ = 0;
+      return;
+    }
+    if (SteadyNowMillis() < pull_deadline_millis_) return;
+    pull_backoff_millis_ =
+        std::min(pull_backoff_millis_ * 2, options_.pull_retry_max_millis);
+    pull_deadline_millis_ = SteadyNowMillis() + pull_backoff_millis_;
+    pull_retries_.fetch_add(1, std::memory_order_relaxed);
+    peer = peers_[rng_.Uniform(peers_.size())];
+  }
+  SendPull(peer);
+}
+
 void GossipAgent::SendDigest(const std::string& peer) {
   std::string payload;
   PutVarint64(&payload, delegate_->ChainHeight());
   network_->Send(Message{kDigestType, node_id_, peer, payload});
+}
+
+void GossipAgent::SendPull(const std::string& peer) {
+  std::string payload;
+  PutVarint64(&payload, delegate_->ChainHeight());
+  network_->Send(Message{kPullType, node_id_, peer, payload});
 }
 
 void GossipAgent::HandleMessage(const Message& message) {
@@ -77,7 +114,19 @@ void GossipAgent::OnDigest(const Message& message) {
   if (!GetVarint64(&input, &peer_height)) return;
   uint64_t my_height = delegate_->ChainHeight();
   if (peer_height > my_height) {
-    // Behind: pull from our height onward.
+    // Behind: pull from our height onward, and arm the retry timer so a
+    // lost pull or response gets re-issued by a later round.
+    {
+      std::lock_guard<std::mutex> lock(pull_mu_);
+      if (peer_height > pull_target_height_) {
+        pull_target_height_ = peer_height;
+      }
+      if (pull_backoff_millis_ == 0 || pull_deadline_millis_ == 0) {
+        pull_backoff_millis_ = options_.pull_retry_initial_millis;
+        pull_deadline_millis_ = SteadyNowMillis() + pull_backoff_millis_;
+      }
+      pull_last_height_ = my_height;
+    }
     std::string payload;
     PutVarint64(&payload, my_height);
     network_->Send(Message{kPullType, node_id_, message.from, payload});
@@ -121,6 +170,23 @@ void GossipAgent::OnBlocks(const Message& message) {
     }
     // Apply in order; stale or future blocks are the delegate's call.
     delegate_->ApplyBlockRecord(height, record.ToString());
+  }
+  {
+    std::lock_guard<std::mutex> lock(pull_mu_);
+    if (pull_target_height_ != 0) {
+      uint64_t my_height = delegate_->ChainHeight();
+      if (my_height >= pull_target_height_) {
+        // Caught up: disarm.
+        pull_target_height_ = 0;
+        pull_backoff_millis_ = 0;
+        pull_deadline_millis_ = 0;
+      } else if (my_height > pull_last_height_) {
+        // Progress: restart the backoff window from the initial value.
+        pull_last_height_ = my_height;
+        pull_backoff_millis_ = options_.pull_retry_initial_millis;
+        pull_deadline_millis_ = SteadyNowMillis() + pull_backoff_millis_;
+      }
+    }
   }
   // If we may still be behind, keep the exchange going.
   SendDigest(message.from);

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +39,12 @@ struct GossipOptions {
   /// Max blocks returned per pull response.
   uint32_t max_blocks_per_pull = 32;
   uint64_t seed = 7;
+  /// A pull (or its response) can be lost on a lossy network. While we know
+  /// a peer is ahead of us and no progress arrives within the backoff
+  /// window, RunRound re-issues the pull to a random peer, doubling the
+  /// window up to the max.
+  int64_t pull_retry_initial_millis = 100;
+  int64_t pull_retry_max_millis = 2000;
 };
 
 class GossipAgent {
@@ -63,11 +70,20 @@ class GossipAgent {
 
   const std::string& node_id() const { return node_id_; }
 
+  /// Number of pulls re-issued because no progress arrived in time.
+  uint64_t pull_retries() const {
+    return pull_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   void SendDigest(const std::string& peer);
+  void SendPull(const std::string& peer);
   void OnDigest(const Message& message);
   void OnPull(const Message& message);
   void OnBlocks(const Message& message);
+  /// Called from RunRound: re-issues the armed pull when its backoff window
+  /// expired without the chain reaching the known target height.
+  void MaybeRetryPull();
 
   std::string node_id_;
   SimNetwork* network_;
@@ -77,6 +93,15 @@ class GossipAgent {
   Random rng_;
   std::thread ticker_;
   std::atomic<bool> running_{false};
+
+  // Pending-pull retry state: armed by OnDigest when a peer is ahead,
+  // disarmed once the chain catches up to the advertised height.
+  std::mutex pull_mu_;
+  uint64_t pull_target_height_ = 0;  // 0 = disarmed
+  uint64_t pull_last_height_ = 0;
+  int64_t pull_deadline_millis_ = 0;
+  int64_t pull_backoff_millis_ = 0;
+  std::atomic<uint64_t> pull_retries_{0};
 };
 
 }  // namespace sebdb

@@ -1,10 +1,22 @@
 #include "network/rpc.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/coding.h"
 
 namespace sebdb {
+
+namespace {
+
+int64_t SteadyNowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 void RpcDispatcher::RegisterMethod(const std::string& name,
                                    RpcMethod method) {
@@ -131,6 +143,63 @@ Status RpcClient::Call(const std::string& server, const std::string& method,
   if (!pending.status.ok()) return pending.status;
   *response = std::move(pending.body);
   return Status::OK();
+}
+
+bool RpcClient::IsRetryable(const Status& status) {
+  return status.IsTimedOut() || status.IsIOError() || status.IsBusy();
+}
+
+Status RpcClient::Call(const std::string& server, const std::string& method,
+                       const std::string& request, std::string* response,
+                       const RetryPolicy& policy) {
+  const int64_t start = SteadyNowMillis();
+  const int64_t deadline = policy.overall_deadline_millis > 0
+                               ? start + policy.overall_deadline_millis
+                               : 0;
+  int64_t backoff = std::max<int64_t>(policy.initial_backoff_millis, 1);
+  Status last = Status::TimedOut("no attempts allowed by retry policy");
+  const int attempts = std::max(policy.max_attempts, 1);
+  for (int attempt = 0; attempt < attempts; attempt++) {
+    int64_t attempt_timeout = policy.attempt_timeout_millis;
+    if (deadline > 0) {
+      int64_t remaining = deadline - SteadyNowMillis();
+      if (remaining <= 0) {
+        return Status::TimedOut("retry deadline exhausted calling " + server +
+                                "." + method + ": " + last.message());
+      }
+      attempt_timeout = std::min(attempt_timeout, remaining);
+    }
+    if (attempt > 0) retries_.fetch_add(1, std::memory_order_relaxed);
+    last = Call(server, method, request, response, attempt_timeout);
+    if (last.ok() || !IsRetryable(last)) return last;
+    if (attempt + 1 == attempts) break;
+
+    // Exponential backoff with jitter; never sleep past the deadline.
+    double factor = 1.0;
+    if (policy.jitter > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      factor += policy.jitter * (2.0 * jitter_rng_.NextDouble() - 1.0);
+    }
+    int64_t sleep_ms = static_cast<int64_t>(
+        static_cast<double>(backoff) * std::max(factor, 0.0));
+    if (deadline > 0) {
+      int64_t remaining = deadline - SteadyNowMillis();
+      if (remaining <= 0) break;
+      sleep_ms = std::min(sleep_ms, remaining);
+    }
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    backoff = std::min<int64_t>(
+        static_cast<int64_t>(static_cast<double>(backoff) *
+                             std::max(policy.backoff_multiplier, 1.0)),
+        std::max<int64_t>(policy.max_backoff_millis, 1));
+  }
+  if (deadline > 0 && SteadyNowMillis() >= deadline && IsRetryable(last)) {
+    return Status::TimedOut("retry deadline exhausted calling " + server +
+                            "." + method + ": " + last.message());
+  }
+  return last;
 }
 
 }  // namespace sebdb

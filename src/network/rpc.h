@@ -9,6 +9,7 @@
 //   [request_id u64][status_code u8][status_msg lp][body lp]
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -16,6 +17,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/random.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "network/sim_network.h"
@@ -44,6 +46,32 @@ class RpcDispatcher {
   std::map<std::string, RpcMethod> methods_;
 };
 
+/// Opt-in retry for RpcClient::Call: exponential backoff with jitter,
+/// per-attempt deadlines, and an overall deadline. The default policy
+/// (max_attempts = 1) performs no retries, so zero-retry callers are
+/// unchanged. Only transient failures — TimedOut, IOError, Busy — are
+/// retried; semantic errors (NotFound, InvalidArgument, Corruption, …)
+/// surface immediately.
+struct RetryPolicy {
+  int max_attempts = 1;
+  /// Deadline applied to each attempt.
+  int64_t attempt_timeout_millis = 1000;
+  /// Budget across all attempts and backoff sleeps; 0 = unlimited.
+  int64_t overall_deadline_millis = 0;
+  int64_t initial_backoff_millis = 10;
+  int64_t max_backoff_millis = 1000;
+  double backoff_multiplier = 2.0;
+  /// Each sleep is scaled by a uniform factor in [1 - jitter, 1 + jitter]
+  /// so retrying clients do not stampede in lockstep.
+  double jitter = 0.5;
+
+  static RetryPolicy WithAttempts(int attempts) {
+    RetryPolicy policy;
+    policy.max_attempts = attempts;
+    return policy;
+  }
+};
+
 /// Blocking client: registers itself on the network under `client_id`,
 /// correlates responses by request id.
 class RpcClient {
@@ -58,6 +86,22 @@ class RpcClient {
   Status Call(const std::string& server, const std::string& method,
               const std::string& request, std::string* response,
               int64_t timeout_millis = 5000);
+
+  /// Synchronous call governed by a RetryPolicy: transient failures are
+  /// retried with exponential backoff + jitter until the attempts or the
+  /// overall deadline run out. The last attempt's status is returned.
+  Status Call(const std::string& server, const std::string& method,
+              const std::string& request, std::string* response,
+              const RetryPolicy& policy);
+
+  /// True for failures worth retrying (lost/timed-out messages, transient
+  /// I/O); false for semantic errors a retry cannot fix.
+  static bool IsRetryable(const Status& status);
+
+  /// Cumulative number of retry attempts performed (excludes first tries).
+  uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
 
   const std::string& client_id() const { return client_id_; }
 
@@ -75,6 +119,8 @@ class RpcClient {
   std::condition_variable cv_;
   uint64_t next_request_id_ = 1;
   std::map<uint64_t, Pending> pending_;
+  Random jitter_rng_{0x5ebdbu};  // guarded by mu_
+  std::atomic<uint64_t> retries_{0};
 };
 
 }  // namespace sebdb

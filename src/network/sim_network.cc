@@ -61,15 +61,18 @@ void SimNetwork::Send(Message message) {
   auto it = endpoints_.find(message.to);
   if (it == endpoints_.end()) {
     stats_.messages_dropped++;
+    stats_.unreachable_drops++;
     return;
   }
   auto link = std::minmax(message.from, message.to);
   if (down_links_.contains({link.first, link.second})) {
     stats_.messages_dropped++;
+    stats_.link_drops++;
     return;
   }
   if (options_.drop_rate > 0 && rng_.NextDouble() < options_.drop_rate) {
     stats_.messages_dropped++;
+    stats_.random_drops++;
     return;
   }
 

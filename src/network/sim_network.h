@@ -36,8 +36,15 @@ struct SimNetworkOptions {
 struct NetworkStats {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
+  /// Total drops; always equals unreachable_drops + link_drops + random_drops.
   uint64_t messages_dropped = 0;
   uint64_t bytes_sent = 0;
+  /// Destination was never registered (or already unregistered).
+  uint64_t unreachable_drops = 0;
+  /// Swallowed by a SetLinkDown partition.
+  uint64_t link_drops = 0;
+  /// Lost to the probabilistic drop_rate.
+  uint64_t random_drops = 0;
 };
 
 class SimNetwork {

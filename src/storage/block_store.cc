@@ -1,6 +1,7 @@
 #include "storage/block_store.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/coding.h"
 #include "common/crc32.h"
@@ -29,8 +30,9 @@ Status BlockStore::Open(const BlockStoreOptions& options,
                         const std::string& dir) {
   if (open_) return Status::Busy("block store already open");
   options_ = options;
+  env_ = options.env != nullptr ? options.env : Env::Default();
   dir_ = dir;
-  Status s = CreateDirIfMissing(dir);
+  Status s = env_->CreateDirIfMissing(dir);
   if (!s.ok()) return s;
   if (options_.block_cache_bytes > 0) {
     block_cache_ = std::make_unique<LruCache<uint64_t, const Block>>(
@@ -43,12 +45,86 @@ Status BlockStore::Open(const BlockStoreOptions& options,
   s = RecoverSegments();
   if (!s.ok()) return s;
   open_ = true;
+  wedged_ = false;
+  return Status::OK();
+}
+
+// Scans one segment, CRC-validating every record, and appends valid
+// locations. Any invalid frame — bad magic, implausible length, torn bytes,
+// CRC mismatch — ends the valid prefix: in the tail segment the file is
+// truncated back to it (crash self-healing), anywhere else the store
+// refuses to open (real mid-chain corruption, not a crash artifact).
+Status BlockStore::ScanSegment(uint32_t seg_id, const std::string& name,
+                               bool is_tail) {
+  const std::string path = dir_ + "/" + name;
+  RandomAccessFile file;
+  Status s = file.Open(path, env_);
+  if (!s.ok()) return s;
+
+  const uint64_t file_size = file.size();
+  uint64_t offset = 0;  // end of the valid prefix
+  std::string defect;
+  size_t valid_records = 0;
+  while (defect.empty() && offset + kFrameHeaderSize <= file_size) {
+    std::string frame;
+    s = file.Read(offset, kFrameHeaderSize, &frame);
+    if (!s.ok()) return s;  // I/O error, not corruption: do not truncate
+    uint32_t magic = DecodeFixed32(frame.data());
+    uint32_t len = DecodeFixed32(frame.data() + 4);
+    if (magic != kRecordMagic) {
+      defect = "bad record magic";
+      break;
+    }
+    if (offset + kFrameHeaderSize + len + kFrameTrailerSize > file_size) {
+      defect = "torn record body";
+      break;
+    }
+    std::string payload;
+    s = file.Read(offset + kFrameHeaderSize, len + kFrameTrailerSize,
+                  &payload);
+    if (!s.ok()) return s;
+    uint32_t stored_crc = DecodeFixed32(payload.data() + len);
+    if (Crc32(0, payload.data(), len) != stored_crc) {
+      defect = "record crc mismatch";
+      break;
+    }
+    locations_.push_back({seg_id, offset + kFrameHeaderSize, len});
+    valid_records++;
+    offset += kFrameHeaderSize + len + kFrameTrailerSize;
+  }
+  if (defect.empty() && offset < file_size) {
+    defect = "torn frame header";  // trailing fragment shorter than a header
+  }
+  file.Close();
+
+  if (defect.empty()) return Status::OK();
+  if (!is_tail) {
+    return Status::Corruption(defect + " in non-tail segment " + name +
+                              " at offset " + std::to_string(offset));
+  }
+  // Torn tail from a crash mid-append: truncate back to the last valid
+  // record so the writer resumes there instead of appending after garbage.
+  // Well-framed records past the defect are dropped too — without a valid
+  // prefix they cannot be trusted to be the records consensus committed.
+  uint64_t garbage = file_size - offset;
+  s = env_->TruncateFile(path, offset);
+  if (!s.ok()) return s;
+  recovery_.bytes_truncated += garbage;
+  recovery_.tail_truncated = true;
+  // Count whole frames lost after the defect point (best effort: at least
+  // the defective record itself).
+  recovery_.records_dropped += 1;
+  fprintf(stderr,
+          "[sebdb] block store %s: %s in tail segment %s; truncated %llu "
+          "byte(s), %zu valid record(s) kept\n",
+          dir_.c_str(), defect.c_str(), name.c_str(),
+          static_cast<unsigned long long>(garbage), valid_records);
   return Status::OK();
 }
 
 Status BlockStore::RecoverSegments() {
   std::vector<std::string> files;
-  Status s = ListDir(dir_, &files);
+  Status s = env_->ListDir(dir_, &files);
   if (!s.ok()) return s;
   std::vector<std::string> segments;
   for (const auto& f : files) {
@@ -58,30 +134,15 @@ Status BlockStore::RecoverSegments() {
   }
   std::sort(segments.begin(), segments.end());
 
+  locations_.clear();
+  recovery_ = RecoveryStats{};
   for (uint32_t seg_id = 0; seg_id < segments.size(); seg_id++) {
-    RandomAccessFile file;
-    s = file.Open(dir_ + "/" + segments[seg_id]);
+    s = ScanSegment(seg_id, segments[seg_id],
+                    /*is_tail=*/seg_id + 1 == segments.size());
     if (!s.ok()) return s;
-    uint64_t offset = 0;
-    while (offset + kFrameHeaderSize <= file.size()) {
-      std::string frame;
-      s = file.Read(offset, kFrameHeaderSize, &frame);
-      if (!s.ok()) return s;
-      uint32_t magic = DecodeFixed32(frame.data());
-      uint32_t len = DecodeFixed32(frame.data() + 4);
-      if (magic != kRecordMagic) {
-        return Status::Corruption("bad record magic in " + segments[seg_id]);
-      }
-      if (offset + kFrameHeaderSize + len + kFrameTrailerSize > file.size()) {
-        // Torn tail from a crash mid-append: ignore the partial record.
-        break;
-      }
-      locations_.push_back(
-          {seg_id, offset + kFrameHeaderSize, len});
-      offset += kFrameHeaderSize + len + kFrameTrailerSize;
-    }
-    file.Close();
   }
+  recovery_.blocks_recovered = locations_.size();
+  recovery_.segments_scanned = static_cast<uint32_t>(segments.size());
 
   active_segment_ =
       segments.empty() ? 0 : static_cast<uint32_t>(segments.size() - 1);
@@ -89,15 +150,35 @@ Status BlockStore::RecoverSegments() {
 }
 
 Status BlockStore::OpenSegmentForAppend(uint32_t segment_id) {
+  if (writer_.is_open() && options_.sync_on_append) {
+    // Rolling: make the finished segment durable before moving on.
+    Status s = writer_.Sync();
+    if (!s.ok()) return s;
+  }
   Status s = writer_.Close();
   if (!s.ok()) return s;
+  const std::string path = dir_ + "/" + SegmentName(segment_id);
+  uint64_t existing = 0;
+  bool created = !env_->FileSize(path, &existing).ok();
   active_segment_ = segment_id;
-  return writer_.Open(dir_ + "/" + SegmentName(segment_id));
+  s = writer_.Open(path, env_);
+  if (!s.ok()) return s;
+  if (created) {
+    // fsync the directory so the new segment's directory entry survives a
+    // crash (otherwise recovery could find block N+1's segment but not N's).
+    s = env_->SyncDir(dir_);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
 }
 
 Status BlockStore::Append(const Block& block) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!open_) return Status::IOError("block store not open");
+  if (wedged_) {
+    return Status::IOError(
+        "block store wedged by an earlier write failure; reopen to recover");
+  }
   if (block.height() != locations_.size()) {
     return Status::InvalidArgument(
         "non-consecutive block height " + std::to_string(block.height()) +
@@ -111,7 +192,10 @@ Status BlockStore::Append(const Block& block) {
           options_.segment_size &&
       writer_.size() > 0) {
     Status s = OpenSegmentForAppend(active_segment_ + 1);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      wedged_ = true;
+      return s;
+    }
   }
 
   std::string frame;
@@ -123,10 +207,16 @@ Status BlockStore::Append(const Block& block) {
   PutFixed32(&frame, Crc32(payload));
 
   Status s = writer_.Append(frame);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    wedged_ = true;  // unknown how much of the frame reached the file
+    return s;
+  }
   if (options_.sync_on_append) {
     s = writer_.Sync();
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      wedged_ = true;  // record written but not durable; replay on reopen
+      return s;
+    }
   }
 
   locations_.push_back({active_segment_, payload_offset,
@@ -151,7 +241,7 @@ std::shared_ptr<RandomAccessFile> BlockStore::Reader(uint32_t segment) const {
   if (segment >= readers_.size()) readers_.resize(segment + 1);
   if (readers_[segment] == nullptr) {
     auto file = std::make_shared<RandomAccessFile>();
-    Status s = file->Open(dir_ + "/" + SegmentName(segment));
+    Status s = file->Open(dir_ + "/" + SegmentName(segment), env_);
     if (!s.ok()) return nullptr;
     readers_[segment] = std::move(file);
   }

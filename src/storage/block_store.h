@@ -4,6 +4,11 @@
 // reads (thin client) and single-transaction random reads (layered-index
 // path), with optional block-level and transaction-level LRU caches
 // (§VII-H).
+//
+// Durability contract (see DESIGN.md §"Durability contract"): recovery
+// CRC-validates every record; a torn or corrupt suffix of the *tail* segment
+// is truncated away (self-healing, the writer resumes at the last valid
+// record), while corruption in any non-tail segment refuses to open.
 #pragma once
 
 #include <atomic>
@@ -13,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/lru_cache.h"
 #include "common/status.h"
 #include "storage/block.h"
@@ -30,6 +36,9 @@ struct BlockStoreOptions {
   /// fdatasync after every append (off by default; benches measure I/O
   /// pattern, not fsync latency).
   bool sync_on_append = false;
+  /// File system to use; nullptr means Env::Default(). Tests plug a
+  /// FaultInjectionEnv here.
+  Env* env = nullptr;
 };
 
 /// Cumulative I/O counters; disk "seeks" count distinct pread/append block
@@ -56,12 +65,26 @@ struct StorageStats {
 
 class BlockStore {
  public:
+  /// What the last Open found on disk. Surfaced through ChainManager and
+  /// logged by SebdbNode::Start so operators can see self-healing happen.
+  struct RecoveryStats {
+    uint64_t blocks_recovered = 0;  // valid records found across segments
+    uint64_t bytes_truncated = 0;   // torn/corrupt tail bytes dropped
+    uint64_t records_dropped = 0;   // whole records lost to tail truncation
+    uint32_t segments_scanned = 0;
+    bool tail_truncated = false;
+
+    bool clean() const { return !tail_truncated; }
+  };
+
   BlockStore() = default;
   BlockStore(const BlockStore&) = delete;
   BlockStore& operator=(const BlockStore&) = delete;
 
-  /// Opens (creating if needed) the store in `dir`, scanning existing
-  /// segments to rebuild the block location table.
+  /// Opens (creating if needed) the store in `dir`, scanning and
+  /// CRC-validating existing segments to rebuild the block location table.
+  /// A torn tail is truncated (see RecoveryStats); mid-chain corruption
+  /// fails with Status::Corruption.
   Status Open(const BlockStoreOptions& options, const std::string& dir);
   Status Close();
 
@@ -88,6 +111,7 @@ class BlockStore {
   Status ReadRawRecord(BlockId height, std::string* out);
 
   StorageStats& stats() { return stats_; }
+  const RecoveryStats& recovery_stats() const { return recovery_; }
   const std::string& dir() const { return dir_; }
 
  private:
@@ -99,12 +123,14 @@ class BlockStore {
 
   Status OpenSegmentForAppend(uint32_t segment_id);
   Status RecoverSegments();
+  Status ScanSegment(uint32_t seg_id, const std::string& name, bool is_tail);
   Status ReadPayload(const Location& loc, std::string* out) const;
   Status ReadAt(uint32_t segment, uint64_t offset, size_t n,
                 std::string* out) const;
   std::shared_ptr<RandomAccessFile> Reader(uint32_t segment) const;
 
   BlockStoreOptions options_;
+  Env* env_ = nullptr;
   std::string dir_;
   mutable std::mutex mu_;
   std::vector<Location> locations_;
@@ -114,7 +140,11 @@ class BlockStore {
   std::unique_ptr<LruCache<uint64_t, const Block>> block_cache_;
   std::unique_ptr<LruCache<uint64_t, const Transaction>> txn_cache_;
   StorageStats stats_;
+  RecoveryStats recovery_;
   bool open_ = false;
+  // Set when an append fails partway: the segment tail is in an unknown
+  // state, so further appends would land after garbage. Reopen to recover.
+  bool wedged_ = false;
 };
 
 }  // namespace sebdb

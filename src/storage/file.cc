@@ -1,181 +1,71 @@
 #include "storage/file.h"
 
-#include <dirent.h>
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <sys/types.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-
 namespace sebdb {
 
-namespace {
-
-Status PosixError(const std::string& context) {
-  return Status::IOError(context + ": " + strerror(errno));
-}
-
-}  // namespace
-
-AppendOnlyFile::~AppendOnlyFile() { Close(); }
-
-Status AppendOnlyFile::Open(const std::string& path) {
-  if (fd_ >= 0) return Status::Busy("file already open: " + path_);
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd_ < 0) return PosixError("open " + path);
-  struct stat st;
-  if (::fstat(fd_, &st) != 0) {
-    Status s = PosixError("fstat " + path);
-    ::close(fd_);
-    fd_ = -1;
-    return s;
-  }
-  size_ = static_cast<uint64_t>(st.st_size);
+Status AppendOnlyFile::Open(const std::string& path, Env* env) {
+  if (file_ != nullptr) return Status::Busy("file already open: " + path_);
+  if (env == nullptr) env = Env::Default();
+  Status s = env->NewWritableFile(path, &file_);
+  if (!s.ok()) return s;
   path_ = path;
   return Status::OK();
 }
 
 Status AppendOnlyFile::Append(const Slice& data) {
-  if (fd_ < 0) return Status::IOError("append to closed file");
-  const char* p = data.data();
-  size_t left = data.size();
-  while (left > 0) {
-    ssize_t n = ::write(fd_, p, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return PosixError("write " + path_);
-    }
-    p += n;
-    left -= static_cast<size_t>(n);
-  }
-  size_ += data.size();
-  return Status::OK();
+  if (file_ == nullptr) return Status::IOError("append to closed file");
+  return file_->Append(data);
 }
 
 Status AppendOnlyFile::Sync() {
-  if (fd_ < 0) return Status::IOError("sync of closed file");
-  if (::fdatasync(fd_) != 0) return PosixError("fdatasync " + path_);
-  return Status::OK();
+  if (file_ == nullptr) return Status::IOError("sync of closed file");
+  return file_->Sync();
 }
 
 Status AppendOnlyFile::Close() {
-  if (fd_ < 0) return Status::OK();
-  int r = ::close(fd_);
-  fd_ = -1;
-  if (r != 0) return PosixError("close " + path_);
-  return Status::OK();
+  if (file_ == nullptr) return Status::OK();
+  Status s = file_->Close();
+  file_.reset();
+  return s;
 }
 
-RandomAccessFile::~RandomAccessFile() { Close(); }
-
-Status RandomAccessFile::Open(const std::string& path) {
-  if (fd_ >= 0) return Status::Busy("file already open: " + path_);
-  fd_ = ::open(path.c_str(), O_RDONLY);
-  if (fd_ < 0) return PosixError("open " + path);
-  struct stat st;
-  if (::fstat(fd_, &st) != 0) {
-    Status s = PosixError("fstat " + path);
-    ::close(fd_);
-    fd_ = -1;
-    return s;
-  }
-  size_ = static_cast<uint64_t>(st.st_size);
+Status RandomAccessFile::Open(const std::string& path, Env* env) {
+  if (file_ != nullptr) return Status::Busy("file already open: " + path_);
+  if (env == nullptr) env = Env::Default();
+  Status s = env->NewReadableFile(path, &file_);
+  if (!s.ok()) return s;
   path_ = path;
   return Status::OK();
 }
 
 Status RandomAccessFile::Read(uint64_t offset, size_t n,
                               std::string* scratch) const {
-  if (fd_ < 0) return Status::IOError("read from closed file");
-  scratch->resize(n);
-  char* p = scratch->data();
-  size_t got = 0;
-  while (got < n) {
-    ssize_t r = ::pread(fd_, p + got, n - got,
-                        static_cast<off_t>(offset + got));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return PosixError("pread " + path_);
-    }
-    if (r == 0) {
-      return Status::IOError("short read at offset " + std::to_string(offset) +
-                             " in " + path_);
-    }
-    got += static_cast<size_t>(r);
+  if (file_ == nullptr) return Status::IOError("read from closed file");
+  Status s = file_->Read(offset, n, scratch);
+  if (!s.ok()) return s;
+  if (scratch->size() < n) {
+    return Status::IOError("short read at offset " + std::to_string(offset) +
+                           " in " + path_);
   }
   return Status::OK();
 }
 
 Status RandomAccessFile::Close() {
-  if (fd_ < 0) return Status::OK();
-  int r = ::close(fd_);
-  fd_ = -1;
-  if (r != 0) return PosixError("close " + path_);
-  return Status::OK();
+  if (file_ == nullptr) return Status::OK();
+  Status s = file_->Close();
+  file_.reset();
+  return s;
 }
 
 Status CreateDirIfMissing(const std::string& path) {
-  std::string partial;
-  size_t i = 0;
-  while (i < path.size()) {
-    size_t next = path.find('/', i + 1);
-    if (next == std::string::npos) next = path.size();
-    partial = path.substr(0, next);
-    if (!partial.empty() && partial != "/") {
-      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
-        return PosixError("mkdir " + partial);
-      }
-    }
-    i = next;
-  }
-  return Status::OK();
+  return Env::Default()->CreateDirIfMissing(path);
 }
 
 Status ListDir(const std::string& path, std::vector<std::string>* out) {
-  out->clear();
-  DIR* dir = ::opendir(path.c_str());
-  if (dir == nullptr) return PosixError("opendir " + path);
-  struct dirent* entry;
-  while ((entry = ::readdir(dir)) != nullptr) {
-    std::string name = entry->d_name;
-    if (name == "." || name == "..") continue;
-    out->push_back(std::move(name));
-  }
-  ::closedir(dir);
-  return Status::OK();
+  return Env::Default()->ListDir(path, out);
 }
 
 Status RemoveDirRecursive(const std::string& path) {
-  DIR* dir = ::opendir(path.c_str());
-  if (dir == nullptr) {
-    if (errno == ENOENT) return Status::OK();
-    return PosixError("opendir " + path);
-  }
-  struct dirent* entry;
-  Status result;
-  while ((entry = ::readdir(dir)) != nullptr) {
-    std::string name = entry->d_name;
-    if (name == "." || name == "..") continue;
-    std::string child = path + "/" + name;
-    struct stat st;
-    if (::lstat(child.c_str(), &st) != 0) {
-      result = PosixError("lstat " + child);
-      break;
-    }
-    if (S_ISDIR(st.st_mode)) {
-      result = RemoveDirRecursive(child);
-      if (!result.ok()) break;
-    } else if (::unlink(child.c_str()) != 0) {
-      result = PosixError("unlink " + child);
-      break;
-    }
-  }
-  ::closedir(dir);
-  if (!result.ok()) return result;
-  if (::rmdir(path.c_str()) != 0) return PosixError("rmdir " + path);
-  return Status::OK();
+  return Env::Default()->RemoveDirRecursive(path);
 }
 
 }  // namespace sebdb

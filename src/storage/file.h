@@ -1,12 +1,16 @@
-// Thin POSIX file wrappers: append-only writer and positional reader.
-// Blocks are appended to segment files and read back with pread so scans and
-// random transaction reads hit the real I/O path (paper §IV-A).
+// Thin file wrappers over the common/env.h seam: append-only writer and
+// positional reader. Blocks are appended to segment files and read back with
+// pread so scans and random transaction reads hit the real I/O path (paper
+// §IV-A). Passing a non-default Env (e.g. FaultInjectionEnv) lets tests
+// inject torn writes and I/O errors on exactly these paths.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/slice.h"
 #include "common/status.h"
 
@@ -15,50 +19,47 @@ namespace sebdb {
 class AppendOnlyFile {
  public:
   AppendOnlyFile() = default;
-  ~AppendOnlyFile();
   AppendOnlyFile(const AppendOnlyFile&) = delete;
   AppendOnlyFile& operator=(const AppendOnlyFile&) = delete;
 
   /// Opens (creating if needed) for append; size() reflects existing bytes.
-  Status Open(const std::string& path);
+  /// `env` defaults to Env::Default().
+  Status Open(const std::string& path, Env* env = nullptr);
   Status Append(const Slice& data);
   Status Sync();
   Status Close();
 
-  uint64_t size() const { return size_; }
-  bool is_open() const { return fd_ >= 0; }
+  uint64_t size() const { return file_ == nullptr ? 0 : file_->size(); }
+  bool is_open() const { return file_ != nullptr; }
 
  private:
-  int fd_ = -1;
-  uint64_t size_ = 0;
+  std::unique_ptr<WritableFile> file_;
   std::string path_;
 };
 
 class RandomAccessFile {
  public:
   RandomAccessFile() = default;
-  ~RandomAccessFile();
   RandomAccessFile(const RandomAccessFile&) = delete;
   RandomAccessFile& operator=(const RandomAccessFile&) = delete;
 
-  Status Open(const std::string& path);
+  Status Open(const std::string& path, Env* env = nullptr);
   /// Reads exactly n bytes at offset into *scratch and points result at it.
   /// Fails with IOError on short reads.
   Status Read(uint64_t offset, size_t n, std::string* scratch) const;
   Status Close();
 
-  uint64_t size() const { return size_; }
-  bool is_open() const { return fd_ >= 0; }
+  uint64_t size() const { return file_ == nullptr ? 0 : file_->size(); }
+  bool is_open() const { return file_ != nullptr; }
 
  private:
-  int fd_ = -1;
-  uint64_t size_ = 0;
+  std::unique_ptr<ReadableFile> file_;
   std::string path_;
 };
 
-/// Recursively creates a directory (a la mkdir -p).
+/// Recursively creates a directory (a la mkdir -p). Env::Default().
 Status CreateDirIfMissing(const std::string& path);
-/// Lists regular files in a directory (names only, unsorted).
+/// Lists regular files in a directory (names only, unsorted). Env::Default().
 Status ListDir(const std::string& path, std::vector<std::string>* out);
 /// Removes a directory tree (used by tests and benches for scratch dirs).
 Status RemoveDirRecursive(const std::string& path);

@@ -52,8 +52,16 @@ class CommitLog {
 
 template <typename Engine>
 struct NodeHarness {
+  // Unregister joins the delivery worker, so the handler's captured engine
+  // pointer cannot be invoked once the harness starts tearing down.
+  ~NodeHarness() {
+    if (net != nullptr) net->Unregister(id);
+    if (engine) engine->Stop();
+  }
   std::unique_ptr<Engine> engine;
   CommitLog log;
+  SimNetwork* net = nullptr;
+  std::string id;
 };
 
 ConsensusOptions FastOptions(uint32_t max_batch = 10) {
@@ -69,6 +77,8 @@ TEST(KafkaOrdererTest, OrdersAndDeliversOnAllNodes) {
   std::vector<std::unique_ptr<NodeHarness<KafkaOrderer>>> nodes;
   for (const auto& id : ids) {
     auto h = std::make_unique<NodeHarness<KafkaOrderer>>();
+    h->net = &net;
+    h->id = id;
     h->engine = std::make_unique<KafkaOrderer>(id, "n0", ids, &net,
                                                FastOptions(), h->log.MakeFn());
     KafkaOrderer* engine = h->engine.get();
@@ -115,6 +125,8 @@ TEST(KafkaOrdererTest, TimeoutCutsPartialBatch) {
   SimNetwork net;
   std::vector<std::string> ids = {"n0"};
   NodeHarness<KafkaOrderer> h;
+  h.net = &net;
+  h.id = "n0";
   h.engine = std::make_unique<KafkaOrderer>("n0", "n0", ids, &net,
                                             FastOptions(1000), h.log.MakeFn());
   KafkaOrderer* engine = h.engine.get();
@@ -151,6 +163,7 @@ TEST(KafkaOrdererTest, ValidatorRejectsBadTransactions) {
                    .Submit(bad, [&](Status s) { done_status = s; })
                    .ok());
   EXPECT_TRUE(done_status.IsInvalidArgument());
+  ASSERT_TRUE(net.Unregister("n0").ok());
   engine.Stop();
 }
 
@@ -161,6 +174,8 @@ std::vector<std::unique_ptr<NodeHarness<Engine>>> StartCluster(
   std::vector<std::unique_ptr<NodeHarness<Engine>>> nodes;
   for (const auto& id : ids) {
     auto h = std::make_unique<NodeHarness<Engine>>();
+    h->net = net;
+    h->id = id;
     h->engine = std::make_unique<Engine>(id, ids, net, options,
                                          h->log.MakeFn(), extra...);
     Engine* engine = h->engine.get();
@@ -372,6 +387,7 @@ TEST(KafkaOrdererTest, StopFailsPendingCallbacks) {
   engine.Stop();
   EXPECT_TRUE(fired.load());
   EXPECT_TRUE(done_status.IsAborted());
+  ASSERT_TRUE(net.Unregister("n0").ok());
 }
 
 TEST(BatchCodecTest, RoundTrip) {

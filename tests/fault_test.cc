@@ -4,8 +4,12 @@
 // the two-phase authenticated protocol, §VI).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
+#include "common/coding.h"
 #include "core/node.h"
 #include "core/thin_client.h"
+#include "storage/block_store.h"
 #include "tests/test_util.h"
 
 namespace sebdb {
@@ -209,6 +213,169 @@ TEST(FaultTest, CorruptGossipBlockRejected) {
   EXPECT_FALSE(node.ApplyBlockRecord(height_before, evil_record).ok());
   EXPECT_EQ(node.ChainHeight(), height_before);
   node.Stop();
+}
+
+// ---- torn-write matrix over the block store's on-disk frames ----
+
+Block MakeStoreBlock(BlockId height, const Hash256& prev) {
+  BlockBuilder builder;
+  builder.SetHeight(height).SetPrevHash(prev).SetTimestamp(1000 + height)
+      .SetFirstTid(1 + height * 2);
+  builder.AddTransaction(MakeTxn("t", "sender", 1000 + height,
+                                 {Value::Int(static_cast<int64_t>(height)),
+                                  Value::Str("payload")}));
+  builder.AddTransaction(MakeTxn("t", "sender", 1000 + height,
+                                 {Value::Int(-1), Value::Str("more")}));
+  return std::move(builder).Build("packager-sig");
+}
+
+// Writes a 3-block store and returns the raw segment bytes plus the offset
+// where the last frame starts, and the encodings of the intact blocks.
+void BuildSegmentImage(std::string* image, size_t* last_frame_start,
+                       std::vector<std::string>* encodings) {
+  ScratchDir dir("fault_torn_build");
+  BlockStore store;
+  Hash256 prev{};
+  ASSERT_TRUE(store.Open(BlockStoreOptions(), dir.path()).ok());
+  for (BlockId h = 0; h < 3; h++) {
+    Block block = MakeStoreBlock(h, prev);
+    prev = block.header().block_hash;
+    std::string record;
+    block.EncodeTo(&record);
+    encodings->push_back(std::move(record));
+    ASSERT_TRUE(store.Append(block).ok());
+  }
+  store.Close();
+
+  std::vector<std::string> files;
+  ASSERT_TRUE(ListDir(dir.path(), &files).ok());
+  ASSERT_EQ(files.size(), 1u);
+  FILE* f = fopen((dir.path() + "/" + files[0]).c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) image->append(buf, n);
+  fclose(f);
+
+  // Walk the first two frames: [magic u32][len u32][payload][crc u32].
+  size_t offset = 0;
+  for (int i = 0; i < 2; i++) {
+    uint32_t len = DecodeFixed32(image->data() + offset + 4);
+    offset += 8 + len + 4;
+  }
+  *last_frame_start = offset;
+  ASSERT_LT(offset, image->size());
+}
+
+void WriteSegment(const std::string& dir, const std::string& bytes) {
+  ASSERT_TRUE(CreateDirIfMissing(dir).ok());
+  FILE* f = fopen((dir + "/seg_000000.blk").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  fclose(f);
+}
+
+// Checks the recovered store holds exactly `expect` intact blocks.
+void ExpectRecovered(const std::string& dir, size_t expect, bool truncated,
+                     const std::vector<std::string>& encodings) {
+  BlockStore store;
+  ASSERT_TRUE(store.Open(BlockStoreOptions(), dir).ok());
+  ASSERT_EQ(store.num_blocks(), expect);
+  for (size_t h = 0; h < expect; h++) {
+    std::string record;
+    ASSERT_TRUE(store.ReadRawRecord(h, &record).ok()) << "height " << h;
+    ASSERT_EQ(record, encodings[h]) << "height " << h;
+  }
+  EXPECT_EQ(store.recovery_stats().tail_truncated, truncated);
+  store.Close();
+}
+
+// Truncate the segment at EVERY byte boundary of the last frame — inside
+// the 8-byte header, the payload, and the 4-byte CRC trailer — and reopen:
+// recovery must come back with exactly the two intact blocks.
+TEST(FaultTest, TornWriteMatrixRecoversIntactPrefix) {
+  std::string image;
+  size_t last_frame_start;
+  std::vector<std::string> encodings;
+  BuildSegmentImage(&image, &last_frame_start, &encodings);
+
+  ScratchDir dir("fault_torn_matrix");
+  size_t case_id = 0;
+  for (size_t cut = last_frame_start; cut < image.size(); cut++) {
+    SCOPED_TRACE("cut at byte " + std::to_string(cut));
+    std::string sub = dir.path() + "/cut_" + std::to_string(case_id++);
+    WriteSegment(sub, image.substr(0, cut));
+    // A cut exactly at the frame boundary is a clean (not torn) tail.
+    ExpectRecovered(sub, 2, /*truncated=*/cut > last_frame_start, encodings);
+  }
+  // Untouched image sanity check: all three blocks, no truncation.
+  std::string sub = dir.path() + "/intact";
+  WriteSegment(sub, image);
+  ExpectRecovered(sub, 3, /*truncated=*/false, encodings);
+}
+
+// Flip one bit at several positions of the last frame (header magic, header
+// length, payload, CRC trailer): the defective record is dropped, the two
+// intact blocks survive.
+TEST(FaultTest, FlippedBitInTailFrameRecoversIntactPrefix) {
+  std::string image;
+  size_t last_frame_start;
+  std::vector<std::string> encodings;
+  BuildSegmentImage(&image, &last_frame_start, &encodings);
+
+  ScratchDir dir("fault_flip");
+  const size_t frame_len = image.size() - last_frame_start;
+  const size_t positions[] = {
+      0,                  // header magic
+      5,                  // header length field
+      8,                  // first payload byte
+      8 + frame_len / 3,  // mid-payload
+      frame_len - 5,      // last payload byte
+      frame_len - 2,      // CRC trailer
+  };
+  size_t case_id = 0;
+  for (size_t pos : positions) {
+    SCOPED_TRACE("flip at frame byte " + std::to_string(pos));
+    std::string flipped = image;
+    flipped[last_frame_start + pos] ^= 0x40;
+    std::string sub = dir.path() + "/flip_" + std::to_string(case_id++);
+    WriteSegment(sub, flipped);
+    ExpectRecovered(sub, 2, /*truncated=*/true, encodings);
+  }
+}
+
+// Corruption that is NOT a crash artifact — a flipped bit in a non-tail
+// segment — must refuse to open rather than silently drop committed blocks
+// from the middle of the chain.
+TEST(FaultTest, NonTailSegmentCorruptionRefusesToOpen) {
+  ScratchDir dir("fault_midchain");
+  BlockStoreOptions options;
+  options.segment_size = 512;  // force several segments
+  Hash256 prev{};
+  {
+    BlockStore store;
+    ASSERT_TRUE(store.Open(options, dir.path()).ok());
+    for (BlockId h = 0; h < 6; h++) {
+      Block block = MakeStoreBlock(h, prev);
+      prev = block.header().block_hash;
+      ASSERT_TRUE(store.Append(block).ok());
+    }
+    store.Close();
+  }
+  std::vector<std::string> files;
+  ASSERT_TRUE(ListDir(dir.path(), &files).ok());
+  ASSERT_GT(files.size(), 1u);
+
+  FILE* f = fopen((dir.path() + "/seg_000000.blk").c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  fseek(f, 20, SEEK_SET);
+  int c = fgetc(f);
+  fseek(f, 20, SEEK_SET);
+  fputc(c ^ 0xff, f);
+  fclose(f);
+
+  BlockStore store;
+  EXPECT_TRUE(store.Open(options, dir.path()).IsCorruption());
 }
 
 TEST(FaultTest, AuthQuerySnapshotAcrossDivergentHeights) {

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <mutex>
+#include <thread>
 
+#include "common/coding.h"
 #include "network/gossip.h"
 #include "network/sim_network.h"
 
@@ -32,6 +34,9 @@ TEST(SimNetworkTest, UnknownDestinationDropped) {
   SimNetwork net;
   net.Send({"t", "a", "ghost", "x"});
   EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_EQ(net.stats().unreachable_drops, 1u);
+  EXPECT_EQ(net.stats().link_drops, 0u);
+  EXPECT_EQ(net.stats().random_drops, 0u);
 }
 
 TEST(SimNetworkTest, Broadcast) {
@@ -56,6 +61,9 @@ TEST(SimNetworkTest, LinkDownPartitions) {
   net.Send({"t", "a", "b", "x"});
   net.DrainAll();
   EXPECT_EQ(b_received.load(), 0);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_EQ(net.stats().link_drops, 1u);
+  EXPECT_EQ(net.stats().random_drops, 0u);
   net.SetLinkDown("b", "a", false);  // order-insensitive
   net.Send({"t", "a", "b", "x"});
   net.DrainAll();
@@ -72,6 +80,8 @@ TEST(SimNetworkTest, DropRateLosesMessages) {
   net.DrainAll();
   EXPECT_EQ(received.load(), 0);
   EXPECT_EQ(net.stats().messages_dropped, 10u);
+  EXPECT_EQ(net.stats().random_drops, 10u);
+  EXPECT_EQ(net.stats().link_drops, 0u);
 }
 
 TEST(SimNetworkTest, LatencyDelaysDelivery) {
@@ -203,6 +213,49 @@ TEST(GossipTest, BidirectionalConvergence) {
   agent_b.RunRound();  // lagging node advertises its (lower) height
   net.DrainAll();
   EXPECT_EQ(chain_b.ChainHeight(), 5u);
+}
+
+TEST(GossipTest, LostPullIsRetriedWithBackoff) {
+  SimNetwork net;
+  FakeChain chain_a, chain_b;
+  chain_a.Seed(10, "blk");
+  GossipOptions options;
+  options.pull_retry_initial_millis = 20;
+  GossipAgent agent_a("a", &net, &chain_a, {"b"}, options);
+  GossipAgent agent_b("b", &net, &chain_b, {"a"}, options);
+  ASSERT_TRUE(
+      net.Register("a", [&](const Message& m) { agent_a.HandleMessage(m); })
+          .ok());
+  ASSERT_TRUE(
+      net.Register("b", [&](const Message& m) { agent_b.HandleMessage(m); })
+          .ok());
+
+  // b hears that a is at height 10, but the partition swallows its pull.
+  net.SetLinkDown("a", "b", true);
+  std::string digest;
+  PutVarint64(&digest, 10);
+  agent_b.HandleMessage(Message{"gossip.digest", "a", "b", digest});
+  net.DrainAll();
+  EXPECT_EQ(chain_b.ChainHeight(), 0u);
+  EXPECT_GE(net.stats().link_drops, 1u);
+
+  // Past the backoff window, the next round re-issues the pull (still
+  // dropped here, but counted).
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  agent_b.RunRound();
+  net.DrainAll();
+  EXPECT_GE(agent_b.pull_retries(), 1u);
+  EXPECT_EQ(chain_b.ChainHeight(), 0u);
+
+  // Heal the link: retries (or the regular digest exchange) converge.
+  net.SetLinkDown("a", "b", false);
+  for (int i = 0; i < 200 && chain_b.ChainHeight() < 10; i++) {
+    agent_b.RunRound();
+    net.DrainAll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(chain_b.ChainHeight(), 10u);
+  EXPECT_EQ(chain_b.records(), chain_a.records());
 }
 
 TEST(GossipTest, BackgroundThreadConverges) {

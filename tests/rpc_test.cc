@@ -159,6 +159,98 @@ TEST(RpcTest, ThinClientOverNetworkTransport) {
   for (auto& node : nodes) node->Stop();
 }
 
+TEST(RpcTest, RetryPolicySucceedsOnLossyNetwork) {
+  SimNetworkOptions net_options;
+  net_options.drop_rate = 0.5;  // half of all messages vanish
+  net_options.seed = 1234;
+  SimNetwork net(net_options);
+  RpcDispatcher dispatcher;
+  dispatcher.RegisterMethod("echo",
+                            [](const Slice& request, std::string* response) {
+                              *response = request.ToString();
+                              return Status::OK();
+                            });
+  ASSERT_TRUE(net.Register("server",
+                           [&](const Message& m) {
+                             dispatcher.HandleMessage(&net, "server", m);
+                           })
+                  .ok());
+
+  RpcClient client("client-1", &net);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.attempt_timeout_millis = 50;
+  policy.initial_backoff_millis = 2;
+  policy.max_backoff_millis = 10;
+
+  // Each attempt needs both its request and response delivered (p = 0.25),
+  // so a single shot fails 75% of the time; five attempts push per-call
+  // success to ~76%. Expect a clear majority of 20 calls through.
+  int ok = 0;
+  for (int i = 0; i < 20; i++) {
+    std::string response;
+    if (client.Call("server", "echo", std::to_string(i), &response, policy)
+            .ok()) {
+      ASSERT_EQ(response, std::to_string(i));
+      ok++;
+    }
+  }
+  EXPECT_GE(ok, 10);
+  EXPECT_GT(client.retries(), 0u);
+}
+
+TEST(RpcTest, RetryPolicyRespectsOverallDeadline) {
+  SimNetwork net;
+  ASSERT_TRUE(net.Register("server", [](const Message&) {}).ok());
+  RpcClient client("client-1", &net);
+  net.SetLinkDown("client-1", "server", true);
+
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.attempt_timeout_millis = 100;
+  policy.overall_deadline_millis = 400;
+  policy.initial_backoff_millis = 10;
+
+  auto start = std::chrono::steady_clock::now();
+  std::string response;
+  Status s = client.Call("server", "echo", "x", &response, policy);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_TRUE(s.IsTimedOut());
+  // Far fewer than 100 x 100ms attempts: the deadline cut the loop off.
+  EXPECT_GE(elapsed, 300);
+  EXPECT_LE(elapsed, 2000);
+}
+
+TEST(RpcTest, RetryPolicyDefaultsAndNonRetryableErrors) {
+  SimNetwork net;
+  RpcDispatcher dispatcher;
+  dispatcher.RegisterMethod("fail", [](const Slice&, std::string*) {
+    return Status::InvalidArgument("nope");
+  });
+  ASSERT_TRUE(net.Register("server",
+                           [&](const Message& m) {
+                             dispatcher.HandleMessage(&net, "server", m);
+                           })
+                  .ok());
+  RpcClient client("client-1", &net);
+
+  // Semantic errors surface immediately even under a retrying policy.
+  std::string response;
+  Status s = client.Call("server", "fail", "", &response,
+                         RetryPolicy::WithAttempts(5));
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(client.retries(), 0u);
+
+  // The default policy is one attempt: a timeout performs no retries.
+  net.SetLinkDown("client-1", "server", true);
+  RetryPolicy one;
+  one.attempt_timeout_millis = 100;
+  EXPECT_TRUE(client.Call("server", "fail", "", &response, one).IsTimedOut());
+  EXPECT_EQ(client.retries(), 0u);
+}
+
 TEST(RpcTest, PartitionedServerTimesOut) {
   ScratchDir dir("rpc_partition");
   SimNetwork net;

@@ -269,15 +269,43 @@ TEST(BlockStoreTest, TransactionCacheServesRepeatReads) {
   EXPECT_GT(store.stats().cache_hits.load(), 0u);
 }
 
-TEST(BlockStoreTest, DetectsCorruptedRecord) {
+// The read path CRC-checks every record: corrupt a payload byte while the
+// store is open (so the startup scan has already indexed the record) and the
+// next ReadBlock must report Corruption rather than decode garbage.
+TEST(BlockStoreTest, DetectsCorruptedRecordOnRead) {
   ScratchDir dir("store_corrupt");
+  BlockStore store;
+  ASSERT_TRUE(store.Open(BlockStoreOptions(), dir.path()).ok());
+  ASSERT_TRUE(store.Append(MakeBlock(0, Hash256{}, 1, 3)).ok());
+
+  // Flip a byte in the middle of the payload, behind the store's back.
+  std::vector<std::string> files;
+  ASSERT_TRUE(ListDir(dir.path(), &files).ok());
+  ASSERT_EQ(files.size(), 1u);
+  std::string path = dir.path() + "/" + files[0];
+  FILE* f = fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  fseek(f, 100, SEEK_SET);
+  int c = fgetc(f);
+  fseek(f, 100, SEEK_SET);
+  fputc(c ^ 0xff, f);
+  fclose(f);
+
+  std::shared_ptr<const Block> block;
+  EXPECT_TRUE(store.ReadBlock(0, &block).IsCorruption());
+}
+
+// Reopening over that same corruption self-heals instead: the defective
+// record sits in the tail segment, so recovery truncates it away and the
+// store comes back empty but writable.
+TEST(BlockStoreTest, ReopenTruncatesCorruptedTailRecord) {
+  ScratchDir dir("store_corrupt_reopen");
   {
     BlockStore store;
     ASSERT_TRUE(store.Open(BlockStoreOptions(), dir.path()).ok());
     ASSERT_TRUE(store.Append(MakeBlock(0, Hash256{}, 1, 3)).ok());
     store.Close();
   }
-  // Flip a byte in the middle of the payload.
   std::vector<std::string> files;
   ASSERT_TRUE(ListDir(dir.path(), &files).ok());
   ASSERT_EQ(files.size(), 1u);
@@ -292,8 +320,16 @@ TEST(BlockStoreTest, DetectsCorruptedRecord) {
 
   BlockStore store;
   ASSERT_TRUE(store.Open(BlockStoreOptions(), dir.path()).ok());
+  EXPECT_EQ(store.num_blocks(), 0u);
+  EXPECT_TRUE(store.recovery_stats().tail_truncated);
+  EXPECT_EQ(store.recovery_stats().records_dropped, 1u);
+  EXPECT_GT(store.recovery_stats().bytes_truncated, 0u);
+
+  // The store stays usable: fresh appends land where the garbage was.
+  ASSERT_TRUE(store.Append(MakeBlock(0, Hash256{}, 1, 2)).ok());
   std::shared_ptr<const Block> block;
-  EXPECT_TRUE(store.ReadBlock(0, &block).IsCorruption());
+  ASSERT_TRUE(store.ReadBlock(0, &block).ok());
+  EXPECT_EQ(block->transactions().size(), 2u);
 }
 
 TEST(BlockStoreTest, RawRecordMatchesEncoding) {
