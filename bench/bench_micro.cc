@@ -4,6 +4,9 @@
 // block encode/decode and single-transaction random decode.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "auth/mbtree.h"
 #include "common/bitmap.h"
 #include "common/random.h"
@@ -193,4 +196,26 @@ BENCHMARK(BM_BlockDecodeOneTransaction);
 }  // namespace
 }  // namespace sebdb
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to machine-readable JSON output in
+// BENCH_micro.json (pass --benchmark_out=... to override).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

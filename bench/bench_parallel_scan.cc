@@ -1,0 +1,423 @@
+// Serial vs parallel query execution and startup replay (thread-pool
+// pipeline). Two modes per workload:
+//
+//   cpu    real filesystem. On a many-core machine decode + predicate work
+//          overlaps; on a single-core container expect ~1x.
+//   simio  every file read carries a fixed latency (default 200 us,
+//          approximating a disk seek), so the benchmark measures how well
+//          the pipeline overlaps I/O waits — the dominant cost on the
+//          storage the paper targets. Speedup here is latency hiding, not
+//          core count, so it reproduces on any machine.
+//
+// Every parallel run is checked row-for-row against the serial run. Results
+// print as FIG lines and are also written as machine-readable JSON to
+// $SEBDB_BENCH_JSON (default BENCH_parallel.json).
+//
+//   SEBDB_PARALLEL_BLOCKS     chain size (default 1000 data blocks)
+//   SEBDB_SIMIO_READ_MICROS   injected per-read latency (default 200)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bchainbench/bench_chain.h"
+#include "common/env.h"
+#include "common/thread_pool.h"
+#include "core/chain_manager.h"
+#include "sql/executor.h"
+#include "storage/file.h"
+
+namespace sebdb {
+namespace {
+
+using bench::ReportHeader;
+using bench::ReportPoint;
+using bench::WallTimer;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : fallback;
+}
+
+// --- Env adding a fixed latency to every file read (the simio mode) -------
+
+class SlowReadableFile : public ReadableFile {
+ public:
+  SlowReadableFile(std::unique_ptr<ReadableFile> base, int64_t micros)
+      : base_(std::move(base)), micros_(micros) {}
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros_));
+    return base_->Read(offset, n, out);
+  }
+  Status Close() override { return base_->Close(); }
+  uint64_t size() const override { return base_->size(); }
+
+ private:
+  std::unique_ptr<ReadableFile> base_;
+  int64_t micros_;
+};
+
+class SlowReadEnv : public Env {
+ public:
+  explicit SlowReadEnv(int64_t read_micros) : read_micros_(read_micros) {}
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    return Env::Default()->NewWritableFile(path, out);
+  }
+  Status NewReadableFile(const std::string& path,
+                         std::unique_ptr<ReadableFile>* out) override {
+    std::unique_ptr<ReadableFile> base;
+    Status s = Env::Default()->NewReadableFile(path, &base);
+    if (!s.ok()) return s;
+    *out = std::make_unique<SlowReadableFile>(std::move(base), read_micros_);
+    return Status::OK();
+  }
+  Status CreateDirIfMissing(const std::string& path) override {
+    return Env::Default()->CreateDirIfMissing(path);
+  }
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* out) override {
+    return Env::Default()->ListDir(path, out);
+  }
+  Status RemoveDirRecursive(const std::string& path) override {
+    return Env::Default()->RemoveDirRecursive(path);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return Env::Default()->RemoveFile(path);
+  }
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    return Env::Default()->TruncateFile(path, size);
+  }
+  Status FileSize(const std::string& path, uint64_t* size) override {
+    return Env::Default()->FileSize(path, size);
+  }
+  Status SyncDir(const std::string& path) override {
+    return Env::Default()->SyncDir(path);
+  }
+
+ private:
+  int64_t read_micros_;
+};
+
+// --- fixture ---------------------------------------------------------------
+
+constexpr const char* kDir = "/tmp/sebdb_bench_parallel_scan";
+
+#define CHECK_OK(expr)                                                  \
+  do {                                                                  \
+    Status _s = (expr);                                                 \
+    if (!_s.ok()) {                                                     \
+      fprintf(stderr, "FATAL %s: %s\n", #expr, _s.ToString().c_str());  \
+      exit(1);                                                          \
+    }                                                                   \
+  } while (0)
+
+Transaction MakeTxn(const std::string& tname, const std::string& sender,
+                    Timestamp ts, std::vector<Value> values) {
+  Transaction txn(tname, std::move(values));
+  txn.set_sender(sender);
+  txn.set_ts(ts);
+  txn.set_signature("bench-sig");
+  return txn;
+}
+
+/// Builds the on-disk chain once (real Env; writes aren't benchmarked):
+/// `blocks` data blocks of 10 donate/transfer rows each.
+void BuildChain(int blocks) {
+  RemoveDirRecursive(kDir);
+  CHECK_OK(CreateDirIfMissing(kDir));
+  ChainOptions options;
+  options.verify_signatures = false;
+  ChainManager chain("bench-builder", nullptr);
+  CHECK_OK(chain.Open(options, kDir));
+
+  Schema donate, transfer;
+  CHECK_OK(Schema::Create("donate",
+                          {{"donor", ValueType::kString},
+                           {"project", ValueType::kString},
+                           {"amount", ValueType::kInt64}},
+                          &donate));
+  CHECK_OK(Schema::Create("transfer",
+                          {{"project", ValueType::kString},
+                           {"organization", ValueType::kString},
+                           {"amount", ValueType::kInt64}},
+                          &transfer));
+  Timestamp ts = 0;
+  std::vector<Transaction> schema_txns;
+  for (const Schema* schema : {&donate, &transfer}) {
+    Transaction txn = Catalog::MakeSchemaTransaction(*schema);
+    txn.set_sender("admin");
+    txn.set_ts(ts += 10);
+    schema_txns.push_back(std::move(txn));
+  }
+  CHECK_OK(chain.AppendBatch(0, std::move(schema_txns), ts, "bench", "sig"));
+
+  int amount = 0;
+  for (int b = 0; b < blocks; b++) {
+    std::vector<Transaction> txns;
+    for (int i = 0; i < 10; i++, amount++) {
+      if (i == 9) {
+        txns.push_back(MakeTxn(
+            "transfer", "org" + std::to_string(b % 7), ts += 10,
+            {Value::Str("proj" + std::to_string(b % 11)),
+             Value::Str("school" + std::to_string(b % 5)),
+             Value::Int(amount)}));
+      } else {
+        txns.push_back(MakeTxn(
+            "donate", "donor" + std::to_string(amount % 23), ts += 10,
+            {Value::Str("d" + std::to_string(amount % 23)),
+             Value::Str("proj" + std::to_string(b % 11)),
+             Value::Int(amount % 4096)}));
+      }
+    }
+    CHECK_OK(chain.AppendBatch(chain.height() - 1, std::move(txns), ts,
+                               "bench", "sig"));
+  }
+  CHECK_OK(chain.Close());
+}
+
+std::vector<std::string> Rendered(const ResultSet& result) {
+  std::vector<std::string> out;
+  out.reserve(result.rows.size());
+  for (const auto& row : result.rows) {
+    std::string line;
+    for (const auto& v : row) line += v.ToString() + "|";
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+struct PoolRun {
+  int threads = 0;  // 0 = serial (no pool)
+  int64_t micros = 0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+struct WorkloadResult {
+  std::string name;
+  std::vector<PoolRun> runs;
+};
+
+int64_t TimeQuery(Executor* executor, const std::string& sql,
+                  const ExecOptions& options, ResultSet* result,
+                  int iterations) {
+  int64_t best = INT64_MAX;
+  for (int it = 0; it < iterations; it++) {
+    result->rows.clear();
+    WallTimer timer;
+    CHECK_OK(executor->ExecuteSql(sql, options, result));
+    best = std::min(best, timer.ElapsedMicros());
+  }
+  return best;
+}
+
+// --- JSON ------------------------------------------------------------------
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void AppendWorkloadJson(const WorkloadResult& w, std::string* json) {
+  *json += "      {\"name\": \"" + JsonEscape(w.name) + "\", \"runs\": [";
+  for (size_t i = 0; i < w.runs.size(); i++) {
+    const PoolRun& run = w.runs[i];
+    if (i > 0) *json += ", ";
+    *json += "{\"threads\": " + std::to_string(run.threads) +
+             ", \"micros\": " + std::to_string(run.micros) +
+             ", \"speedup\": " + std::to_string(run.speedup) +
+             ", \"identical\": " + (run.identical ? "true" : "false") + "}";
+  }
+  *json += "]}";
+}
+
+// --- one mode --------------------------------------------------------------
+
+std::vector<WorkloadResult> RunMode(const std::string& mode, Env* env,
+                                    int blocks) {
+  std::vector<WorkloadResult> results;
+  ChainOptions options;
+  options.verify_signatures = false;
+  options.store.env = env;
+  ChainManager chain("bench-" + mode, nullptr);
+  CHECK_OK(chain.Open(options, kDir));
+  Executor executor(chain.store(), chain.indexes(), chain.catalog(), nullptr);
+  {
+    // First mode creates it; later modes inherit it via the index manifest.
+    ResultSet rs;
+    if (chain.indexes()->GetLayered("donate", "amount") == nullptr) {
+      CHECK_OK(executor.ExecuteSql("CREATE INDEX ON donate(amount)", {}, &rs));
+    }
+  }
+
+  struct Workload {
+    std::string name, sql;
+    ExecOptions options;
+  };
+  std::vector<Workload> workloads;
+  {
+    Workload select_scan;
+    select_scan.name = "select_scan";
+    select_scan.sql = "SELECT * FROM donate WHERE amount BETWEEN 512 AND 640";
+    select_scan.options.access_path = AccessPath::kScan;
+    workloads.push_back(select_scan);
+
+    Workload select_layered;
+    select_layered.name = "select_layered";
+    select_layered.sql =
+        "SELECT * FROM donate WHERE amount BETWEEN 512 AND 640";
+    select_layered.options.access_path = AccessPath::kLayered;
+    workloads.push_back(select_layered);
+
+    Workload trace;
+    trace.name = "trace_bitmap";
+    trace.sql = "TRACE OPERATOR = 'donor7'";
+    trace.options.access_path = AccessPath::kBitmap;
+    workloads.push_back(trace);
+
+    Workload join;
+    join.name = "join_bitmap_hash";
+    join.sql =
+        "SELECT * FROM donate, transfer ON donate.project = transfer.project "
+        "WHERE donate.amount < 40";
+    join.options.join_strategy = JoinStrategy::kBitmapHash;
+    workloads.push_back(join);
+  }
+
+  const int iterations = 2;
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  for (int t : thread_counts) pools.push_back(std::make_unique<ThreadPool>(t));
+
+  for (const auto& w : workloads) {
+    WorkloadResult result;
+    result.name = w.name;
+
+    executor.set_pool(nullptr);
+    ResultSet serial;
+    PoolRun serial_run;
+    serial_run.micros = TimeQuery(&executor, w.sql, w.options, &serial,
+                                  iterations);
+    result.runs.push_back(serial_run);
+    std::vector<std::string> expected = Rendered(serial);
+
+    for (size_t p = 0; p < pools.size(); p++) {
+      executor.set_pool(pools[p].get());
+      ResultSet parallel;
+      PoolRun run;
+      run.threads = thread_counts[p];
+      run.micros = TimeQuery(&executor, w.sql, w.options, &parallel,
+                             iterations);
+      run.speedup = static_cast<double>(serial_run.micros) /
+                    static_cast<double>(std::max<int64_t>(run.micros, 1));
+      run.identical = Rendered(parallel) == expected;
+      result.runs.push_back(run);
+      ReportPoint("parallel_scan." + mode, w.name,
+                  std::to_string(run.threads), "speedup", run.speedup);
+      if (!run.identical) {
+        fprintf(stderr, "FATAL %s/%s@%d: parallel rows differ from serial\n",
+                mode.c_str(), w.name.c_str(), run.threads);
+        exit(1);
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  CHECK_OK(chain.Close());
+
+  // Startup replay: full Open (read + validate + index rebuild) per config.
+  WorkloadResult replay;
+  replay.name = "startup_replay";
+  {
+    ChainOptions serial_options = options;
+    ChainManager reopened("bench-replay-serial", nullptr);
+    WallTimer timer;
+    CHECK_OK(reopened.Open(serial_options, kDir));
+    PoolRun run;
+    run.micros = timer.ElapsedMicros();
+    replay.runs.push_back(run);
+    CHECK_OK(reopened.Close());
+  }
+  const int64_t serial_replay = replay.runs[0].micros;
+  for (size_t p = 0; p < pools.size(); p++) {
+    ChainOptions par_options = options;
+    par_options.pool = pools[p].get();
+    ChainManager reopened("bench-replay-parallel", nullptr);
+    WallTimer timer;
+    CHECK_OK(reopened.Open(par_options, kDir));
+    PoolRun run;
+    run.threads = thread_counts[p];
+    run.micros = timer.ElapsedMicros();
+    run.speedup = static_cast<double>(serial_replay) /
+                  static_cast<double>(std::max<int64_t>(run.micros, 1));
+    (void)blocks;
+    replay.runs.push_back(run);
+    ReportPoint("parallel_scan." + mode, replay.name,
+                std::to_string(run.threads), "speedup", run.speedup);
+    CHECK_OK(reopened.Close());
+  }
+  results.push_back(std::move(replay));
+  return results;
+}
+
+}  // namespace
+}  // namespace sebdb
+
+int main() {
+  using namespace sebdb;
+
+  const int blocks =
+      static_cast<int>(EnvInt("SEBDB_PARALLEL_BLOCKS", 1000));
+  const int64_t read_micros = EnvInt("SEBDB_SIMIO_READ_MICROS", 200);
+  const char* json_path_env = std::getenv("SEBDB_BENCH_JSON");
+  const std::string json_path =
+      json_path_env != nullptr ? json_path_env : "BENCH_parallel.json";
+
+  ReportHeader("parallel_scan",
+               "Serial vs parallel scan/trace/join/replay, " +
+                   std::to_string(blocks) + " blocks");
+  BuildChain(blocks);
+
+  SlowReadEnv slow_env(read_micros);
+  struct Mode {
+    std::string name;
+    Env* env;
+  };
+  std::vector<Mode> modes = {{"cpu", nullptr}, {"simio", &slow_env}};
+
+  std::string json = "{\n  \"bench\": \"parallel_scan\",\n  \"blocks\": " +
+                     std::to_string(blocks) +
+                     ",\n  \"simio_read_micros\": " +
+                     std::to_string(read_micros) + ",\n  \"modes\": [\n";
+  for (size_t m = 0; m < modes.size(); m++) {
+    std::vector<WorkloadResult> results =
+        RunMode(modes[m].name, modes[m].env, blocks);
+    if (m > 0) json += ",\n";
+    json += "    {\"mode\": \"" + modes[m].name + "\", \"workloads\": [\n";
+    for (size_t w = 0; w < results.size(); w++) {
+      if (w > 0) json += ",\n";
+      AppendWorkloadJson(results[w], &json);
+    }
+    json += "\n    ]}";
+  }
+  json += "\n  ]\n}\n";
+
+  FILE* f = fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  fputs(json.c_str(), f);
+  fclose(f);
+  fprintf(stderr, "wrote %s\n", json_path.c_str());
+  RemoveDirRecursive(kDir);
+  return 0;
+}

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Build and test both the plain and the ASan+UBSan trees.
+# Build and test the plain, ASan+UBSan, and TSan trees. The tsan preset's
+# test filter runs only the concurrency-sensitive binaries (thread pool,
+# executor, consensus, crash recovery).
 #
-#   scripts/check.sh            # both presets
+#   scripts/check.sh            # all three presets
 #   scripts/check.sh default    # plain build only
-#   scripts/check.sh asan-ubsan # sanitized build only
+#   scripts/check.sh asan-ubsan # ASan+UBSan build only
+#   scripts/check.sh tsan       # TSan build only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(default asan-ubsan)
+  presets=(default asan-ubsan tsan)
 fi
 
 for preset in "${presets[@]}"; do

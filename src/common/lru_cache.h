@@ -80,6 +80,10 @@ class LruCache {
     std::lock_guard<std::mutex> lock(mu_);
     return misses_;
   }
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
 
  private:
   struct Entry {
@@ -94,6 +98,7 @@ class LruCache {
       usage_ -= victim.charge;
       map_.erase(victim.key);
       lru_.pop_back();
+      evictions_++;
     }
   }
 
@@ -104,6 +109,7 @@ class LruCache {
   uint64_t usage_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace sebdb

@@ -1,0 +1,98 @@
+// Shared work-stealing thread pool driving the parallel scan/verify/replay
+// pipelines (executor block scans, ChainManager signature verification and
+// startup replay). One deque per worker: a worker pops its own deque LIFO
+// (cache-warm) and steals FIFO from the others when empty. ParallelFor is the
+// main entry point — the calling thread always participates, so a loop makes
+// progress even when every worker is busy (nested loops cannot deadlock) and
+// a nullptr pool degrades to the plain serial loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sebdb {
+
+/// One-shot countdown synchronizer (std::latch without <latch>, which the
+/// toolchain's libstdc++ ships but tsan instrumentation dislikes).
+class Latch {
+ public:
+  explicit Latch(int count) : count_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool sized from std::thread::hardware_concurrency().
+  /// Created on first use, never destroyed (like Env::Default()).
+  static ThreadPool* Default();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. A task submitted from a pool worker lands on that
+  /// worker's own deque (depth-first execution); external submissions are
+  /// distributed round-robin. Tasks must not throw.
+  void Submit(std::function<void()> fn);
+
+  /// Runs fn(i) for every i in [0, n), fanning chunks of `grain` indices out
+  /// across the workers. The caller participates and the call returns only
+  /// when every index has run. Safe to nest (inner loops drain themselves).
+  void ParallelFor(uint64_t n, const std::function<void(uint64_t)>& fn,
+                   uint64_t grain = 1);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t id);
+  /// Pops from `preferred`'s deque, stealing from the others on miss.
+  bool RunOneTask(size_t preferred);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<uint64_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+/// Runs fn(i) for i in [0, n) on the pool and returns the failure of the
+/// *smallest* failing index — exactly the Status a serial early-exit loop
+/// would report — or OK. With a nullptr pool this IS the serial early-exit
+/// loop, so serial and parallel callers share one code path.
+Status ParallelForStatus(ThreadPool* pool, uint64_t n,
+                         const std::function<Status(uint64_t)>& fn,
+                         uint64_t grain = 1);
+
+}  // namespace sebdb

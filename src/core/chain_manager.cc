@@ -1,5 +1,7 @@
 #include "core/chain_manager.h"
 
+#include <algorithm>
+
 namespace sebdb {
 
 Status ChainManager::Open(const ChainOptions& options,
@@ -26,17 +28,86 @@ Status ChainManager::Open(const ChainOptions& options,
     if (!s.ok()) return s;
   } else {
     // Recovery: replay every persisted block into indexes and catalog.
-    for (uint64_t h = 0; h < store_.num_blocks(); h++) {
+    s = ReplayChain(store_.num_blocks());
+    if (!s.ok()) return s;
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Status ChainManager::ReplayChain(uint64_t n) {
+  ThreadPool* pool = options_.pool;
+  if (pool == nullptr || n < 4) {
+    for (uint64_t h = 0; h < n; h++) {
       std::shared_ptr<const Block> block;
-      s = store_.ReadBlock(h, &block);
+      Status s = store_.ReadBlock(h, &block);
       if (!s.ok()) return s;
       s = block->Validate();
       if (!s.ok()) return s;
       s = ApplyBlock(*block);
       if (!s.ok()) return s;
     }
+    return Status::OK();
   }
-  open_ = true;
+
+  // Each chunk is read (coalesced preads via ReadBlocks) and Merkle-validated
+  // across the pool; sub-ranges give every worker a sequential slice. The
+  // next chunk loads in the background while this thread applies the current
+  // one in height order — apply is order-dependent (indexes, catalog, tids)
+  // and stays here.
+  const uint64_t threads = static_cast<uint64_t>(pool->num_threads());
+  const uint64_t chunk = std::max<uint64_t>(threads * 16, 64);
+
+  struct Prefetch {
+    std::vector<std::shared_ptr<const Block>> blocks;
+    Status status;
+    Latch done{1};
+  };
+  auto load = [this, pool, threads](uint64_t begin, uint64_t end,
+                                    Prefetch* out) {
+    const uint64_t total = end - begin;
+    out->blocks.assign(total, nullptr);
+    const uint64_t stride = (total + threads - 1) / threads;
+    const uint64_t tasks = (total + stride - 1) / stride;
+    out->status = ParallelForStatus(pool, tasks, [&](uint64_t t) -> Status {
+      const uint64_t lo = begin + t * stride;
+      const uint64_t hi = std::min(end, lo + stride);
+      std::vector<std::shared_ptr<const Block>> blocks;
+      Status s = store_.ReadBlocks(lo, hi - lo, &blocks);
+      if (!s.ok()) return s;
+      for (uint64_t i = 0; i < blocks.size(); i++) {
+        s = blocks[i]->Validate();
+        if (!s.ok()) return s;
+        out->blocks[lo - begin + i] = std::move(blocks[i]);
+      }
+      return Status::OK();
+    });
+    out->done.CountDown();
+  };
+
+  auto start_load = [&](uint64_t begin, uint64_t end) {
+    auto p = std::make_shared<Prefetch>();
+    pool->Submit([load, begin, end, p] { load(begin, end, p.get()); });
+    return p;
+  };
+
+  std::shared_ptr<Prefetch> pending = start_load(0, std::min(n, chunk));
+  for (uint64_t begin = 0; begin < n; begin += chunk) {
+    std::shared_ptr<Prefetch> current = std::move(pending);
+    const uint64_t end = std::min(n, begin + chunk);
+    if (end < n) pending = start_load(end, std::min(n, end + chunk));
+    current->done.Wait();
+    Status s = current->status;
+    for (uint64_t i = 0; s.ok() && i < current->blocks.size(); i++) {
+      s = ApplyBlock(*current->blocks[i]);
+    }
+    if (!s.ok()) {
+      // The in-flight prefetch references this object; let it finish before
+      // the error unwinds to a caller who may destroy us.
+      if (pending != nullptr) pending->done.Wait();
+      return s;
+    }
+  }
   return Status::OK();
 }
 
@@ -64,31 +135,50 @@ Status ChainManager::AppendBatch(uint64_t seq, std::vector<Transaction> txns,
                                  Timestamp timestamp,
                                  const std::string& packager,
                                  const std::string& packager_signature) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!open_) return Status::Aborted("chain not open");
   uint64_t expected_height = seq + 1;  // genesis occupies height 0
-  if (store_.num_blocks() != expected_height) {
-    if (store_.num_blocks() > expected_height) {
-      return Status::OK();  // already applied (e.g. arrived via gossip first)
+  Hash256 prev_hash;
+  TransactionId first_tid;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_) return Status::Aborted("chain not open");
+    if (store_.num_blocks() != expected_height) {
+      if (store_.num_blocks() > expected_height) {
+        return Status::OK();  // already applied (e.g. arrived via gossip first)
+      }
+      return Status::InvalidArgument(
+          "batch " + std::to_string(seq) + " arrived at chain height " +
+          std::to_string(store_.num_blocks()));
     }
-    return Status::InvalidArgument(
-        "batch " + std::to_string(seq) + " arrived at chain height " +
-        std::to_string(store_.num_blocks()));
+    // Block timestamps must be deterministic across replicas and monotone;
+    // callers pass a content-derived timestamp (max transaction ts) and we
+    // clamp against the previous block.
+    if (timestamp < last_ts_) timestamp = last_ts_;
+    prev_hash = tip_hash_;
+    first_tid = next_tid_;
   }
 
-  // Block timestamps must be deterministic across replicas and monotone;
-  // callers pass a content-derived timestamp (max transaction ts) and we
-  // clamp against the previous block.
-  if (timestamp < last_ts_) timestamp = last_ts_;
+  // Build the block — Merkle tree and SHA-256 over the whole body — outside
+  // mu_ so readers and the gossip apply path aren't stalled behind hashing.
+  // The snapshot stays valid as long as the height doesn't move (tid/ts/tip
+  // only change together with the height, under mu_); rechecked below.
   BlockBuilder builder;
-  builder.SetPrevHash(tip_hash_)
+  builder.SetPrevHash(prev_hash)
       .SetHeight(expected_height)
       .SetTimestamp(timestamp)
-      .SetFirstTid(next_tid_);
+      .SetFirstTid(first_tid);
   for (auto& txn : txns) builder.AddTransaction(std::move(txn));
   Block block = std::move(builder).Build(packager_signature);
   (void)packager;
 
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::Aborted("chain not open");
+  if (store_.num_blocks() != expected_height) {
+    // Raced with gossip delivering the same height; that block won.
+    if (store_.num_blocks() > expected_height) return Status::OK();
+    return Status::InvalidArgument(
+        "batch " + std::to_string(seq) + " arrived at chain height " +
+        std::to_string(store_.num_blocks()));
+  }
   Status s = store_.Append(block);
   if (!s.ok()) return s;
   return ApplyBlock(block);
@@ -96,13 +186,19 @@ Status ChainManager::AppendBatch(uint64_t seq, std::vector<Transaction> txns,
 
 Status ChainManager::ApplyBlockRecord(BlockId height,
                                       const std::string& record) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!open_) return Status::Aborted("chain not open");
-  if (height < store_.num_blocks()) return Status::OK();  // stale
-  if (height > store_.num_blocks()) {
-    return Status::InvalidArgument("gap before block " +
-                                   std::to_string(height));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_) return Status::Aborted("chain not open");
+    if (height < store_.num_blocks()) return Status::OK();  // stale
+    if (height > store_.num_blocks()) {
+      return Status::InvalidArgument("gap before block " +
+                                     std::to_string(height));
+    }
   }
+
+  // Decode, Merkle-validate and signature-check outside mu_: none of it
+  // depends on chain state, and signature verification fans out across the
+  // pool. Only the prev-hash link and the append/apply need the lock.
   Block block;
   Slice input(record);
   Status s = Block::DecodeFrom(&input, &block);
@@ -112,15 +208,24 @@ Status ChainManager::ApplyBlockRecord(BlockId height,
   }
   s = block.Validate();
   if (!s.ok()) return s;
+  if (options_.verify_signatures && keystore_ != nullptr) {
+    const auto& txns = block.transactions();
+    s = ParallelForStatus(options_.pool, txns.size(), [&](uint64_t i) {
+      return keystore_->VerifyTransaction(txns[i]);
+    });
+    if (!s.ok()) return s;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::Aborted("chain not open");
+  if (height < store_.num_blocks()) return Status::OK();  // lost the race
+  if (height > store_.num_blocks()) {
+    return Status::InvalidArgument("gap before block " +
+                                   std::to_string(height));
+  }
   if (height > 0 && block.header().prev_hash != tip_hash_) {
     return Status::Corruption("prev hash mismatch at height " +
                               std::to_string(height));
-  }
-  if (options_.verify_signatures && keystore_ != nullptr) {
-    for (const auto& txn : block.transactions()) {
-      s = keystore_->VerifyTransaction(txn);
-      if (!s.ok()) return s;
-    }
   }
   s = store_.Append(block);
   if (!s.ok()) return s;
@@ -128,6 +233,10 @@ Status ChainManager::ApplyBlockRecord(BlockId height,
 }
 
 Status ChainManager::GetBlockRecord(BlockId height, std::string* record) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_) return Status::Aborted("chain not open");
+  }
   return store_.ReadRawRecord(height, record);
 }
 
@@ -149,6 +258,10 @@ TransactionId ChainManager::next_tid() const {
 }
 
 Status ChainManager::GetHeader(BlockId height, BlockHeader* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_) return Status::Aborted("chain not open");
+  }
   return store_.ReadHeader(height, out);
 }
 

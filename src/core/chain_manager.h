@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/signer.h"
 #include "sql/catalog.h"
 #include "sql/index_set.h"
@@ -23,6 +24,10 @@ struct ChainOptions {
   IndexSetOptions indexes;
   /// Verify every transaction signature when applying foreign blocks.
   bool verify_signatures = true;
+  /// Worker pool for parallel startup replay and concurrent signature
+  /// verification; nullptr runs both serially. SebdbNode defaults this to
+  /// ThreadPool::Default() (see DefaultNodeChainOptions).
+  ThreadPool* pool = nullptr;
 };
 
 class ChainManager {
@@ -67,8 +72,15 @@ class ChainManager {
     return store_.recovery_stats();
   }
 
+  /// Block/transaction cache counters (hits, misses, evictions, occupancy).
+  BlockStore::CacheStats cache_stats() const { return store_.cache_stats(); }
+
  private:
   Status ApplyBlock(const Block& block);  // index + catalog, under mu_
+  /// Recovery replay of heights [0, n): block reads (readahead-batched) and
+  /// Merkle validation fan out across the pool one chunk ahead of the
+  /// strictly height-ordered index/catalog apply. Called under mu_.
+  Status ReplayChain(uint64_t n);
 
   const std::string node_id_;
   const KeyStore* keystore_;

@@ -12,6 +12,14 @@
 
 namespace sebdb {
 
+ChainOptions DefaultNodeChainOptions() {
+  ChainOptions chain;
+  chain.store.block_cache_bytes = 64ull << 20;
+  chain.store.transaction_cache_bytes = 16ull << 20;
+  chain.pool = ThreadPool::Default();
+  return chain;
+}
+
 SebdbNode::SebdbNode(NodeOptions options, KeyStore* keystore,
                      OffchainDb* offchain)
     : options_(std::move(options)),
@@ -42,9 +50,27 @@ Status SebdbNode::Start(SimNetwork* network) {
             static_cast<unsigned long long>(recovery.blocks_recovered),
             static_cast<unsigned long long>(recovery.bytes_truncated));
   }
+  const BlockStore::CacheStats caches = chain_.cache_stats();
+  if (chain_.height() > 1 &&
+      (caches.block_capacity > 0 || caches.txn_capacity > 0)) {
+    // Replay warms the block cache; report what startup left behind.
+    fprintf(stderr,
+            "[sebdb] node %s: caches block=%lluMB (usage %llu, hits %llu, "
+            "misses %llu) txn=%lluMB (usage %llu, hits %llu, misses %llu)\n",
+            options_.node_id.c_str(),
+            static_cast<unsigned long long>(caches.block_capacity >> 20),
+            static_cast<unsigned long long>(caches.block_usage),
+            static_cast<unsigned long long>(caches.block_hits),
+            static_cast<unsigned long long>(caches.block_misses),
+            static_cast<unsigned long long>(caches.txn_capacity >> 20),
+            static_cast<unsigned long long>(caches.txn_usage),
+            static_cast<unsigned long long>(caches.txn_hits),
+            static_cast<unsigned long long>(caches.txn_misses));
+  }
   executor_ = std::make_unique<Executor>(chain_.store(), chain_.indexes(),
                                          chain_.catalog(),
-                                         offchain_connector_.get());
+                                         offchain_connector_.get(),
+                                         options_.chain.pool);
 
   SetupRpcMethods();
   s = network_->Register(options_.node_id,

@@ -27,6 +27,12 @@ namespace sebdb {
 
 enum class ConsensusKind { kKafka, kPbft, kTendermint };
 
+/// Chain options a full node defaults to (tests construct ChainOptions
+/// directly and opt in per-feature): LRU caches on, and the process-wide
+/// thread pool driving parallel scans, startup replay, and concurrent
+/// signature verification.
+ChainOptions DefaultNodeChainOptions();
+
 struct NodeOptions {
   std::string node_id;
   std::string data_dir;
@@ -35,7 +41,7 @@ struct NodeOptions {
   std::vector<std::string> participants;
   std::string kafka_broker;
   ConsensusOptions consensus_options;
-  ChainOptions chain;
+  ChainOptions chain = DefaultNodeChainOptions();
   bool enable_gossip = true;
   GossipOptions gossip;
   /// How long a blocking write waits for its commit.

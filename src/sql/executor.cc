@@ -410,48 +410,67 @@ Status Executor::ExecSingleTable(const SelectStmt& stmt,
     return EvalPredicate(*stmt.where, bindings, row, options.params, ok);
   };
 
+  using RowVec = std::vector<std::vector<Value>>;
+  std::vector<RowVec> buffers;
   if (path == AccessPath::kLayered) {
     Bitmap candidates = layered->CandidateBlocks(
         range.has_value() && range->lo.has_value() ? &*range->lo : nullptr,
         range.has_value() && range->hi.has_value() ? &*range->hi : nullptr);
     if (window.has_value()) candidates.And(*window);
-    for (size_t bid : candidates.SetBits()) {
-      std::vector<TxnPointer> pointers;
-      s = layered->SearchBlock(
-          bid,
-          range.has_value() && range->lo.has_value() ? &*range->lo : nullptr,
-          range.has_value() && range->hi.has_value() ? &*range->hi : nullptr,
-          &pointers);
-      if (!s.ok()) return s;
-      for (const auto& pointer : pointers) {
-        std::shared_ptr<const Transaction> txn;
-        s = store_->ReadTransaction(pointer.block, pointer.index, &txn);
-        if (!s.ok()) return s;
-        std::vector<Value> row = TxnToRow(*txn, schema.num_columns());
-        bool ok;
-        s = row_passes(row, &ok);
-        if (!s.ok()) return s;
-        if (ok) result->rows.push_back(std::move(row));
-      }
-    }
+    const std::vector<size_t> bids = candidates.SetBits();
+    s = sql_internal::ParallelMapOrdered<RowVec>(
+        pool_, bids.size(),
+        [&](size_t i, RowVec* out) -> Status {
+          std::vector<TxnPointer> pointers;
+          Status ps = layered->SearchBlock(
+              bids[i],
+              range.has_value() && range->lo.has_value() ? &*range->lo
+                                                         : nullptr,
+              range.has_value() && range->hi.has_value() ? &*range->hi
+                                                         : nullptr,
+              &pointers);
+          if (!ps.ok()) return ps;
+          for (const auto& pointer : pointers) {
+            std::shared_ptr<const Transaction> txn;
+            ps = store_->ReadTransaction(pointer.block, pointer.index, &txn);
+            if (!ps.ok()) return ps;
+            std::vector<Value> row = TxnToRow(*txn, schema.num_columns());
+            bool ok;
+            ps = row_passes(row, &ok);
+            if (!ps.ok()) return ps;
+            if (ok) out->push_back(std::move(row));
+          }
+          return Status::OK();
+        },
+        &buffers);
+    if (!s.ok()) return s;
   } else {
     Bitmap blocks = path == AccessPath::kBitmap
                         ? indexes_->table_index().BlocksWithTable(table)
                         : AllBlocksBitmap(n);
     if (window.has_value()) blocks.And(*window);
-    for (size_t bid : blocks.SetBits()) {
-      std::shared_ptr<const Block> block;
-      s = store_->ReadBlock(bid, &block);
-      if (!s.ok()) return s;
-      for (const auto& txn : block->transactions()) {
-        if (txn.tname() != table) continue;
-        std::vector<Value> row = TxnToRow(txn, schema.num_columns());
-        bool ok;
-        s = row_passes(row, &ok);
-        if (!s.ok()) return s;
-        if (ok) result->rows.push_back(std::move(row));
-      }
-    }
+    const std::vector<size_t> bids = blocks.SetBits();
+    s = sql_internal::ParallelMapOrdered<RowVec>(
+        pool_, bids.size(),
+        [&](size_t i, RowVec* out) -> Status {
+          std::shared_ptr<const Block> block;
+          Status ps = store_->ReadBlock(bids[i], &block);
+          if (!ps.ok()) return ps;
+          for (const auto& txn : block->transactions()) {
+            if (txn.tname() != table) continue;
+            std::vector<Value> row = TxnToRow(txn, schema.num_columns());
+            bool ok;
+            ps = row_passes(row, &ok);
+            if (!ps.ok()) return ps;
+            if (ok) out->push_back(std::move(row));
+          }
+          return Status::OK();
+        },
+        &buffers);
+    if (!s.ok()) return s;
+  }
+  for (auto& buffer : buffers) {
+    for (auto& row : buffer) result->rows.push_back(std::move(row));
   }
   return Project(stmt, bindings, result);
 }
@@ -531,32 +550,60 @@ Status Executor::ExecTrace(const TraceStmt& stmt, const ExecOptions& options,
     if (has_operation && txn.tname() != operation) return false;
     return true;
   };
-  auto append_txn = [&](const Transaction& txn) {
+  auto txn_to_row = [](const Transaction& txn) {
     std::string data;
     for (size_t i = 0; i < txn.values().size(); i++) {
       if (i > 0) data += ", ";
       data += txn.values()[i].ToString();
     }
-    result->rows.push_back({Value::Int(static_cast<int64_t>(txn.tid())),
-                            Value::Ts(txn.ts()), Value::Str(txn.sender()),
-                            Value::Str(txn.tname()), Value::Str(data)});
+    return std::vector<Value>{Value::Int(static_cast<int64_t>(txn.tid())),
+                              Value::Ts(txn.ts()), Value::Str(txn.sender()),
+                              Value::Str(txn.tname()), Value::Str(data)};
+  };
+  using RowVec = std::vector<std::vector<Value>>;
+  std::vector<RowVec> buffers;
+  auto merge_buffers = [&] {
+    for (auto& buffer : buffers) {
+      for (auto& row : buffer) result->rows.push_back(std::move(row));
+    }
   };
 
-  if (path == AccessPath::kScan) {
+  if (path == AccessPath::kScan || path == AccessPath::kBitmap) {
     Bitmap blocks = window.has_value() ? *window : AllBlocksBitmap(n);
-    for (size_t bid : blocks.SetBits()) {
-      std::shared_ptr<const Block> block;
-      s = store_->ReadBlock(bid, &block);
-      if (!s.ok()) return s;
-      for (const auto& txn : block->transactions()) {
-        if (txn_matches(txn)) append_txn(txn);
+    if (path == AccessPath::kBitmap) {
+      // Bitmap method: filter through the first-level bitmaps of the system
+      // SenID/Tname indices, then read the surviving blocks whole.
+      if (has_operator) {
+        blocks.And(
+            indexes_->senid_index()->BlocksWithValue(Value::Str(operator_id)));
+      }
+      if (has_operation) {
+        blocks.And(
+            indexes_->tname_index()->BlocksWithValue(Value::Str(operation)));
       }
     }
+    const std::vector<size_t> bids = blocks.SetBits();
+    s = sql_internal::ParallelMapOrdered<RowVec>(
+        pool_, bids.size(),
+        [&](size_t i, RowVec* out) -> Status {
+          std::shared_ptr<const Block> block;
+          Status ps = store_->ReadBlock(bids[i], &block);
+          if (!ps.ok()) return ps;
+          for (const auto& txn : block->transactions()) {
+            if (txn_matches(txn)) out->push_back(txn_to_row(txn));
+          }
+          return Status::OK();
+        },
+        &buffers);
+    if (!s.ok()) return s;
+    merge_buffers();
     return Status::OK();
   }
 
-  // Bitmap and layered methods both start from the first-level bitmaps of
-  // the system SenID/Tname indices (paper Alg. 1 lines 1-5).
+  // Layered method: the same first-level bitmap filter (paper Alg. 1 lines
+  // 1-5), then a second-level search per block, intersect the position sets
+  // of the two dimensions, and random-read only the result transactions
+  // (paper Alg. 1 lines 6-13).
   Bitmap blocks = window.has_value() ? *window : AllBlocksBitmap(n);
   if (has_operator) {
     blocks.And(indexes_->senid_index()->BlocksWithValue(Value::Str(operator_id)));
@@ -565,58 +612,55 @@ Status Executor::ExecTrace(const TraceStmt& stmt, const ExecOptions& options,
     blocks.And(indexes_->tname_index()->BlocksWithValue(Value::Str(operation)));
   }
 
-  if (path == AccessPath::kBitmap) {
-    // Bitmap method: read the filtered blocks whole and scan them.
-    for (size_t bid : blocks.SetBits()) {
-      std::shared_ptr<const Block> block;
-      s = store_->ReadBlock(bid, &block);
-      if (!s.ok()) return s;
-      for (const auto& txn : block->transactions()) {
-        if (txn_matches(txn)) append_txn(txn);
-      }
-    }
-    return Status::OK();
-  }
-
-  // Layered method: second-level search per block, intersect the position
-  // sets of the two dimensions, then random-read only the result
-  // transactions (paper Alg. 1 lines 6-13).
-  for (size_t bid : blocks.SetBits()) {
-    std::vector<uint32_t> positions;
-    if (has_operator) {
-      std::vector<TxnPointer> pointers;
-      Value key = Value::Str(operator_id);
-      s = indexes_->senid_index()->SearchBlock(bid, &key, &key, &pointers);
-      if (!s.ok()) return s;
-      for (const auto& pointer : pointers) positions.push_back(pointer.index);
-    }
-    if (has_operation) {
-      std::vector<TxnPointer> pointers;
-      Value key = Value::Str(operation);
-      s = indexes_->tname_index()->SearchBlock(bid, &key, &key, &pointers);
-      if (!s.ok()) return s;
-      std::vector<uint32_t> op_positions;
-      for (const auto& pointer : pointers) op_positions.push_back(pointer.index);
-      if (has_operator) {
+  const std::vector<size_t> bids = blocks.SetBits();
+  s = sql_internal::ParallelMapOrdered<RowVec>(
+      pool_, bids.size(),
+      [&](size_t i, RowVec* out) -> Status {
+        const size_t bid = bids[i];
+        std::vector<uint32_t> positions;
+        Status ps;
+        if (has_operator) {
+          std::vector<TxnPointer> pointers;
+          Value key = Value::Str(operator_id);
+          ps = indexes_->senid_index()->SearchBlock(bid, &key, &key, &pointers);
+          if (!ps.ok()) return ps;
+          for (const auto& pointer : pointers) {
+            positions.push_back(pointer.index);
+          }
+        }
+        if (has_operation) {
+          std::vector<TxnPointer> pointers;
+          Value key = Value::Str(operation);
+          ps = indexes_->tname_index()->SearchBlock(bid, &key, &key, &pointers);
+          if (!ps.ok()) return ps;
+          std::vector<uint32_t> op_positions;
+          for (const auto& pointer : pointers) {
+            op_positions.push_back(pointer.index);
+          }
+          if (has_operator) {
+            std::sort(positions.begin(), positions.end());
+            std::sort(op_positions.begin(), op_positions.end());
+            std::vector<uint32_t> both;
+            std::set_intersection(positions.begin(), positions.end(),
+                                  op_positions.begin(), op_positions.end(),
+                                  std::back_inserter(both));
+            positions = std::move(both);
+          } else {
+            positions = std::move(op_positions);
+          }
+        }
         std::sort(positions.begin(), positions.end());
-        std::sort(op_positions.begin(), op_positions.end());
-        std::vector<uint32_t> both;
-        std::set_intersection(positions.begin(), positions.end(),
-                              op_positions.begin(), op_positions.end(),
-                              std::back_inserter(both));
-        positions = std::move(both);
-      } else {
-        positions = std::move(op_positions);
-      }
-    }
-    std::sort(positions.begin(), positions.end());
-    for (uint32_t position : positions) {
-      std::shared_ptr<const Transaction> txn;
-      s = store_->ReadTransaction(bid, position, &txn);
-      if (!s.ok()) return s;
-      append_txn(*txn);
-    }
-  }
+        for (uint32_t position : positions) {
+          std::shared_ptr<const Transaction> txn;
+          ps = store_->ReadTransaction(bid, position, &txn);
+          if (!ps.ok()) return ps;
+          out->push_back(txn_to_row(*txn));
+        }
+        return Status::OK();
+      },
+      &buffers);
+  if (!s.ok()) return s;
+  merge_buffers();
   return Status::OK();
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "offchain/offchain_db.h"
 #include "sql/ast.h"
 #include "sql/catalog.h"
@@ -46,12 +47,20 @@ struct ExecOptions {
 
 class Executor {
  public:
+  /// `pool` drives the parallel scan pipeline: candidate blocks fan out to
+  /// workers that read + decode + filter into per-block row buffers, merged
+  /// back in (block, index) order so output is byte-identical to the serial
+  /// path. nullptr executes every scan serially.
   Executor(BlockStore* store, IndexSet* indexes, Catalog* catalog,
-           OffchainConnector* offchain)
+           OffchainConnector* offchain, ThreadPool* pool = nullptr)
       : store_(store),
         indexes_(indexes),
         catalog_(catalog),
-        offchain_(offchain) {}
+        offchain_(offchain),
+        pool_(pool) {}
+
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* pool() const { return pool_; }
 
   /// Executes one parsed statement. EXPLAIN fills only ResultSet::plan.
   Status Execute(const Statement& stmt, const ExecOptions& options,
@@ -96,6 +105,7 @@ class Executor {
   IndexSet* indexes_;
   Catalog* catalog_;
   OffchainConnector* offchain_;
+  ThreadPool* pool_;
 };
 
 }  // namespace sebdb

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/bitmap.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
 #include "index/layered_index.h"
 #include "offchain/offchain_db.h"
 #include "types/schema.h"
@@ -34,6 +36,21 @@ inline Bitmap AllBlocksBitmap(uint64_t n) {
   Bitmap b(n);
   for (uint64_t i = 0; i < n; i++) b.Set(i);
   return b;
+}
+
+/// The parallel scan primitive: produce(i, &out[i]) fills a private buffer
+/// for candidate i (block read + decode + predicate), fanned out across the
+/// pool; the caller then consumes `outputs` in candidate order, so results
+/// are byte-identical to the serial loop. A nullptr pool runs the exact
+/// serial loop (same code path, early exit on error).
+template <typename T, typename Fn>
+Status ParallelMapOrdered(ThreadPool* pool, size_t n, const Fn& produce,
+                          std::vector<T>* outputs) {
+  outputs->clear();
+  outputs->resize(n);
+  return ParallelForStatus(pool, n, [&](uint64_t i) -> Status {
+    return produce(static_cast<size_t>(i), &(*outputs)[i]);
+  });
 }
 
 struct ValueHash {

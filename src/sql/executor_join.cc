@@ -213,8 +213,12 @@ Status Executor::ExecOnChainJoin(const SelectStmt& stmt,
   if (explain_only) return Status::OK();
 
   const uint64_t n = store_->num_blocks();
+  // Concatenate + filter one joined row into `out`. Workers pass private
+  // buffers; the buffers are merged in candidate order afterwards so the
+  // result is byte-identical to the serial nested loop.
   auto emit = [&](const std::vector<Value>& lrow,
-                  const std::vector<Value>& rrow) -> Status {
+                  const std::vector<Value>& rrow,
+                  std::vector<std::vector<Value>>* out) -> Status {
     std::vector<Value> row = ConcatRows(lrow, rrow);
     bool ok = true;
     if (stmt.where != nullptr) {
@@ -222,9 +226,10 @@ Status Executor::ExecOnChainJoin(const SelectStmt& stmt,
           EvalPredicate(*stmt.where, bindings, row, options.params, &ok);
       if (!es.ok()) return es;
     }
-    if (ok) result->rows.push_back(std::move(row));
+    if (ok) out->push_back(std::move(row));
     return Status::OK();
   };
+  using RowVec = std::vector<std::vector<Value>>;
 
   if (strategy == JoinStrategy::kScanHash ||
       strategy == JoinStrategy::kBitmapHash) {
@@ -238,31 +243,54 @@ Status Executor::ExecOnChainJoin(const SelectStmt& stmt,
     if (window.has_value()) blocks.And(*window);
 
     // One pass over the candidate blocks partitions both inputs; then a
-    // hash table on the right input is probed with the left.
+    // hash table on the right input is probed with the left. The partition
+    // phase (read + decode + row materialization) fans out per block; the
+    // per-block partitions are merged serially in block order so the hash
+    // table's insertion order — and hence equal_range iteration order —
+    // matches the serial pass exactly.
+    struct Partition {
+      std::vector<std::pair<Value, std::vector<Value>>> left, right;
+    };
+    const std::vector<size_t> bids = blocks.SetBits();
+    std::vector<Partition> parts;
+    s = sql_internal::ParallelMapOrdered<Partition>(
+        pool_, bids.size(),
+        [&](size_t i, Partition* out) -> Status {
+          std::shared_ptr<const Block> block;
+          Status ps = store_->ReadBlock(bids[i], &block);
+          if (!ps.ok()) return ps;
+          for (const auto& txn : block->transactions()) {
+            if (txn.tname() == left) {
+              Value key = txn.GetColumn(left_idx);
+              out->left.emplace_back(std::move(key),
+                                     TxnToRow(txn, left_schema.num_columns()));
+            }
+            if (txn.tname() == right) {
+              Value key = txn.GetColumn(right_idx);
+              out->right.emplace_back(
+                  std::move(key), TxnToRow(txn, right_schema.num_columns()));
+            }
+          }
+          return Status::OK();
+        },
+        &parts);
+    if (!s.ok()) return s;
+
     std::unordered_multimap<Value, std::vector<Value>, ValueHash, ValueEq>
         right_rows;
     std::vector<std::pair<Value, std::vector<Value>>> left_rows;
-    for (size_t bid : blocks.SetBits()) {
-      std::shared_ptr<const Block> block;
-      s = store_->ReadBlock(bid, &block);
-      if (!s.ok()) return s;
-      for (const auto& txn : block->transactions()) {
-        if (txn.tname() == left) {
-          Value key = txn.GetColumn(left_idx);
-          left_rows.emplace_back(std::move(key),
-                                 TxnToRow(txn, left_schema.num_columns()));
-        }
-        if (txn.tname() == right) {
-          Value key = txn.GetColumn(right_idx);
-          right_rows.emplace(std::move(key),
-                             TxnToRow(txn, right_schema.num_columns()));
-        }
+    for (auto& part : parts) {
+      for (auto& [key, lrow] : part.left) {
+        left_rows.emplace_back(std::move(key), std::move(lrow));
+      }
+      for (auto& [key, rrow] : part.right) {
+        right_rows.emplace(std::move(key), std::move(rrow));
       }
     }
     for (const auto& [key, lrow] : left_rows) {
       auto [begin, end] = right_rows.equal_range(key);
       for (auto it = begin; it != end; ++it) {
-        s = emit(lrow, it->second);
+        s = emit(lrow, it->second, &result->rows);
         if (!s.ok()) return s;
       }
     }
@@ -315,52 +343,64 @@ Status Executor::ExecOnChainJoin(const SelectStmt& stmt,
     }
   }
 
-  for (const auto& [br, bs] : pairs) {
-    {
-      // Sort-merge over the two blocks' second-level trees (leaves are in
-      // attribute order).
-      const auto* ltree = left_index->BlockTree(br);
-      const auto* rtree = right_index->BlockTree(bs);
-      if (ltree == nullptr || rtree == nullptr) continue;
-      auto lit = ltree->Begin();
-      auto rit = rtree->Begin();
-      while (lit.Valid() && rit.Valid()) {
-        int cmp = lit.key().CompareTotal(rit.key());
-        if (cmp < 0) {
-          lit.Next();
-          continue;
-        }
-        if (cmp > 0) {
-          rit.Next();
-          continue;
-        }
-        // Equal keys: cross product of both duplicate groups.
-        Value key = lit.key();
-        std::vector<uint32_t> lpos, rpos;
-        while (lit.Valid() && lit.key().CompareTotal(key) == 0) {
-          lpos.push_back(lit.value());
-          lit.Next();
-        }
-        while (rit.Valid() && rit.key().CompareTotal(key) == 0) {
-          rpos.push_back(rit.value());
-          rit.Next();
-        }
-        for (uint32_t lp : lpos) {
-          std::shared_ptr<const Transaction> ltxn;
-          s = store_->ReadTransaction(br, lp, &ltxn);
-          if (!s.ok()) return s;
-          std::vector<Value> lrow =
-              TxnToRow(*ltxn, left_schema.num_columns());
-          for (uint32_t rp : rpos) {
-            std::shared_ptr<const Transaction> rtxn;
-            s = store_->ReadTransaction(bs, rp, &rtxn);
-            if (!s.ok()) return s;
-            s = emit(lrow, TxnToRow(*rtxn, right_schema.num_columns()));
-            if (!s.ok()) return s;
+  // Each surviving pair sort-merges independently into a private buffer;
+  // buffers are concatenated in pair order.
+  std::vector<RowVec> buffers;
+  s = sql_internal::ParallelMapOrdered<RowVec>(
+      pool_, pairs.size(),
+      [&](size_t i, RowVec* out) -> Status {
+        const auto [br, bs] = pairs[i];
+        // Sort-merge over the two blocks' second-level trees (leaves are in
+        // attribute order).
+        const auto* ltree = left_index->BlockTree(br);
+        const auto* rtree = right_index->BlockTree(bs);
+        if (ltree == nullptr || rtree == nullptr) return Status::OK();
+        auto lit = ltree->Begin();
+        auto rit = rtree->Begin();
+        Status ps;
+        while (lit.Valid() && rit.Valid()) {
+          int cmp = lit.key().CompareTotal(rit.key());
+          if (cmp < 0) {
+            lit.Next();
+            continue;
+          }
+          if (cmp > 0) {
+            rit.Next();
+            continue;
+          }
+          // Equal keys: cross product of both duplicate groups.
+          Value key = lit.key();
+          std::vector<uint32_t> lpos, rpos;
+          while (lit.Valid() && lit.key().CompareTotal(key) == 0) {
+            lpos.push_back(lit.value());
+            lit.Next();
+          }
+          while (rit.Valid() && rit.key().CompareTotal(key) == 0) {
+            rpos.push_back(rit.value());
+            rit.Next();
+          }
+          for (uint32_t lp : lpos) {
+            std::shared_ptr<const Transaction> ltxn;
+            ps = store_->ReadTransaction(br, lp, &ltxn);
+            if (!ps.ok()) return ps;
+            std::vector<Value> lrow =
+                TxnToRow(*ltxn, left_schema.num_columns());
+            for (uint32_t rp : rpos) {
+              std::shared_ptr<const Transaction> rtxn;
+              ps = store_->ReadTransaction(bs, rp, &rtxn);
+              if (!ps.ok()) return ps;
+              ps = emit(lrow, TxnToRow(*rtxn, right_schema.num_columns()),
+                        out);
+              if (!ps.ok()) return ps;
+            }
           }
         }
-      }
-    }
+        return Status::OK();
+      },
+      &buffers);
+  if (!s.ok()) return s;
+  for (auto& buffer : buffers) {
+    for (auto& row : buffer) result->rows.push_back(std::move(row));
   }
   return Project(stmt, bindings, result);
 }
@@ -438,8 +478,11 @@ Status Executor::ExecOnOffJoin(const SelectStmt& stmt,
   if (window.has_value()) result->plan += " window";
   if (explain_only) return Status::OK();
 
+  // As in ExecOnChainJoin: emit into a caller-supplied buffer so probe work
+  // can run on private per-block buffers, merged in block order.
   auto emit = [&](const std::vector<Value>& on_row,
-                  const std::vector<Value>& off_row) -> Status {
+                  const std::vector<Value>& off_row,
+                  std::vector<std::vector<Value>>* out) -> Status {
     std::vector<Value> row = left_is_off ? ConcatRows(off_row, on_row)
                                          : ConcatRows(on_row, off_row);
     bool ok = true;
@@ -448,16 +491,18 @@ Status Executor::ExecOnOffJoin(const SelectStmt& stmt,
           EvalPredicate(*stmt.where, bindings, row, options.params, &ok);
       if (!es.ok()) return es;
     }
-    if (ok) result->rows.push_back(std::move(row));
+    if (ok) out->push_back(std::move(row));
     return Status::OK();
   };
+  using RowVec = std::vector<std::vector<Value>>;
 
   const uint64_t n = store_->num_blocks();
 
   if (strategy == JoinStrategy::kScanHash ||
       strategy == JoinStrategy::kBitmapHash) {
     // Fetch the whole off-chain table once and build a hash table on the
-    // join attribute; read candidate blocks and probe.
+    // join attribute; candidate blocks are then read and probed in parallel
+    // (the hash table is read-only during the probe phase).
     std::vector<OffchainRow> off_rows;
     s = offchain_->FetchAll(off_ref.name, &off_rows);
     if (!s.ok()) return s;
@@ -469,21 +514,31 @@ Status Executor::ExecOnOffJoin(const SelectStmt& stmt,
                         ? AllBlocksBitmap(n)
                         : indexes_->table_index().BlocksWithTable(on_ref.name);
     if (window.has_value()) blocks.And(*window);
-    for (size_t bid : blocks.SetBits()) {
-      std::shared_ptr<const Block> block;
-      s = store_->ReadBlock(bid, &block);
-      if (!s.ok()) return s;
-      for (const auto& txn : block->transactions()) {
-        if (txn.tname() != on_ref.name) continue;
-        Value key = txn.GetColumn(on_idx);
-        auto [begin, end] = hash.equal_range(key);
-        if (begin == end) continue;
-        std::vector<Value> on_row = TxnToRow(txn, on_schema.num_columns());
-        for (auto it = begin; it != end; ++it) {
-          s = emit(on_row, *it->second);
-          if (!s.ok()) return s;
-        }
-      }
+    const std::vector<size_t> bids = blocks.SetBits();
+    std::vector<RowVec> buffers;
+    s = sql_internal::ParallelMapOrdered<RowVec>(
+        pool_, bids.size(),
+        [&](size_t i, RowVec* out) -> Status {
+          std::shared_ptr<const Block> block;
+          Status ps = store_->ReadBlock(bids[i], &block);
+          if (!ps.ok()) return ps;
+          for (const auto& txn : block->transactions()) {
+            if (txn.tname() != on_ref.name) continue;
+            Value key = txn.GetColumn(on_idx);
+            auto [begin, end] = hash.equal_range(key);
+            if (begin == end) continue;
+            std::vector<Value> on_row = TxnToRow(txn, on_schema.num_columns());
+            for (auto it = begin; it != end; ++it) {
+              ps = emit(on_row, *it->second, out);
+              if (!ps.ok()) return ps;
+            }
+          }
+          return Status::OK();
+        },
+        &buffers);
+    if (!s.ok()) return s;
+    for (auto& buffer : buffers) {
+      for (auto& row : buffer) result->rows.push_back(std::move(row));
     }
     return Project(stmt, bindings, result);
   }
@@ -518,45 +573,60 @@ Status Executor::ExecOnOffJoin(const SelectStmt& stmt,
   }
   if (window.has_value()) candidates.And(*window);
 
-  for (size_t bid : candidates.SetBits()) {
-    const auto* tree = on_index->BlockTree(bid);
-    if (tree == nullptr) continue;
-    auto onit = tree->Begin();
-    size_t off_i = 0;
-    while (onit.Valid() && off_i < off_sorted.size()) {
-      int cmp = onit.key().CompareTotal(off_sorted[off_i][off_idx]);
-      if (cmp < 0) {
-        onit.Next();
-        continue;
-      }
-      if (cmp > 0) {
-        off_i++;
-        continue;
-      }
-      Value key = onit.key();
-      std::vector<uint32_t> on_pos;
-      while (onit.Valid() && onit.key().CompareTotal(key) == 0) {
-        on_pos.push_back(onit.value());
-        onit.Next();
-      }
-      size_t off_start = off_i;
-      while (off_i < off_sorted.size() &&
-             off_sorted[off_i][off_idx].CompareTotal(key) == 0) {
-        off_i++;
-      }
-      for (uint32_t pos : on_pos) {
-        std::shared_ptr<const Transaction> txn;
-        s = store_->ReadTransaction(bid, pos, &txn);
-        if (!s.ok()) return s;
-        std::vector<Value> on_row = TxnToRow(*txn, on_schema.num_columns());
-        for (size_t j = off_start; j < off_i; j++) {
-          s = emit(on_row, off_sorted[j]);
-          if (!s.ok()) return s;
+  // Each candidate block merges independently against the shared sorted
+  // off-chain rows (read-only); per-block buffers concatenate in block order.
+  const std::vector<size_t> cand_bids = candidates.SetBits();
+  std::vector<RowVec> buffers;
+  s = sql_internal::ParallelMapOrdered<RowVec>(
+      pool_, cand_bids.size(),
+      [&](size_t i, RowVec* out) -> Status {
+        const size_t bid = cand_bids[i];
+        const auto* tree = on_index->BlockTree(bid);
+        if (tree == nullptr) return Status::OK();
+        auto onit = tree->Begin();
+        size_t off_i = 0;
+        Status ps;
+        while (onit.Valid() && off_i < off_sorted.size()) {
+          int cmp = onit.key().CompareTotal(off_sorted[off_i][off_idx]);
+          if (cmp < 0) {
+            onit.Next();
+            continue;
+          }
+          if (cmp > 0) {
+            off_i++;
+            continue;
+          }
+          Value key = onit.key();
+          std::vector<uint32_t> on_pos;
+          while (onit.Valid() && onit.key().CompareTotal(key) == 0) {
+            on_pos.push_back(onit.value());
+            onit.Next();
+          }
+          size_t off_start = off_i;
+          while (off_i < off_sorted.size() &&
+                 off_sorted[off_i][off_idx].CompareTotal(key) == 0) {
+            off_i++;
+          }
+          for (uint32_t pos : on_pos) {
+            std::shared_ptr<const Transaction> txn;
+            ps = store_->ReadTransaction(bid, pos, &txn);
+            if (!ps.ok()) return ps;
+            std::vector<Value> on_row =
+                TxnToRow(*txn, on_schema.num_columns());
+            for (size_t j = off_start; j < off_i; j++) {
+              ps = emit(on_row, off_sorted[j], out);
+              if (!ps.ok()) return ps;
+            }
+          }
+          // Off-chain duplicates were consumed; the merge continues after
+          // them for the next on-chain key.
         }
-      }
-      // Off-chain duplicates were consumed; the merge continues after them
-      // for the next on-chain key.
-    }
+        return Status::OK();
+      },
+      &buffers);
+  if (!s.ok()) return s;
+  for (auto& buffer : buffers) {
+    for (auto& row : buffer) result->rows.push_back(std::move(row));
   }
   return Project(stmt, bindings, result);
 }

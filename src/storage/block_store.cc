@@ -309,6 +309,73 @@ Status BlockStore::ReadBlock(BlockId height,
   return Status::OK();
 }
 
+Status BlockStore::ReadBlocks(BlockId first, uint64_t count,
+                              std::vector<std::shared_ptr<const Block>>* out) {
+  // Cap on the bytes coalesced into one pread; keeps peak memory bounded on
+  // chains with large blocks while still amortizing syscall + seek cost.
+  constexpr uint64_t kReadaheadBytes = 4ull << 20;
+
+  out->assign(count, nullptr);
+  std::vector<Location> locations(count);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first + count > locations_.size()) {
+      return Status::NotFound("no block at height " +
+                              std::to_string(first + count - 1));
+    }
+    for (uint64_t i = 0; i < count; i++) locations[i] = locations_[first + i];
+  }
+
+  uint64_t i = 0;
+  while (i < count) {
+    if (block_cache_ != nullptr) {
+      if (auto cached = block_cache_->Lookup(first + i)) {
+        stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        (*out)[i] = std::move(cached);
+        i++;
+        continue;
+      }
+    }
+    // Extend the run while frames stay physically consecutive in the same
+    // segment (payload + crc + next frame header) and under the size cap.
+    uint64_t j = i + 1;
+    auto frame_end = [](const Location& loc) {
+      return loc.offset + loc.length + kFrameTrailerSize;
+    };
+    while (j < count && locations[j].segment == locations[i].segment &&
+           locations[j].offset ==
+               frame_end(locations[j - 1]) + kFrameHeaderSize &&
+           frame_end(locations[j]) - locations[i].offset < kReadaheadBytes) {
+      j++;
+    }
+    std::string buffer;
+    Status s = ReadAt(locations[i].segment, locations[i].offset,
+                      frame_end(locations[j - 1]) - locations[i].offset,
+                      &buffer);
+    if (!s.ok()) return s;
+    stats_.bytes_read.fetch_add(buffer.size(), std::memory_order_relaxed);
+    for (uint64_t k = i; k < j; k++) {
+      const Location& loc = locations[k];
+      const char* payload = buffer.data() + (loc.offset - locations[i].offset);
+      uint32_t stored_crc = DecodeFixed32(payload + loc.length);
+      if (Crc32(0, payload, loc.length) != stored_crc) {
+        return Status::Corruption("block record crc mismatch");
+      }
+      stats_.blocks_read.fetch_add(1, std::memory_order_relaxed);
+      auto block = std::make_shared<Block>();
+      Slice input(payload, loc.length);
+      s = Block::DecodeFrom(&input, block.get());
+      if (!s.ok()) return s;
+      if (block_cache_ != nullptr) {
+        block_cache_->Insert(first + k, block, block->ByteSize());
+      }
+      (*out)[k] = std::move(block);
+    }
+    i = j;
+  }
+  return Status::OK();
+}
+
 Status BlockStore::ReadHeader(BlockId height, BlockHeader* out) {
   if (block_cache_ != nullptr) {
     if (auto cached = block_cache_->Lookup(height)) {
@@ -434,6 +501,25 @@ Status BlockStore::ReadRawRecord(BlockId height, std::string* out) {
     loc = locations_[height];
   }
   return ReadPayload(loc, out);
+}
+
+BlockStore::CacheStats BlockStore::cache_stats() const {
+  CacheStats out;
+  if (block_cache_ != nullptr) {
+    out.block_hits = block_cache_->hits();
+    out.block_misses = block_cache_->misses();
+    out.block_evictions = block_cache_->evictions();
+    out.block_usage = block_cache_->usage();
+    out.block_capacity = block_cache_->capacity();
+  }
+  if (txn_cache_ != nullptr) {
+    out.txn_hits = txn_cache_->hits();
+    out.txn_misses = txn_cache_->misses();
+    out.txn_evictions = txn_cache_->evictions();
+    out.txn_usage = txn_cache_->usage();
+    out.txn_capacity = txn_cache_->capacity();
+  }
+  return out;
 }
 
 Status BlockStore::Close() {

@@ -65,6 +65,22 @@ struct StorageStats {
 
 class BlockStore {
  public:
+  /// Snapshot of both LRU caches (hits/misses/evictions plus occupancy).
+  /// Surfaced through ChainManager and the node startup log; a disabled
+  /// cache reports capacity 0 and all-zero counters.
+  struct CacheStats {
+    uint64_t block_hits = 0;
+    uint64_t block_misses = 0;
+    uint64_t block_evictions = 0;
+    uint64_t block_usage = 0;
+    uint64_t block_capacity = 0;
+    uint64_t txn_hits = 0;
+    uint64_t txn_misses = 0;
+    uint64_t txn_evictions = 0;
+    uint64_t txn_usage = 0;
+    uint64_t txn_capacity = 0;
+  };
+
   /// What the last Open found on disk. Surfaced through ChainManager and
   /// logged by SebdbNode::Start so operators can see self-healing happen.
   struct RecoveryStats {
@@ -98,6 +114,13 @@ class BlockStore {
   /// when enabled.
   Status ReadBlock(BlockId height, std::shared_ptr<const Block>* out);
 
+  /// Batched sequential read of blocks [first, first + count): frames that
+  /// are consecutive on disk are fetched with one large pread (readahead)
+  /// instead of one pread per block. Serves from / fills the block cache.
+  /// `out` is resized to `count`; out[i] is the block at height first + i.
+  Status ReadBlocks(BlockId first, uint64_t count,
+                    std::vector<std::shared_ptr<const Block>>* out);
+
   /// Reads only the header of a block.
   Status ReadHeader(BlockId height, BlockHeader* out);
 
@@ -111,6 +134,7 @@ class BlockStore {
   Status ReadRawRecord(BlockId height, std::string* out);
 
   StorageStats& stats() { return stats_; }
+  CacheStats cache_stats() const;
   const RecoveryStats& recovery_stats() const { return recovery_; }
   const std::string& dir() const { return dir_; }
 
