@@ -1,0 +1,11 @@
+// Adapts one named harness to the libFuzzer entry point. Each fuzz target
+// compiles this file with -DSEBDB_FUZZ_ENTRY=<function>.
+#include "fuzz/harnesses.h"
+
+#ifndef SEBDB_FUZZ_ENTRY
+#error "compile with -DSEBDB_FUZZ_ENTRY=sebdb::fuzz::<harness>"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return SEBDB_FUZZ_ENTRY(data, size);
+}

@@ -1,0 +1,81 @@
+// Varint / fixed / length-prefixed coding primitives: every network payload
+// and storage record is assembled from these, so they are the innermost
+// untrusted-input surface. Successful decodes must re-encode to bytes that
+// decode to the same value (canonical-form check for varints).
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "fuzz/harnesses.h"
+
+namespace sebdb {
+namespace fuzz {
+
+int FuzzCoding(const uint8_t* data, size_t size) {
+  const Slice raw(reinterpret_cast<const char*>(data), size);
+
+  {
+    Slice input = raw;
+    uint32_t v32;
+    while (GetVarint32(&input, &v32)) {
+      std::string enc;
+      PutVarint32(&enc, v32);
+      Slice again(enc);
+      uint32_t back;
+      if (!GetVarint32(&again, &back) || back != v32 || !again.empty()) {
+        __builtin_trap();
+      }
+    }
+  }
+  {
+    Slice input = raw;
+    uint64_t v64;
+    while (GetVarint64(&input, &v64)) {
+      std::string enc;
+      PutVarint64(&enc, v64);
+      Slice again(enc);
+      uint64_t back;
+      if (!GetVarint64(&again, &back) || back != v64 || !again.empty()) {
+        __builtin_trap();
+      }
+    }
+  }
+  {
+    Slice input = raw;
+    int64_t s64;
+    while (GetVarSigned64(&input, &s64)) {
+      std::string enc;
+      PutVarSigned64(&enc, s64);
+      Slice again(enc);
+      int64_t back;
+      if (!GetVarSigned64(&again, &back) || back != s64) __builtin_trap();
+    }
+  }
+  {
+    Slice input = raw;
+    Slice piece;
+    while (GetLengthPrefixed(&input, &piece)) {
+      std::string enc;
+      PutLengthPrefixed(&enc, piece);
+      Slice again(enc);
+      Slice back;
+      if (!GetLengthPrefixed(&again, &back) ||
+          back.ToString() != piece.ToString()) {
+        __builtin_trap();
+      }
+    }
+  }
+  {
+    Slice input = raw;
+    uint16_t f16;
+    uint32_t f32;
+    uint64_t f64;
+    (void)GetFixed16(&input, &f16);
+    (void)GetFixed32(&input, &f32);
+    (void)GetFixed64(&input, &f64);
+  }
+  return 0;
+}
+
+}  // namespace fuzz
+}  // namespace sebdb

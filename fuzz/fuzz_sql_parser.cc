@@ -1,0 +1,28 @@
+// SQL lexer + parser: statements arrive verbatim from clients (thin client
+// RPC, stored procedures), so the whole pipeline must reject garbage without
+// crashing, unbounded recursion, or hangs. Anything that parses is printed
+// back, which walks the full AST.
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/harnesses.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace sebdb {
+namespace fuzz {
+
+int FuzzSqlParser(const uint8_t* data, size_t size) {
+  const std::string_view sql(reinterpret_cast<const char*>(data), size);
+
+  std::vector<Token> tokens;
+  (void)Tokenize(sql, &tokens);
+
+  StatementPtr statement;
+  (void)ParseStatement(sql, &statement);
+  return 0;
+}
+
+}  // namespace fuzz
+}  // namespace sebdb

@@ -1,0 +1,54 @@
+// Transaction and Value binary decode: the bytes arrive in block bodies and
+// gossip messages, so arbitrary input must be cleanly rejected, and anything
+// accepted must round-trip byte-identically (decode(encode(t)) == t guards
+// against parser/serializer divergence, which would split consensus).
+#include <string>
+
+#include "common/slice.h"
+#include "fuzz/harnesses.h"
+#include "types/transaction.h"
+#include "types/value.h"
+
+namespace sebdb {
+namespace fuzz {
+
+int FuzzTransactionDecode(const uint8_t* data, size_t size) {
+  const Slice raw(reinterpret_cast<const char*>(data), size);
+
+  {
+    Slice input = raw;
+    Transaction txn;
+    if (Transaction::DecodeFrom(&input, &txn).ok()) {
+      std::string reencoded;
+      txn.EncodeTo(&reencoded);
+      Slice again(reencoded);
+      Transaction txn2;
+      if (!Transaction::DecodeFrom(&again, &txn2).ok() || !(txn == txn2)) {
+        __builtin_trap();  // accepted input must round-trip
+      }
+      (void)txn.Hash();
+      (void)txn.SigningPayload();
+      (void)txn.ToString();
+    }
+  }
+
+  {
+    Slice input = raw;
+    Value value;
+    if (Value::DecodeFrom(&input, &value)) {
+      std::string reencoded;
+      value.EncodeTo(&reencoded);
+      Slice again(reencoded);
+      Value value2;
+      if (!Value::DecodeFrom(&again, &value2) ||
+          value.CompareTotal(value2) != 0) {
+        __builtin_trap();
+      }
+      (void)value.ToString();
+    }
+  }
+  return 0;
+}
+
+}  // namespace fuzz
+}  // namespace sebdb

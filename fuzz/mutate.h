@@ -1,0 +1,90 @@
+// Deterministic input mutations shared by the standalone fuzz driver and the
+// corpus regression test. No libFuzzer dependency: a fixed-seed xorshift
+// generator applies bit flips, byte substitutions, truncations, duplications
+// and splices, so every run explores the same neighborhood of the corpus and
+// failures reproduce from just (file, round).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace sebdb {
+namespace fuzz {
+
+/// Deterministic 64-bit xorshift* generator.
+class DeterministicRng {
+ public:
+  explicit DeterministicRng(uint64_t seed) : state_(seed ? seed : 0x9e3779b9) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Produces mutation number `round` of `base`. Rounds with the same (base,
+/// seed, round) always produce the same bytes.
+inline std::string MutateInput(const std::string& base, uint64_t seed,
+                               uint64_t round) {
+  DeterministicRng rng(seed * 0x100000001b3ULL + round + 1);
+  std::string out = base;
+  const int kind = static_cast<int>(rng.Uniform(6));
+  switch (kind) {
+    case 0: {  // flip a single bit
+      if (out.empty()) break;
+      size_t pos = rng.Uniform(out.size());
+      out[pos] = static_cast<char>(out[pos] ^ (1u << rng.Uniform(8)));
+      break;
+    }
+    case 1: {  // overwrite a byte with a boundary-ish value
+      if (out.empty()) break;
+      static constexpr uint8_t kInteresting[] = {0x00, 0x01, 0x7f, 0x80,
+                                                 0xff, 0xfe, 0x20, 0x0a};
+      out[rng.Uniform(out.size())] =
+          static_cast<char>(kInteresting[rng.Uniform(8)]);
+      break;
+    }
+    case 2: {  // truncate
+      out.resize(rng.Uniform(out.size() + 1));
+      break;
+    }
+    case 3: {  // duplicate a slice onto the tail
+      if (out.empty()) break;
+      size_t start = rng.Uniform(out.size());
+      size_t len = rng.Uniform(out.size() - start) + 1;
+      out.append(out, start, len);
+      break;
+    }
+    case 4: {  // insert random bytes
+      size_t pos = rng.Uniform(out.size() + 1);
+      size_t count = rng.Uniform(8) + 1;
+      std::string blob;
+      for (size_t i = 0; i < count; i++) {
+        blob.push_back(static_cast<char>(rng.Next() & 0xff));
+      }
+      out.insert(pos, blob);
+      break;
+    }
+    default: {  // corrupt a whole run of bytes
+      if (out.empty()) break;
+      size_t start = rng.Uniform(out.size());
+      size_t len = std::min<size_t>(rng.Uniform(16) + 1, out.size() - start);
+      for (size_t i = 0; i < len; i++) {
+        out[start + i] = static_cast<char>(rng.Next() & 0xff);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace fuzz
+}  // namespace sebdb

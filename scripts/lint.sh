@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Static-analysis gate over src/.
+#
+#   scripts/lint.sh [build-dir]     # default build dir: build/
+#
+# Two layers:
+#   1. Grep lint (always runs, toolchain-independent) enforcing repo
+#      invariants that compilers don't check:
+#        - no raw std::mutex / lock_guard / naked .lock()/.unlock() outside
+#          common/thread_annotations.h — all locking goes through the
+#          annotated Mutex/MutexLock/CondVar wrappers so clang's
+#          -Wthread-safety sees every acquisition;
+#        - no discarded Status from storage mutations (Open/Close/Append/...)
+#          — errors must be propagated or explicitly handled;
+#        - no *_clock::now() outside common/clock.* — time flows through
+#          NowMicros/SteadyNowMicros so tests and the lint can reason
+#          about it in one place.
+#   2. clang-tidy (bugprone-*, concurrency-*, performance-*; see .clang-tidy)
+#      over every translation unit in src/, using the build dir's
+#      compile_commands.json. Skipped with a notice when clang-tidy is not
+#      installed — the grep layer still gates.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+failed=0
+
+note() { printf '%s\n' "$*"; }
+fail() {
+  printf 'lint: %s\n' "$1"
+  shift
+  printf '%s\n' "$@"
+  failed=1
+}
+
+# --- Layer 1: grep lint -----------------------------------------------------
+
+# Raw locking primitives outside the annotated wrappers.
+raw_locks=$(grep -rnE 'std::mutex|std::condition_variable|std::lock_guard|std::unique_lock|std::scoped_lock|\.lock\(\)|\.unlock\(\)' \
+  src/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/common/thread_annotations\.h:' || true)
+if [ -n "${raw_locks}" ]; then
+  fail "raw locking primitive outside common/thread_annotations.h (use Mutex/MutexLock/CondVar):" "${raw_locks}"
+fi
+
+# Statement-level storage calls whose Status return is silently dropped.
+# (Assignments, returns, conditions, and explicit (void) casts don't match.)
+dropped_status=$(grep -rnE '^[[:space:]]*[A-Za-z_]+(\.|->)(Open|Close|Append|Sync|Flush|Truncate|Remove[A-Za-z]*|Write[A-Za-z]*)\(' \
+  src/ --include='*.h' --include='*.cc' \
+  | grep -vE '=|\breturn\b|\(void\)|\bif\b' || true)
+if [ -n "${dropped_status}" ]; then
+  fail "storage call discards its Status (assign, return, or check it):" "${dropped_status}"
+fi
+
+# Clock access outside the sanctioned helpers.
+clock_calls=$(grep -rnE '(system_clock|steady_clock|high_resolution_clock)::now\(\)' \
+  src/ --include='*.h' --include='*.cc' \
+  | grep -vE '^src/common/clock\.(h|cc):' || true)
+if [ -n "${clock_calls}" ]; then
+  fail "clock read outside common/clock.* (use NowMicros/SteadyNowMicros):" "${clock_calls}"
+fi
+
+if [ "${failed}" -eq 0 ]; then
+  note "lint: grep rules clean"
+fi
+
+# --- Layer 2: clang-tidy ----------------------------------------------------
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  note "lint: clang-tidy not installed; skipping (grep rules still gate)"
+  exit "${failed}"
+fi
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  note "lint: ${build_dir}/compile_commands.json missing; run: cmake --preset default"
+  exit 1
+fi
+
+mapfile -t sources < <(find src -name '*.cc' | sort)
+note "lint: clang-tidy over ${#sources[@]} files (checks from .clang-tidy)"
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p "${build_dir}" "${sources[@]}" || failed=1
+else
+  for source in "${sources[@]}"; do
+    clang-tidy --quiet -p "${build_dir}" "${source}" || failed=1
+  done
+fi
+
+exit "${failed}"

@@ -283,7 +283,7 @@ Status RebuildHash(const VerificationObject::Node& node,
   if (depth > 64) return Status::VerificationFailed("VO nesting too deep");
   switch (node.kind) {
     case VerificationObject::Kind::kPruned:
-      sequence->push_back(SequenceItem{});  // opaque
+      sequence->emplace_back();  // opaque
       *hash = node.hash;
       return Status::OK();
     case VerificationObject::Kind::kLeaf: {

@@ -2,6 +2,14 @@
 
 namespace sebdb {
 
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t SteadyNowMillis() { return SteadyNowMicros() / 1000; }
+
 const std::shared_ptr<SystemClock>& SystemClock::Default() {
   static std::shared_ptr<SystemClock> instance =
       std::make_shared<SystemClock>();

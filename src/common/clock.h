@@ -31,6 +31,13 @@ class SystemClock : public Clock {
   static const std::shared_ptr<SystemClock>& Default();
 };
 
+/// Monotonic time since an arbitrary epoch, for timeouts, retry backoff
+/// and latency measurement only (never persisted, never compared across
+/// processes). The only sanctioned uses of std::chrono::*_clock::now() in
+/// src/ live in common/clock.* — scripts/lint.sh enforces this.
+int64_t SteadyNowMicros();
+int64_t SteadyNowMillis();
+
 /// A clock that only moves when told to; thread-safe.
 class ManualClock : public Clock {
  public:

@@ -70,49 +70,49 @@ class FaultReadableFile : public ReadableFile {
 
 void FaultInjectionEnv::ScheduleCrash(uint64_t nth_write,
                                       uint64_t keep_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_countdown_ = nth_write;
   crash_keep_bytes_ = keep_bytes;
 }
 
 void FaultInjectionEnv::ResetCrash() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crashed_ = false;
   crash_countdown_ = 0;
 }
 
 bool FaultInjectionEnv::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return crashed_;
 }
 
 void FaultInjectionEnv::SetFailWrites(bool fail) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_writes_ = fail;
 }
 
 void FaultInjectionEnv::SetFailSyncs(bool fail) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_syncs_ = fail;
 }
 
 void FaultInjectionEnv::SetFailReads(bool fail) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_reads_ = fail;
 }
 
 void FaultInjectionEnv::SetShortReads(bool on) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   short_reads_ = on;
 }
 
 FaultInjectionEnv::Stats FaultInjectionEnv::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 Status FaultInjectionEnv::OnWrite(size_t len, size_t* keep) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_.write_ops++;
   *keep = len;
   if (crashed_ || fail_writes_) {
@@ -132,7 +132,7 @@ Status FaultInjectionEnv::OnWrite(size_t len, size_t* keep) {
 }
 
 Status FaultInjectionEnv::OnSync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_.sync_ops++;
   if (crashed_ || fail_syncs_) {
     stats_.injected_errors++;
@@ -142,7 +142,7 @@ Status FaultInjectionEnv::OnSync() {
 }
 
 Status FaultInjectionEnv::OnRead(size_t len, size_t* keep) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   *keep = len;
   if (fail_reads_) {
     stats_.injected_errors++;
@@ -157,7 +157,7 @@ Status FaultInjectionEnv::OnRead(size_t len, size_t* keep) {
 Status FaultInjectionEnv::NewWritableFile(const std::string& path,
                                           std::unique_ptr<WritableFile>* out) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) return InjectedCrash();
   }
   std::unique_ptr<WritableFile> base;
@@ -190,7 +190,7 @@ Status FaultInjectionEnv::RemoveDirRecursive(const std::string& path) {
 }
 
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return InjectedCrash();
   return base_->RemoveFile(path);
 }
@@ -198,7 +198,7 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
 Status FaultInjectionEnv::TruncateFile(const std::string& path,
                                        uint64_t size) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) return InjectedCrash();
   }
   return base_->TruncateFile(path, size);

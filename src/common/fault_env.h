@@ -13,11 +13,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
+#include "common/thread_annotations.h"
 
 namespace sebdb {
 
@@ -75,15 +75,15 @@ class FaultInjectionEnv : public Env {
   Status OnRead(size_t len, size_t* keep);
 
   Env* const base_;
-  mutable std::mutex mu_;
-  Stats stats_;
-  bool crashed_ = false;
-  bool fail_writes_ = false;
-  bool fail_syncs_ = false;
-  bool fail_reads_ = false;
-  bool short_reads_ = false;
-  uint64_t crash_countdown_ = 0;  // 0 = disarmed
-  uint64_t crash_keep_bytes_ = 0;
+  mutable Mutex mu_;
+  Stats stats_ GUARDED_BY(mu_);
+  bool crashed_ GUARDED_BY(mu_) = false;
+  bool fail_writes_ GUARDED_BY(mu_) = false;
+  bool fail_syncs_ GUARDED_BY(mu_) = false;
+  bool fail_reads_ GUARDED_BY(mu_) = false;
+  bool short_reads_ GUARDED_BY(mu_) = false;
+  uint64_t crash_countdown_ GUARDED_BY(mu_) = 0;  // 0 = disarmed
+  uint64_t crash_keep_bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sebdb

@@ -6,8 +6,9 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
+
+#include "common/thread_annotations.h"
 
 namespace sebdb {
 
@@ -21,7 +22,7 @@ class LruCache {
   /// whole capacity are not cached.
   void Insert(const Key& key, std::shared_ptr<Value> value, uint64_t charge) {
     if (charge > capacity_) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       usage_ -= it->second->charge;
@@ -36,7 +37,7 @@ class LruCache {
 
   /// Returns the cached value or nullptr; promotes the entry on hit.
   std::shared_ptr<Value> Lookup(const Key& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = map_.find(key);
     if (it == map_.end()) {
       misses_++;
@@ -48,7 +49,7 @@ class LruCache {
   }
 
   void Erase(const Key& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = map_.find(key);
     if (it == map_.end()) return;
     usage_ -= it->second->charge;
@@ -57,31 +58,46 @@ class LruCache {
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     lru_.clear();
     map_.clear();
     usage_ = 0;
   }
 
+  /// One coherent snapshot of all counters (a single lock acquisition, so
+  /// hits/misses/usage are mutually consistent — per-counter getters are
+  /// not, when readers race insertions).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t usage = 0;
+    uint64_t entries = 0;
+  };
+  Stats stats() const {
+    MutexLock lock(&mu_);
+    return Stats{hits_, misses_, evictions_, usage_, map_.size()};
+  }
+
   uint64_t usage() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return usage_;
   }
   uint64_t capacity() const { return capacity_; }
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return map_.size();
   }
   uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return hits_;
   }
   uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return misses_;
   }
   uint64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return evictions_;
   }
 
@@ -92,7 +108,7 @@ class LruCache {
     uint64_t charge;
   };
 
-  void EvictIfNeeded() {
+  void EvictIfNeeded() REQUIRES(mu_) {
     while (usage_ > capacity_ && !lru_.empty()) {
       const Entry& victim = lru_.back();
       usage_ -= victim.charge;
@@ -103,13 +119,14 @@ class LruCache {
   }
 
   const uint64_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;
-  std::unordered_map<Key, typename std::list<Entry>::iterator, Hasher> map_;
-  uint64_t usage_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  mutable Mutex mu_;
+  std::list<Entry> lru_ GUARDED_BY(mu_);
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hasher> map_
+      GUARDED_BY(mu_);
+  uint64_t usage_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sebdb

@@ -28,8 +28,8 @@ ThreadPool::ThreadPool(int num_threads) {
 ThreadPool::~ThreadPool() {
   stop_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
-    idle_cv_.notify_all();
+    MutexLock lock(&idle_mu_);
+    idle_cv_.NotifyAll();
   }
   for (auto& worker : workers_) worker.join();
   // Workers drain their deques before exiting, but a task submitted during
@@ -53,12 +53,12 @@ void ThreadPool::Submit(std::function<void()> fn) {
                       : next_queue_.fetch_add(1, std::memory_order_relaxed) %
                             queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    MutexLock lock(&queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(fn));
   }
   pending_.fetch_add(1, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(idle_mu_);
-  idle_cv_.notify_one();
+  MutexLock lock(&idle_mu_);
+  idle_cv_.NotifyOne();
 }
 
 bool ThreadPool::RunOneTask(size_t preferred) {
@@ -66,7 +66,7 @@ bool ThreadPool::RunOneTask(size_t preferred) {
   const size_t k = queues_.size();
   {
     // Own deque first, newest task (LIFO keeps the working set hot)...
-    std::lock_guard<std::mutex> lock(queues_[preferred]->mu);
+    MutexLock lock(&queues_[preferred]->mu);
     if (!queues_[preferred]->tasks.empty()) {
       task = std::move(queues_[preferred]->tasks.back());
       queues_[preferred]->tasks.pop_back();
@@ -76,7 +76,7 @@ bool ThreadPool::RunOneTask(size_t preferred) {
   // remaining piece of a fan-out).
   for (size_t i = 1; task == nullptr && i < k; i++) {
     WorkerQueue& victim = *queues_[(preferred + i) % k];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(&victim.mu);
     if (!victim.tasks.empty()) {
       task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -93,11 +93,11 @@ void ThreadPool::WorkerLoop(size_t id) {
   tls_worker = id;
   for (;;) {
     if (RunOneTask(id)) continue;
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait(lock, [&] {
-      return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock(&idle_mu_);
+    while (!stop_.load(std::memory_order_acquire) &&
+           pending_.load(std::memory_order_acquire) == 0) {
+      idle_cv_.Wait(idle_mu_);
+    }
     if (stop_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0) {
       return;
@@ -121,8 +121,8 @@ void ThreadPool::ParallelFor(uint64_t n,
     uint64_t n;
     uint64_t grain;
     const std::function<void(uint64_t)>* fn;
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
   };
   auto state = std::make_shared<LoopState>();
   state->n = n;
@@ -140,8 +140,8 @@ void ThreadPool::ParallelFor(uint64_t n,
           state->done.fetch_add(end - begin, std::memory_order_acq_rel) +
           (end - begin);
       if (finished == state->n) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->cv.notify_all();
+        MutexLock lock(&state->mu);
+        state->cv.NotifyAll();
       }
     }
   };
@@ -153,10 +153,10 @@ void ThreadPool::ParallelFor(uint64_t n,
       std::min<uint64_t>(static_cast<uint64_t>(num_threads()), chunks - 1);
   for (uint64_t i = 0; i < helpers; i++) Submit(run);
   run();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == state->n;
-  });
+  MutexLock lock(&state->mu);
+  while (state->done.load(std::memory_order_acquire) != state->n) {
+    state->cv.Wait(state->mu);
+  }
 }
 
 Status ParallelForStatus(ThreadPool* pool, uint64_t n,
@@ -170,9 +170,9 @@ Status ParallelForStatus(ThreadPool* pool, uint64_t n,
     return Status::OK();
   }
   struct ErrorState {
-    std::mutex mu;
-    uint64_t first_index = UINT64_MAX;
-    Status status;
+    Mutex mu;
+    uint64_t first_index GUARDED_BY(mu) = UINT64_MAX;
+    Status status GUARDED_BY(mu);
   };
   ErrorState error;
   pool->ParallelFor(
@@ -181,12 +181,12 @@ Status ParallelForStatus(ThreadPool* pool, uint64_t n,
         // Skip work past an already-recorded failure; a serial loop would
         // have stopped there, and its output is discarded anyway.
         {
-          std::lock_guard<std::mutex> lock(error.mu);
+          MutexLock lock(&error.mu);
           if (i > error.first_index) return;
         }
         Status s = fn(i);
         if (!s.ok()) {
-          std::lock_guard<std::mutex> lock(error.mu);
+          MutexLock lock(&error.mu);
           if (i < error.first_index) {
             error.first_index = i;
             error.status = std::move(s);
@@ -194,6 +194,7 @@ Status ParallelForStatus(ThreadPool* pool, uint64_t n,
         }
       },
       grain);
+  MutexLock lock(&error.mu);  // workers are done; satisfies the analysis
   return error.status;
 }
 

@@ -8,16 +8,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sebdb {
 
@@ -27,20 +26,20 @@ class Latch {
  public:
   explicit Latch(int count) : count_(count) {}
 
-  void CountDown() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  void CountDown() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (count_ > 0 && --count_ == 0) cv_.NotifyAll();
   }
 
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return count_ == 0; });
+  void Wait() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (count_ != 0) cv_.Wait(mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int count_;
+  Mutex mu_;
+  CondVar cv_;
+  int count_ GUARDED_BY(mu_);
 };
 
 class ThreadPool {
@@ -70,8 +69,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t id);
@@ -80,8 +79,10 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  /// Pairs with idle_cv_ to park idle workers; the wait predicates read only
+  /// the atomics below, so nothing is GUARDED_BY it.
+  Mutex idle_mu_;
+  CondVar idle_cv_;
   std::atomic<uint64_t> pending_{0};
   std::atomic<uint64_t> next_queue_{0};
   std::atomic<bool> stop_{false};

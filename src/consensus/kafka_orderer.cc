@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/clock.h"
 #include "common/coding.h"
 
 namespace sebdb {
@@ -11,11 +12,7 @@ namespace {
 constexpr char kSubmitType[] = "kafka.submit";
 constexpr char kDeliverType[] = "kafka.deliver";
 
-int64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+int64_t NowMicros() { return SteadyNowMicros(); }
 
 std::string TxnKey(const Transaction& txn) {
   return txn.Hash().ToHex();
@@ -40,7 +37,7 @@ KafkaOrderer::KafkaOrderer(std::string node_id, std::string broker_id,
 KafkaOrderer::~KafkaOrderer() { Stop(); }
 
 Status KafkaOrderer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (running_) return Status::Busy("engine already started");
   running_ = true;
   if (is_broker()) {
@@ -51,16 +48,16 @@ Status KafkaOrderer::Start() {
 
 void KafkaOrderer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return;
     running_ = false;
-    cutter_cv_.notify_all();
+    cutter_cv_.NotifyAll();
   }
   if (cutter_.joinable()) cutter_.join();
   // Fail any callers still waiting for a commit.
   std::unordered_map<std::string, std::function<void(Status)>> pending_done;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending_done.swap(done_);
   }
   for (auto& [key, done] : pending_done) {
@@ -78,7 +75,7 @@ Status KafkaOrderer::Submit(Transaction txn,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return Status::Aborted("engine not running");
     if (done) done_[TxnKey(txn)] = std::move(done);
   }
@@ -101,7 +98,7 @@ void KafkaOrderer::OnSubmit(const Message& message) {
   Transaction txn;
   Slice input(message.payload);
   if (!Transaction::DecodeFrom(&input, &txn).ok()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!running_) return;
   if (pending_.empty()) first_pending_micros_ = NowMicros();
   pending_.push_back(std::move(txn));
@@ -125,11 +122,11 @@ void KafkaOrderer::CutBatchLocked() {
 }
 
 void KafkaOrderer::CutterLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (running_) {
     if (pending_.empty()) {
-      cutter_cv_.wait_for(lock, std::chrono::milliseconds(
-                                    options_.batch_timeout_millis));
+      cutter_cv_.WaitFor(
+          mu_, std::chrono::milliseconds(options_.batch_timeout_millis));
       continue;
     }
     int64_t deadline =
@@ -138,7 +135,7 @@ void KafkaOrderer::CutterLoop() {
     if (now >= deadline) {
       CutBatchLocked();
     } else {
-      cutter_cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+      cutter_cv_.WaitFor(mu_, std::chrono::microseconds(deadline - now));
     }
   }
 }
@@ -148,7 +145,7 @@ void KafkaOrderer::OnDeliver(const Message& message) {
   uint64_t seq;
   std::vector<Transaction> batch;
   if (!GetVarint64(&input, &seq) || !DecodeBatch(&input, &batch).ok()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   reorder_buffer_[seq] = std::move(batch);
   DeliverReady();
 }
@@ -176,18 +173,18 @@ void KafkaOrderer::DeliverReady() {
       }
     }
     // Invoke the commit hook and callbacks outside the lock.
-    mu_.unlock();
+    mu_.Unlock();
     if (commit_fn_) commit_fn_(seq, std::move(batch));
     for (auto& done : to_fire) {
       if (done) done(Status::OK());
     }
-    mu_.lock();
+    mu_.Lock();
   }
   delivering_ = false;
 }
 
 uint64_t KafkaOrderer::committed_batches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return committed_batches_;
 }
 

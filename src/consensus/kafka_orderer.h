@@ -7,13 +7,12 @@
 // Crash-fault-tolerant only (like Fabric's Kafka orderer), no BFT.
 #pragma once
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "consensus/engine.h"
 #include "network/sim_network.h"
 
@@ -40,9 +39,11 @@ class KafkaOrderer : public ConsensusEngine {
  private:
   void OnSubmit(const Message& message);
   void OnDeliver(const Message& message);
-  void CutBatchLocked();  // broker: pending -> sequenced batch, broadcast
-  void CutterLoop();      // broker: timeout-based cutting
-  void DeliverReady();    // apply buffered batches in sequence order
+  void CutBatchLocked() REQUIRES(mu_);  // pending -> batch, broadcast
+  void CutterLoop();  // broker: timeout-based cutting
+  /// Applies buffered batches in sequence order; called with mu_ held,
+  /// releases it around the commit hook and completion callbacks.
+  void DeliverReady() REQUIRES(mu_);
 
   const std::string node_id_;
   const std::string broker_id_;
@@ -51,24 +52,26 @@ class KafkaOrderer : public ConsensusEngine {
   const ConsensusOptions options_;
   BatchCommitFn commit_fn_;
 
-  mutable std::mutex mu_;
-  bool running_ = false;
+  mutable Mutex mu_;
+  bool running_ GUARDED_BY(mu_) = false;
   std::thread cutter_;
-  std::condition_variable cutter_cv_;
+  CondVar cutter_cv_;
 
   // Broker state.
-  std::vector<Transaction> pending_;
-  int64_t first_pending_micros_ = 0;
-  uint64_t next_seq_ = 0;
+  std::vector<Transaction> pending_ GUARDED_BY(mu_);
+  int64_t first_pending_micros_ GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
 
   // Every participant: in-order delivery.
-  std::map<uint64_t, std::vector<Transaction>> reorder_buffer_;
-  uint64_t next_deliver_seq_ = 0;
-  uint64_t committed_batches_ = 0;
-  bool delivering_ = false;
+  std::map<uint64_t, std::vector<Transaction>> reorder_buffer_
+      GUARDED_BY(mu_);
+  uint64_t next_deliver_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t committed_batches_ GUARDED_BY(mu_) = 0;
+  bool delivering_ GUARDED_BY(mu_) = false;
 
   // Local completion callbacks, keyed by transaction content hash.
-  std::unordered_map<std::string, std::function<void(Status)>> done_;
+  std::unordered_map<std::string, std::function<void(Status)>> done_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace sebdb

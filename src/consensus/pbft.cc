@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/clock.h"
 #include "common/coding.h"
 
 namespace sebdb {
@@ -17,11 +18,7 @@ constexpr char kNewViewType[] = "pbft.newview";
 constexpr char kFetchType[] = "pbft.fetch";
 constexpr char kFetchedType[] = "pbft.fetched";
 
-int64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+int64_t NowMicros() { return SteadyNowMicros(); }
 
 std::string TxnKey(const Transaction& txn) { return txn.Hash().ToHex(); }
 
@@ -52,7 +49,7 @@ PbftEngine::PbftEngine(std::string node_id,
 PbftEngine::~PbftEngine() { Stop(); }
 
 Status PbftEngine::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (running_) return Status::Busy("engine already started");
   running_ = true;
   last_progress_micros_ = NowMicros();
@@ -62,15 +59,15 @@ Status PbftEngine::Start() {
 
 void PbftEngine::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return;
     running_ = false;
-    timer_cv_.notify_all();
+    timer_cv_.NotifyAll();
   }
   if (timer_.joinable()) timer_.join();
   std::unordered_map<std::string, PendingRequest> pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending.swap(pending_requests_);
   }
   for (auto& [key, request] : pending) {
@@ -79,12 +76,12 @@ void PbftEngine::Stop() {
 }
 
 uint64_t PbftEngine::view() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return view_;
 }
 
 bool PbftEngine::is_primary() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return PrimaryOf(view_) == node_id_;
 }
 
@@ -107,7 +104,7 @@ Status PbftEngine::Submit(Transaction txn, std::function<void(Status)> done) {
   std::string payload;
   txn.EncodeTo(&payload);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return Status::Aborted("engine not running");
     // Every replica learns about the request (so every honest replica arms
     // a progress timer and can demand a view change if the primary stalls);
@@ -147,7 +144,7 @@ void PbftEngine::HandleMessage(const Message& message) {
     if (!GetVarint64(&input, &seq)) return;
     std::string payload;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = delivered_payloads_.find(seq);
       if (it == delivered_payloads_.end()) return;
       PutVarint64(&payload, seq);
@@ -162,7 +159,7 @@ void PbftEngine::HandleMessage(const Message& message) {
         !GetLengthPrefixed(&input, &batch_payload)) {
       return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     SlotState& slot = slots_[seq];
     if (slot.delivered) return;
     slot.batch_payload = batch_payload.ToString();
@@ -179,7 +176,7 @@ void PbftEngine::OnRequest(const Message& message) {
   Transaction txn;
   Slice input(message.payload);
   if (!Transaction::DecodeFrom(&input, &txn).ok()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!running_) return;
   std::string key = TxnKey(txn);
   if (PrimaryOf(view_) == node_id_ && !in_view_change_) {
@@ -226,7 +223,7 @@ void PbftEngine::OnPrePrepare(const Message& message) {
       !GetLengthPrefixed(&input, &batch_payload)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!running_ || msg_view != view_ || in_view_change_) return;
   if (message.from != PrimaryOf(view_)) return;  // only the primary proposes
   SlotState& slot = slots_[seq];
@@ -254,7 +251,7 @@ void PbftEngine::OnPrepare(const Message& message) {
       !GetHash(&input, &digest)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!running_ || msg_view != view_ || in_view_change_) return;
   SlotState& slot = slots_[seq];
   if (slot.preprepared && slot.digest != digest) return;  // equivocation
@@ -285,7 +282,7 @@ void PbftEngine::OnCommit(const Message& message) {
       !GetHash(&input, &digest)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!running_ || msg_view != view_ || in_view_change_) return;
   SlotState& slot = slots_[seq];
   if (slot.preprepared && slot.digest != digest) return;
@@ -333,18 +330,18 @@ void PbftEngine::DeliverReadyLocked() {
         pending_requests_.erase(done_it);
       }
     }
-    mu_.unlock();
+    mu_.Unlock();
     if (commit_fn_) commit_fn_(seq, std::move(batch));
     for (auto& done : to_fire) done(Status::OK());
-    mu_.lock();
+    mu_.Lock();
   }
   delivering_ = false;
 }
 
 void PbftEngine::TimerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (running_) {
-    timer_cv_.wait_for(lock, std::chrono::milliseconds(100));
+    timer_cv_.WaitFor(mu_, std::chrono::milliseconds(100));
     if (!running_) return;
     // Primary: cut a batch when the packaging timeout elapses.
     if (PrimaryOf(view_) == node_id_ && !in_view_change_ &&
@@ -382,7 +379,7 @@ void PbftEngine::OnViewChange(const Message& message) {
   uint64_t new_view, peer_delivered;
   if (!GetVarint64(&input, &new_view)) return;
   if (!GetVarint64(&input, &peer_delivered)) peer_delivered = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!running_ || new_view <= view_) return;
   view_votes_[new_view].insert(message.from);
   if (peer_delivered > highest_reported_seq_) {
@@ -453,14 +450,14 @@ void PbftEngine::OnNewView(const Message& message) {
   Slice input(message.payload);
   uint64_t new_view;
   if (!GetVarint64(&input, &new_view)) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!running_ || new_view <= view_) return;
   if (message.from != PrimaryOf(new_view)) return;
   EnterViewLocked(new_view);
 }
 
 uint64_t PbftEngine::committed_batches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return committed_batches_;
 }
 

@@ -11,16 +11,15 @@
 // new primary).
 #pragma once
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/sha256.h"
+#include "common/thread_annotations.h"
 #include "consensus/engine.h"
 #include "network/sim_network.h"
 
@@ -68,22 +67,24 @@ class PbftEngine : public ConsensusEngine {
   }
 
   void OnRequest(const Message& message);
-  void AddToBatchLocked(Transaction txn);
+  void AddToBatchLocked(Transaction txn) REQUIRES(mu_);
   void OnPrePrepare(const Message& message);
   void OnPrepare(const Message& message);
   void OnCommit(const Message& message);
   void OnViewChange(const Message& message);
   void OnNewView(const Message& message);
 
-  void CutBatchLocked();
-  void MaybePrepareLocked(uint64_t seq);
-  void MaybeCommitLocked(uint64_t seq);
-  void DeliverReadyLocked();
+  void CutBatchLocked() REQUIRES(mu_);
+  void MaybePrepareLocked(uint64_t seq) REQUIRES(mu_);
+  void MaybeCommitLocked(uint64_t seq) REQUIRES(mu_);
+  /// Delivers committed slots in order; releases mu_ around the commit
+  /// hook and completion callbacks.
+  void DeliverReadyLocked() REQUIRES(mu_);
   void TimerLoop();
   void BroadcastToReplicas(const std::string& type,
                            const std::string& payload);
-  void StartViewChangeLocked(uint64_t new_view);
-  void EnterViewLocked(uint64_t new_view);
+  void StartViewChangeLocked(uint64_t new_view) REQUIRES(mu_);
+  void EnterViewLocked(uint64_t new_view) REQUIRES(mu_);
 
   const std::string node_id_;
   const std::vector<std::string> participants_;
@@ -93,41 +94,42 @@ class PbftEngine : public ConsensusEngine {
   const PbftOptions pbft_options_;
   const int f_;
 
-  mutable std::mutex mu_;
-  bool running_ = false;
+  mutable Mutex mu_;
+  bool running_ GUARDED_BY(mu_) = false;
   std::thread timer_;
-  std::condition_variable timer_cv_;
+  CondVar timer_cv_;
 
-  uint64_t view_ = 0;
-  uint64_t next_seq_ = 0;           // primary: next sequence to assign
-  uint64_t next_deliver_seq_ = 0;
-  uint64_t committed_batches_ = 0;
-  bool delivering_ = false;
-  std::map<uint64_t, SlotState> slots_;  // keyed by seq
+  uint64_t view_ GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;  // primary: next sequence to assign
+  uint64_t next_deliver_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t committed_batches_ GUARDED_BY(mu_) = 0;
+  bool delivering_ GUARDED_BY(mu_) = false;
+  std::map<uint64_t, SlotState> slots_ GUARDED_BY(mu_);  // keyed by seq
 
   // Primary batching.
-  std::vector<Transaction> batch_pending_;
-  int64_t first_pending_micros_ = 0;
+  std::vector<Transaction> batch_pending_ GUARDED_BY(mu_);
+  int64_t first_pending_micros_ GUARDED_BY(mu_) = 0;
 
   // Requests this node accepted from clients and not yet seen committed.
   struct PendingRequest {
     Transaction txn;
     std::function<void(Status)> done;
   };
-  std::unordered_map<std::string, PendingRequest> pending_requests_;
+  std::unordered_map<std::string, PendingRequest> pending_requests_
+      GUARDED_BY(mu_);
   // Keys ever batched by this node as primary (primary-side dedup), and keys
   // of committed transactions (guards against re-admitting stale requests).
-  std::unordered_set<std::string> batched_keys_;
-  std::unordered_set<std::string> committed_keys_;
-  int64_t last_progress_micros_ = 0;
+  std::unordered_set<std::string> batched_keys_ GUARDED_BY(mu_);
+  std::unordered_set<std::string> committed_keys_ GUARDED_BY(mu_);
+  int64_t last_progress_micros_ GUARDED_BY(mu_) = 0;
 
   // View change bookkeeping: view -> replicas voting for it.
-  std::map<uint64_t, std::set<std::string>> view_votes_;
-  bool in_view_change_ = false;
-  uint64_t highest_reported_seq_ = 0;  // from VIEW-CHANGE messages
+  std::map<uint64_t, std::set<std::string>> view_votes_ GUARDED_BY(mu_);
+  bool in_view_change_ GUARDED_BY(mu_) = false;
+  uint64_t highest_reported_seq_ GUARDED_BY(mu_) = 0;  // from VIEW-CHANGE
 
   // Committed batch payloads served to lagging replicas (state transfer).
-  std::map<uint64_t, std::string> delivered_payloads_;
+  std::map<uint64_t, std::string> delivered_payloads_ GUARDED_BY(mu_);
 };
 
 }  // namespace sebdb

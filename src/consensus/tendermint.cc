@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/clock.h"
 #include "common/coding.h"
 
 namespace sebdb {
@@ -13,11 +14,7 @@ constexpr char kProposalType[] = "tm.proposal";
 constexpr char kPrevoteType[] = "tm.prevote";
 constexpr char kPrecommitType[] = "tm.precommit";
 
-int64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+int64_t NowMicros() { return SteadyNowMicros(); }
 
 std::string TxnKey(const Transaction& txn) { return txn.Hash().ToHex(); }
 
@@ -48,7 +45,7 @@ TendermintEngine::TendermintEngine(std::string node_id,
 TendermintEngine::~TendermintEngine() { Stop(); }
 
 Status TendermintEngine::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (running_) return Status::Busy("engine already started");
   running_ = true;
   round_started_micros_ = NowMicros();
@@ -58,15 +55,15 @@ Status TendermintEngine::Start() {
 
 void TendermintEngine::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return;
     running_ = false;
-    timer_cv_.notify_all();
+    timer_cv_.NotifyAll();
   }
   if (timer_.joinable()) timer_.join();
   std::unordered_map<std::string, std::function<void(Status)>> pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending.swap(done_);
   }
   for (auto& [key, done] : pending) {
@@ -75,7 +72,7 @@ void TendermintEngine::Stop() {
 }
 
 uint64_t TendermintEngine::height() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return height_;
 }
 
@@ -113,7 +110,7 @@ Status TendermintEngine::Submit(Transaction txn,
   std::string payload;
   txn.EncodeTo(&payload);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return Status::Aborted("engine not running");
     if (done) done_[key] = std::move(done);
     if (!mempool_keys_.contains(key)) {
@@ -140,7 +137,7 @@ void TendermintEngine::OnTx(const Message& message) {
   if (!Transaction::DecodeFrom(&input, &txn).ok()) return;
   // Serial CheckTx on gossiped transactions too.
   SerialWork(1);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!running_) return;
   std::string key = TxnKey(txn);
   if (mempool_keys_.contains(key)) return;
@@ -200,7 +197,7 @@ void TendermintEngine::OnProposal(const Message& message) {
       !GetLengthPrefixed(&input, &batch_payload)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!running_ || height != height_ || round < round_) return;
   if (message.from != ProposerOf(height_, round)) return;
   if (round > round_) {
@@ -239,7 +236,7 @@ void TendermintEngine::OnPrevote(const Message& message) {
       !GetHash(&input, &digest)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!running_ || height != height_ || round != round_) return;
   if (round_state_.have_proposal && digest != round_state_.digest) return;
   round_state_.prevotes.insert(message.from);
@@ -269,7 +266,7 @@ void TendermintEngine::OnPrecommit(const Message& message) {
       !GetHash(&input, &digest)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!running_ || height != height_ || round != round_) return;
   if (round_state_.have_proposal && digest != round_state_.digest) return;
   round_state_.precommits.insert(message.from);
@@ -309,20 +306,20 @@ void TendermintEngine::MaybeCommitLocked() {
   }
   if (!mempool_.empty()) first_mempool_micros_ = NowMicros();
 
-  mu_.unlock();
+  mu_.Unlock();
   // Serial DeliverTx: one transaction at a time into the application.
   SerialWork(batch.size());
   if (commit_fn_) commit_fn_(seq, std::move(batch));
   for (auto& done : to_fire) done(Status::OK());
-  mu_.lock();
+  mu_.Lock();
   committing_ = false;
   MaybeProposeLocked();
 }
 
 void TendermintEngine::TimerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (running_) {
-    timer_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    timer_cv_.WaitFor(mu_, std::chrono::milliseconds(50));
     if (!running_) return;
     MaybeProposeLocked();
     // Round timeout: rotate the proposer within the same height. A round
@@ -341,7 +338,7 @@ void TendermintEngine::TimerLoop() {
 }
 
 uint64_t TendermintEngine::committed_batches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return committed_batches_;
 }
 

@@ -9,16 +9,15 @@
 // transaction cost.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/sha256.h"
+#include "common/thread_annotations.h"
 #include "consensus/engine.h"
 #include "network/sim_network.h"
 
@@ -71,9 +70,9 @@ class TendermintEngine : public ConsensusEngine {
   void OnProposal(const Message& message);
   void OnPrevote(const Message& message);
   void OnPrecommit(const Message& message);
-  void MaybeProposeLocked();
-  void MaybePrecommitLocked();
-  void MaybeCommitLocked();
+  void MaybeProposeLocked() REQUIRES(mu_);
+  void MaybePrecommitLocked() REQUIRES(mu_);
+  void MaybeCommitLocked() REQUIRES(mu_);
   void TimerLoop();
   void BroadcastToReplicas(const std::string& type,
                            const std::string& payload);
@@ -86,24 +85,25 @@ class TendermintEngine : public ConsensusEngine {
   BatchCommitFn commit_fn_;
   const TendermintOptions tm_options_;
 
-  mutable std::mutex mu_;
-  bool running_ = false;
+  mutable Mutex mu_;
+  bool running_ GUARDED_BY(mu_) = false;
   std::thread timer_;
-  std::condition_variable timer_cv_;
+  CondVar timer_cv_;
 
-  uint64_t height_ = 0;   // next batch sequence to commit
-  uint32_t round_ = 0;
-  int64_t round_started_micros_ = 0;
-  RoundState round_state_;
-  bool committing_ = false;
+  uint64_t height_ GUARDED_BY(mu_) = 0;  // next batch sequence to commit
+  uint32_t round_ GUARDED_BY(mu_) = 0;
+  int64_t round_started_micros_ GUARDED_BY(mu_) = 0;
+  RoundState round_state_ GUARDED_BY(mu_);
+  bool committing_ GUARDED_BY(mu_) = false;
 
   // Mempool in arrival order; keys deduplicate gossiped transactions.
-  std::deque<Transaction> mempool_;
-  std::unordered_set<std::string> mempool_keys_;
-  int64_t first_mempool_micros_ = 0;
+  std::deque<Transaction> mempool_ GUARDED_BY(mu_);
+  std::unordered_set<std::string> mempool_keys_ GUARDED_BY(mu_);
+  int64_t first_mempool_micros_ GUARDED_BY(mu_) = 0;
 
-  uint64_t committed_batches_ = 0;
-  std::unordered_map<std::string, std::function<void(Status)>> done_;
+  uint64_t committed_batches_ GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::string, std::function<void(Status)>> done_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace sebdb

@@ -4,7 +4,7 @@ namespace sebdb {
 
 Status AccessControl::AssignTable(const std::string& table,
                                   const std::string& channel) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = table_channel_.find(table);
   if (it != table_channel_.end() && it->second != channel) {
     return Status::InvalidArgument("table " + table +
@@ -17,14 +17,14 @@ Status AccessControl::AssignTable(const std::string& table,
 
 Status AccessControl::AddMember(const std::string& channel,
                                 const std::string& identity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   channel_members_[channel].insert(identity);
   return Status::OK();
 }
 
 Status AccessControl::CheckAccess(const std::string& identity,
                                   const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = table_channel_.find(table);
   if (it == table_channel_.end()) return Status::OK();  // public table
   auto members = channel_members_.find(it->second);
@@ -38,7 +38,7 @@ Status AccessControl::CheckAccess(const std::string& identity,
 }
 
 bool AccessControl::IsPublic(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return !table_channel_.contains(table);
 }
 

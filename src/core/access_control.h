@@ -6,11 +6,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sebdb {
 
@@ -28,9 +28,10 @@ class AccessControl {
   bool IsPublic(const std::string& table) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> table_channel_;
-  std::map<std::string, std::set<std::string>> channel_members_;
+  mutable Mutex mu_;
+  std::map<std::string, std::string> table_channel_ GUARDED_BY(mu_);
+  std::map<std::string, std::set<std::string>> channel_members_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace sebdb

@@ -6,7 +6,7 @@ namespace sebdb {
 
 Status ChainManager::Open(const ChainOptions& options,
                           const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (open_) return Status::Busy("chain already open");
   options_ = options;
   Status s = store_.Open(options.store, dir);
@@ -112,7 +112,7 @@ Status ChainManager::ReplayChain(uint64_t n) {
 }
 
 Status ChainManager::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   open_ = false;
   return store_.Close();
 }
@@ -139,7 +139,7 @@ Status ChainManager::AppendBatch(uint64_t seq, std::vector<Transaction> txns,
   Hash256 prev_hash;
   TransactionId first_tid;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!open_) return Status::Aborted("chain not open");
     if (store_.num_blocks() != expected_height) {
       if (store_.num_blocks() > expected_height) {
@@ -170,7 +170,7 @@ Status ChainManager::AppendBatch(uint64_t seq, std::vector<Transaction> txns,
   Block block = std::move(builder).Build(packager_signature);
   (void)packager;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!open_) return Status::Aborted("chain not open");
   if (store_.num_blocks() != expected_height) {
     // Raced with gossip delivering the same height; that block won.
@@ -187,7 +187,7 @@ Status ChainManager::AppendBatch(uint64_t seq, std::vector<Transaction> txns,
 Status ChainManager::ApplyBlockRecord(BlockId height,
                                       const std::string& record) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!open_) return Status::Aborted("chain not open");
     if (height < store_.num_blocks()) return Status::OK();  // stale
     if (height > store_.num_blocks()) {
@@ -216,7 +216,7 @@ Status ChainManager::ApplyBlockRecord(BlockId height,
     if (!s.ok()) return s;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!open_) return Status::Aborted("chain not open");
   if (height < store_.num_blocks()) return Status::OK();  // lost the race
   if (height > store_.num_blocks()) {
@@ -234,7 +234,7 @@ Status ChainManager::ApplyBlockRecord(BlockId height,
 
 Status ChainManager::GetBlockRecord(BlockId height, std::string* record) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!open_) return Status::Aborted("chain not open");
   }
   return store_.ReadRawRecord(height, record);
@@ -243,23 +243,23 @@ Status ChainManager::GetBlockRecord(BlockId height, std::string* record) {
 // Taking mu_ orders the read after ApplyBlock: a height becomes visible
 // only once the block's catalog and index updates have been applied.
 uint64_t ChainManager::height() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return store_.num_blocks();
 }
 
 Hash256 ChainManager::tip_hash() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tip_hash_;
 }
 
 TransactionId ChainManager::next_tid() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return next_tid_;
 }
 
 Status ChainManager::GetHeader(BlockId height, BlockHeader* out) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!open_) return Status::Aborted("chain not open");
   }
   return store_.ReadHeader(height, out);

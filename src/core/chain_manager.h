@@ -6,11 +6,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/signer.h"
 #include "sql/catalog.h"
@@ -67,8 +67,9 @@ class ChainManager {
   Catalog* catalog() { return &catalog_; }
 
   /// What the last Open found on disk (torn-tail truncation, records
-  /// recovered); see BlockStore::RecoveryStats.
-  const BlockStore::RecoveryStats& recovery_stats() const {
+  /// recovered); see BlockStore::RecoveryStats. A value snapshot: the
+  /// stats are rewritten by a concurrent reopen.
+  BlockStore::RecoveryStats recovery_stats() const {
     return store_.recovery_stats();
   }
 
@@ -76,24 +77,26 @@ class ChainManager {
   BlockStore::CacheStats cache_stats() const { return store_.cache_stats(); }
 
  private:
-  Status ApplyBlock(const Block& block);  // index + catalog, under mu_
+  Status ApplyBlock(const Block& block) REQUIRES(mu_);  // index + catalog
   /// Recovery replay of heights [0, n): block reads (readahead-batched) and
   /// Merkle validation fan out across the pool one chunk ahead of the
-  /// strictly height-ordered index/catalog apply. Called under mu_.
-  Status ReplayChain(uint64_t n);
+  /// strictly height-ordered index/catalog apply.
+  Status ReplayChain(uint64_t n) REQUIRES(mu_);
 
   const std::string node_id_;
   const KeyStore* keystore_;
   ChainOptions options_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  // store_/indexes_/catalog_ are internally synchronized; mu_ serializes
+  // chain mutations (append/apply/replay) and guards the chain-tip state.
   BlockStore store_;
   std::unique_ptr<IndexSet> indexes_;
   Catalog catalog_;
-  Hash256 tip_hash_;
-  Timestamp last_ts_ = 0;
-  TransactionId next_tid_ = 1;
-  bool open_ = false;
+  Hash256 tip_hash_ GUARDED_BY(mu_);
+  Timestamp last_ts_ GUARDED_BY(mu_) = 0;
+  TransactionId next_tid_ GUARDED_BY(mu_) = 1;
+  bool open_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sebdb

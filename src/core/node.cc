@@ -1,5 +1,7 @@
 #include "core/node.h"
 
+#include "common/clock.h"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -142,7 +144,12 @@ void SebdbNode::Stop() {
   if (gossip_ != nullptr) gossip_->Stop();
   if (engine_ != nullptr) engine_->Stop();
   if (network_ != nullptr) network_->Unregister(options_.node_id);
-  chain_.Close();
+  Status s = chain_.Close();
+  if (!s.ok()) {
+    // Shutdown cannot fail upward; surface the error like the startup log.
+    fprintf(stderr, "[%s] close: %s\n", options_.node_id.c_str(),
+            s.ToString().c_str());
+  }
 }
 
 void SebdbNode::OnMessage(const Message& message) {
@@ -345,24 +352,28 @@ Status SebdbNode::SubmitAsync(Transaction txn,
 
 Status SebdbNode::SubmitAndWait(Transaction txn) {
   struct Waiter {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool ready = false;
-    Status status;
+    Mutex mu;
+    CondVar cv;
+    bool ready GUARDED_BY(mu) = false;
+    Status status GUARDED_BY(mu);
   };
   auto waiter = std::make_shared<Waiter>();
   Status s = SubmitAsync(std::move(txn), [waiter](Status status) {
-    std::lock_guard<std::mutex> lock(waiter->mu);
+    MutexLock lock(&waiter->mu);
     waiter->status = std::move(status);
     waiter->ready = true;
-    waiter->cv.notify_all();
+    waiter->cv.NotifyAll();
   });
   if (!s.ok()) return s;
-  std::unique_lock<std::mutex> lock(waiter->mu);
-  if (!waiter->cv.wait_for(
-          lock, std::chrono::milliseconds(options_.write_timeout_millis),
-          [&] { return waiter->ready; })) {
-    return Status::TimedOut("write not committed within timeout");
+  MutexLock lock(&waiter->mu);
+  const int64_t wait_deadline =
+      SteadyNowMillis() + options_.write_timeout_millis;
+  while (!waiter->ready) {
+    int64_t remaining = wait_deadline - SteadyNowMillis();
+    if (remaining <= 0) {
+      return Status::TimedOut("write not committed within timeout");
+    }
+    waiter->cv.WaitFor(waiter->mu, std::chrono::milliseconds(remaining));
   }
   return waiter->status;
 }

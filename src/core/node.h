@@ -3,9 +3,7 @@
 // authenticated-query protocol (paper Fig. 2's five layers wired together).
 #pragma once
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>

@@ -33,7 +33,7 @@ Status ProcedureRegistry::Register(const std::string& name,
                                      " statement invalid: " + s.ToString());
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (procedures_.contains(name)) {
     return Status::InvalidArgument("procedure exists: " + name);
   }
@@ -42,12 +42,12 @@ Status ProcedureRegistry::Register(const std::string& name,
 }
 
 bool ProcedureRegistry::Has(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return procedures_.contains(name);
 }
 
 std::vector<std::string> ProcedureRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(procedures_.size());
   for (const auto& [name, statements] : procedures_) names.push_back(name);
@@ -59,7 +59,7 @@ Status ProcedureRegistry::Invoke(SebdbNode* node, const std::string& name,
                                  std::vector<ResultSet>* results) const {
   std::vector<std::string> statements;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = procedures_.find(name);
     if (it == procedures_.end()) {
       return Status::NotFound("no procedure named " + name);

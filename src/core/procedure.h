@@ -7,11 +7,12 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/node.h"
+
+#include "common/thread_annotations.h"
 
 namespace sebdb {
 
@@ -33,8 +34,9 @@ class ProcedureRegistry {
                 std::vector<ResultSet>* results) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<std::string>> procedures_;
+  mutable Mutex mu_;
+  std::map<std::string, std::vector<std::string>> procedures_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace sebdb

@@ -4,7 +4,7 @@ namespace sebdb {
 
 Status KeyStore::AddIdentity(const std::string& id,
                              const std::string& secret) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = secrets_.find(id);
   if (it != secrets_.end()) {
     if (it->second == secret) return Status::OK();
@@ -15,7 +15,7 @@ Status KeyStore::AddIdentity(const std::string& id,
 }
 
 bool KeyStore::HasIdentity(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return secrets_.contains(id);
 }
 
@@ -23,7 +23,7 @@ Status KeyStore::Sign(const std::string& id, const Slice& payload,
                       std::string* signature) const {
   std::string secret;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = secrets_.find(id);
     if (it == secrets_.end()) {
       return Status::NotFound("unknown identity: " + id);

@@ -7,11 +7,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/sha256.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "types/transaction.h"
 
 namespace sebdb {
@@ -37,8 +37,8 @@ class KeyStore {
   Status VerifyTransaction(const Transaction& txn) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> secrets_;
+  mutable Mutex mu_;
+  std::map<std::string, std::string> secrets_ GUARDED_BY(mu_);
 };
 
 }  // namespace sebdb

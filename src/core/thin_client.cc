@@ -1,5 +1,7 @@
 #include "core/thin_client.h"
 
+#include "common/clock.h"
+
 #include <chrono>
 #include <set>
 
@@ -7,11 +9,7 @@ namespace sebdb {
 
 namespace {
 
-int64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+int64_t NowMicros() { return SteadyNowMicros(); }
 
 RecordKeyFn ColumnKeyFn(int column_index) {
   return [column_index](const Slice& record, Value* key) -> Status {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
+#include "common/clock.h"
 #include "common/coding.h"
 
 namespace sebdb {
@@ -12,12 +14,6 @@ namespace {
 constexpr char kDigestType[] = "gossip.digest";
 constexpr char kPullType[] = "gossip.pull";
 constexpr char kBlocksType[] = "gossip.blocks";
-
-int64_t SteadyNowMillis() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 }  // namespace
 
@@ -58,15 +54,23 @@ void GossipAgent::RunRound() {
   if (peers_.empty()) return;
   MaybeRetryPull();
   int fanout = std::min<int>(options_.fanout, static_cast<int>(peers_.size()));
-  for (int i = 0; i < fanout; i++) {
-    SendDigest(peers_[rng_.Uniform(peers_.size())]);
+  // Draw the round's targets under pull_mu_: the RNG is shared with
+  // MaybeRetryPull, and tests drive RunRound concurrently with the ticker.
+  std::vector<std::string> targets;
+  {
+    MutexLock lock(&pull_mu_);
+    targets.reserve(fanout);
+    for (int i = 0; i < fanout; i++) {
+      targets.push_back(peers_[rng_.Uniform(peers_.size())]);
+    }
   }
+  for (const auto& target : targets) SendDigest(target);
 }
 
 void GossipAgent::MaybeRetryPull() {
   std::string peer;
   {
-    std::lock_guard<std::mutex> lock(pull_mu_);
+    MutexLock lock(&pull_mu_);
     if (pull_target_height_ == 0) return;
     uint64_t my_height = delegate_->ChainHeight();
     if (my_height >= pull_target_height_) {
@@ -117,7 +121,7 @@ void GossipAgent::OnDigest(const Message& message) {
     // Behind: pull from our height onward, and arm the retry timer so a
     // lost pull or response gets re-issued by a later round.
     {
-      std::lock_guard<std::mutex> lock(pull_mu_);
+      MutexLock lock(&pull_mu_);
       if (peer_height > pull_target_height_) {
         pull_target_height_ = peer_height;
       }
@@ -172,7 +176,7 @@ void GossipAgent::OnBlocks(const Message& message) {
     delegate_->ApplyBlockRecord(height, record.ToString());
   }
   {
-    std::lock_guard<std::mutex> lock(pull_mu_);
+    MutexLock lock(&pull_mu_);
     if (pull_target_height_ != 0) {
       uint64_t my_height = delegate_->ChainHeight();
       if (my_height >= pull_target_height_) {

@@ -8,13 +8,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "network/sim_network.h"
 #include "storage/block.h"
 
@@ -83,24 +83,26 @@ class GossipAgent {
   void OnBlocks(const Message& message);
   /// Called from RunRound: re-issues the armed pull when its backoff window
   /// expired without the chain reaching the known target height.
-  void MaybeRetryPull();
+  void MaybeRetryPull() EXCLUDES(pull_mu_);
 
   std::string node_id_;
   SimNetwork* network_;
   GossipDelegate* delegate_;
-  std::vector<std::string> peers_;
+  const std::vector<std::string> peers_;  // immutable after construction
   GossipOptions options_;
-  Random rng_;
   std::thread ticker_;
   std::atomic<bool> running_{false};
 
   // Pending-pull retry state: armed by OnDigest when a peer is ahead,
-  // disarmed once the chain catches up to the advertised height.
-  std::mutex pull_mu_;
-  uint64_t pull_target_height_ = 0;  // 0 = disarmed
-  uint64_t pull_last_height_ = 0;
-  int64_t pull_deadline_millis_ = 0;
-  int64_t pull_backoff_millis_ = 0;
+  // disarmed once the chain catches up to the advertised height. The RNG
+  // shares the lock: RunRound (ticker thread or a test driver) and
+  // MaybeRetryPull both draw peers from it.
+  Mutex pull_mu_;
+  Random rng_ GUARDED_BY(pull_mu_);
+  uint64_t pull_target_height_ GUARDED_BY(pull_mu_) = 0;  // 0 = disarmed
+  uint64_t pull_last_height_ GUARDED_BY(pull_mu_) = 0;
+  int64_t pull_deadline_millis_ GUARDED_BY(pull_mu_) = 0;
+  int64_t pull_backoff_millis_ GUARDED_BY(pull_mu_) = 0;
   std::atomic<uint64_t> pull_retries_{0};
 };
 

@@ -4,19 +4,10 @@
 #include <chrono>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/coding.h"
 
 namespace sebdb {
-
-namespace {
-
-int64_t SteadyNowMillis() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 void RpcDispatcher::RegisterMethod(const std::string& name,
                                    RpcMethod method) {
@@ -75,7 +66,7 @@ void RpcClient::OnResponse(const Message& message) {
     return;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = pending_.find(request_id);
   if (it == pending_.end()) return;  // timed out already
   it->second.done = true;
@@ -113,7 +104,7 @@ void RpcClient::OnResponse(const Message& message) {
       break;
   }
   it->second.body = body.ToString();
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Status RpcClient::Call(const std::string& server, const std::string& method,
@@ -121,7 +112,7 @@ Status RpcClient::Call(const std::string& server, const std::string& method,
                        int64_t timeout_millis) {
   uint64_t request_id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     request_id = next_request_id_++;
     pending_[request_id] = Pending{};
   }
@@ -132,9 +123,14 @@ Status RpcClient::Call(const std::string& server, const std::string& method,
   network_->Send(
       Message{RpcDispatcher::kRequestType, client_id_, server, payload});
 
-  std::unique_lock<std::mutex> lock(mu_);
-  bool got = cv_.wait_for(lock, std::chrono::milliseconds(timeout_millis),
-                          [&] { return pending_[request_id].done; });
+  MutexLock lock(&mu_);
+  const int64_t wait_deadline = SteadyNowMillis() + timeout_millis;
+  bool got;
+  while (!(got = pending_[request_id].done)) {
+    int64_t remaining = wait_deadline - SteadyNowMillis();
+    if (remaining <= 0) break;
+    cv_.WaitFor(mu_, std::chrono::milliseconds(remaining));
+  }
   Pending pending = std::move(pending_[request_id]);
   pending_.erase(request_id);
   if (!got) {
@@ -177,7 +173,7 @@ Status RpcClient::Call(const std::string& server, const std::string& method,
     // Exponential backoff with jitter; never sleep past the deadline.
     double factor = 1.0;
     if (policy.jitter > 0) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       factor += policy.jitter * (2.0 * jitter_rng_.NextDouble() - 1.0);
     }
     int64_t sleep_ms = static_cast<int64_t>(

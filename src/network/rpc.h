@@ -10,16 +10,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/random.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "network/sim_network.h"
 
 namespace sebdb {
@@ -115,11 +114,11 @@ class RpcClient {
 
   const std::string client_id_;
   SimNetwork* network_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t next_request_id_ = 1;
-  std::map<uint64_t, Pending> pending_;
-  Random jitter_rng_{0x5ebdbu};  // guarded by mu_
+  Mutex mu_;
+  CondVar cv_;
+  uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, Pending> pending_ GUARDED_BY(mu_);
+  Random jitter_rng_ GUARDED_BY(mu_){0x5ebdbu};
   std::atomic<uint64_t> retries_{0};
 };
 

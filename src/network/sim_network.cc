@@ -2,18 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
+
+#include "common/clock.h"
 
 namespace sebdb {
-
-namespace {
-
-int64_t SteadyNowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 SimNetwork::SimNetwork(const SimNetworkOptions& options)
     : options_(options), rng_(options.seed) {}
@@ -23,7 +16,7 @@ SimNetwork::~SimNetwork() { Shutdown(); }
 int64_t SimNetwork::NowMicros() const { return SteadyNowMicros(); }
 
 Status SimNetwork::Register(const std::string& node_id, Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (shutdown_) return Status::Aborted("network shut down");
   if (endpoints_.contains(node_id)) {
     return Status::InvalidArgument("node already registered: " + node_id);
@@ -38,7 +31,7 @@ Status SimNetwork::Register(const std::string& node_id, Handler handler) {
 Status SimNetwork::Unregister(const std::string& node_id) {
   std::unique_ptr<Endpoint> endpoint;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = endpoints_.find(node_id);
     if (it == endpoints_.end()) {
       return Status::NotFound("node not registered: " + node_id);
@@ -46,14 +39,14 @@ Status SimNetwork::Unregister(const std::string& node_id) {
     endpoint = std::move(it->second);
     endpoints_.erase(it);
     endpoint->stop = true;
-    endpoint->cv.notify_all();
+    endpoint->cv.NotifyAll();
   }
   if (endpoint->worker.joinable()) endpoint->worker.join();
   return Status::OK();
 }
 
 void SimNetwork::Send(Message message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (shutdown_) return;
   stats_.messages_sent++;
   stats_.bytes_sent += message.ByteSize();
@@ -88,14 +81,14 @@ void SimNetwork::Send(Message message) {
       ep->queue.begin(), ep->queue.end(), deliver_at,
       [](int64_t t, const auto& entry) { return t < entry.first; });
   ep->queue.insert(pos, {deliver_at, std::move(message)});
-  ep->cv.notify_all();
+  ep->cv.NotifyAll();
 }
 
 void SimNetwork::Broadcast(const std::string& from, const std::string& type,
                            const std::string& payload) {
   std::vector<std::string> targets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [node_id, endpoint] : endpoints_) {
       if (node_id != from) targets.push_back(node_id);
     }
@@ -106,7 +99,7 @@ void SimNetwork::Broadcast(const std::string& from, const std::string& type,
 }
 
 std::vector<std::string> SimNetwork::Nodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   out.reserve(endpoints_.size());
   for (const auto& [node_id, endpoint] : endpoints_) out.push_back(node_id);
@@ -116,7 +109,7 @@ std::vector<std::string> SimNetwork::Nodes() const {
 
 void SimNetwork::SetLinkDown(const std::string& a, const std::string& b,
                              bool down) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto link = std::minmax(a, b);
   if (down) {
     down_links_.insert({link.first, link.second});
@@ -127,20 +120,18 @@ void SimNetwork::SetLinkDown(const std::string& a, const std::string& b,
 
 void SimNetwork::WorkerLoop(const std::string& node_id, Endpoint* endpoint) {
   (void)node_id;
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    if (endpoint->stop) return;
+  mu_.Lock();
+  while (!endpoint->stop) {
     if (endpoint->queue.empty()) {
-      endpoint->cv.wait(lock, [endpoint] {
-        return endpoint->stop || !endpoint->queue.empty();
-      });
+      while (!endpoint->stop && endpoint->queue.empty()) {
+        endpoint->cv.Wait(mu_);
+      }
       continue;
     }
     int64_t deliver_at = endpoint->queue.front().first;
     int64_t now = NowMicros();
     if (deliver_at > now) {
-      endpoint->cv.wait_for(lock,
-                            std::chrono::microseconds(deliver_at - now));
+      endpoint->cv.WaitFor(mu_, std::chrono::microseconds(deliver_at - now));
       continue;
     }
     Message message = std::move(endpoint->queue.front().second);
@@ -148,16 +139,17 @@ void SimNetwork::WorkerLoop(const std::string& node_id, Endpoint* endpoint) {
     endpoint->busy = true;
     Handler handler = endpoint->handler;
     stats_.messages_delivered++;
-    lock.unlock();
+    mu_.Unlock();
     handler(message);
-    lock.lock();
+    mu_.Lock();
     endpoint->busy = false;
-    endpoint->cv.notify_all();
+    endpoint->cv.NotifyAll();
   }
+  mu_.Unlock();
 }
 
 void SimNetwork::DrainAll() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
     bool idle = true;
     for (const auto& [node_id, endpoint] : endpoints_) {
@@ -166,27 +158,28 @@ void SimNetwork::DrainAll() {
         break;
       }
     }
-    if (idle) return;
-    lock.unlock();
+    if (idle) break;
+    mu_.Unlock();
     std::this_thread::sleep_for(std::chrono::microseconds(100));
-    lock.lock();
+    mu_.Lock();
   }
+  mu_.Unlock();
 }
 
 NetworkStats SimNetwork::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void SimNetwork::Shutdown() {
   std::vector<std::unique_ptr<Endpoint>> endpoints;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) return;
     shutdown_ = true;
     for (auto& [node_id, endpoint] : endpoints_) {
       endpoint->stop = true;
-      endpoint->cv.notify_all();
+      endpoint->cv.NotifyAll();
       endpoints.push_back(std::move(endpoint));
     }
     endpoints_.clear();

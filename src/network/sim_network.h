@@ -6,12 +6,10 @@
 // deterministic per sender order.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -20,6 +18,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "network/message.h"
 
 namespace sebdb {
@@ -83,11 +82,13 @@ class SimNetwork {
   void Shutdown();
 
  private:
+  // All mutable Endpoint state (queue/stop/busy) is guarded by the outer
+  // SimNetwork::mu_ — nested members cannot name it in a GUARDED_BY.
   struct Endpoint {
     explicit Endpoint(Handler h) : handler(std::move(h)) {}
     Handler handler;
     std::deque<std::pair<int64_t, Message>> queue;  // (deliver_at_micros, msg)
-    std::condition_variable cv;
+    CondVar cv;
     std::thread worker;
     bool stop = false;
     bool busy = false;  // handler currently running
@@ -97,12 +98,13 @@ class SimNetwork {
   int64_t NowMicros() const;
 
   SimNetworkOptions options_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<Endpoint>> endpoints_;
-  std::set<std::pair<std::string, std::string>> down_links_;
-  Random rng_;
-  NetworkStats stats_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Endpoint>> endpoints_
+      GUARDED_BY(mu_);
+  std::set<std::pair<std::string, std::string>> down_links_ GUARDED_BY(mu_);
+  Random rng_ GUARDED_BY(mu_);
+  NetworkStats stats_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sebdb

@@ -143,7 +143,7 @@ Status OffchainTable::Lookup(std::string_view column, const Value& v,
 
 Status OffchainDb::CreateTable(const std::string& name,
                                std::vector<ColumnDef> columns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string lower = ToLower(name);
   if (tables_.contains(lower)) {
     return Status::InvalidArgument("off-chain table exists: " + lower);
@@ -154,7 +154,7 @@ Status OffchainDb::CreateTable(const std::string& name,
 }
 
 Status OffchainDb::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tables_.erase(ToLower(name)) == 0) {
     return Status::NotFound("no off-chain table " + name);
   }
@@ -162,13 +162,13 @@ Status OffchainDb::DropTable(const std::string& name) {
 }
 
 OffchainTable* OffchainDb::GetTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tables_.find(ToLower(name));
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 const OffchainTable* OffchainDb::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tables_.find(ToLower(name));
   return it == tables_.end() ? nullptr : it->second.get();
 }
@@ -180,7 +180,7 @@ Status OffchainDb::Insert(const std::string& table, OffchainRow row) {
 }
 
 std::vector<std::string> OffchainDb::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);

@@ -9,11 +9,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "index/bptree.h"
 #include "types/schema.h"
 #include "types/value.h"
@@ -89,8 +89,9 @@ class OffchainDb {
   std::vector<std::string> TableNames() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<OffchainTable>> tables_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<OffchainTable>> tables_
+      GUARDED_BY(mu_);
 };
 
 /// The ODBC/JDBC stand-in: what the query processor sees of the local RDBMS.

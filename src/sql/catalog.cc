@@ -3,7 +3,7 @@
 namespace sebdb {
 
 Status Catalog::RegisterSchema(Schema schema) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = schemas_.find(schema.table_name());
   if (it != schemas_.end()) {
     if (it->second == schema) return Status::OK();  // idempotent replay
@@ -16,7 +16,7 @@ Status Catalog::RegisterSchema(Schema schema) {
 }
 
 Status Catalog::GetSchema(const std::string& table, Schema* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = schemas_.find(table);
   if (it == schemas_.end()) {
     return Status::NotFound("no on-chain table named " + table);
@@ -26,12 +26,12 @@ Status Catalog::GetSchema(const std::string& table, Schema* out) const {
 }
 
 bool Catalog::HasTable(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return schemas_.contains(table);
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(schemas_.size());
   for (const auto& [name, schema] : schemas_) names.push_back(name);

@@ -5,11 +5,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "types/schema.h"
 #include "types/transaction.h"
 
@@ -35,8 +35,8 @@ class Catalog {
   bool MaybeApplySchemaTransaction(const Transaction& txn);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Schema> schemas_;
+  mutable Mutex mu_;
+  std::map<std::string, Schema> schemas_ GUARDED_BY(mu_);
 };
 
 }  // namespace sebdb

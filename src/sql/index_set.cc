@@ -72,7 +72,7 @@ void IndexSet::AppendManifest(const std::string& table,
 }
 
 Status IndexSet::AddBlock(const Block& block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (block.height() != num_blocks_) {
     return Status::InvalidArgument("index set blocks must arrive in order");
   }
@@ -104,14 +104,14 @@ Status IndexSet::AddBlock(const Block& block) {
 }
 
 uint64_t IndexSet::num_blocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return num_blocks_;
 }
 
 Status IndexSet::CreateLayeredIndex(const std::string& table,
                                     const std::string& column,
                                     int schema_column_index, bool discrete) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status s =
       CreateLayeredIndexLocked(table, column, schema_column_index, discrete);
   if (!s.ok()) return s;
@@ -205,21 +205,21 @@ Status IndexSet::BackfillIndex(UserIndex* index, bool continuous,
 
 LayeredIndex* IndexSet::GetLayered(const std::string& table,
                                    const std::string& column) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = user_indexes_.find(std::make_pair(table, column));
   return it == user_indexes_.end() ? nullptr : it->second.layered.get();
 }
 
 AuthenticatedLayeredIndex* IndexSet::GetAli(const std::string& table,
                                             const std::string& column) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = user_indexes_.find(std::make_pair(table, column));
   return it == user_indexes_.end() ? nullptr : it->second.ali.get();
 }
 
 bool IndexSet::HasLayered(const std::string& table,
                           const std::string& column) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return user_indexes_.contains(std::make_pair(table, column));
 }
 

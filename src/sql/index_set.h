@@ -7,11 +7,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "auth/ali.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "index/bitmap_index.h"
 #include "index/block_index.h"
 #include "index/layered_index.h"
@@ -78,26 +78,31 @@ class IndexSet {
 
   static ColumnExtractor MakeSystemExtractor(bool sender);
   Status BackfillIndex(UserIndex* index, bool continuous,
-                       const ColumnExtractor& extractor);
+                       const ColumnExtractor& extractor) REQUIRES(mu_);
   Status CreateLayeredIndexLocked(const std::string& table,
                                   const std::string& column,
-                                  int schema_column_index, bool discrete);
-  void LoadManifest();
+                                  int schema_column_index, bool discrete)
+      REQUIRES(mu_);
+  void LoadManifest() EXCLUDES(mu_);
   void AppendManifest(const std::string& table, const std::string& column,
-                      int schema_column_index, bool discrete);
+                      int schema_column_index, bool discrete) REQUIRES(mu_);
 
   BlockStore* store_;
   IndexSetOptions options_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  // The index structures are pointer-stable: accessors hand out raw
+  // pointers (senid_index() & co), so only the containers and counters —
+  // not the pointees — are guarded.
   BlockIndex block_index_;
   TableBitmapIndex table_index_;
   std::unique_ptr<LayeredIndex> senid_index_;
   std::unique_ptr<LayeredIndex> tname_index_;
   std::unique_ptr<AuthenticatedLayeredIndex> senid_ali_;
   std::unique_ptr<AuthenticatedLayeredIndex> tname_ali_;
-  std::map<std::pair<std::string, std::string>, UserIndex> user_indexes_;
-  uint64_t num_blocks_ = 0;
+  std::map<std::pair<std::string, std::string>, UserIndex> user_indexes_
+      GUARDED_BY(mu_);
+  uint64_t num_blocks_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sebdb

@@ -28,6 +28,7 @@ uint64_t TxnCacheKey(BlockId height, uint32_t index) {
 
 Status BlockStore::Open(const BlockStoreOptions& options,
                         const std::string& dir) {
+  MutexLock lock(&mu_);
   if (open_) return Status::Busy("block store already open");
   options_ = options;
   env_ = options.env != nullptr ? options.env : Env::Default();
@@ -95,7 +96,8 @@ Status BlockStore::ScanSegment(uint32_t seg_id, const std::string& name,
   if (defect.empty() && offset < file_size) {
     defect = "torn frame header";  // trailing fragment shorter than a header
   }
-  file.Close();
+  s = file.Close();
+  if (!s.ok()) return s;  // I/O error, not corruption: do not truncate
 
   if (defect.empty()) return Status::OK();
   if (!is_tail) {
@@ -173,7 +175,7 @@ Status BlockStore::OpenSegmentForAppend(uint32_t segment_id) {
 }
 
 Status BlockStore::Append(const Block& block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!open_) return Status::IOError("block store not open");
   if (wedged_) {
     return Status::IOError(
@@ -233,7 +235,7 @@ Status BlockStore::Append(const Block& block) {
 }
 
 uint64_t BlockStore::num_blocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return locations_.size();
 }
 
@@ -252,7 +254,7 @@ Status BlockStore::ReadAt(uint32_t segment, uint64_t offset, size_t n,
                           std::string* out) const {
   std::shared_ptr<RandomAccessFile> reader;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     reader = Reader(segment);
   }
   if (reader == nullptr) {
@@ -286,7 +288,7 @@ Status BlockStore::ReadBlock(BlockId height,
   }
   Location loc;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (height >= locations_.size()) {
       return Status::NotFound("no block at height " + std::to_string(height));
     }
@@ -318,7 +320,7 @@ Status BlockStore::ReadBlocks(BlockId first, uint64_t count,
   out->assign(count, nullptr);
   std::vector<Location> locations(count);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (first + count > locations_.size()) {
       return Status::NotFound("no block at height " +
                               std::to_string(first + count - 1));
@@ -386,7 +388,7 @@ Status BlockStore::ReadHeader(BlockId height, BlockHeader* out) {
   }
   Location loc;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (height >= locations_.size()) {
       return Status::NotFound("no block at height " + std::to_string(height));
     }
@@ -437,7 +439,7 @@ Status BlockStore::ReadTransaction(BlockId height, uint32_t index,
 
   Location loc;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (height >= locations_.size()) {
       return Status::NotFound("no block at height " + std::to_string(height));
     }
@@ -494,7 +496,7 @@ Status BlockStore::ReadTransaction(BlockId height, uint32_t index,
 Status BlockStore::ReadRawRecord(BlockId height, std::string* out) {
   Location loc;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (height >= locations_.size()) {
       return Status::NotFound("no block at height " + std::to_string(height));
     }
@@ -504,26 +506,36 @@ Status BlockStore::ReadRawRecord(BlockId height, std::string* out) {
 }
 
 BlockStore::CacheStats BlockStore::cache_stats() const {
+  // mu_ pins the cache pointers against a concurrent Open/Close; each
+  // cache's stats() call is one atomic snapshot of its counters.
+  MutexLock lock(&mu_);
   CacheStats out;
   if (block_cache_ != nullptr) {
-    out.block_hits = block_cache_->hits();
-    out.block_misses = block_cache_->misses();
-    out.block_evictions = block_cache_->evictions();
-    out.block_usage = block_cache_->usage();
+    const auto stats = block_cache_->stats();
+    out.block_hits = stats.hits;
+    out.block_misses = stats.misses;
+    out.block_evictions = stats.evictions;
+    out.block_usage = stats.usage;
     out.block_capacity = block_cache_->capacity();
   }
   if (txn_cache_ != nullptr) {
-    out.txn_hits = txn_cache_->hits();
-    out.txn_misses = txn_cache_->misses();
-    out.txn_evictions = txn_cache_->evictions();
-    out.txn_usage = txn_cache_->usage();
+    const auto stats = txn_cache_->stats();
+    out.txn_hits = stats.hits;
+    out.txn_misses = stats.misses;
+    out.txn_evictions = stats.evictions;
+    out.txn_usage = stats.usage;
     out.txn_capacity = txn_cache_->capacity();
   }
   return out;
 }
 
+BlockStore::RecoveryStats BlockStore::recovery_stats() const {
+  MutexLock lock(&mu_);
+  return recovery_;
+}
+
 Status BlockStore::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!open_) return Status::OK();
   open_ = false;
   readers_.clear();

@@ -14,13 +14,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
 #include "common/lru_cache.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/block.h"
 #include "storage/file.h"
 
@@ -134,8 +134,12 @@ class BlockStore {
   Status ReadRawRecord(BlockId height, std::string* out);
 
   StorageStats& stats() { return stats_; }
-  CacheStats cache_stats() const;
-  const RecoveryStats& recovery_stats() const { return recovery_; }
+  /// Consistent snapshot of both caches' counters (one lock acquisition per
+  /// cache, so hits/misses/usage are mutually coherent).
+  CacheStats cache_stats() const EXCLUDES(mu_);
+  /// Snapshot of what the last Open found on disk (by value: the stats are
+  /// rewritten by a concurrent reopen, so a reference would escape mu_).
+  RecoveryStats recovery_stats() const EXCLUDES(mu_);
   const std::string& dir() const { return dir_; }
 
  private:
@@ -145,30 +149,36 @@ class BlockStore {
     uint32_t length;  // payload length
   };
 
-  Status OpenSegmentForAppend(uint32_t segment_id);
-  Status RecoverSegments();
-  Status ScanSegment(uint32_t seg_id, const std::string& name, bool is_tail);
-  Status ReadPayload(const Location& loc, std::string* out) const;
+  Status OpenSegmentForAppend(uint32_t segment_id) REQUIRES(mu_);
+  Status RecoverSegments() REQUIRES(mu_);
+  Status ScanSegment(uint32_t seg_id, const std::string& name, bool is_tail)
+      REQUIRES(mu_);
+  Status ReadPayload(const Location& loc, std::string* out) const
+      EXCLUDES(mu_);
   Status ReadAt(uint32_t segment, uint64_t offset, size_t n,
-                std::string* out) const;
-  std::shared_ptr<RandomAccessFile> Reader(uint32_t segment) const;
+                std::string* out) const EXCLUDES(mu_);
+  std::shared_ptr<RandomAccessFile> Reader(uint32_t segment) const
+      REQUIRES(mu_);
 
   BlockStoreOptions options_;
   Env* env_ = nullptr;
   std::string dir_;
-  mutable std::mutex mu_;
-  std::vector<Location> locations_;
-  AppendOnlyFile writer_;
-  uint32_t active_segment_ = 0;
-  mutable std::vector<std::shared_ptr<RandomAccessFile>> readers_;
+  mutable Mutex mu_;
+  std::vector<Location> locations_ GUARDED_BY(mu_);
+  AppendOnlyFile writer_ GUARDED_BY(mu_);
+  uint32_t active_segment_ GUARDED_BY(mu_) = 0;
+  mutable std::vector<std::shared_ptr<RandomAccessFile>> readers_
+      GUARDED_BY(mu_);
+  // The caches are internally synchronized; the pointers themselves only
+  // change in Open/Close.
   std::unique_ptr<LruCache<uint64_t, const Block>> block_cache_;
   std::unique_ptr<LruCache<uint64_t, const Transaction>> txn_cache_;
-  StorageStats stats_;
-  RecoveryStats recovery_;
-  bool open_ = false;
+  StorageStats stats_;  // all-atomic counters
+  RecoveryStats recovery_ GUARDED_BY(mu_);
+  bool open_ GUARDED_BY(mu_) = false;
   // Set when an append fails partway: the segment tail is in an unknown
   // state, so further appends would land after garbage. Reopen to recover.
-  bool wedged_ = false;
+  bool wedged_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sebdb
