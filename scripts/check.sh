@@ -10,6 +10,8 @@
 #   scripts/check.sh asan-ubsan           # ASan+UBSan (includes fuzz smoke)
 #   scripts/check.sh tsan                 # TSan build only
 #   scripts/check.sh clang-thread-safety  # thread-safety analysis (clang)
+#   scripts/check.sh soak                 # overload/partition soak harness,
+#                                         # plain then TSan (ctest -L soak)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +22,17 @@ fi
 
 for preset in "${presets[@]}"; do
   echo "=== preset: ${preset} ==="
+  if [ "${preset}" = "soak" ]; then
+    for soak_preset in default tsan; do
+      echo "--- soak under ${soak_preset} ---"
+      cmake --preset "${soak_preset}"
+      cmake --build --preset "${soak_preset}" -j "$(nproc)"
+      soak_dir=build
+      [ "${soak_preset}" = "tsan" ] && soak_dir=build-tsan
+      ctest --test-dir "${soak_dir}" -L soak --output-on-failure
+    done
+    continue
+  fi
   if [ "${preset}" = "clang-thread-safety" ] && ! command -v clang++ >/dev/null 2>&1; then
     echo "clang++ not installed; skipping ${preset} (annotations compile to"
     echo "no-ops under gcc, so the other presets still cover the code)"

@@ -52,6 +52,18 @@ if [ -n "${dropped_status}" ]; then
   fail "storage call discards its Status (assign, return, or check it):" "${dropped_status}"
 fi
 
+# Unbounded growth of consensus ingress queues: every push into a mempool /
+# pending-batch container must sit on a line marked "admitted:" asserting the
+# txn was charged against an AdmissionController first (the admission module
+# itself is exempt). Keeps the bounded-mempool invariant grep-checkable.
+unbounded_mempool=$(grep -rnE '\b(mempool_|pending_|batch_pending_)\.(push_back|emplace_back|push_front|insert)\(' \
+  src/ --include='*.h' --include='*.cc' \
+  | grep -v 'admitted:' \
+  | grep -v '^src/common/admission\.' || true)
+if [ -n "${unbounded_mempool}" ]; then
+  fail "mempool push without an \"admitted:\" marker (charge it against AdmissionController or annotate why it is already charged):" "${unbounded_mempool}"
+fi
+
 # Clock access outside the sanctioned helpers.
 clock_calls=$(grep -rnE '(system_clock|steady_clock|high_resolution_clock)::now\(\)' \
   src/ --include='*.h' --include='*.cc' \

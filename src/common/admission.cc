@@ -1,0 +1,159 @@
+#include "common/admission.h"
+
+#include <algorithm>
+
+namespace sebdb {
+
+const char* OverloadStateName(OverloadState state) {
+  switch (state) {
+    case OverloadState::kHealthy:
+      return "healthy";
+    case OverloadState::kThrottling:
+      return "throttling";
+    case OverloadState::kShedding:
+      return "shedding";
+  }
+  return "unknown";
+}
+
+AdmissionStats MergeAdmissionStats(const AdmissionStats& a,
+                                   const AdmissionStats& b) {
+  AdmissionStats out;
+  out.admitted = a.admitted + b.admitted;
+  out.deduped = a.deduped + b.deduped;
+  out.released = a.released + b.released;
+  out.rejected_txns = a.rejected_txns + b.rejected_txns;
+  out.rejected_bytes = a.rejected_bytes + b.rejected_bytes;
+  out.rejected_sender = a.rejected_sender + b.rejected_sender;
+  out.cur_txns = a.cur_txns + b.cur_txns;
+  out.cur_bytes = a.cur_bytes + b.cur_bytes;
+  out.peak_txns = std::max(a.peak_txns, b.peak_txns);
+  out.peak_bytes = std::max(a.peak_bytes, b.peak_bytes);
+  out.state_transitions = a.state_transitions + b.state_transitions;
+  out.state = std::max(a.state, b.state);
+  return out;
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+double AdmissionController::OccupancyLocked() const {
+  double occ = 0.0;
+  if (options_.max_txns > 0) {
+    occ = std::max(occ, static_cast<double>(inflight_.size()) /
+                            static_cast<double>(options_.max_txns));
+  }
+  if (options_.max_bytes > 0) {
+    occ = std::max(occ, static_cast<double>(stats_.cur_bytes) /
+                            static_cast<double>(options_.max_bytes));
+  }
+  return std::min(occ, 1.0);
+}
+
+void AdmissionController::UpdateStateLocked() {
+  double occ = OccupancyLocked();
+  OverloadState next = OverloadState::kHealthy;
+  if (occ >= 1.0) {
+    next = OverloadState::kShedding;
+  } else if (occ >= options_.throttle_threshold) {
+    next = OverloadState::kThrottling;
+  }
+  if (next != stats_.state) {
+    stats_.state = next;
+    stats_.state_transitions++;
+  }
+}
+
+int64_t AdmissionController::RetryAfterLocked() const {
+  // Scale the hint with occupancy: a barely-full queue suggests a short
+  // wait, a saturated one up to 4x the base.
+  double occ = OccupancyLocked();
+  return options_.retry_after_base_millis +
+         static_cast<int64_t>(3.0 * occ *
+                              static_cast<double>(
+                                  options_.retry_after_base_millis));
+}
+
+Status AdmissionController::Admit(const std::string& key,
+                                  const std::string& sender, size_t bytes,
+                                  bool* duplicate) {
+  if (duplicate != nullptr) *duplicate = false;
+  MutexLock lock(&mu_);
+  if (!options_.enabled) {
+    stats_.admitted++;
+    return Status::OK();
+  }
+  if (inflight_.find(key) != inflight_.end()) {
+    stats_.deduped++;
+    if (duplicate != nullptr) *duplicate = true;
+    return Status::OK();
+  }
+  if (options_.max_txns > 0 && inflight_.size() + 1 > options_.max_txns) {
+    stats_.rejected_txns++;
+    UpdateStateLocked();
+    return Status::ResourceExhausted("mempool txn cap reached",
+                                     RetryAfterLocked());
+  }
+  if (options_.max_bytes > 0 &&
+      stats_.cur_bytes + bytes > options_.max_bytes) {
+    stats_.rejected_bytes++;
+    UpdateStateLocked();
+    return Status::ResourceExhausted("mempool byte cap reached",
+                                     RetryAfterLocked());
+  }
+  if (options_.max_txns_per_sender > 0) {
+    auto it = per_sender_.find(sender);
+    uint64_t held = it == per_sender_.end() ? 0 : it->second;
+    if (held + 1 > options_.max_txns_per_sender) {
+      stats_.rejected_sender++;
+      UpdateStateLocked();
+      return Status::ResourceExhausted("sender quota reached for " + sender,
+                                       options_.retry_after_base_millis);
+    }
+  }
+  inflight_.emplace(key, Entry{sender, static_cast<uint64_t>(bytes)});
+  per_sender_[sender]++;
+  stats_.admitted++;
+  stats_.cur_txns = inflight_.size();
+  stats_.cur_bytes += bytes;
+  stats_.peak_txns = std::max(stats_.peak_txns, stats_.cur_txns);
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.cur_bytes);
+  UpdateStateLocked();
+  return Status::OK();
+}
+
+void AdmissionController::Release(const std::string& key) {
+  MutexLock lock(&mu_);
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;
+  stats_.cur_bytes -= it->second.bytes;
+  auto sender_it = per_sender_.find(it->second.sender);
+  if (sender_it != per_sender_.end() && --sender_it->second == 0) {
+    per_sender_.erase(sender_it);
+  }
+  inflight_.erase(it);
+  stats_.cur_txns = inflight_.size();
+  stats_.released++;
+  UpdateStateLocked();
+}
+
+void AdmissionController::Clear() {
+  MutexLock lock(&mu_);
+  inflight_.clear();
+  per_sender_.clear();
+  stats_.cur_txns = 0;
+  stats_.cur_bytes = 0;
+  UpdateStateLocked();
+}
+
+OverloadState AdmissionController::state() const {
+  MutexLock lock(&mu_);
+  return stats_.state;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace sebdb

@@ -36,6 +36,9 @@ std::string Status::ToString() const {
     case Code::kTimedOut:
       name = "TimedOut";
       break;
+    case Code::kResourceExhausted:
+      name = "ResourceExhausted";
+      break;
   }
   std::string out = name;
   if (!message().empty()) {

@@ -2,6 +2,7 @@
 // idiom: cheap to copy in the OK case, carries a code plus message otherwise.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -21,6 +22,7 @@ class Status {
     kBusy = 7,
     kVerificationFailed = 8,
     kTimedOut = 9,
+    kResourceExhausted = 10,
   };
 
   /// Creates an OK status.
@@ -52,6 +54,12 @@ class Status {
   static Status TimedOut(std::string_view msg) {
     return Status(Code::kTimedOut, msg);
   }
+  /// Overload rejection. `retry_after_millis` is a server-driven backoff
+  /// hint: how long the caller should wait before resubmitting (0 = none).
+  static Status ResourceExhausted(std::string_view msg,
+                                  int64_t retry_after_millis = 0) {
+    return Status(Code::kResourceExhausted, msg, retry_after_millis);
+  }
 
   bool ok() const { return rep_ == nullptr; }
   bool IsNotFound() const { return code() == Code::kNotFound; }
@@ -65,6 +73,9 @@ class Status {
     return code() == Code::kVerificationFailed;
   }
   bool IsTimedOut() const { return code() == Code::kTimedOut; }
+  bool IsResourceExhausted() const {
+    return code() == Code::kResourceExhausted;
+  }
 
   Code code() const { return rep_ == nullptr ? Code::kOk : rep_->code; }
 
@@ -77,14 +88,22 @@ class Status {
     return rep_ == nullptr ? kEmpty : rep_->msg;
   }
 
+  /// Server-driven backoff hint in milliseconds (0 when absent). Only
+  /// meaningful on ResourceExhausted statuses.
+  int64_t retry_after_millis() const {
+    return rep_ == nullptr ? 0 : rep_->retry_after_millis;
+  }
+
  private:
   struct Rep {
     Code code;
     std::string msg;
+    int64_t retry_after_millis = 0;
   };
 
-  Status(Code code, std::string_view msg)
-      : rep_(std::make_shared<Rep>(Rep{code, std::string(msg)})) {}
+  Status(Code code, std::string_view msg, int64_t retry_after_millis = 0)
+      : rep_(std::make_shared<Rep>(
+            Rep{code, std::string(msg), retry_after_millis})) {}
 
   std::shared_ptr<const Rep> rep_;  // nullptr means OK
 };

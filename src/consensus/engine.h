@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/admission.h"
 #include "common/status.h"
 #include "types/transaction.h"
 
@@ -29,6 +30,10 @@ struct ConsensusOptions {
   /// instead of colliding with already-applied heights (which the chain
   /// manager would silently treat as duplicates).
   uint64_t start_sequence = 0;
+  /// Caps on the engine's ingress queue (mempool / orderer pending queue).
+  /// Every engine charges transactions against an AdmissionController built
+  /// from these options before enqueueing them.
+  AdmissionOptions admission;
 };
 
 /// Called on each node, in strictly increasing `seq` (0, 1, 2, ...), with the
@@ -36,6 +41,14 @@ struct ConsensusOptions {
 /// (block 0 being the genesis block).
 using BatchCommitFn =
     std::function<void(uint64_t seq, std::vector<Transaction> txns)>;
+
+/// Snapshot of an engine's ingress queue, surfaced through SebdbNode stats
+/// next to CacheStats/RecoveryStats.
+struct MempoolStats {
+  uint64_t depth = 0;  // transactions queued awaiting ordering
+  uint64_t bytes = 0;  // encoded bytes charged against the admission cap
+  AdmissionStats admission;
+};
 
 class ConsensusEngine {
  public:
@@ -52,6 +65,17 @@ class ConsensusEngine {
 
   /// Batches delivered so far on this node.
   virtual uint64_t committed_batches() const = 0;
+
+  /// Ingress-queue and admission counters for this node.
+  virtual MempoolStats mempool_stats() const { return MempoolStats(); }
+
+  /// Notifies the engine that `txns` were committed outside its delivery
+  /// path (the node applied a block learned through gossip anti-entropy,
+  /// e.g. after a healed partition). The engine resolves matching pending
+  /// submissions (fires their done callbacks with OK) and releases their
+  /// admission charges, so clients on a partitioned-then-healed node do not
+  /// hang on transactions that committed while delivery messages were lost.
+  virtual void OnExternalCommit(const std::vector<Transaction>& /*txns*/) {}
 };
 
 /// Wire helpers shared by the engines.

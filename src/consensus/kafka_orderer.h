@@ -11,7 +11,9 @@
 #include <memory>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "common/admission.h"
 #include "common/thread_annotations.h"
 #include "consensus/engine.h"
 #include "network/sim_network.h"
@@ -30,6 +32,8 @@ class KafkaOrderer : public ConsensusEngine {
   void Stop() override;
   Status Submit(Transaction txn, std::function<void(Status)> done) override;
   uint64_t committed_batches() const override;
+  MempoolStats mempool_stats() const override;
+  void OnExternalCommit(const std::vector<Transaction>& txns) override;
 
   /// Routes "kafka.*" messages; wire into the node's network handler.
   void HandleMessage(const Message& message);
@@ -39,6 +43,8 @@ class KafkaOrderer : public ConsensusEngine {
  private:
   void OnSubmit(const Message& message);
   void OnDeliver(const Message& message);
+  void OnNack(const Message& message);
+  void OnDupAck(const Message& message);
   void CutBatchLocked() REQUIRES(mu_);  // pending -> batch, broadcast
   void CutterLoop();  // broker: timeout-based cutting
   /// Applies buffered batches in sequence order; called with mu_ held,
@@ -51,6 +57,13 @@ class KafkaOrderer : public ConsensusEngine {
   SimNetwork* network_;
   const ConsensusOptions options_;
   BatchCommitFn commit_fn_;
+  // Submit-side controller: charges txns this node originated, released
+  // when they deliver (or are nacked by the broker). Internally
+  // synchronized, safe to call under mu_.
+  AdmissionController admission_;
+  // Broker-side controller: bounds the pending queue; a shed submission is
+  // nacked back to the origin with a retry hint (backpressure propagation).
+  AdmissionController broker_admission_;
 
   mutable Mutex mu_;
   bool running_ GUARDED_BY(mu_) = false;
@@ -61,6 +74,10 @@ class KafkaOrderer : public ConsensusEngine {
   std::vector<Transaction> pending_ GUARDED_BY(mu_);
   int64_t first_pending_micros_ GUARDED_BY(mu_) = 0;
   uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  // Keys the broker already sequenced: dedups resubmissions (a client that
+  // timed out and resubmitted an already-ordered txn must not double-order
+  // it).
+  std::unordered_set<std::string> sequenced_keys_ GUARDED_BY(mu_);
 
   // Every participant: in-order delivery.
   std::map<uint64_t, std::vector<Transaction>> reorder_buffer_

@@ -41,7 +41,8 @@ PbftEngine::PbftEngine(std::string node_id,
       options_(std::move(options)),
       commit_fn_(std::move(commit_fn)),
       pbft_options_(pbft_options),
-      f_(static_cast<int>((participants_.size() - 1) / 3)) {
+      f_(static_cast<int>((participants_.size() - 1) / 3)),
+      admission_(options_.admission) {
   next_seq_ = options_.start_sequence;
   next_deliver_seq_ = options_.start_sequence;
 }
@@ -73,6 +74,7 @@ void PbftEngine::Stop() {
   for (auto& [key, request] : pending) {
     if (request.done) request.done(Status::Aborted("consensus engine stopped"));
   }
+  admission_.Clear();
 }
 
 uint64_t PbftEngine::view() const {
@@ -103,16 +105,38 @@ Status PbftEngine::Submit(Transaction txn, std::function<void(Status)> done) {
   }
   std::string payload;
   txn.EncodeTo(&payload);
+  std::string key = TxnKey(txn);
+  Status admit = admission_.Admit(key, txn.sender(), payload.size());
+  if (!admit.ok()) {
+    if (done) done(admit);
+    return admit;
+  }
+  bool already_committed = false;
   {
     MutexLock lock(&mu_);
-    if (!running_) return Status::Aborted("engine not running");
-    // Every replica learns about the request (so every honest replica arms
-    // a progress timer and can demand a view change if the primary stalls);
-    // only the origin holds the completion callback.
-    pending_requests_[TxnKey(txn)] = PendingRequest{txn, std::move(done)};
-    if (PrimaryOf(view_) == node_id_ && !in_view_change_) {
-      AddToBatchLocked(std::move(txn));
+    if (!running_) {
+      admission_.Release(key);
+      return Status::Aborted("engine not running");
     }
+    // Resubmission of an already-committed txn (a caller that timed out and
+    // retried): ack immediately, it committed exactly once.
+    if (committed_keys_.contains(key)) {
+      admission_.Release(key);
+      already_committed = true;
+    } else {
+      // Every replica learns about the request (so every honest replica
+      // arms a progress timer and can demand a view change if the primary
+      // stalls); only the origin holds the completion callback.
+      pending_requests_[key] =
+          PendingRequest{txn, std::move(done), NowMicros()};
+      if (PrimaryOf(view_) == node_id_ && !in_view_change_) {
+        AddToBatchLocked(std::move(txn));
+      }
+    }
+  }
+  if (already_committed) {
+    if (done) done(Status::OK());
+    return Status::OK();
   }
   BroadcastToReplicas(kRequestType, payload);
   return Status::OK();
@@ -123,7 +147,10 @@ void PbftEngine::AddToBatchLocked(Transaction txn) {
   if (batched_keys_.contains(key)) return;  // duplicate / re-sent request
   batched_keys_.insert(std::move(key));
   if (batch_pending_.empty()) first_pending_micros_ = NowMicros();
-  batch_pending_.push_back(std::move(txn));
+  // Every path here (Submit, OnRequest, view-change re-propose,
+  // retransmission) admission-checked the txn when it entered
+  // pending_requests_.
+  batch_pending_.push_back(std::move(txn));  // admitted: charged on entry
   if (batch_pending_.size() >= options_.max_batch_txns) CutBatchLocked();
 }
 
@@ -179,17 +206,17 @@ void PbftEngine::OnRequest(const Message& message) {
   MutexLock lock(&mu_);
   if (!running_) return;
   std::string key = TxnKey(txn);
-  if (PrimaryOf(view_) == node_id_ && !in_view_change_) {
-    if (!pending_requests_.contains(key)) {
-      pending_requests_[key] = PendingRequest{txn, nullptr};
-    }
-    AddToBatchLocked(std::move(txn));
-    return;
-  }
-  // Backup: remember the request so the progress timer covers it and it can
-  // be re-sent to the next primary after a view change.
   if (!pending_requests_.contains(key) && !committed_keys_.contains(key)) {
-    pending_requests_[key] = PendingRequest{std::move(txn), nullptr};
+    // New request: admission-check before holding it. Shedding is silent —
+    // the origin's retransmission timer re-sends it once load drains.
+    Status admit =
+        admission_.Admit(key, txn.sender(), message.payload.size());
+    if (!admit.ok()) return;
+    pending_requests_[key] = PendingRequest{txn, nullptr, NowMicros()};
+  }
+  if (PrimaryOf(view_) == node_id_ && !in_view_change_ &&
+      !committed_keys_.contains(key)) {
+    AddToBatchLocked(std::move(txn));
   }
 }
 
@@ -322,6 +349,7 @@ void PbftEngine::DeliverReadyLocked() {
     std::vector<std::function<void(Status)>> to_fire;
     for (const auto& txn : batch) {
       std::string key = TxnKey(txn);
+      admission_.Release(key);
       committed_keys_.insert(key);
       batched_keys_.insert(key);
       auto done_it = pending_requests_.find(key);
@@ -349,6 +377,30 @@ void PbftEngine::TimerLoop() {
       int64_t deadline =
           first_pending_micros_ + options_.batch_timeout_millis * 1000;
       if (NowMicros() >= deadline) CutBatchLocked();
+    }
+    // Any replica: re-send stale pending requests to the current primary
+    // (client retransmission). Covers requests whose original broadcast was
+    // lost to a partition or shed by an overloaded primary.
+    if (!in_view_change_ && pbft_options_.request_retry_millis > 0) {
+      int64_t now = NowMicros();
+      int64_t stale_micros = pbft_options_.request_retry_millis * 1000;
+      std::vector<Transaction> stale;
+      for (auto& [key, request] : pending_requests_) {
+        if (now - request.last_sent_micros < stale_micros) continue;
+        request.last_sent_micros = now;
+        stale.push_back(request.txn);
+        if (stale.size() >= 64) break;  // bound the per-tick burst
+      }
+      std::string primary = PrimaryOf(view_);
+      for (auto& txn : stale) {
+        if (primary == node_id_) {
+          AddToBatchLocked(std::move(txn));
+        } else {
+          std::string payload;
+          txn.EncodeTo(&payload);
+          network_->Send(Message{kRequestType, node_id_, primary, payload});
+        }
+      }
     }
     // Any replica: suspect the primary when requests stall.
     if (!pending_requests_.empty() &&
@@ -438,7 +490,8 @@ void PbftEngine::EnterViewLocked(uint64_t new_view) {
     // Re-send our pending requests to the new primary (it may never have
     // seen them).
     std::string primary = PrimaryOf(view_);
-    for (const auto& [key, request] : pending_requests_) {
+    for (auto& [key, request] : pending_requests_) {
+      request.last_sent_micros = NowMicros();
       std::string payload;
       request.txn.EncodeTo(&payload);
       network_->Send(Message{kRequestType, node_id_, primary, payload});
@@ -459,6 +512,34 @@ void PbftEngine::OnNewView(const Message& message) {
 uint64_t PbftEngine::committed_batches() const {
   MutexLock lock(&mu_);
   return committed_batches_;
+}
+
+MempoolStats PbftEngine::mempool_stats() const {
+  MempoolStats out;
+  out.admission = admission_.stats();
+  out.bytes = out.admission.cur_bytes;
+  MutexLock lock(&mu_);
+  out.depth = pending_requests_.size();
+  return out;
+}
+
+void PbftEngine::OnExternalCommit(const std::vector<Transaction>& txns) {
+  std::vector<std::function<void(Status)>> to_fire;
+  {
+    MutexLock lock(&mu_);
+    for (const auto& txn : txns) {
+      std::string key = TxnKey(txn);
+      admission_.Release(key);
+      committed_keys_.insert(key);
+      batched_keys_.insert(key);
+      auto it = pending_requests_.find(key);
+      if (it != pending_requests_.end()) {
+        if (it->second.done) to_fire.push_back(std::move(it->second.done));
+        pending_requests_.erase(it);
+      }
+    }
+  }
+  for (auto& done : to_fire) done(Status::OK());
 }
 
 }  // namespace sebdb

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/admission.h"
 #include "common/sha256.h"
 #include "common/thread_annotations.h"
 #include "consensus/engine.h"
@@ -28,6 +29,11 @@ namespace sebdb {
 struct PbftOptions {
   /// No-progress interval after which a replica suspects the primary.
   int64_t view_timeout_millis = 1000;
+  /// Pending requests older than this are re-sent to the current primary
+  /// (client retransmission in the PBFT paper): a request whose original
+  /// broadcast was lost — dropped by a partition or shed by an overloaded
+  /// primary — still reaches a primary eventually.
+  int64_t request_retry_millis = 500;
 };
 
 class PbftEngine : public ConsensusEngine {
@@ -44,6 +50,8 @@ class PbftEngine : public ConsensusEngine {
   void Stop() override;
   Status Submit(Transaction txn, std::function<void(Status)> done) override;
   uint64_t committed_batches() const override;
+  MempoolStats mempool_stats() const override;
+  void OnExternalCommit(const std::vector<Transaction>& txns) override;
 
   void HandleMessage(const Message& message);
 
@@ -93,6 +101,10 @@ class PbftEngine : public ConsensusEngine {
   BatchCommitFn commit_fn_;
   const PbftOptions pbft_options_;
   const int f_;
+  // Bounds pending_requests_ (every replica holds undelivered requests, so
+  // every replica admission-checks them). Internally synchronized, safe to
+  // call under mu_.
+  AdmissionController admission_;
 
   mutable Mutex mu_;
   bool running_ GUARDED_BY(mu_) = false;
@@ -114,6 +126,7 @@ class PbftEngine : public ConsensusEngine {
   struct PendingRequest {
     Transaction txn;
     std::function<void(Status)> done;
+    int64_t last_sent_micros = 0;  // retransmission timer
   };
   std::unordered_map<std::string, PendingRequest> pending_requests_
       GUARDED_BY(mu_);

@@ -38,7 +38,8 @@ TendermintEngine::TendermintEngine(std::string node_id,
       network_(network),
       options_(std::move(options)),
       commit_fn_(std::move(commit_fn)),
-      tm_options_(tm_options) {
+      tm_options_(tm_options),
+      admission_(options_.admission) {
   height_ = options_.start_sequence;
 }
 
@@ -69,6 +70,7 @@ void TendermintEngine::Stop() {
   for (auto& [key, done] : pending) {
     if (done) done(Status::Aborted("consensus engine stopped"));
   }
+  admission_.Clear();
 }
 
 uint64_t TendermintEngine::height() const {
@@ -109,14 +111,22 @@ Status TendermintEngine::Submit(Transaction txn,
   std::string key = TxnKey(txn);
   std::string payload;
   txn.EncodeTo(&payload);
+  Status admit = admission_.Admit(key, txn.sender(), payload.size());
+  if (!admit.ok()) {
+    if (done) done(admit);
+    return admit;
+  }
   {
     MutexLock lock(&mu_);
-    if (!running_) return Status::Aborted("engine not running");
+    if (!running_) {
+      admission_.Release(key);
+      return Status::Aborted("engine not running");
+    }
     if (done) done_[key] = std::move(done);
     if (!mempool_keys_.contains(key)) {
       if (mempool_.empty()) first_mempool_micros_ = NowMicros();
       mempool_keys_.insert(key);
-      mempool_.push_back(std::move(txn));
+      mempool_.push_back(std::move(txn));  // admitted: charged above
     }
     MaybeProposeLocked();
   }
@@ -137,13 +147,21 @@ void TendermintEngine::OnTx(const Message& message) {
   if (!Transaction::DecodeFrom(&input, &txn).ok()) return;
   // Serial CheckTx on gossiped transactions too.
   SerialWork(1);
-  MutexLock lock(&mu_);
-  if (!running_) return;
   std::string key = TxnKey(txn);
+  // Shedding a gossiped txn is safe: it stays in the origin's mempool and
+  // commits through the origin's proposals.
+  if (!admission_.Admit(key, txn.sender(), message.payload.size()).ok()) {
+    return;
+  }
+  MutexLock lock(&mu_);
+  if (!running_) {
+    admission_.Release(key);
+    return;
+  }
   if (mempool_keys_.contains(key)) return;
   if (mempool_.empty()) first_mempool_micros_ = NowMicros();
   mempool_keys_.insert(key);
-  mempool_.push_back(std::move(txn));
+  mempool_.push_back(std::move(txn));  // admitted: charged above
   MaybeProposeLocked();
 }
 
@@ -293,6 +311,7 @@ void TendermintEngine::MaybeCommitLocked() {
   std::vector<std::function<void(Status)>> to_fire;
   for (const auto& txn : batch) {
     std::string key = TxnKey(txn);
+    admission_.Release(key);
     mempool_keys_.erase(key);
     auto done_it = done_.find(key);
     if (done_it != done_.end()) {
@@ -340,6 +359,41 @@ void TendermintEngine::TimerLoop() {
 uint64_t TendermintEngine::committed_batches() const {
   MutexLock lock(&mu_);
   return committed_batches_;
+}
+
+MempoolStats TendermintEngine::mempool_stats() const {
+  MempoolStats out;
+  out.admission = admission_.stats();
+  out.bytes = out.admission.cur_bytes;
+  MutexLock lock(&mu_);
+  out.depth = mempool_.size();
+  return out;
+}
+
+void TendermintEngine::OnExternalCommit(const std::vector<Transaction>& txns) {
+  std::vector<std::function<void(Status)>> to_fire;
+  {
+    MutexLock lock(&mu_);
+    bool swept = false;
+    for (const auto& txn : txns) {
+      std::string key = TxnKey(txn);
+      admission_.Release(key);
+      swept |= mempool_keys_.erase(key) > 0;
+      auto done_it = done_.find(key);
+      if (done_it != done_.end()) {
+        if (done_it->second) to_fire.push_back(std::move(done_it->second));
+        done_.erase(done_it);
+      }
+    }
+    if (swept) {
+      for (auto it = mempool_.begin(); it != mempool_.end();) {
+        if (!mempool_keys_.contains(TxnKey(*it))) it = mempool_.erase(it);
+        else ++it;
+      }
+      if (!mempool_.empty()) first_mempool_micros_ = NowMicros();
+    }
+  }
+  for (auto& done : to_fire) done(Status::OK());
 }
 
 }  // namespace sebdb

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/admission.h"
 #include "common/sha256.h"
 #include "common/thread_annotations.h"
 #include "consensus/engine.h"
@@ -43,6 +44,8 @@ class TendermintEngine : public ConsensusEngine {
   void Stop() override;
   Status Submit(Transaction txn, std::function<void(Status)> done) override;
   uint64_t committed_batches() const override;
+  MempoolStats mempool_stats() const override;
+  void OnExternalCommit(const std::vector<Transaction>& txns) override;
 
   void HandleMessage(const Message& message);
 
@@ -84,6 +87,8 @@ class TendermintEngine : public ConsensusEngine {
   const ConsensusOptions options_;
   BatchCommitFn commit_fn_;
   const TendermintOptions tm_options_;
+  // Bounds the mempool; internally synchronized, safe to call under mu_.
+  AdmissionController admission_;
 
   mutable Mutex mu_;
   bool running_ GUARDED_BY(mu_) = false;

@@ -11,6 +11,7 @@
 #include "common/coding.h"
 #include "core/thin_client_transport.h"
 #include "sql/eval.h"
+#include "storage/block.h"
 
 namespace sebdb {
 
@@ -75,9 +76,7 @@ Status SebdbNode::Start(SimNetwork* network) {
                                          options_.chain.pool);
 
   SetupRpcMethods();
-  s = network_->Register(options_.node_id,
-                         [this](const Message& m) { OnMessage(m); });
-  if (!s.ok()) return s;
+  rpc_dispatcher_.Start(options_.rpc_server);
 
   // Consensus engine (only when this node is a participant).
   bool participant =
@@ -121,8 +120,6 @@ Status SebdbNode::Start(SimNetwork* network) {
             consensus_options, commit);
         break;
     }
-    s = engine_->Start();
-    if (!s.ok()) return s;
   }
 
   if (options_.enable_gossip) {
@@ -132,8 +129,31 @@ Status SebdbNode::Start(SimNetwork* network) {
     }
     gossip_ = std::make_unique<GossipAgent>(options_.node_id, network_, this,
                                             std::move(peers), options_.gossip);
-    gossip_->Start();
   }
+
+  // Register only after engine_ and gossip_ are fully constructed: the
+  // network worker thread dispatches incoming messages into both through
+  // OnMessage, and on a restart peers may already have traffic in flight
+  // for this endpoint.
+  s = network_->Register(options_.node_id,
+                         [this](const Message& m) { OnMessage(m); });
+  if (!s.ok()) return s;
+
+  if (engine_ != nullptr) {
+    s = engine_->Start();
+    if (!s.ok()) return s;
+    const AdmissionOptions& adm = options_.consensus_options.admission;
+    if (adm.enabled) {
+      fprintf(stderr,
+              "[sebdb] node %s: admission caps txns=%llu bytes=%lluMB "
+              "per-sender=%llu (0 = unlimited)\n",
+              options_.node_id.c_str(),
+              static_cast<unsigned long long>(adm.max_txns),
+              static_cast<unsigned long long>(adm.max_bytes >> 20),
+              static_cast<unsigned long long>(adm.max_txns_per_sender));
+    }
+  }
+  if (gossip_ != nullptr) gossip_->Start();
   started_ = true;
   return Status::OK();
 }
@@ -142,8 +162,31 @@ void SebdbNode::Stop() {
   if (!started_) return;
   started_ = false;
   if (gossip_ != nullptr) gossip_->Stop();
-  if (engine_ != nullptr) engine_->Stop();
+  if (engine_ != nullptr) {
+    engine_->Stop();
+    // Shutdown summary mirrors the startup cache report: one line on what
+    // admission control saw over the node's lifetime.
+    const MempoolStats mp = engine_->mempool_stats();
+    if (mp.admission.admitted > 0 || mp.admission.rejected_total() > 0) {
+      fprintf(stderr,
+              "[sebdb] node %s: admission admitted=%llu deduped=%llu "
+              "rejected=%llu (txns %llu, bytes %llu, sender %llu) "
+              "peak=%llu txns/%llu bytes transitions=%llu state=%s\n",
+              options_.node_id.c_str(),
+              static_cast<unsigned long long>(mp.admission.admitted),
+              static_cast<unsigned long long>(mp.admission.deduped),
+              static_cast<unsigned long long>(mp.admission.rejected_total()),
+              static_cast<unsigned long long>(mp.admission.rejected_txns),
+              static_cast<unsigned long long>(mp.admission.rejected_bytes),
+              static_cast<unsigned long long>(mp.admission.rejected_sender),
+              static_cast<unsigned long long>(mp.admission.peak_txns),
+              static_cast<unsigned long long>(mp.admission.peak_bytes),
+              static_cast<unsigned long long>(mp.admission.state_transitions),
+              OverloadStateName(mp.admission.state));
+    }
+  }
   if (network_ != nullptr) network_->Unregister(options_.node_id);
+  rpc_dispatcher_.Stop();
   Status s = chain_.Close();
   if (!s.ok()) {
     // Shutdown cannot fail upward; surface the error like the startup log.
@@ -551,7 +594,30 @@ Status SebdbNode::GetBlockRecord(BlockId height, std::string* record) {
 }
 
 Status SebdbNode::ApplyBlockRecord(BlockId height, const std::string& record) {
-  return chain_.ApplyBlockRecord(height, record);
+  const uint64_t before = chain_.height();
+  Status s = chain_.ApplyBlockRecord(height, record);
+  if (s.ok() && engine_ != nullptr && chain_.height() > before) {
+    // A gossip-learned block may carry transactions this engine still holds
+    // as pending (their deliver messages were lost to a partition). Let the
+    // engine release admission charges and resolve waiting submitters.
+    Block block;
+    Slice input(record);
+    if (Block::DecodeFrom(&input, &block).ok()) {
+      engine_->OnExternalCommit(block.transactions());
+    }
+  }
+  return s;
 }
+
+MempoolStats SebdbNode::mempool_stats() const {
+  return engine_ != nullptr ? engine_->mempool_stats() : MempoolStats();
+}
+
+OverloadState SebdbNode::overload_state() const {
+  return engine_ != nullptr ? engine_->mempool_stats().admission.state
+                            : OverloadState::kHealthy;
+}
+
+RpcServerStats SebdbNode::rpc_stats() const { return rpc_dispatcher_.stats(); }
 
 }  // namespace sebdb

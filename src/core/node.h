@@ -44,6 +44,10 @@ struct NodeOptions {
   GossipOptions gossip;
   /// How long a blocking write waits for its commit.
   int64_t write_timeout_millis = 30000;
+  /// Thin-client RPC server bounds. The default (workers = 0) keeps the
+  /// historical inline dispatch; nodes that expect thin-client load enable
+  /// the bounded queue so overload sheds instead of piling up.
+  RpcServerOptions rpc_server;
 };
 
 class SebdbNode : public GossipDelegate {
@@ -76,6 +80,16 @@ class SebdbNode : public GossipDelegate {
   Status SubmitAndWait(Transaction txn);
   /// Fire-and-forget variant with completion callback (write benchmark).
   Status SubmitAsync(Transaction txn, std::function<void(Status)> done);
+
+  /// Mempool depth/bytes and admission counters from the consensus engine
+  /// (empty when this node is not a participant). Surfaced next to
+  /// CacheStats/RecoveryStats so operators see all three pressure gauges in
+  /// one place.
+  MempoolStats mempool_stats() const;
+  /// Current overload state of this node's admission controller.
+  OverloadState overload_state() const;
+  /// RPC server queue counters (all zero in inline dispatch mode).
+  RpcServerStats rpc_stats() const;
 
   ChainManager& chain() { return chain_; }
   Executor* executor() { return executor_.get(); }

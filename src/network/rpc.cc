@@ -9,39 +9,163 @@
 
 namespace sebdb {
 
+RpcDispatcher::~RpcDispatcher() { Stop(); }
+
 void RpcDispatcher::RegisterMethod(const std::string& name,
                                    RpcMethod method) {
   methods_[name] = std::move(method);
 }
 
+void RpcDispatcher::Start(const RpcServerOptions& options) {
+  if (options.workers <= 0) return;
+  MutexLock lock(&mu_);
+  if (running_) return;
+  options_ = options;
+  running_ = true;
+  workers_.reserve(static_cast<size_t>(options.workers));
+  for (int i = 0; i < options.workers; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void RpcDispatcher::Stop() {
+  std::deque<QueuedRequest> drained;
+  {
+    MutexLock lock(&mu_);
+    if (!running_) return;
+    running_ = false;
+    drained.swap(queue_);
+    cv_.NotifyAll();
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  for (const auto& request : drained) {
+    Reply(request.network, request.self_id, request.reply_to,
+          request.request_id, Status::Aborted("rpc server stopped"), "");
+  }
+}
+
+void RpcDispatcher::Reply(SimNetwork* network, const std::string& self_id,
+                          const std::string& reply_to, uint64_t request_id,
+                          const Status& status, const std::string& body) {
+  std::string payload;
+  PutFixed64(&payload, request_id);
+  payload.push_back(static_cast<char>(status.code()));
+  PutLengthPrefixed(&payload, status.message());
+  PutLengthPrefixed(&payload, body);
+  PutVarint64(&payload,
+              static_cast<uint64_t>(std::max<int64_t>(
+                  status.retry_after_millis(), 0)));
+  network->Send(
+      Message{RpcDispatcher::kResponseType, self_id, reply_to, payload});
+}
+
+void RpcDispatcher::Execute(SimNetwork* network, const std::string& self_id,
+                            const std::string& reply_to, uint64_t request_id,
+                            const std::string& method, const Slice& body) {
+  Status status;
+  std::string response_body;
+  auto it = methods_.find(method);
+  if (it == methods_.end()) {
+    status = Status::NotFound("no RPC method " + method);
+  } else {
+    status = it->second(body, &response_body);
+  }
+  {
+    MutexLock lock(&mu_);
+    stats_.executed++;
+  }
+  Reply(network, self_id, reply_to, request_id, status, response_body);
+}
+
+void RpcDispatcher::WorkerLoop() {
+  while (true) {
+    QueuedRequest request;
+    bool expired = false;
+    {
+      MutexLock lock(&mu_);
+      while (running_ && queue_.empty()) cv_.Wait(mu_);
+      if (!running_) return;
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      expired = request.deadline_millis > 0 &&
+                SteadyNowMillis() > request.deadline_millis;
+      if (expired) stats_.expired_in_queue++;
+    }
+    if (expired) {
+      Reply(request.network, request.self_id, request.reply_to,
+            request.request_id,
+            Status::TimedOut("deadline expired in rpc queue"), "");
+      continue;
+    }
+    Execute(request.network, request.self_id, request.reply_to,
+            request.request_id, request.method, Slice(request.body));
+  }
+}
+
 void RpcDispatcher::HandleMessage(SimNetwork* network,
                                   const std::string& self_id,
-                                  const Message& message) const {
+                                  const Message& message) {
   Slice input(message.payload);
-  uint64_t request_id;
+  uint64_t request_id, deadline_millis;
   Slice method_name, body;
   if (!GetFixed64(&input, &request_id) ||
+      !GetFixed64(&input, &deadline_millis) ||
       !GetLengthPrefixed(&input, &method_name) ||
       !GetLengthPrefixed(&input, &body)) {
     return;  // malformed request: nothing to answer
   }
 
-  Status status;
-  std::string response_body;
-  auto it = methods_.find(method_name.ToString());
-  if (it == methods_.end()) {
-    status = Status::NotFound("no RPC method " + method_name.ToString());
-  } else {
-    status = it->second(body, &response_body);
+  enum class Action { kExecuteInline, kQueued, kExpired, kRejected };
+  Action action;
+  int64_t hint = 0;
+  {
+    MutexLock lock(&mu_);
+    stats_.received++;
+    if (deadline_millis > 0 &&
+        SteadyNowMillis() > static_cast<int64_t>(deadline_millis)) {
+      // Drop expired work before execution: the client stopped waiting, an
+      // answer would be wasted effort under overload.
+      stats_.expired_on_arrival++;
+      action = Action::kExpired;
+    } else if (!running_) {
+      action = Action::kExecuteInline;
+    } else if (queue_.size() >= options_.max_queue) {
+      stats_.rejected_queue_full++;
+      hint = options_.retry_after_base_millis * 2;
+      action = Action::kRejected;
+    } else {
+      queue_.push_back(QueuedRequest{
+          network, self_id, message.from, request_id,
+          static_cast<int64_t>(deadline_millis), method_name.ToString(),
+          body.ToString()});
+      cv_.NotifyOne();
+      action = Action::kQueued;
+    }
   }
+  switch (action) {
+    case Action::kQueued:
+      break;
+    case Action::kExecuteInline:
+      Execute(network, self_id, message.from, request_id,
+              method_name.ToString(), body);
+      break;
+    case Action::kExpired:
+      Reply(network, self_id, message.from, request_id,
+            Status::TimedOut("deadline expired before execution"), "");
+      break;
+    case Action::kRejected:
+      Reply(network, self_id, message.from, request_id,
+            Status::ResourceExhausted("rpc server queue full", hint), "");
+      break;
+  }
+}
 
-  std::string payload;
-  PutFixed64(&payload, request_id);
-  payload.push_back(static_cast<char>(status.code()));
-  PutLengthPrefixed(&payload, status.message());
-  PutLengthPrefixed(&payload, response_body);
-  network->Send(Message{RpcDispatcher::kResponseType, self_id, message.from,
-                        payload});
+RpcServerStats RpcDispatcher::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
 }
 
 RpcClient::RpcClient(std::string client_id, SimNetwork* network)
@@ -65,6 +189,8 @@ void RpcClient::OnResponse(const Message& message) {
       !GetLengthPrefixed(&input, &body)) {
     return;
   }
+  uint64_t retry_after = 0;
+  GetVarint64(&input, &retry_after);  // absent in malformed/legacy frames
 
   MutexLock lock(&mu_);
   auto it = pending_.find(request_id);
@@ -102,6 +228,11 @@ void RpcClient::OnResponse(const Message& message) {
     case Status::Code::kTimedOut:
       it->second.status = Status::TimedOut(status_msg.ToStringView());
       break;
+    case Status::Code::kResourceExhausted:
+      it->second.status =
+          Status::ResourceExhausted(status_msg.ToStringView(),
+                                    static_cast<int64_t>(retry_after));
+      break;
   }
   it->second.body = body.ToString();
   cv_.NotifyAll();
@@ -116,15 +247,18 @@ Status RpcClient::Call(const std::string& server, const std::string& method,
     request_id = next_request_id_++;
     pending_[request_id] = Pending{};
   }
+  const int64_t wait_deadline = SteadyNowMillis() + timeout_millis;
   std::string payload;
   PutFixed64(&payload, request_id);
+  // Deadline propagation: the server drops the request (before execution)
+  // once this absolute steady-clock instant passes.
+  PutFixed64(&payload, static_cast<uint64_t>(wait_deadline));
   PutLengthPrefixed(&payload, method);
   PutLengthPrefixed(&payload, request);
   network_->Send(
       Message{RpcDispatcher::kRequestType, client_id_, server, payload});
 
   MutexLock lock(&mu_);
-  const int64_t wait_deadline = SteadyNowMillis() + timeout_millis;
   bool got;
   while (!(got = pending_[request_id].done)) {
     int64_t remaining = wait_deadline - SteadyNowMillis();
@@ -142,7 +276,8 @@ Status RpcClient::Call(const std::string& server, const std::string& method,
 }
 
 bool RpcClient::IsRetryable(const Status& status) {
-  return status.IsTimedOut() || status.IsIOError() || status.IsBusy();
+  return status.IsTimedOut() || status.IsIOError() || status.IsBusy() ||
+         status.IsResourceExhausted();
 }
 
 Status RpcClient::Call(const std::string& server, const std::string& method,
@@ -178,6 +313,9 @@ Status RpcClient::Call(const std::string& server, const std::string& method,
     }
     int64_t sleep_ms = static_cast<int64_t>(
         static_cast<double>(backoff) * std::max(factor, 0.0));
+    // A server-supplied retry_after hint overrides the client-side guess:
+    // the server knows when its queue will have drained.
+    if (last.retry_after_millis() > 0) sleep_ms = last.retry_after_millis();
     if (deadline > 0) {
       int64_t remaining = deadline - SteadyNowMillis();
       if (remaining <= 0) break;

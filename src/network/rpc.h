@@ -4,16 +4,25 @@
 // via in-process pointers.
 //
 // Wire format: an "rpc.request" message whose payload is
-//   [request_id u64][method lp][body lp]
+//   [request_id u64][deadline_millis u64][method lp][body lp]
 // answered by an "rpc.response" to the caller:
-//   [request_id u64][status_code u8][status_msg lp][body lp]
+//   [request_id u64][status_code u8][status_msg lp][body lp][retry_after vi]
+//
+// `deadline_millis` is the client's absolute deadline (steady clock, 0 =
+// none); the server drops requests whose deadline already passed instead of
+// wasting execution on answers nobody waits for. `retry_after` carries the
+// server-driven backoff hint of ResourceExhausted rejections; RetryPolicy
+// honors it in place of the client-side exponential backoff.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/random.h"
 #include "common/slice.h"
@@ -28,29 +37,98 @@ namespace sebdb {
 using RpcMethod =
     std::function<Status(const Slice& request, std::string* response)>;
 
+/// Server-side queue bounds. With workers = 0 (the default) requests
+/// execute inline on the network delivery thread, unqueued — the historical
+/// behavior. With workers > 0, requests land in a bounded queue drained by
+/// a worker pool; when the queue is full new requests are rejected with
+/// ResourceExhausted carrying a retry_after hint instead of growing the
+/// queue without bound.
+struct RpcServerOptions {
+  int workers = 0;
+  size_t max_queue = 256;
+  /// Base for the retry_after hint attached to queue-full rejections.
+  int64_t retry_after_base_millis = 20;
+};
+
+struct RpcServerStats {
+  uint64_t received = 0;
+  uint64_t executed = 0;
+  uint64_t rejected_queue_full = 0;   // shed with ResourceExhausted
+  uint64_t expired_on_arrival = 0;    // client deadline passed before queueing
+  uint64_t expired_in_queue = 0;      // client deadline passed while queued
+};
+
 /// Dispatch table a node plugs into its network handler.
 class RpcDispatcher {
  public:
+  RpcDispatcher() = default;
+  ~RpcDispatcher();
+  RpcDispatcher(const RpcDispatcher&) = delete;
+  RpcDispatcher& operator=(const RpcDispatcher&) = delete;
+
+  /// Registration must complete before messages arrive (the worker pool
+  /// reads the table without a lock).
   void RegisterMethod(const std::string& name, RpcMethod method);
 
+  /// Enables the bounded-queue worker mode. No-op when
+  /// options.workers == 0.
+  void Start(const RpcServerOptions& options);
+  /// Drains the queue (pending requests are answered Aborted) and joins
+  /// the workers. Idempotent.
+  void Stop();
+
   /// Handles an "rpc.request" message and replies via `network` as
-  /// `self_id`. Unknown methods answer with NotFound.
+  /// `self_id`. Unknown methods answer with NotFound; expired deadlines
+  /// answer with TimedOut before execution; a full queue answers with
+  /// ResourceExhausted plus a retry_after hint.
   void HandleMessage(SimNetwork* network, const std::string& self_id,
-                     const Message& message) const;
+                     const Message& message);
+
+  RpcServerStats stats() const;
 
   static constexpr const char* kRequestType = "rpc.request";
   static constexpr const char* kResponseType = "rpc.response";
 
  private:
+  struct QueuedRequest {
+    SimNetwork* network = nullptr;
+    std::string self_id;
+    std::string reply_to;
+    uint64_t request_id = 0;
+    int64_t deadline_millis = 0;
+    std::string method;
+    std::string body;
+  };
+
+  /// Looks up and runs the method, then sends the response.
+  void Execute(SimNetwork* network, const std::string& self_id,
+               const std::string& reply_to, uint64_t request_id,
+               const std::string& method, const Slice& body);
+  static void Reply(SimNetwork* network, const std::string& self_id,
+                    const std::string& reply_to, uint64_t request_id,
+                    const Status& status, const std::string& body);
+  void WorkerLoop();
+
   std::map<std::string, RpcMethod> methods_;
+  RpcServerOptions options_;
+
+  mutable Mutex mu_;
+  bool running_ GUARDED_BY(mu_) = false;
+  std::deque<QueuedRequest> queue_ GUARDED_BY(mu_);
+  RpcServerStats stats_ GUARDED_BY(mu_);
+  CondVar cv_;
+  std::vector<std::thread> workers_;
 };
 
 /// Opt-in retry for RpcClient::Call: exponential backoff with jitter,
 /// per-attempt deadlines, and an overall deadline. The default policy
 /// (max_attempts = 1) performs no retries, so zero-retry callers are
-/// unchanged. Only transient failures — TimedOut, IOError, Busy — are
-/// retried; semantic errors (NotFound, InvalidArgument, Corruption, …)
-/// surface immediately.
+/// unchanged. Only transient failures — TimedOut, IOError, Busy,
+/// ResourceExhausted — are retried; semantic errors (NotFound,
+/// InvalidArgument, Corruption, …) surface immediately. When a rejection
+/// carries a server retry_after_millis hint, the hint replaces the
+/// client-side backoff for that sleep (still capped by the overall
+/// deadline) — the server knows its own drain rate better than the client.
 struct RetryPolicy {
   int max_attempts = 1;
   /// Deadline applied to each attempt.

@@ -8,6 +8,14 @@
 
 namespace sebdb {
 
+namespace {
+
+bool IsGossip(const Message& message) {
+  return message.type.rfind("gossip.", 0) == 0;
+}
+
+}  // namespace
+
 SimNetwork::SimNetwork(const SimNetworkOptions& options)
     : options_(options), rng_(options.seed) {}
 
@@ -76,11 +84,35 @@ void SimNetwork::Send(Message message) {
   }
   int64_t deliver_at = NowMicros() + latency;
   Endpoint* ep = it->second.get();
+  bool is_gossip = IsGossip(message);
   // Keep the queue ordered by delivery time (stable for equal times).
   auto pos = std::upper_bound(
       ep->queue.begin(), ep->queue.end(), deliver_at,
       [](int64_t t, const auto& entry) { return t < entry.first; });
   ep->queue.insert(pos, {deliver_at, std::move(message)});
+  if (is_gossip) ep->gossip_queued++;
+
+  // Queue bounds, oldest-first shedding. Gossip has its own (tighter) cap:
+  // anti-entropy re-requests anything shed, so it goes first.
+  if (options_.max_gossip_queue_per_endpoint > 0 &&
+      ep->gossip_queued > options_.max_gossip_queue_per_endpoint) {
+    for (auto entry = ep->queue.begin(); entry != ep->queue.end(); ++entry) {
+      if (IsGossip(entry->second)) {
+        ep->queue.erase(entry);
+        ep->gossip_queued--;
+        stats_.messages_dropped++;
+        stats_.overflow_drops++;
+        break;
+      }
+    }
+  }
+  if (options_.max_queue_per_endpoint > 0 &&
+      ep->queue.size() > options_.max_queue_per_endpoint) {
+    if (IsGossip(ep->queue.front().second)) ep->gossip_queued--;
+    ep->queue.pop_front();
+    stats_.messages_dropped++;
+    stats_.overflow_drops++;
+  }
   ep->cv.NotifyAll();
 }
 
@@ -136,6 +168,7 @@ void SimNetwork::WorkerLoop(const std::string& node_id, Endpoint* endpoint) {
     }
     Message message = std::move(endpoint->queue.front().second);
     endpoint->queue.pop_front();
+    if (IsGossip(message)) endpoint->gossip_queued--;
     endpoint->busy = true;
     Handler handler = endpoint->handler;
     stats_.messages_delivered++;

@@ -30,12 +30,21 @@ struct SimNetworkOptions {
   /// Probability a message silently disappears.
   double drop_rate = 0.0;
   uint64_t seed = 42;
+  /// Cap on any endpoint's delivery queue (0 = unbounded). When exceeded
+  /// the oldest queued message is shed — under overload, stale traffic is
+  /// the least valuable (its senders have likely timed out already).
+  size_t max_queue_per_endpoint = 0;
+  /// Tighter cap on queued "gossip.*" messages per endpoint (0 =
+  /// unbounded). Anti-entropy re-requests anything shed here, so gossip is
+  /// the safe class to shed first when a node falls behind.
+  size_t max_gossip_queue_per_endpoint = 0;
 };
 
 struct NetworkStats {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
-  /// Total drops; always equals unreachable_drops + link_drops + random_drops.
+  /// Total drops; always equals unreachable_drops + link_drops +
+  /// random_drops + overflow_drops.
   uint64_t messages_dropped = 0;
   uint64_t bytes_sent = 0;
   /// Destination was never registered (or already unregistered).
@@ -44,6 +53,8 @@ struct NetworkStats {
   uint64_t link_drops = 0;
   /// Lost to the probabilistic drop_rate.
   uint64_t random_drops = 0;
+  /// Shed oldest-first by a per-endpoint queue cap.
+  uint64_t overflow_drops = 0;
 };
 
 class SimNetwork {
@@ -88,6 +99,7 @@ class SimNetwork {
     explicit Endpoint(Handler h) : handler(std::move(h)) {}
     Handler handler;
     std::deque<std::pair<int64_t, Message>> queue;  // (deliver_at_micros, msg)
+    size_t gossip_queued = 0;  // queue entries whose type is "gossip.*"
     CondVar cv;
     std::thread worker;
     bool stop = false;

@@ -118,6 +118,62 @@ TEST(SimNetworkTest, DuplicateRegistrationFails) {
       net.Register("a", [](const Message&) {}).IsInvalidArgument());
 }
 
+TEST(SimNetworkTest, QueueCapShedsOldestFirst) {
+  SimNetworkOptions options;
+  options.max_queue_per_endpoint = 5;
+  // Fixed latency holds every message in the queue long enough for the
+  // sends below to overflow it deterministically.
+  options.min_latency_micros = 100000;
+  options.max_latency_micros = 100000;
+  SimNetwork net(options);
+  std::vector<std::string> received;
+  std::mutex mu;
+  ASSERT_TRUE(net.Register("b", [&](const Message& m) {
+                   std::lock_guard<std::mutex> lock(mu);
+                   received.push_back(m.payload);
+                 })
+                  .ok());
+  for (int i = 0; i < 10; i++) {
+    net.Send({"t", "a", "b", std::to_string(i)});
+  }
+  net.DrainAll();
+  // The five oldest were shed; the newest five survive, in order.
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(received.size(), 5u);
+  for (int i = 0; i < 5; i++) EXPECT_EQ(received[i], std::to_string(i + 5));
+  NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.overflow_drops, 5u);
+  EXPECT_EQ(stats.messages_dropped, 5u);  // attributed per cause
+}
+
+TEST(SimNetworkTest, GossipQueueCapShedsGossipOnly) {
+  SimNetworkOptions options;
+  options.max_gossip_queue_per_endpoint = 2;
+  options.min_latency_micros = 100000;
+  options.max_latency_micros = 100000;
+  SimNetwork net(options);
+  std::vector<std::string> received;
+  std::mutex mu;
+  ASSERT_TRUE(net.Register("b", [&](const Message& m) {
+                   std::lock_guard<std::mutex> lock(mu);
+                   received.push_back(m.type + ":" + m.payload);
+                 })
+                  .ok());
+  net.Send({"rpc.request", "a", "b", "m0"});
+  net.Send({"gossip.push", "a", "b", "g0"});
+  net.Send({"gossip.push", "a", "b", "g1"});
+  net.Send({"gossip.push", "a", "b", "g2"});  // over the cap: g0 shed
+  net.DrainAll();
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(received.size(), 3u);
+  // Non-gossip traffic is untouched; the oldest gossip entry was shed
+  // (anti-entropy re-requests whatever went missing).
+  EXPECT_EQ(received[0], "rpc.request:m0");
+  EXPECT_EQ(received[1], "gossip.push:g1");
+  EXPECT_EQ(received[2], "gossip.push:g2");
+  EXPECT_EQ(net.stats().overflow_drops, 1u);
+}
+
 // In-memory chain for gossip tests.
 class FakeChain : public GossipDelegate {
  public:

@@ -378,6 +378,9 @@ TEST_F(ClusterTest, PbftClusterEndToEnd) {
   }
   ResultSet rs;
   ASSERT_TRUE(cluster[0]->ExecuteSql("CREATE t (v int)", {}, &rs).ok());
+  // p1 applies the CREATE block at its own pace; wait until its catalog
+  // knows the table before submitting from it.
+  ASSERT_TRUE(WaitForHeight(cluster[1].get(), 2));
   ASSERT_TRUE(
       cluster[1]->ExecuteSql("INSERT INTO t VALUES (7)", {}, &rs).ok());
   for (auto& node : cluster) {

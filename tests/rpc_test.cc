@@ -2,6 +2,12 @@
 // transport (the paper's remote thin client, §VI).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/coding.h"
 #include "core/node.h"
 #include "core/thin_client.h"
 #include "core/thin_client_transport.h"
@@ -249,6 +255,164 @@ TEST(RpcTest, RetryPolicyDefaultsAndNonRetryableErrors) {
   one.attempt_timeout_millis = 100;
   EXPECT_TRUE(client.Call("server", "fail", "", &response, one).IsTimedOut());
   EXPECT_EQ(client.retries(), 0u);
+}
+
+TEST(RpcTest, RetryPolicyHonorsServerRetryAfterHint) {
+  SimNetwork net;
+  RpcDispatcher dispatcher;
+  std::atomic<int> calls{0};
+  dispatcher.RegisterMethod(
+      "flaky", [&](const Slice& request, std::string* response) -> Status {
+        if (calls.fetch_add(1) < 2) {
+          return Status::ResourceExhausted("busy", 150);
+        }
+        *response = request.ToString();
+        return Status::OK();
+      });
+  ASSERT_TRUE(net.Register("server",
+                           [&](const Message& m) {
+                             dispatcher.HandleMessage(&net, "server", m);
+                           })
+                  .ok());
+  RpcClient client("client-1", &net);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.attempt_timeout_millis = 500;
+  policy.initial_backoff_millis = 1;  // client-side guess: near-zero
+  policy.max_backoff_millis = 2;
+  policy.jitter = 0;
+
+  auto start = std::chrono::steady_clock::now();
+  std::string response;
+  Status s = client.Call("server", "flaky", "x", &response, policy);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(response, "x");
+  // Two rejections, each honoring the 150ms server hint instead of the
+  // ~1-2ms client backoff.
+  EXPECT_GE(elapsed, 250);
+}
+
+TEST(RpcTest, RetryAfterHintCappedByOverallDeadline) {
+  SimNetwork net;
+  RpcDispatcher dispatcher;
+  dispatcher.RegisterMethod("busy", [](const Slice&, std::string*) -> Status {
+    return Status::ResourceExhausted("overloaded", 5000);  // absurd hint
+  });
+  ASSERT_TRUE(net.Register("server",
+                           [&](const Message& m) {
+                             dispatcher.HandleMessage(&net, "server", m);
+                           })
+                  .ok());
+  RpcClient client("client-1", &net);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.attempt_timeout_millis = 100;
+  policy.overall_deadline_millis = 300;
+
+  auto start = std::chrono::steady_clock::now();
+  std::string response;
+  Status s = client.Call("server", "busy", "", &response, policy);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_FALSE(s.ok());
+  // The 5000ms hint was clamped to the overall deadline, not slept in full.
+  EXPECT_LE(elapsed, 2000);
+}
+
+TEST(RpcTest, BoundedQueueShedsWithRetryAfterHint) {
+  SimNetwork net;
+  RpcDispatcher dispatcher;
+  dispatcher.RegisterMethod("slow", [](const Slice&, std::string* response) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    *response = "done";
+    return Status::OK();
+  });
+  RpcServerOptions server_options;
+  server_options.workers = 1;
+  server_options.max_queue = 1;
+  dispatcher.Start(server_options);
+  ASSERT_TRUE(net.Register("server",
+                           [&](const Message& m) {
+                             dispatcher.HandleMessage(&net, "server", m);
+                           })
+                  .ok());
+  RpcClient client("client-1", &net);
+
+  // Three concurrent calls: one executing, one queued, one shed.
+  std::atomic<int> ok{0}, shed{0};
+  std::atomic<int64_t> hint{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; i++) {
+    threads.emplace_back([&] {
+      std::string response;
+      Status s = client.Call("server", "slow", "", &response, 5000);
+      if (s.ok()) {
+        ok++;
+      } else if (s.IsResourceExhausted()) {
+        shed++;
+        hint.store(s.retry_after_millis());
+      }
+    });
+    // Deterministic arrival order at the server's delivery thread.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ok.load(), 2);
+  EXPECT_EQ(shed.load(), 1);
+  EXPECT_GT(hint.load(), 0);
+  RpcServerStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_EQ(stats.executed, 2u);
+  dispatcher.Stop();
+}
+
+TEST(RpcTest, ExpiredDeadlineDroppedBeforeExecution) {
+  SimNetwork net;
+  RpcDispatcher dispatcher;
+  std::atomic<int> executions{0};
+  dispatcher.RegisterMethod("count", [&](const Slice&, std::string*) {
+    executions++;
+    return Status::OK();
+  });
+  RpcServerOptions server_options;
+  server_options.workers = 1;
+  dispatcher.Start(server_options);
+  ASSERT_TRUE(net.Register("client-1", [](const Message&) {}).ok());
+
+  // Craft a request whose client deadline already passed: the server must
+  // drop it before execution instead of wasting work on it.
+  std::string payload;
+  PutFixed64(&payload, 7);  // request id
+  PutFixed64(&payload, static_cast<uint64_t>(SteadyNowMillis() - 50));
+  PutLengthPrefixed(&payload, "count");
+  PutLengthPrefixed(&payload, "");
+  dispatcher.HandleMessage(
+      &net, "server",
+      Message{RpcDispatcher::kRequestType, "client-1", "server", payload});
+
+  // A live deadline executes normally.
+  std::string fresh;
+  PutFixed64(&fresh, 8);
+  PutFixed64(&fresh, static_cast<uint64_t>(SteadyNowMillis() + 5000));
+  PutLengthPrefixed(&fresh, "count");
+  PutLengthPrefixed(&fresh, "");
+  dispatcher.HandleMessage(
+      &net, "server",
+      Message{RpcDispatcher::kRequestType, "client-1", "server", fresh});
+
+  for (int i = 0; i < 500 && executions.load() < 1; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(executions.load(), 1);
+  RpcServerStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.expired_on_arrival, 1u);
+  EXPECT_EQ(stats.received, 2u);
+  dispatcher.Stop();
+  net.Unregister("client-1");
 }
 
 TEST(RpcTest, PartitionedServerTimesOut) {
