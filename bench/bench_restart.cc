@@ -1,0 +1,206 @@
+// Restart-to-serving benchmark (DESIGN.md §11): wall time from
+// ChainManager::Open on an existing data directory to the first answered
+// query, as a function of chain length, with checkpoints present vs
+// removed. With a checkpoint at the tip, recovery loads the serialized
+// index state and replays nothing, so the open time tracks checkpoint
+// size (under a microsecond per block) instead of replay work (tens of
+// microseconds per block) — near-flat, and the replay speedup widens with
+// chain length. Each chain carries a continuous user index so
+// recovery exercises the full index-restore path, not just the block scan.
+// Writes a JSON summary to $SEBDB_BENCH_JSON (default BENCH_restart.json).
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bchainbench/bench_chain.h"
+#include "storage/file.h"
+
+namespace sebdb {
+namespace bench {
+namespace {
+
+// Blocks are appended through the consensus-batch path with a couple of
+// indexed transactions each, the same shape the recovery tests use.
+Transaction MakeRestartTxn(const std::string& table, const std::string& sender,
+                           Timestamp ts, std::vector<Value> values) {
+  Transaction txn(table, std::move(values));
+  txn.set_sender(sender);
+  txn.set_ts(ts);
+  txn.set_signature("bench-sig");
+  return txn;
+}
+
+ChainOptions RestartChainOptions(uint64_t interval, bool on_close) {
+  ChainOptions options;
+  options.verify_signatures = false;
+  options.checkpoint.interval_blocks = interval;
+  options.checkpoint.pool_bytes = 64ull << 20;
+  options.checkpoint.checkpoint_on_close = on_close;
+  return options;
+}
+
+// Builds a chain of `blocks` blocks under `dir`, checkpointing every 256
+// blocks and once more at close so the tail above the newest checkpoint is
+// empty — the steady-state shape of a cleanly shut-down node.
+void BuildChain(const std::string& dir, int blocks) {
+  (void)RemoveDirRecursive(dir);
+  if (!CreateDirIfMissing(dir).ok()) abort();
+  ChainManager chain("bench-node", nullptr);
+  if (!chain.Open(RestartChainOptions(256, /*on_close=*/true), dir).ok()) {
+    abort();
+  }
+  if (!chain.indexes()
+           ->CreateLayeredIndex("t", "v", Schema::kNumSystemColumns,
+                                /*discrete=*/false)
+           .ok()) {
+    abort();
+  }
+  for (int b = 0; b < blocks; b++) {
+    Timestamp ts = 1000 + b;
+    std::vector<Transaction> txns;
+    txns.push_back(MakeRestartTxn("t", "org" + std::to_string(b % 4), ts,
+                                  {Value::Int(b % 1000), Value::Str("x")}));
+    txns.push_back(MakeRestartTxn("u", "org" + std::to_string(b % 3), ts,
+                                  {Value::Str("y")}));
+    if (!chain.AppendBatch(static_cast<uint64_t>(b), std::move(txns), ts,
+                           "bench-node", "sig")
+             .ok()) {
+      abort();
+    }
+  }
+  if (!chain.Close().ok()) abort();
+}
+
+struct OpenResult {
+  double open_ms;          // best-of-reps Open + first-query wall time
+  bool from_checkpoint;    // recovery source of the last rep
+  uint64_t checkpoint_height;
+  uint64_t replayed_blocks;
+};
+
+// Opens the chain in `dir` and issues one query against each recovered
+// index layer — "serving" means answers, not just a returned Status. The
+// measuring opens never write checkpoints (interval 0, no close
+// checkpoint), so reps see identical on-disk state.
+OpenResult MeasureOpen(const std::string& dir, int reps) {
+  OpenResult result{1e18, false, 0, 0};
+  for (int rep = 0; rep < reps; rep++) {
+    ChainManager chain("bench-node", nullptr);
+    WallTimer timer;
+    if (!chain.Open(RestartChainOptions(0, /*on_close=*/false), dir).ok()) {
+      abort();
+    }
+    BlockIndexEntry entry;
+    if (!chain.indexes()->block_index().FindByBlockId(1, &entry).ok()) abort();
+    Value key = Value::Int(500);
+    LayeredIndex* user = chain.indexes()->GetLayered("t", "v");
+    if (user == nullptr) abort();
+    (void)user->CandidateBlocks(&key, &key);
+    double ms = timer.ElapsedMicros() / 1000.0;
+    result.open_ms = std::min(result.open_ms, ms);
+    const ChainManager::StartupStats startup = chain.startup_stats();
+    result.from_checkpoint = startup.from_checkpoint;
+    result.checkpoint_height = startup.checkpoint_height;
+    result.replayed_blocks = startup.replayed_blocks;
+    if (!chain.Close().ok()) abort();
+  }
+  return result;
+}
+
+struct Row {
+  int blocks;
+  OpenResult with_ckpt;
+  OpenResult full_replay;
+};
+
+void AppendRow(std::string* json, const Row& row) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"blocks\": %d, "
+      "\"checkpoint_open_ms\": %.3f, \"checkpoint_height\": %llu, "
+      "\"checkpoint_replayed\": %llu, "
+      "\"full_replay_open_ms\": %.3f, \"full_replayed\": %llu}",
+      row.blocks, row.with_ckpt.open_ms,
+      static_cast<unsigned long long>(row.with_ckpt.checkpoint_height),
+      static_cast<unsigned long long>(row.with_ckpt.replayed_blocks),
+      row.full_replay.open_ms,
+      static_cast<unsigned long long>(row.full_replay.replayed_blocks));
+  *json += buf;
+}
+
+void Main() {
+  const int scale = BenchScale();
+  const int reps = 3;
+  const char* json_path_env = std::getenv("SEBDB_BENCH_JSON");
+  const std::string json_path =
+      json_path_env != nullptr ? json_path_env : "BENCH_restart.json";
+
+  ReportHeader("restart",
+               "restart-to-serving vs chain length, checkpoint+tail-replay "
+               "vs full replay (256-block checkpoint interval)");
+
+  static std::atomic<uint64_t> run_counter{0};
+  std::vector<Row> rows;
+  for (int blocks : {512, 2048, 8192}) {
+    const int n = blocks * scale;
+    const std::string dir = "/tmp/sebdb_bench_restart_" +
+                            std::to_string(::getpid()) + "_" +
+                            std::to_string(run_counter.fetch_add(1));
+    BuildChain(dir, n);
+
+    Row row;
+    row.blocks = n;
+    // Checkpoint path first: the full-replay measurement deletes the
+    // checkpoint directory, which is irreversible for this chain.
+    row.with_ckpt = MeasureOpen(dir, reps);
+    if (!row.with_ckpt.from_checkpoint) abort();
+    ReportPoint("restart", "checkpoint", std::to_string(n), "open_ms",
+                row.with_ckpt.open_ms);
+    ReportPoint("restart", "checkpoint", std::to_string(n), "replayed",
+                static_cast<double>(row.with_ckpt.replayed_blocks));
+
+    if (!RemoveDirRecursive(dir + "/checkpoints").ok()) abort();
+    row.full_replay = MeasureOpen(dir, reps);
+    if (row.full_replay.from_checkpoint) abort();
+    ReportPoint("restart", "full_replay", std::to_string(n), "open_ms",
+                row.full_replay.open_ms);
+    ReportPoint("restart", "speedup", std::to_string(n), "x",
+                row.full_replay.open_ms / row.with_ckpt.open_ms);
+
+    rows.push_back(row);
+    (void)RemoveDirRecursive(dir);
+  }
+
+  // Headline: with checkpoints, restart cost must not track chain length.
+  const double ratio =
+      rows.back().with_ckpt.open_ms / rows.front().with_ckpt.open_ms;
+  ReportPoint("restart", "flatness", "longest_vs_shortest", "ratio", ratio);
+
+  std::string json = "{\n  \"bench\": \"restart\",\n  \"scale\": " +
+                     std::to_string(scale) + ",\n  \"reps\": " +
+                     std::to_string(reps) + ",\n  \"runs\": [\n";
+  for (size_t i = 0; i < rows.size(); i++) {
+    AppendRow(&json, rows[i]);
+    json += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  char tail[128];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"checkpoint_flatness_ratio\": %.3f\n}\n", ratio);
+  json += tail;
+
+  std::ofstream out(json_path);
+  out << json;
+  printf("\nwrote %s\n", json_path.c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sebdb
+
+int main() {
+  sebdb::bench::Main();
+  return 0;
+}

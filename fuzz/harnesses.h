@@ -11,6 +11,7 @@
 //   - varint / fixed / length-prefixed coding primitives
 //   - SQL lexer + parser (client-submitted statements)
 //   - MB-tree verification-object decode + range verification (query proofs)
+//   - checkpoint page images + manifest records (index persistence files)
 #pragma once
 
 #include <cstddef>
@@ -24,6 +25,7 @@ int FuzzBlockDecode(const uint8_t* data, size_t size);
 int FuzzCoding(const uint8_t* data, size_t size);
 int FuzzSqlParser(const uint8_t* data, size_t size);
 int FuzzVoVerify(const uint8_t* data, size_t size);
+int FuzzPageDecode(const uint8_t* data, size_t size);
 
 }  // namespace fuzz
 }  // namespace sebdb

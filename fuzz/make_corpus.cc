@@ -15,6 +15,8 @@
 #include "auth/mbtree.h"
 #include "common/coding.h"
 #include "storage/block.h"
+#include "storage/checkpoint.h"
+#include "storage/page.h"
 #include "types/transaction.h"
 #include "types/value.h"
 
@@ -206,6 +208,58 @@ void VoSeeds(const std::string& dir) {
   }
 }
 
+void PageSeeds(const std::string& dir) {
+  {
+    std::string bytes;
+    if (!EncodePage(PageType::kBlob, "checkpoint blob payload", &bytes).ok()) {
+      exit(2);
+    }
+    WriteFile(dir, "page_blob", bytes);
+  }
+  {
+    // A leaf page the way DiskBpTreeBuilder lays one out: next pointer,
+    // entry count, then key/value pairs.
+    std::string payload;
+    PutFixed32(&payload, 0xFFFFFFFFu);  // kInvalidPageId: last leaf
+    PutVarint32(&payload, 2);
+    PutVarint64(&payload, 10);  // key 10
+    PutLengthPrefixed(&payload, Slice("value-a"));
+    PutVarint64(&payload, 20);  // key 20
+    PutLengthPrefixed(&payload, Slice("value-b"));
+    std::string bytes;
+    if (!EncodePage(PageType::kBTreeLeaf, payload, &bytes).ok()) exit(2);
+    WriteFile(dir, "page_leaf", bytes);
+  }
+  {
+    std::string bytes;
+    if (!EncodePage(PageType::kBTreeInternal, std::string(kMaxPagePayload, 'i'),
+                    &bytes)
+             .ok()) {
+      exit(2);
+    }
+    WriteFile(dir, "page_full_internal", bytes);
+  }
+  {
+    CheckpointRecord rec;
+    rec.id = 3;
+    rec.height = 4096;
+    rec.files.push_back({"ckpt_2_bidx", 8 * kPageSize});
+    rec.files.push_back({"ckpt_3_bidx", 2 * kPageSize});
+    rec.files.push_back({"ckpt_3_meta", kPageSize});
+    std::string bytes;
+    CheckpointManager::EncodeManifestRecord(rec, &bytes);
+    WriteFile(dir, "manifest_record", bytes);
+  }
+  {
+    CheckpointRecord rec;  // empty-chain checkpoint: no files
+    rec.id = 1;
+    rec.height = 1;
+    std::string bytes;
+    CheckpointManager::EncodeManifestRecord(rec, &bytes);
+    WriteFile(dir, "manifest_record_min", bytes);
+  }
+}
+
 }  // namespace
 }  // namespace sebdb
 
@@ -225,6 +279,7 @@ int main(int argc, char** argv) {
       {"coding", sebdb::CodingSeeds},
       {"sql_parser", sebdb::SqlSeeds},
       {"vo_verify", sebdb::VoSeeds},
+      {"page_decode", sebdb::PageSeeds},
   };
   for (const auto& set : kSets) {
     const std::string dir = root + "/" + set.name;

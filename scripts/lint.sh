@@ -64,6 +64,17 @@ if [ -n "${unbounded_mempool}" ]; then
   fail "mempool push without an \"admitted:\" marker (charge it against AdmissionController or annotate why it is already charged):" "${unbounded_mempool}"
 fi
 
+# Raw file / directory I/O outside the Env implementation. Every byte the
+# node persists or reads back must flow through the Env seam (and from there
+# the page/buffer layer), or fault injection, crash tests, and the
+# checkpoint-recovery guarantees silently stop covering it.
+raw_io=$(grep -rnE '\bfopen\(|\bFILE[[:space:]]*\*|std::(i|o)?fstream|\bopendir\(|::open\(|\bpread\(|\bpwrite\(|\bmkdir\(|\bunlink\(|\brmdir\(|\brename\(|\btruncate\(' \
+  src/ --include='*.h' --include='*.cc' \
+  | grep -vE '^src/common/env\.(h|cc):' || true)
+if [ -n "${raw_io}" ]; then
+  fail "raw file I/O outside common/env.* (route it through Env so fault injection and crash tests see it):" "${raw_io}"
+fi
+
 # Clock access outside the sanctioned helpers.
 clock_calls=$(grep -rnE '(system_clock|steady_clock|high_resolution_clock)::now\(\)' \
   src/ --include='*.h' --include='*.cc' \

@@ -45,6 +45,28 @@ Status AuthQueryResponse::DecodeFrom(Slice* input, AuthQueryResponse* out) {
   return Status::OK();
 }
 
+namespace {
+
+/// (value, encoded transaction) pairs of one block, in MB-tree build order.
+std::vector<MbTree::Entry> ExtractEntries(const Block& block,
+                                          const ColumnExtractor& extractor) {
+  std::vector<MbTree::Entry> entries;
+  for (const auto& txn : block.transactions()) {
+    Value key;
+    if (!extractor(txn, &key)) continue;
+    std::string record;
+    txn.EncodeTo(&record);
+    entries.push_back({std::move(key), std::move(record)});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const MbTree::Entry& a, const MbTree::Entry& b) {
+                     return a.key.CompareTotal(b.key) < 0;
+                   });
+  return entries;
+}
+
+}  // namespace
+
 AuthenticatedLayeredIndex::AuthenticatedLayeredIndex(
     std::string name, LayeredIndexOptions options, ColumnExtractor extractor,
     MbTree::Options mb_options)
@@ -60,21 +82,13 @@ Status AuthenticatedLayeredIndex::AddBlock(const Block& block) {
   Status s = layered_.AddBlock(block);
   if (!s.ok()) return s;
 
-  std::vector<MbTree::Entry> entries;
-  for (const auto& txn : block.transactions()) {
-    Value key;
-    if (!extractor_(txn, &key)) continue;
-    std::string record;
-    txn.EncodeTo(&record);
-    entries.push_back({std::move(key), std::move(record)});
-  }
-  std::stable_sort(entries.begin(), entries.end(),
-                   [](const MbTree::Entry& a, const MbTree::Entry& b) {
-                     return a.key.CompareTotal(b.key) < 0;
-                   });
-  block_trees_.push_back(entries.empty() ? nullptr
-                                         : MbTree::Build(std::move(entries),
-                                                         mb_options_));
+  std::vector<MbTree::Entry> entries = ExtractEntries(block, extractor_);
+  std::shared_ptr<const MbTree> tree =
+      entries.empty() ? nullptr
+                      : std::shared_ptr<const MbTree>(
+                            MbTree::Build(std::move(entries), mb_options_));
+  roots_.push_back(tree == nullptr ? Hash256{} : tree->root_hash());
+  block_trees_.push_back(std::move(tree));
   return Status::OK();
 }
 
@@ -92,14 +106,63 @@ Bitmap AuthenticatedLayeredIndex::BlocksToVisit(const Value* lo,
 }
 
 Status AuthenticatedLayeredIndex::BlockRoot(BlockId bid, Hash256* out) const {
-  if (bid >= block_trees_.size()) {
+  if (bid >= roots_.size()) {
     return Status::NotFound("block not indexed");
   }
-  if (block_trees_[bid] == nullptr) {
-    *out = Hash256{};
+  *out = roots_[bid];
+  return Status::OK();
+}
+
+Status AuthenticatedLayeredIndex::Tree(
+    BlockId bid, std::shared_ptr<const MbTree>* out) const {
+  if (bid >= roots_.size()) return Status::NotFound("block not indexed");
+  if (bid >= mem_base_) {
+    *out = block_trees_[bid - mem_base_];
     return Status::OK();
   }
-  *out = block_trees_[bid]->root_hash();
+  if (roots_[bid] == Hash256{}) {  // no indexed entries — no tree
+    *out = nullptr;
+    return Status::OK();
+  }
+  if (rebuilt_ != nullptr) {
+    if (auto cached = rebuilt_->Lookup(bid)) {
+      *out = std::move(cached);
+      return Status::OK();
+    }
+  }
+  return RebuildTree(bid, out);
+}
+
+Status AuthenticatedLayeredIndex::RebuildTree(
+    BlockId bid, std::shared_ptr<const MbTree>* out) const {
+  if (loader_ == nullptr) {
+    return Status::InvalidArgument("no block loader installed");
+  }
+  std::shared_ptr<const Block> block;
+  Status s = loader_(bid, &block);
+  if (!s.ok()) return s;
+  std::vector<MbTree::Entry> entries = ExtractEntries(*block, extractor_);
+  uint64_t charge = 64;
+  for (const auto& e : entries) charge += e.key.ByteSize() + e.record.size();
+  std::shared_ptr<const MbTree> tree =
+      entries.empty() ? nullptr
+                      : std::shared_ptr<const MbTree>(
+                            MbTree::Build(std::move(entries), mb_options_));
+  // The rebuilt tree must reproduce the root recorded when the block was
+  // first indexed; anything else means the raw block changed underneath us.
+  Hash256 root = tree == nullptr ? Hash256{} : tree->root_hash();
+  if (root != roots_[bid]) {
+    return Status::Corruption("rebuilt MB-tree root mismatch for block " +
+                              std::to_string(bid));
+  }
+  const uint64_t budget = layered_.options().materialized_cache_bytes;
+  if (tree != nullptr && budget > 0) {
+    if (rebuilt_ == nullptr) {
+      rebuilt_ = std::make_unique<LruCache<uint64_t, const MbTree>>(budget);
+    }
+    rebuilt_->Insert(bid, tree, charge);
+  }
+  *out = std::move(tree);
   return Status::OK();
 }
 
@@ -111,11 +174,13 @@ Status AuthenticatedLayeredIndex::ProveRange(const Value* lo, const Value* hi,
   out->proofs.clear();
   Bitmap candidates = BlocksToVisit(lo, hi, window, chain_height);
   for (size_t bid : candidates.SetBits()) {
-    const MbTree* tree = block_trees_[bid].get();
+    std::shared_ptr<const MbTree> tree;
+    Status s = Tree(bid, &tree);
+    if (!s.ok()) return s;
     if (tree == nullptr) continue;  // candidate bitmaps only cover non-empty
     AliBlockProof proof;
     proof.block = bid;
-    Status s = tree->ProveRange(lo, hi, &proof.vo);
+    s = tree->ProveRange(lo, hi, &proof.vo);
     if (!s.ok()) return s;
     out->proofs.push_back(std::move(proof));
   }
@@ -130,9 +195,8 @@ Status AuthenticatedLayeredIndex::ComputeDigest(const Value* lo,
   Bitmap candidates = BlocksToVisit(lo, hi, window, chain_height);
   Sha256 ctx;
   for (size_t bid : candidates.SetBits()) {
-    if (block_trees_[bid] == nullptr) continue;
-    const Hash256& root = block_trees_[bid]->root_hash();
-    ctx.Update(root.bytes.data(), 32);
+    if (roots_[bid] == Hash256{}) continue;
+    ctx.Update(roots_[bid].bytes.data(), 32);
   }
   *digest = ctx.Finish();
   return Status::OK();
@@ -178,6 +242,55 @@ Status AuthenticatedLayeredIndex::VerifyResponse(
         std::to_string(required_matching) + ")");
   }
   for (auto& record : all_records) records->push_back(std::move(record));
+  return Status::OK();
+}
+
+void AuthenticatedLayeredIndex::AdoptFrozen(
+    BufferManager* pool, BufferManager::FileId file,
+    const std::vector<LayeredIndex::FrozenTreeRef>& refs) {
+  layered_.AdoptFrozen(pool, file, refs);
+  // The adopted blocks' MB-trees become rebuild-on-demand: this is the
+  // memory bound. Roots stay — they are the verification anchor.
+  block_trees_.erase(block_trees_.begin(),
+                     block_trees_.begin() +
+                         std::min(refs.size(), block_trees_.size()));
+  mem_base_ += refs.size();
+}
+
+void AuthenticatedLayeredIndex::EncodeCheckpointState(
+    const std::vector<LayeredIndex::FrozenTreeRef>& pending,
+    std::string* dst) const {
+  std::string layered_state;
+  layered_.EncodeCheckpointState(pending, &layered_state);
+  PutLengthPrefixed(dst, layered_state);
+  PutVarint64(dst, roots_.size());
+  for (const Hash256& root : roots_) {
+    dst->append(reinterpret_cast<const char*>(root.bytes.data()), 32);
+  }
+}
+
+Status AuthenticatedLayeredIndex::RestoreCheckpoint(
+    BufferManager* pool, std::vector<BufferManager::FileId> files,
+    Slice state) {
+  Slice in = state;
+  Slice layered_state;
+  if (!GetLengthPrefixed(&in, &layered_state)) {
+    return Status::Corruption("truncated ALI checkpoint state");
+  }
+  Status s = layered_.RestoreCheckpoint(pool, std::move(files), layered_state);
+  if (!s.ok()) return s;
+  uint64_t nroots;
+  if (!GetVarint64(&in, &nroots) || nroots != layered_.num_blocks() ||
+      in.size() < nroots * 32) {
+    return Status::Corruption("truncated ALI root list");
+  }
+  roots_.resize(nroots);
+  for (uint64_t i = 0; i < nroots; i++) {
+    std::memcpy(roots_[i].bytes.data(), in.data(), 32);
+    in.remove_prefix(32);
+  }
+  mem_base_ = nroots;
+  block_trees_.clear();
   return Status::OK();
 }
 

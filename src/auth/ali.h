@@ -9,15 +9,25 @@
 // The client reconstructs each block's root from its VO, recomputes the
 // digest, and accepts when enough auxiliary digests match (credibility
 // Eqs. 4–6).
+//
+// Persistence: MB-trees are deterministic functions of their block's
+// transactions, so checkpoints never serialize them — only the per-block
+// root hashes (32 bytes/block) travel in the checkpoint meta. After a
+// restart, a checkpointed block's MB-tree is rebuilt on demand from the raw
+// block (via the installed BlockLoader), verified against the recorded root,
+// and LRU-cached. Digests (phase 2) need only the stored roots, so auxiliary
+// nodes answer without touching raw blocks at all.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "auth/mbtree.h"
 #include "common/bitmap.h"
+#include "common/lru_cache.h"
 #include "common/status.h"
 #include "index/layered_index.h"
 #include "storage/block.h"
@@ -47,6 +57,10 @@ struct AuthQueryResponse {
 
 class AuthenticatedLayeredIndex {
  public:
+  /// Fetches a raw block so a checkpointed block's MB-tree can be rebuilt.
+  using BlockLoader =
+      std::function<Status(BlockId, std::shared_ptr<const Block>*)>;
+
   AuthenticatedLayeredIndex(std::string name, LayeredIndexOptions options,
                             ColumnExtractor extractor,
                             MbTree::Options mb_options = MbTree::Options());
@@ -55,6 +69,9 @@ class AuthenticatedLayeredIndex {
 
   /// Continuous indexes need the histogram before the first block.
   Status SetHistogram(EqualDepthHistogram histogram);
+
+  /// Required before any frozen block's tree can be rebuilt.
+  void SetBlockLoader(BlockLoader loader) { loader_ = std::move(loader); }
 
   /// Indexes a newly chained block: updates the first level and bulk-builds
   /// the block's MB-tree over (attribute value, encoded transaction).
@@ -69,8 +86,15 @@ class AuthenticatedLayeredIndex {
                        uint64_t height_limit) const;
 
   /// Root of one block's MB-tree (zero hash if the block holds no entries —
-  /// such blocks are never candidates).
+  /// such blocks are never candidates). Served from the stored root list;
+  /// never rebuilds.
   Status BlockRoot(BlockId bid, Hash256* out) const;
+
+  /// One block's MB-tree (*out == nullptr when the block holds no indexed
+  /// entries). For blocks below the checkpoint boundary this rebuilds from
+  /// the raw block, verifies the root against the recorded one (Corruption
+  /// on mismatch), and caches the result.
+  Status Tree(BlockId bid, std::shared_ptr<const MbTree>* out) const;
 
   /// Phase 1 (full node): executes the range query and assembles the VO set.
   Status ProveRange(const Value* lo, const Value* hi, const Bitmap* window,
@@ -91,11 +115,48 @@ class AuthenticatedLayeredIndex {
                                size_t required_matching,
                                std::vector<std::string>* records);
 
+  // --- checkpoint protocol (driven by IndexSet; single-threaded) ---
+  // The inner layered index checkpoints exactly like a plain one; the ALI
+  // layer adds only the root list to the meta state and drops the adopted
+  // blocks' in-memory MB-trees.
+
+  Status WriteFrozenDelta(BufferManager* pool, BufferManager::FileId file,
+                          uint64_t up_to,
+                          std::vector<LayeredIndex::FrozenTreeRef>* refs) {
+    return layered_.WriteFrozenDelta(pool, file, up_to, refs);
+  }
+
+  void AdoptFrozen(BufferManager* pool, BufferManager::FileId file,
+                   const std::vector<LayeredIndex::FrozenTreeRef>& refs);
+
+  void EncodeCheckpointState(
+      const std::vector<LayeredIndex::FrozenTreeRef>& pending,
+      std::string* dst) const;
+
+  Status RestoreCheckpoint(BufferManager* pool,
+                           std::vector<BufferManager::FileId> files,
+                           Slice state);
+
  private:
+  Status RebuildTree(BlockId bid, std::shared_ptr<const MbTree>* out) const;
+
   LayeredIndex layered_;
   ColumnExtractor extractor_;
   MbTree::Options mb_options_;
-  std::vector<std::unique_ptr<MbTree>> block_trees_;
+  BlockLoader loader_;
+
+  /// MB-tree root of every indexed block (zero hash = no entries). The
+  /// authenticated part of the checkpoint state.
+  std::vector<Hash256> roots_;
+
+  /// In-memory MB-trees of the tail: block_trees_[i] belongs to block
+  /// mem_base_ + i. Blocks below mem_base_ rebuild on demand.
+  uint64_t mem_base_ = 0;
+  std::vector<std::shared_ptr<const MbTree>> block_trees_;
+
+  /// Rebuilt frozen-block trees, charged by encoded record bytes. Lazily
+  /// created; nullptr when the cache budget is zero.
+  mutable std::unique_ptr<LruCache<uint64_t, const MbTree>> rebuilt_;
 };
 
 }  // namespace sebdb

@@ -1,0 +1,168 @@
+// ChainManager's checkpoint write / restore paths (DESIGN.md §11). Split
+// from chain_manager.cc: everything here runs under mu_ and talks to the
+// CheckpointManager + BufferManager; the hot append/apply/query paths never
+// enter this file except through MaybeCheckpointLocked's cheap height check.
+#include <algorithm>
+
+#include "common/coding.h"
+#include "core/chain_manager.h"
+
+namespace sebdb {
+
+namespace {
+
+constexpr uint32_t kChainMetaVersion = 1;
+
+std::string CheckpointPrefix(uint64_t id) {
+  return "ckpt_" + std::to_string(id);
+}
+
+}  // namespace
+
+// Stages every index's delta plus one chain-meta blob (tip cursors, trusted
+// block-store prefix, catalog, index-set state) as shadow files, then
+// publishes them with a single manifest append. Until Publish succeeds the
+// previous checkpoint remains the recovery point; afterwards the staged
+// files are the checkpoint and the superseded files are garbage-collected
+// by the CheckpointManager.
+Status ChainManager::WriteCheckpointLocked() {
+  if (ckpt_ == nullptr || pool_ == nullptr || indexes_ == nullptr) {
+    return Status::InvalidArgument("checkpointing not initialized");
+  }
+  CheckpointRecord rec;
+  rec.id = ckpt_->next_id();
+  rec.height = store_.num_blocks();
+  const std::string prefix = CheckpointPrefix(rec.id);
+
+  PendingIndexCheckpoint pending;
+  std::string index_meta;
+  Status s = indexes_->WriteCheckpoint(pool_.get(), ckpt_->dir(), prefix,
+                                       &rec.files, &index_meta, &pending);
+  if (!s.ok()) {
+    indexes_->AbortCheckpoint(pool_.get(), pending);
+    return s;
+  }
+
+  std::string meta;
+  PutVarint32(&meta, kChainMetaVersion);
+  PutVarint64(&meta, rec.height);
+  meta.append(reinterpret_cast<const char*>(tip_hash_.bytes.data()), 32);
+  PutVarSigned64(&meta, last_ts_);
+  PutVarint64(&meta, next_tid_);
+  std::string blob;
+  store_.trusted_prefix_snapshot().EncodeTo(&blob);
+  PutLengthPrefixed(&meta, blob);
+  blob.clear();
+  catalog_.EncodeTo(&blob);
+  PutLengthPrefixed(&meta, blob);
+  PutLengthPrefixed(&meta, index_meta);
+
+  const std::string meta_name = prefix + "_meta";
+  BufferManager::FileId meta_file = BufferManager::kInvalidFileId;
+  s = pool_->CreateFile(ckpt_->FilePath(meta_name), &meta_file);
+  if (s.ok()) {
+    s = CheckpointManager::WriteBlobFile(pool_.get(), meta_file, meta);
+    if (s.ok()) s = pool_->Flush(meta_file);
+  }
+  if (s.ok()) {
+    rec.files.push_back({meta_name, pool_->file_size(meta_file)});
+    s = ckpt_->Publish(rec);
+  }
+  if (!s.ok()) {
+    if (meta_file != BufferManager::kInvalidFileId) {
+      pool_->DropFile(meta_file);
+    }
+    indexes_->AbortCheckpoint(pool_.get(), pending);
+    return s;
+  }
+
+  indexes_->AdoptCheckpoint(pool_.get(), pending);
+  // The meta blob is only ever read by the next Open (outside the pool).
+  pool_->DropFile(meta_file);
+  last_checkpoint_height_ = rec.height;
+  checkpoints_written_++;
+  return Status::OK();
+}
+
+void ChainManager::MaybeCheckpointLocked() {
+  const uint64_t interval = options_.checkpoint.interval_blocks;
+  if (interval == 0 || ckpt_ == nullptr) return;
+  if (store_.num_blocks() < last_checkpoint_height_ + interval) return;
+  // Best-effort: a failed periodic checkpoint never fails the append that
+  // triggered it — the previous checkpoint (or full replay) still recovers
+  // everything, and the next interval retries.
+  WriteCheckpointLocked().ok();
+}
+
+Status ChainManager::OpenFromCheckpoint(const CheckpointRecord& rec,
+                                        const IndexSetOptions& index_options,
+                                        const std::string& dir) {
+  // 1. Chain meta blob (standalone read — the pool never sees this file).
+  std::string meta;
+  Status s = CheckpointManager::ReadBlobFile(
+      ckpt_->env(), ckpt_->FilePath(CheckpointPrefix(rec.id) + "_meta"),
+      &meta);
+  if (!s.ok()) return s;
+  Slice in(meta);
+  uint32_t version;
+  uint64_t height, next_tid;
+  int64_t last_ts;
+  Slice prefix_blob, catalog_blob, index_blob;
+  Hash256 tip;
+  if (!GetVarint32(&in, &version) || version != kChainMetaVersion ||
+      !GetVarint64(&in, &height) || in.size() < 32) {
+    return Status::Corruption("bad checkpoint meta header");
+  }
+  std::memcpy(tip.bytes.data(), in.data(), 32);
+  in.remove_prefix(32);
+  if (!GetVarSigned64(&in, &last_ts) || !GetVarint64(&in, &next_tid) ||
+      !GetLengthPrefixed(&in, &prefix_blob) ||
+      !GetLengthPrefixed(&in, &catalog_blob) ||
+      !GetLengthPrefixed(&in, &index_blob)) {
+    return Status::Corruption("truncated checkpoint meta");
+  }
+  if (height != rec.height) {
+    return Status::Corruption("checkpoint meta height mismatch");
+  }
+  TrustedPrefix trusted;
+  Slice p = prefix_blob;
+  if (!TrustedPrefix::DecodeFrom(&p, &trusted)) {
+    return Status::Corruption("bad trusted prefix in checkpoint meta");
+  }
+
+  // 2. Block store: the checkpointed layout digest lets recovery skip
+  //    re-scanning blocks [0, height) — only bytes past the prefix are
+  //    CRC-validated. The store verifies the digest before trusting it.
+  BlockStoreOptions store_options = options_.store;
+  store_options.trusted_prefix = &trusted;
+  s = store_.Open(store_options, dir);
+  if (!s.ok()) return s;
+  if (store_.num_blocks() < height) {
+    // The chain lost blocks the checkpoint covers (e.g. a hand-truncated
+    // segment); the checkpoint is unusable.
+    return Status::Corruption("chain is shorter than the checkpoint");
+  }
+
+  // 3. Catalog + indexes at the checkpoint height.
+  Slice c = catalog_blob;
+  s = catalog_.RestoreFrom(&c);
+  if (!s.ok()) return s;
+  indexes_ = std::make_unique<IndexSet>(&store_, index_options);
+  s = indexes_->RestoreCheckpoint(pool_.get(), ckpt_->dir(), height,
+                                  index_blob);
+  if (!s.ok()) return s;
+
+  // 4. Chain cursors as of the checkpoint, then tail-only replay.
+  tip_hash_ = tip;
+  last_ts_ = last_ts;
+  next_tid_ = next_tid;
+  const uint64_t n = store_.num_blocks();
+  s = ReplayChain(height, n);
+  if (!s.ok()) return s;
+  startup_.from_checkpoint = true;
+  startup_.checkpoint_height = height;
+  startup_.replayed_blocks = n - height;
+  return Status::OK();
+}
+
+}  // namespace sebdb

@@ -1,6 +1,7 @@
 #include "core/chain_manager.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace sebdb {
 
@@ -9,12 +10,48 @@ Status ChainManager::Open(const ChainOptions& options,
   MutexLock lock(&mu_);
   if (open_) return Status::Busy("chain already open");
   options_ = options;
-  Status s = store_.Open(options.store, dir);
+  startup_ = StartupStats{};
+  last_checkpoint_height_ = 0;
+
+  Env* env =
+      options.store.env != nullptr ? options.store.env : Env::Default();
+  BufferPoolOptions pool_options;
+  pool_options.capacity_bytes = options.checkpoint.pool_bytes;
+  pool_options.env = env;
+  pool_ = std::make_unique<BufferManager>(pool_options);
+  Status s = CheckpointManager::Open(env, dir + "/checkpoints", &ckpt_);
   if (!s.ok()) return s;
+
   IndexSetOptions index_options = options.indexes;
   if (index_options.manifest_path.empty()) {
     index_options.manifest_path = dir + "/indexes.manifest";
   }
+  if (index_options.env == nullptr) index_options.env = env;
+
+  // Tail-only recovery: restore the newest usable checkpoint, replay only
+  // the blocks above it. Any failure falls back to the full rebuild below.
+  if (const CheckpointRecord* latest = ckpt_->latest()) {
+    s = OpenFromCheckpoint(*latest, index_options, dir);
+    if (s.ok()) {
+      last_checkpoint_height_ = latest->height;
+      open_ = true;
+      return Status::OK();
+    }
+    // Wholesale fallback: discard every partially restored structure (a
+    // fresh pool also drops the delta files the failed restore opened).
+    fprintf(stderr,
+            "[sebdb] chain %s: checkpoint restore failed (%s); falling back "
+            "to full replay\n",
+            dir.c_str(), s.ToString().c_str());
+    startup_ = StartupStats{};
+    (void)store_.Close();
+    catalog_.Clear();
+    indexes_.reset();
+    pool_ = std::make_unique<BufferManager>(pool_options);
+  }
+
+  s = store_.Open(options.store, dir);
+  if (!s.ok()) return s;
   indexes_ = std::make_unique<IndexSet>(&store_, index_options);
 
   if (store_.num_blocks() == 0) {
@@ -28,17 +65,18 @@ Status ChainManager::Open(const ChainOptions& options,
     if (!s.ok()) return s;
   } else {
     // Recovery: replay every persisted block into indexes and catalog.
-    s = ReplayChain(store_.num_blocks());
+    s = ReplayChain(0, store_.num_blocks());
     if (!s.ok()) return s;
+    startup_.replayed_blocks = store_.num_blocks();
   }
   open_ = true;
   return Status::OK();
 }
 
-Status ChainManager::ReplayChain(uint64_t n) {
+Status ChainManager::ReplayChain(uint64_t from, uint64_t n) {
   ThreadPool* pool = options_.pool;
-  if (pool == nullptr || n < 4) {
-    for (uint64_t h = 0; h < n; h++) {
+  if (pool == nullptr || n - from < 4) {
+    for (uint64_t h = from; h < n; h++) {
       std::shared_ptr<const Block> block;
       Status s = store_.ReadBlock(h, &block);
       if (!s.ok()) return s;
@@ -91,8 +129,8 @@ Status ChainManager::ReplayChain(uint64_t n) {
     return p;
   };
 
-  std::shared_ptr<Prefetch> pending = start_load(0, std::min(n, chunk));
-  for (uint64_t begin = 0; begin < n; begin += chunk) {
+  std::shared_ptr<Prefetch> pending = start_load(from, std::min(n, from + chunk));
+  for (uint64_t begin = from; begin < n; begin += chunk) {
     std::shared_ptr<Prefetch> current = std::move(pending);
     const uint64_t end = std::min(n, begin + chunk);
     if (end < n) pending = start_load(end, std::min(n, end + chunk));
@@ -113,8 +151,32 @@ Status ChainManager::ReplayChain(uint64_t n) {
 
 Status ChainManager::Close() {
   MutexLock lock(&mu_);
+  if (open_ && options_.checkpoint.checkpoint_on_close && ckpt_ != nullptr &&
+      store_.num_blocks() > last_checkpoint_height_) {
+    WriteCheckpointLocked().ok();  // best-effort; recovery replays the tail
+  }
   open_ = false;
   return store_.Close();
+}
+
+Status ChainManager::WriteCheckpoint() {
+  MutexLock lock(&mu_);
+  if (!open_) return Status::Aborted("chain not open");
+  return WriteCheckpointLocked();
+}
+
+ChainManager::StartupStats ChainManager::startup_stats() const {
+  MutexLock lock(&mu_);
+  return startup_;
+}
+
+BufferManager::Stats ChainManager::buffer_stats() const {
+  return pool_ != nullptr ? pool_->stats() : BufferManager::Stats{};
+}
+
+uint64_t ChainManager::checkpoints_written() const {
+  MutexLock lock(&mu_);
+  return checkpoints_written_;
 }
 
 Status ChainManager::ApplyBlock(const Block& block) {
@@ -181,7 +243,10 @@ Status ChainManager::AppendBatch(uint64_t seq, std::vector<Transaction> txns,
   }
   Status s = store_.Append(block);
   if (!s.ok()) return s;
-  return ApplyBlock(block);
+  s = ApplyBlock(block);
+  if (!s.ok()) return s;
+  MaybeCheckpointLocked();
+  return Status::OK();
 }
 
 Status ChainManager::ApplyBlockRecord(BlockId height,
@@ -229,7 +294,10 @@ Status ChainManager::ApplyBlockRecord(BlockId height,
   }
   s = store_.Append(block);
   if (!s.ok()) return s;
-  return ApplyBlock(block);
+  s = ApplyBlock(block);
+  if (!s.ok()) return s;
+  MaybeCheckpointLocked();
+  return Status::OK();
 }
 
 Status ChainManager::GetBlockRecord(BlockId height, std::string* record) {

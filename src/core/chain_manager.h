@@ -3,6 +3,15 @@
 // blocks (assigning tids, linking prev hashes), validates and applies blocks
 // received via gossip, and replays the persisted chain on recovery so
 // indexes and catalog are rebuilt.
+//
+// Recovery is tail-only when a checkpoint exists: Open loads the newest
+// usable checkpoint (catalog + every index restored from page files, the
+// block store's own scan skipped via the checkpointed trusted prefix) and
+// replays only the blocks above the checkpoint height. Any restore failure
+// — torn files, version drift, corrupted meta — silently falls back to the
+// seed behavior: full scan + full replay. Checkpoints are written through a
+// BufferManager into <dir>/checkpoints and published via the shadow-paging
+// CheckpointManager manifest (see DESIGN.md §11).
 #pragma once
 
 #include <memory>
@@ -16,12 +25,27 @@
 #include "sql/catalog.h"
 #include "sql/index_set.h"
 #include "storage/block_store.h"
+#include "storage/buffer_manager.h"
+#include "storage/checkpoint.h"
 
 namespace sebdb {
+
+struct CheckpointPolicy {
+  /// Write a checkpoint every this many newly chained blocks. 0 disables
+  /// periodic checkpoints (manual WriteCheckpoint still works).
+  uint64_t interval_blocks = 0;
+  /// Buffer pool budget for checkpoint page files (both building and
+  /// query-time faults of frozen index pages).
+  uint64_t pool_bytes = 64ull << 20;
+  /// Also write a final checkpoint in Close() when blocks were chained
+  /// since the last one, so a clean shutdown restarts tail-free.
+  bool checkpoint_on_close = false;
+};
 
 struct ChainOptions {
   BlockStoreOptions store;
   IndexSetOptions indexes;
+  CheckpointPolicy checkpoint;
   /// Verify every transaction signature when applying foreign blocks.
   bool verify_signatures = true;
   /// Worker pool for parallel startup replay and concurrent signature
@@ -76,23 +100,54 @@ class ChainManager {
   /// Block/transaction cache counters (hits, misses, evictions, occupancy).
   BlockStore::CacheStats cache_stats() const { return store_.cache_stats(); }
 
+  /// How the last Open brought the node back to serving: from a checkpoint
+  /// (tail-only replay) or a full rebuild. A value snapshot.
+  struct StartupStats {
+    bool from_checkpoint = false;
+    uint64_t checkpoint_height = 0;  // blocks restored without replay
+    uint64_t replayed_blocks = 0;    // blocks fed through ApplyBlock
+  };
+  StartupStats startup_stats() const;
+
+  /// Checkpoint page-pool counters (empty when the chain is not open).
+  BufferManager::Stats buffer_stats() const;
+
+  /// Number of checkpoints written by this ChainManager since Open.
+  uint64_t checkpoints_written() const;
+
+  /// Writes and publishes a checkpoint at the current height (also invoked
+  /// by the periodic interval_blocks policy and, optionally, by Close).
+  Status WriteCheckpoint() EXCLUDES(mu_);
+
  private:
   Status ApplyBlock(const Block& block) REQUIRES(mu_);  // index + catalog
-  /// Recovery replay of heights [0, n): block reads (readahead-batched) and
-  /// Merkle validation fan out across the pool one chunk ahead of the
+  /// Recovery replay of heights [from, n): block reads (readahead-batched)
+  /// and Merkle validation fan out across the pool one chunk ahead of the
   /// strictly height-ordered index/catalog apply.
-  Status ReplayChain(uint64_t n) REQUIRES(mu_);
+  Status ReplayChain(uint64_t from, uint64_t n) REQUIRES(mu_);
+  // chain_checkpoint.cc
+  Status OpenFromCheckpoint(const CheckpointRecord& rec,
+                            const IndexSetOptions& index_options,
+                            const std::string& dir) REQUIRES(mu_);
+  Status WriteCheckpointLocked() REQUIRES(mu_);
+  void MaybeCheckpointLocked() REQUIRES(mu_);
 
   const std::string node_id_;
   const KeyStore* keystore_;
   ChainOptions options_;
 
   mutable Mutex mu_;
-  // store_/indexes_/catalog_ are internally synchronized; mu_ serializes
-  // chain mutations (append/apply/replay) and guards the chain-tip state.
+  // store_/indexes_/catalog_/pool_ are internally synchronized; mu_
+  // serializes chain mutations (append/apply/replay/checkpoint) and guards
+  // the chain-tip state.
   BlockStore store_;
   std::unique_ptr<IndexSet> indexes_;
   Catalog catalog_;
+  std::unique_ptr<BufferManager> pool_;
+  std::unique_ptr<CheckpointManager> ckpt_ GUARDED_BY(mu_);
+  StartupStats startup_ GUARDED_BY(mu_);
+  uint64_t last_checkpoint_height_ GUARDED_BY(mu_) = 0;
+  uint64_t checkpoints_written_ GUARDED_BY(mu_) = 0;
   Hash256 tip_hash_ GUARDED_BY(mu_);
   Timestamp last_ts_ GUARDED_BY(mu_) = 0;
   TransactionId next_tid_ GUARDED_BY(mu_) = 1;

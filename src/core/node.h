@@ -90,6 +90,13 @@ class SebdbNode : public GossipDelegate {
   OverloadState overload_state() const;
   /// RPC server queue counters (all zero in inline dispatch mode).
   RpcServerStats rpc_stats() const;
+  /// Checkpoint buffer-pool counters (hits/misses/evictions/occupancy) and
+  /// how the last Open reached serving (checkpoint height + tail replay vs
+  /// full rebuild) — the persistence-side pressure gauges.
+  BufferManager::Stats buffer_stats() const { return chain_.buffer_stats(); }
+  ChainManager::StartupStats startup_stats() const {
+    return chain_.startup_stats();
+  }
 
   ChainManager& chain() { return chain_; }
   Executor* executor() { return executor_.get(); }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/coding.h"
+
 namespace sebdb {
 
 void DiscreteBitmapIndex::AddBlock(BlockId bid,
@@ -34,6 +36,35 @@ std::vector<std::string> DiscreteBitmapIndex::Keys() const {
   out.reserve(bitmaps_.size());
   for (const auto& [key, bitmap] : bitmaps_) out.push_back(key);
   return out;
+}
+
+void DiscreteBitmapIndex::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, num_blocks_);
+  std::vector<std::string> keys = Keys();
+  std::sort(keys.begin(), keys.end());
+  PutVarint32(dst, static_cast<uint32_t>(keys.size()));
+  for (const auto& key : keys) {
+    PutLengthPrefixed(dst, key);
+    bitmaps_.at(key).EncodeTo(dst);
+  }
+}
+
+Status DiscreteBitmapIndex::RestoreFrom(Slice* in) {
+  uint32_t nkeys;
+  if (!GetVarint64(in, &num_blocks_) || !GetVarint32(in, &nkeys) ||
+      nkeys > in->size()) {
+    return Status::Corruption("truncated bitmap index");
+  }
+  bitmaps_.clear();
+  for (uint32_t i = 0; i < nkeys; i++) {
+    Slice key;
+    Bitmap bitmap;
+    if (!GetLengthPrefixed(in, &key) || !Bitmap::DecodeFrom(in, &bitmap)) {
+      return Status::Corruption("truncated bitmap index entry");
+    }
+    bitmaps_[key.ToString()] = std::move(bitmap);
+  }
+  return Status::OK();
 }
 
 void TableBitmapIndex::AddBlock(const Block& block) {

@@ -40,6 +40,11 @@ class DiscreteBitmapIndex {
   /// All indexed keys (unordered).
   std::vector<std::string> Keys() const;
 
+  /// Checkpoint codec: EncodeTo writes the full index (keys sorted, so the
+  /// bytes are deterministic); RestoreFrom rebuilds a fresh index from them.
+  void EncodeTo(std::string* dst) const;
+  Status RestoreFrom(Slice* in);
+
  private:
   std::unordered_map<std::string, Bitmap> bitmaps_;
   uint64_t num_blocks_ = 0;
@@ -60,6 +65,9 @@ class TableBitmapIndex {
   bool HasTable(const std::string& table_name) const {
     return index_.Contains(table_name);
   }
+
+  void EncodeTo(std::string* dst) const { index_.EncodeTo(dst); }
+  Status RestoreFrom(Slice* in) { return index_.RestoreFrom(in); }
 
  private:
   DiscreteBitmapIndex index_;

@@ -25,6 +25,14 @@ class EqualDepthHistogram {
   static Status Build(std::vector<Value> sample, size_t num_buckets,
                       EqualDepthHistogram* out);
 
+  /// Reconstructs a histogram from previously built boundaries (checkpoint
+  /// restore; boundaries must be sorted ascending, as boundaries() returns).
+  static EqualDepthHistogram FromBoundaries(std::vector<Value> boundaries) {
+    EqualDepthHistogram out;
+    out.boundaries_ = std::move(boundaries);
+    return out;
+  }
+
   /// Number of buckets (boundaries + 1). Zero means not built.
   size_t num_buckets() const {
     return boundaries_.empty() ? 0 : boundaries_.size() + 1;

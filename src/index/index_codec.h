@@ -1,0 +1,28 @@
+// Key/value codec plugging Value-keyed index entries into the disk-resident
+// B+-tree (storage/disk_bptree.h). The block index's codec lives with its
+// key type in block_index.h.
+#pragma once
+
+#include <cstdint>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "types/value.h"
+
+namespace sebdb {
+
+/// Second-level layered-index trees: attribute value -> position in block.
+struct ValuePosCodec {
+  static void EncodeKey(std::string* dst, const Value& v) { v.EncodeTo(dst); }
+  static bool DecodeKey(Slice* in, Value* v) {
+    return Value::DecodeFrom(in, v);
+  }
+  static void EncodeVal(std::string* dst, const uint32_t& pos) {
+    PutVarint32(dst, pos);
+  }
+  static bool DecodeVal(Slice* in, uint32_t* pos) {
+    return GetVarint32(in, pos);
+  }
+};
+
+}  // namespace sebdb

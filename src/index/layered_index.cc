@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/coding.h"
+
 namespace sebdb {
 
 Status LayeredIndex::SetHistogram(EqualDepthHistogram histogram) {
@@ -65,10 +67,11 @@ Status LayeredIndex::AddBlock(const Block& block) {
     block_buckets_.push_back(std::move(buckets));
   }
 
-  // Second level: bulk-load the per-block tree.
-  std::unique_ptr<SecondLevelTree> tree;
+  // Second level: bulk-load the per-block tree (tail: in memory until the
+  // next checkpoint freezes it).
+  std::shared_ptr<SecondLevelTree> tree;
   if (!entries.empty()) {
-    tree = std::make_unique<SecondLevelTree>();
+    tree = std::make_shared<SecondLevelTree>();
     tree->BulkLoad(std::move(entries));
   }
   total_entries_ += tree ? tree->size() : 0;
@@ -102,10 +105,19 @@ Bitmap LayeredIndex::CandidateBlocks(const Value* lo, const Value* hi) const {
 
 Bitmap LayeredIndex::BlocksWithEntries() const {
   Bitmap result(num_blocks_);
-  for (uint64_t bid = 0; bid < block_trees_.size(); bid++) {
-    if (block_trees_[bid] != nullptr) result.Set(bid);
+  for (uint64_t bid = 0; bid < frozen_.size(); bid++) {
+    if (frozen_[bid].file_ordinal != FrozenTreeRef::kNoTree) result.Set(bid);
+  }
+  for (uint64_t i = 0; i < block_trees_.size(); i++) {
+    if (block_trees_[i] != nullptr) result.Set(frozen_.size() + i);
   }
   return result;
+}
+
+LayeredIndex::DiskTree LayeredIndex::FrozenTree(
+    const FrozenTreeRef& ref) const {
+  return DiskTree(pool_, {tree_files_[ref.file_ordinal], ref.root,
+                          ref.entries});
 }
 
 Status LayeredIndex::SearchBlock(BlockId bid, const Value* lo, const Value* hi,
@@ -113,7 +125,18 @@ Status LayeredIndex::SearchBlock(BlockId bid, const Value* lo, const Value* hi,
   if (bid >= num_blocks_) {
     return Status::InvalidArgument("block not indexed yet");
   }
-  const SecondLevelTree* tree = block_trees_[bid].get();
+  if (bid < frozen_.size()) {
+    const FrozenTreeRef& ref = frozen_[bid];
+    if (ref.file_ordinal == FrozenTreeRef::kNoTree) return Status::OK();
+    DiskTree tree = FrozenTree(ref);
+    auto it = lo != nullptr ? tree.SeekGE(*lo) : tree.Begin();
+    for (; it.Valid(); it.Next()) {
+      if (hi != nullptr && it.key().CompareTotal(*hi) > 0) break;
+      out->push_back(TxnPointer{bid, it.value()});
+    }
+    return it.status();
+  }
+  const SecondLevelTree* tree = block_trees_[bid - frozen_.size()].get();
   if (tree == nullptr) return Status::OK();
   auto it = lo != nullptr ? tree->SeekGE(*lo) : tree->Begin();
   for (; it.Valid(); it.Next()) {
@@ -123,10 +146,50 @@ Status LayeredIndex::SearchBlock(BlockId bid, const Value* lo, const Value* hi,
   return Status::OK();
 }
 
-const LayeredIndex::SecondLevelTree* LayeredIndex::BlockTree(
-    BlockId bid) const {
-  if (bid >= block_trees_.size()) return nullptr;
-  return block_trees_[bid].get();
+Status LayeredIndex::Tree(BlockId bid,
+                          std::shared_ptr<const SecondLevelTree>* out) const {
+  out->reset();
+  if (bid >= num_blocks_) return Status::OK();
+  if (bid >= frozen_.size()) {
+    *out = block_trees_[bid - frozen_.size()];
+    return Status::OK();
+  }
+  const FrozenTreeRef& ref = frozen_[bid];
+  if (ref.file_ordinal == FrozenTreeRef::kNoTree) return Status::OK();
+  if (materialized_ == nullptr && options_.materialized_cache_bytes > 0) {
+    materialized_ = std::make_unique<LruCache<uint64_t, const SecondLevelTree>>(
+        options_.materialized_cache_bytes);
+  }
+  if (materialized_ != nullptr) {
+    if (auto cached = materialized_->Lookup(bid)) {
+      *out = std::move(cached);
+      return Status::OK();
+    }
+  }
+  // Fault the whole tree back: decode every leaf in order and bulk-load an
+  // in-memory twin (merge joins walk entire trees, so partial faulting
+  // would thrash).
+  DiskTree disk = FrozenTree(ref);
+  std::vector<std::pair<Value, uint32_t>> entries;
+  entries.reserve(ref.entries);
+  size_t charge = 64;
+  auto it = disk.Begin();
+  for (; it.Valid(); it.Next()) {
+    charge += it.key().ByteSize() + 16;
+    entries.emplace_back(it.key(), it.value());
+  }
+  if (!it.status().ok()) return it.status();
+  if (entries.size() != ref.entries) {
+    return Status::Corruption("frozen tree of block " + std::to_string(bid) +
+                              " has " + std::to_string(entries.size()) +
+                              " entries, expected " +
+                              std::to_string(ref.entries));
+  }
+  auto tree = std::make_shared<SecondLevelTree>();
+  tree->BulkLoad(std::move(entries));
+  if (materialized_ != nullptr) materialized_->Insert(bid, tree, charge);
+  *out = std::move(tree);
+  return Status::OK();
 }
 
 const Bitmap* LayeredIndex::BlockBuckets(BlockId bid) const {
@@ -139,6 +202,179 @@ Bitmap LayeredIndex::BlocksWithValue(const Value& v) const {
   auto it = value_blocks_.find(v);
   if (it != value_blocks_.end()) result.Or(it->second);
   return result;
+}
+
+Status LayeredIndex::WriteFrozenDelta(BufferManager* pool,
+                                      BufferManager::FileId file,
+                                      uint64_t up_to,
+                                      std::vector<FrozenTreeRef>* refs) {
+  refs->clear();
+  if (up_to > num_blocks_) {
+    return Status::InvalidArgument("cannot freeze unindexed blocks");
+  }
+  const uint32_t ordinal = static_cast<uint32_t>(tree_files_.size());
+  for (uint64_t bid = frozen_.size(); bid < up_to; bid++) {
+    const SecondLevelTree* tree = block_trees_[bid - frozen_.size()].get();
+    FrozenTreeRef ref;
+    if (tree != nullptr) {
+      DiskBpTreeBuilder<Value, uint32_t, ValuePosCodec, ValueCmp> builder(
+          pool, file);
+      for (auto it = tree->Begin(); it.Valid(); it.Next()) {
+        Status s = builder.Add(it.key(), it.value());
+        if (!s.ok()) return s;
+      }
+      typename DiskTree::Ref built;
+      Status s = builder.Finish(&built);
+      if (!s.ok()) return s;
+      ref.file_ordinal = ordinal;
+      ref.root = built.root;
+      ref.entries = built.entries;
+    }
+    refs->push_back(ref);
+  }
+  return Status::OK();
+}
+
+void LayeredIndex::AdoptFrozen(BufferManager* pool,
+                               BufferManager::FileId file,
+                               const std::vector<FrozenTreeRef>& refs) {
+  pool_ = pool;
+  tree_files_.push_back(file);
+  frozen_.insert(frozen_.end(), refs.begin(), refs.end());
+  // The refs cover the oldest refs.size() tail blocks: drop their in-memory
+  // trees (this is where a long-running node's memory stops growing).
+  block_trees_.erase(block_trees_.begin(), block_trees_.begin() + refs.size());
+}
+
+void LayeredIndex::EncodeFirstLevel(std::string* dst) const {
+  PutVarint64(dst, total_entries_);
+  dst->push_back(histogram_set_ ? 1 : 0);
+  if (options_.discrete) {
+    PutVarint32(dst, static_cast<uint32_t>(value_blocks_.size()));
+    for (const auto& [v, blocks] : value_blocks_) {
+      v.EncodeTo(dst);
+      blocks.EncodeTo(dst);
+    }
+  } else {
+    PutVarint32(dst, static_cast<uint32_t>(histogram_.boundaries().size()));
+    for (const Value& b : histogram_.boundaries()) b.EncodeTo(dst);
+    PutVarint64(dst, block_buckets_.size());
+    for (const Bitmap& b : block_buckets_) b.EncodeTo(dst);
+  }
+}
+
+Status LayeredIndex::DecodeFirstLevel(Slice* in) {
+  uint64_t total;
+  if (!GetVarint64(in, &total) || in->empty()) {
+    return Status::Corruption("truncated index first level");
+  }
+  total_entries_ = total;
+  histogram_set_ = (*in)[0] != 0;
+  in->remove_prefix(1);
+  if (options_.discrete) {
+    uint32_t nvalues;
+    if (!GetVarint32(in, &nvalues)) {
+      return Status::Corruption("truncated discrete first level");
+    }
+    for (uint32_t i = 0; i < nvalues; i++) {
+      Value v;
+      Bitmap blocks;
+      if (!Value::DecodeFrom(in, &v) || !Bitmap::DecodeFrom(in, &blocks)) {
+        return Status::Corruption("truncated discrete first level");
+      }
+      value_blocks_[std::move(v)] = std::move(blocks);
+    }
+  } else {
+    uint32_t nbounds;
+    if (!GetVarint32(in, &nbounds)) {
+      return Status::Corruption("truncated histogram");
+    }
+    std::vector<Value> bounds;
+    bounds.reserve(nbounds);
+    for (uint32_t i = 0; i < nbounds; i++) {
+      Value v;
+      if (!Value::DecodeFrom(in, &v)) {
+        return Status::Corruption("truncated histogram boundary");
+      }
+      bounds.push_back(std::move(v));
+    }
+    histogram_ = EqualDepthHistogram::FromBoundaries(std::move(bounds));
+    uint64_t nbuckets;
+    if (!GetVarint64(in, &nbuckets) || nbuckets > in->size()) {
+      return Status::Corruption("truncated bucket bitmaps");
+    }
+    block_buckets_.reserve(nbuckets);
+    for (uint64_t i = 0; i < nbuckets; i++) {
+      Bitmap b;
+      if (!Bitmap::DecodeFrom(in, &b)) {
+        return Status::Corruption("truncated bucket bitmap");
+      }
+      block_buckets_.push_back(std::move(b));
+    }
+  }
+  return Status::OK();
+}
+
+void LayeredIndex::EncodeCheckpointState(
+    const std::vector<FrozenTreeRef>& pending, std::string* dst) const {
+  EncodeFirstLevel(dst);
+  PutVarint64(dst, frozen_.size() + pending.size());
+  auto put_ref = [dst](const FrozenTreeRef& ref) {
+    if (ref.file_ordinal == FrozenTreeRef::kNoTree) {
+      PutVarint32(dst, 0);
+      return;
+    }
+    PutVarint32(dst, ref.file_ordinal + 1);
+    PutVarint32(dst, ref.root);
+    PutVarint64(dst, ref.entries);
+  };
+  for (const FrozenTreeRef& ref : frozen_) put_ref(ref);
+  for (const FrozenTreeRef& ref : pending) put_ref(ref);
+}
+
+Status LayeredIndex::RestoreCheckpoint(BufferManager* pool,
+                                       std::vector<BufferManager::FileId> files,
+                                       Slice state) {
+  if (num_blocks_ != 0) {
+    return Status::InvalidArgument("restore requires a fresh index");
+  }
+  Slice in = state;
+  Status s = DecodeFirstLevel(&in);
+  if (!s.ok()) return s;
+  uint64_t nrefs = 0;
+  if (!GetVarint64(&in, &nrefs) || nrefs > in.size()) {
+    return Status::Corruption("truncated frozen tree refs");
+  }
+  frozen_.clear();
+  frozen_.reserve(nrefs);
+  for (uint64_t i = 0; i < nrefs; i++) {
+    uint32_t tag;
+    if (!GetVarint32(&in, &tag)) {
+      return Status::Corruption("truncated frozen tree ref");
+    }
+    FrozenTreeRef ref;
+    if (tag != 0) {
+      uint32_t root;
+      uint64_t entries;
+      if (!GetVarint32(&in, &root) || !GetVarint64(&in, &entries)) {
+        return Status::Corruption("truncated frozen tree ref");
+      }
+      ref.file_ordinal = tag - 1;
+      if (ref.file_ordinal >= files.size()) {
+        return Status::Corruption("frozen tree ref past the delta file list");
+      }
+      ref.root = root;
+      ref.entries = entries;
+    }
+    frozen_.push_back(ref);
+  }
+  if (!options_.discrete && block_buckets_.size() != nrefs) {
+    return Status::Corruption("first level covers the wrong block count");
+  }
+  pool_ = pool;
+  tree_files_ = std::move(files);
+  num_blocks_ = nrefs;
+  return Status::OK();
 }
 
 }  // namespace sebdb

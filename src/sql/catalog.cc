@@ -1,5 +1,7 @@
 #include "sql/catalog.h"
 
+#include "common/coding.h"
+
 namespace sebdb {
 
 Status Catalog::RegisterSchema(Schema schema) {
@@ -54,6 +56,36 @@ bool Catalog::MaybeApplySchemaTransaction(const Transaction& txn) {
   if (!Schema::DecodeFrom(&input, &schema).ok()) return false;
   RegisterSchema(std::move(schema)).ok();
   return true;
+}
+
+void Catalog::EncodeTo(std::string* dst) const {
+  MutexLock lock(&mu_);
+  PutVarint32(dst, static_cast<uint32_t>(schemas_.size()));
+  for (const auto& [name, schema] : schemas_) {  // std::map: already sorted
+    schema.EncodeTo(dst);
+  }
+}
+
+Status Catalog::RestoreFrom(Slice* in) {
+  uint32_t n;
+  if (!GetVarint32(in, &n) || n > in->size()) {
+    return Status::Corruption("truncated catalog");
+  }
+  MutexLock lock(&mu_);
+  schemas_.clear();
+  for (uint32_t i = 0; i < n; i++) {
+    Schema schema;
+    Status s = Schema::DecodeFrom(in, &schema);
+    if (!s.ok()) return s;
+    std::string name = schema.table_name();
+    schemas_[std::move(name)] = std::move(schema);
+  }
+  return Status::OK();
+}
+
+void Catalog::Clear() {
+  MutexLock lock(&mu_);
+  schemas_.clear();
 }
 
 }  // namespace sebdb

@@ -34,6 +34,13 @@ class Catalog {
   /// the chain).
   bool MaybeApplySchemaTransaction(const Transaction& txn);
 
+  /// Checkpoint codec: all schemas in table-name order (deterministic bytes).
+  void EncodeTo(std::string* dst) const;
+  Status RestoreFrom(Slice* in);
+
+  /// Drops every schema (checkpoint-restore fallback to full replay).
+  void Clear();
+
  private:
   mutable Mutex mu_;
   std::map<std::string, Schema> schemas_ GUARDED_BY(mu_);

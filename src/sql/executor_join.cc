@@ -352,8 +352,10 @@ Status Executor::ExecOnChainJoin(const SelectStmt& stmt,
         const auto [br, bs] = pairs[i];
         // Sort-merge over the two blocks' second-level trees (leaves are in
         // attribute order).
-        const auto* ltree = left_index->BlockTree(br);
-        const auto* rtree = right_index->BlockTree(bs);
+        std::shared_ptr<const LayeredIndex::SecondLevelTree> ltree, rtree;
+        Status ts = left_index->Tree(br, &ltree);
+        if (ts.ok()) ts = right_index->Tree(bs, &rtree);
+        if (!ts.ok()) return ts;
         if (ltree == nullptr || rtree == nullptr) return Status::OK();
         auto lit = ltree->Begin();
         auto rit = rtree->Begin();
@@ -581,7 +583,9 @@ Status Executor::ExecOnOffJoin(const SelectStmt& stmt,
       pool_, cand_bids.size(),
       [&](size_t i, RowVec* out) -> Status {
         const size_t bid = cand_bids[i];
-        const auto* tree = on_index->BlockTree(bid);
+        std::shared_ptr<const LayeredIndex::SecondLevelTree> tree;
+        Status ts = on_index->Tree(bid, &tree);
+        if (!ts.ok()) return ts;
         if (tree == nullptr) return Status::OK();
         auto onit = tree->Begin();
         size_t off_i = 0;

@@ -1,7 +1,9 @@
 #include "sql/index_set.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <sstream>
+
+#include "common/coding.h"
 
 namespace sebdb {
 
@@ -26,6 +28,14 @@ ColumnExtractor IndexSet::MakeSystemExtractor(bool sender) {
   };
 }
 
+AuthenticatedLayeredIndex::BlockLoader IndexSet::MakeBlockLoader() const {
+  BlockStore* store = store_;
+  if (store == nullptr) return nullptr;
+  return [store](BlockId bid, std::shared_ptr<const Block>* out) {
+    return store->ReadBlock(bid, out);
+  };
+}
+
 IndexSet::IndexSet(BlockStore* store, IndexSetOptions options)
     : store_(store), options_(std::move(options)) {
   LayeredIndexOptions discrete_options;
@@ -41,34 +51,47 @@ IndexSet::IndexSet(BlockStore* store, IndexSetOptions options)
     tname_ali_ = std::make_unique<AuthenticatedLayeredIndex>(
         "sys.tname.auth", discrete_options,
         MakeSystemExtractor(/*sender=*/false));
+    if (auto loader = MakeBlockLoader()) {
+      senid_ali_->SetBlockLoader(loader);
+      tname_ali_->SetBlockLoader(loader);
+    }
   }
   if (!options_.manifest_path.empty()) LoadManifest();
 }
 
 void IndexSet::LoadManifest() {
-  FILE* f = fopen(options_.manifest_path.c_str(), "r");
-  if (f == nullptr) return;  // no manifest yet
-  char table[256], column[256];
+  uint64_t size;
+  if (!env()->FileSize(options_.manifest_path, &size).ok() || size == 0) {
+    return;  // no manifest yet
+  }
+  std::unique_ptr<ReadableFile> file;
+  if (!env()->NewReadableFile(options_.manifest_path, &file).ok()) return;
+  std::string contents;
+  if (!file->Read(0, size, &contents).ok()) return;
+  std::istringstream stream(contents);
+  std::string table, column;
   int schema_index, discrete;
-  while (fscanf(f, "%255s %255s %d %d", table, column, &schema_index,
-                &discrete) == 4) {
+  MutexLock lock(&mu_);
+  while (stream >> table >> column >> schema_index >> discrete) {
     // Created before any block is replayed, so no backfill is needed; the
     // replay loop feeds every block through AddBlock.
     CreateLayeredIndexLocked(table, column, schema_index, discrete != 0)
         .ok();
   }
-  fclose(f);
 }
 
 void IndexSet::AppendManifest(const std::string& table,
                               const std::string& column,
                               int schema_column_index, bool discrete) {
   if (options_.manifest_path.empty()) return;
-  FILE* f = fopen(options_.manifest_path.c_str(), "a");
-  if (f == nullptr) return;
-  fprintf(f, "%s %s %d %d\n", table.c_str(), column.c_str(),
-          schema_column_index, discrete ? 1 : 0);
-  fclose(f);
+  std::unique_ptr<WritableFile> file;
+  if (!env()->NewWritableFile(options_.manifest_path, &file).ok()) return;
+  std::string line = table + " " + column + " " +
+                     std::to_string(schema_column_index) + " " +
+                     (discrete ? "1" : "0") + "\n";
+  (void)file->Append(line);
+  (void)file->Sync();
+  (void)file->Close();
 }
 
 Status IndexSet::AddBlock(const Block& block) {
@@ -134,6 +157,8 @@ Status IndexSet::CreateLayeredIndexLocked(const std::string& table,
   }
 
   UserIndex index;
+  index.schema_column_index = schema_column_index;
+  index.discrete = discrete;
   LayeredIndexOptions layered_options;
   layered_options.discrete = discrete;
   layered_options.histogram_buckets = options_.histogram_buckets;
@@ -144,6 +169,7 @@ Status IndexSet::CreateLayeredIndexLocked(const std::string& table,
   if (options_.build_auth_indexes) {
     index.ali = std::make_unique<AuthenticatedLayeredIndex>(
         name + ".auth", layered_options, extractor);
+    if (auto loader = MakeBlockLoader()) index.ali->SetBlockLoader(loader);
   }
 
   Status backfill = BackfillIndex(&index, !discrete, extractor);
@@ -221,6 +247,342 @@ bool IndexSet::HasLayered(const std::string& table,
                           const std::string& column) const {
   MutexLock lock(&mu_);
   return user_indexes_.contains(std::make_pair(table, column));
+}
+
+Status IndexSet::WriteCheckpoint(BufferManager* pool, const std::string& dir,
+                                 const std::string& prefix,
+                                 std::vector<CheckpointFile>* files,
+                                 std::string* meta,
+                                 PendingIndexCheckpoint* pending) {
+  using Delta = PendingIndexCheckpoint::Delta;
+  MutexLock lock(&mu_);
+  pending->height = num_blocks_;
+  pending->deltas.clear();
+
+  // The manifest record must reference EVERY file this checkpoint needs —
+  // the deltas of earlier checkpoints included — or Publish would collect
+  // them as superseded and the restore would find the segment lists
+  // dangling. Earlier deltas are immutable and synced, so their recorded
+  // sizes double as the recovery-time integrity check.
+  auto list_existing = [&](const std::vector<std::string>& names) -> Status {
+    for (const std::string& name : names) {
+      uint64_t size = 0;
+      Status s = env()->FileSize(dir + "/" + name, &size);
+      if (!s.ok()) return s;
+      files->push_back({name, size});
+    }
+    return Status::OK();
+  };
+  Status listed = list_existing(bidx_files_);
+  if (listed.ok()) listed = list_existing(senid_files_);
+  if (listed.ok()) listed = list_existing(tname_files_);
+  for (const auto& [key, index] : user_indexes_) {
+    if (!listed.ok()) break;
+    listed = list_existing(index.delta_files);
+  }
+  if (!listed.ok()) return listed;
+
+  // Stage the block-index delta (skipped when no blocks arrived since the
+  // last checkpoint — segment lists stay dense with non-empty files).
+  if (num_blocks_ > block_index_.persisted_end()) {
+    Delta d;
+    d.target = Delta::kBlockIndex;
+    d.name = prefix + "_bidx";
+    Status s = pool->CreateFile(dir + "/" + d.name, &d.file);
+    if (!s.ok()) return s;
+    pending->deltas.push_back(std::move(d));
+    Delta& slot = pending->deltas.back();
+    s = block_index_.WriteFrozenDelta(pool, slot.file, num_blocks_,
+                                      &slot.bidx_ref);
+    if (s.ok()) s = pool->Flush(slot.file);
+    if (!s.ok()) return s;
+    files->push_back({slot.name, pool->file_size(slot.file)});
+  }
+
+  auto write_layered = [&](Delta::Target target, const std::string& table,
+                           const std::string& column, const std::string& tag,
+                           LayeredIndex* layered) -> Status {
+    if (num_blocks_ <= layered->frozen_end()) return Status::OK();
+    Delta d;
+    d.target = target;
+    d.table = table;
+    d.column = column;
+    d.name = prefix + "_" + tag;
+    Status s = pool->CreateFile(dir + "/" + d.name, &d.file);
+    if (!s.ok()) return s;
+    pending->deltas.push_back(std::move(d));
+    Delta& slot = pending->deltas.back();
+    s = layered->WriteFrozenDelta(pool, slot.file, num_blocks_, &slot.refs);
+    if (s.ok()) s = pool->Flush(slot.file);
+    if (!s.ok()) return s;
+    files->push_back({slot.name, pool->file_size(slot.file)});
+    return Status::OK();
+  };
+
+  // The ALI twins freeze byte-identical trees (same extractor, same
+  // blocks), so each delta file is written once and shared.
+  Status s = write_layered(Delta::kSenid, "", "", "senid", senid_index_.get());
+  if (!s.ok()) return s;
+  s = write_layered(Delta::kTname, "", "", "tname", tname_index_.get());
+  if (!s.ok()) return s;
+  size_t ordinal = 0;
+  for (auto& [key, index] : user_indexes_) {
+    s = write_layered(Delta::kUser, key.first, key.second,
+                      "u" + std::to_string(ordinal++), index.layered.get());
+    if (!s.ok()) return s;
+  }
+
+  // Meta blob: the complete index-set state at this height, including the
+  // staged (not yet adopted) deltas.
+  auto find_delta = [&](Delta::Target target, const std::string& table,
+                        const std::string& column) -> const Delta* {
+    for (const auto& d : pending->deltas) {
+      if (d.target == target && d.table == table && d.column == column) {
+        return &d;
+      }
+    }
+    return nullptr;
+  };
+  static const std::vector<LayeredIndex::FrozenTreeRef> kNoRefs;
+
+  meta->clear();
+  PutVarint32(meta, 1);  // version
+  std::string blob;
+  table_index_.EncodeTo(&blob);
+  PutLengthPrefixed(meta, blob);
+
+  auto put_names = [&](const std::vector<std::string>& names,
+                       const Delta* extra) {
+    PutVarint32(meta, static_cast<uint32_t>(names.size() +
+                                            (extra != nullptr ? 1 : 0)));
+    for (const auto& n : names) PutLengthPrefixed(meta, n);
+    if (extra != nullptr) PutLengthPrefixed(meta, extra->name);
+  };
+
+  {
+    const Delta* d = find_delta(Delta::kBlockIndex, "", "");
+    put_names(bidx_files_, d);
+    blob.clear();
+    block_index_.EncodeCheckpointState(d != nullptr ? &d->bidx_ref : nullptr,
+                                       &blob);
+    PutLengthPrefixed(meta, blob);
+  }
+
+  auto put_layered = [&](Delta::Target target, const std::string& table,
+                         const std::string& column,
+                         const std::vector<std::string>& names,
+                         const LayeredIndex* layered,
+                         const AuthenticatedLayeredIndex* ali) {
+    const Delta* d = find_delta(target, table, column);
+    put_names(names, d);
+    const auto& refs = d != nullptr ? d->refs : kNoRefs;
+    blob.clear();
+    layered->EncodeCheckpointState(refs, &blob);
+    PutLengthPrefixed(meta, blob);
+    meta->push_back(ali != nullptr ? 1 : 0);
+    if (ali != nullptr) {
+      blob.clear();
+      ali->EncodeCheckpointState(refs, &blob);
+      PutLengthPrefixed(meta, blob);
+    }
+  };
+  put_layered(Delta::kSenid, "", "", senid_files_, senid_index_.get(),
+              senid_ali_.get());
+  put_layered(Delta::kTname, "", "", tname_files_, tname_index_.get(),
+              tname_ali_.get());
+  PutVarint32(meta, static_cast<uint32_t>(user_indexes_.size()));
+  for (const auto& [key, index] : user_indexes_) {
+    PutLengthPrefixed(meta, key.first);
+    PutLengthPrefixed(meta, key.second);
+    PutVarint32(meta, static_cast<uint32_t>(index.schema_column_index));
+    meta->push_back(index.discrete ? 1 : 0);
+    put_layered(Delta::kUser, key.first, key.second, index.delta_files,
+                index.layered.get(), index.ali.get());
+  }
+  return Status::OK();
+}
+
+void IndexSet::AdoptCheckpoint(BufferManager* pool,
+                               const PendingIndexCheckpoint& pending) {
+  using Delta = PendingIndexCheckpoint::Delta;
+  MutexLock lock(&mu_);
+  for (const auto& d : pending.deltas) {
+    switch (d.target) {
+      case Delta::kBlockIndex:
+        block_index_.AdoptFrozen(d.bidx_ref);
+        bidx_files_.push_back(d.name);
+        break;
+      case Delta::kSenid:
+        senid_index_->AdoptFrozen(pool, d.file, d.refs);
+        if (senid_ali_ != nullptr) {
+          senid_ali_->AdoptFrozen(pool, d.file, d.refs);
+        }
+        senid_files_.push_back(d.name);
+        break;
+      case Delta::kTname:
+        tname_index_->AdoptFrozen(pool, d.file, d.refs);
+        if (tname_ali_ != nullptr) {
+          tname_ali_->AdoptFrozen(pool, d.file, d.refs);
+        }
+        tname_files_.push_back(d.name);
+        break;
+      case Delta::kUser: {
+        auto it = user_indexes_.find(std::make_pair(d.table, d.column));
+        if (it == user_indexes_.end()) break;  // dropped mid-checkpoint
+        it->second.layered->AdoptFrozen(pool, d.file, d.refs);
+        if (it->second.ali != nullptr) {
+          it->second.ali->AdoptFrozen(pool, d.file, d.refs);
+        }
+        it->second.delta_files.push_back(d.name);
+        break;
+      }
+    }
+  }
+}
+
+void IndexSet::AbortCheckpoint(BufferManager* pool,
+                               const PendingIndexCheckpoint& pending) {
+  for (const auto& d : pending.deltas) {
+    if (d.file != BufferManager::kInvalidFileId) pool->DropFile(d.file);
+  }
+}
+
+Status IndexSet::OpenDeltaFiles(BufferManager* pool, const std::string& dir,
+                                Slice* in, std::vector<std::string>* names,
+                                std::vector<BufferManager::FileId>* ids) {
+  uint32_t n;
+  if (!GetVarint32(in, &n) || n > in->size()) {
+    return Status::Corruption("truncated checkpoint file list");
+  }
+  for (uint32_t i = 0; i < n; i++) {
+    Slice name;
+    if (!GetLengthPrefixed(in, &name) || name.empty()) {
+      return Status::Corruption("truncated checkpoint file name");
+    }
+    BufferManager::FileId id;
+    Status s = pool->OpenFile(dir + "/" + name.ToString(), &id);
+    if (!s.ok()) return s;
+    names->push_back(name.ToString());
+    ids->push_back(id);
+  }
+  return Status::OK();
+}
+
+Status IndexSet::RestoreCheckpoint(BufferManager* pool,
+                                   const std::string& dir, uint64_t height,
+                                   Slice meta) {
+  MutexLock lock(&mu_);
+  if (num_blocks_ != 0) {
+    return Status::InvalidArgument("restore requires a fresh index set");
+  }
+  Slice in = meta;
+  uint32_t version;
+  if (!GetVarint32(&in, &version) || version != 1) {
+    return Status::Corruption("unknown index checkpoint version");
+  }
+  Slice blob;
+  if (!GetLengthPrefixed(&in, &blob)) {
+    return Status::Corruption("truncated table index state");
+  }
+  Status s = table_index_.RestoreFrom(&blob);
+  if (!s.ok()) return s;
+
+  {
+    std::vector<BufferManager::FileId> ids;
+    s = OpenDeltaFiles(pool, dir, &in, &bidx_files_, &ids);
+    if (!s.ok()) return s;
+    if (!GetLengthPrefixed(&in, &blob)) {
+      return Status::Corruption("truncated block index state");
+    }
+    s = block_index_.RestoreCheckpoint(pool, std::move(ids), blob);
+    if (!s.ok()) return s;
+  }
+
+  auto restore_layered = [&](std::vector<std::string>* names,
+                             LayeredIndex* layered,
+                             AuthenticatedLayeredIndex* ali) -> Status {
+    std::vector<BufferManager::FileId> ids;
+    Status rs = OpenDeltaFiles(pool, dir, &in, names, &ids);
+    if (!rs.ok()) return rs;
+    Slice state;
+    if (!GetLengthPrefixed(&in, &state)) {
+      return Status::Corruption("truncated layered index state");
+    }
+    rs = layered->RestoreCheckpoint(pool, ids, state);
+    if (!rs.ok()) return rs;
+    if (in.empty()) return Status::Corruption("truncated ALI presence flag");
+    const bool has_ali = in.data()[0] != 0;
+    in.remove_prefix(1);
+    if (has_ali) {
+      Slice ali_state;
+      if (!GetLengthPrefixed(&in, &ali_state)) {
+        return Status::Corruption("truncated ALI state");
+      }
+      if (ali != nullptr) {
+        rs = ali->RestoreCheckpoint(pool, ids, ali_state);
+        if (!rs.ok()) return rs;
+      }
+    } else if (ali != nullptr) {
+      // Auth indices were off when the checkpoint was written; a full
+      // replay is the only way to rebuild the MB-tree roots.
+      return Status::InvalidArgument(
+          "checkpoint lacks authenticated index state");
+    }
+    return Status::OK();
+  };
+
+  s = restore_layered(&senid_files_, senid_index_.get(), senid_ali_.get());
+  if (!s.ok()) return s;
+  s = restore_layered(&tname_files_, tname_index_.get(), tname_ali_.get());
+  if (!s.ok()) return s;
+
+  uint32_t nuser;
+  if (!GetVarint32(&in, &nuser) || nuser > in.size()) {
+    return Status::Corruption("truncated user index count");
+  }
+  for (uint32_t i = 0; i < nuser; i++) {
+    Slice table, column;
+    uint32_t schema_index;
+    if (!GetLengthPrefixed(&in, &table) || !GetLengthPrefixed(&in, &column) ||
+        !GetVarint32(&in, &schema_index) || in.empty()) {
+      return Status::Corruption("truncated user index header");
+    }
+    const bool discrete = in.data()[0] != 0;
+    in.remove_prefix(1);
+    auto key = std::make_pair(table.ToString(), column.ToString());
+    auto it = user_indexes_.find(key);
+    if (it == user_indexes_.end()) {
+      // Not re-created from the manifest (e.g. the manifest was lost); the
+      // checkpoint carries the full definition.
+      s = CreateLayeredIndexLocked(key.first, key.second,
+                                   static_cast<int>(schema_index), discrete);
+      if (!s.ok()) return s;
+      it = user_indexes_.find(key);
+    }
+    s = restore_layered(&it->second.delta_files, it->second.layered.get(),
+                        it->second.ali.get());
+    if (!s.ok()) return s;
+  }
+
+  if (block_index_.num_blocks() != height ||
+      senid_index_->num_blocks() != height) {
+    return Status::Corruption("checkpoint height mismatch");
+  }
+  num_blocks_ = height;
+
+  // Manifest-listed indices the checkpoint predates start empty; backfill
+  // them from raw blocks so every index covers [0, height) before replay.
+  for (auto& [key, index] : user_indexes_) {
+    if (index.layered->num_blocks() == num_blocks_) continue;
+    if (index.layered->num_blocks() != 0) {
+      return Status::Corruption("user index height mismatch");
+    }
+    s = BackfillIndex(&index, !index.discrete,
+                      MakeColumnExtractor(key.first,
+                                          index.schema_column_index));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
 }
 
 }  // namespace sebdb

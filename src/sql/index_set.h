@@ -3,19 +3,31 @@
 // two system-wide discrete layered indices on SenID and Tname that power
 // TRACE, any user-created per-column layered indices, and (optionally) their
 // authenticated twins (ALI) for thin-client queries.
+//
+// The IndexSet is also the checkpoint unit: WriteCheckpoint streams every
+// index's new-blocks delta into fresh page files and encodes one meta blob;
+// after the manifest publishes, AdoptCheckpoint commits the deltas (dropping
+// the frozen blocks' in-memory trees); RestoreCheckpoint rebuilds a fresh
+// IndexSet from a published checkpoint's files + meta. An ALI shares its
+// plain twin's delta file: both layered indices freeze byte-identical trees
+// (same extractor, same blocks), so one copy on disk serves both.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "auth/ali.h"
+#include "common/env.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "index/bitmap_index.h"
 #include "index/block_index.h"
 #include "index/layered_index.h"
 #include "storage/block_store.h"
+#include "storage/buffer_manager.h"
+#include "storage/checkpoint.h"
 
 namespace sebdb {
 
@@ -31,6 +43,26 @@ struct IndexSetOptions {
   /// When set, user-created indices are recorded here and recreated on the
   /// next open (before chain replay), so CREATE INDEX survives restarts.
   std::string manifest_path;
+  /// File system for the manifest. nullptr means Env::Default(); tests plug
+  /// a FaultInjectionEnv.
+  Env* env = nullptr;
+};
+
+/// In-flight checkpoint: files staged by WriteCheckpoint, waiting for the
+/// manifest to publish. Opaque bookkeeping handed back to AdoptCheckpoint
+/// (success) or AbortCheckpoint (failed publish).
+struct PendingIndexCheckpoint {
+  struct Delta {
+    enum Target { kBlockIndex, kSenid, kTname, kUser };
+    Target target = kUser;
+    std::string table, column;  // target == kUser only
+    std::string name;           // file name, relative to the checkpoint dir
+    BufferManager::FileId file = BufferManager::kInvalidFileId;
+    BlockIndex::SegmentRef bidx_ref;               // target == kBlockIndex
+    std::vector<LayeredIndex::FrozenTreeRef> refs;  // layered targets
+  };
+  uint64_t height = 0;
+  std::vector<Delta> deltas;
 };
 
 class IndexSet {
@@ -70,13 +102,56 @@ class IndexSet {
                                     const std::string& column);
   bool HasLayered(const std::string& table, const std::string& column) const;
 
+  // --- checkpoint protocol (driven by ChainManager under its commit lock) --
+
+  /// Phase 1: streams every index's delta of blocks chained since the last
+  /// checkpoint into fresh page files named "<prefix>_<tag>" under `dir`
+  /// (through `pool`, flushed and synced), appends them to *files, and
+  /// encodes the full index-set meta state (frozen refs + first levels +
+  /// cursors + per-index file lists) into *meta. No index state changes. On
+  /// failure the files staged so far stay recorded in *pending — call
+  /// AbortCheckpoint.
+  Status WriteCheckpoint(BufferManager* pool, const std::string& dir,
+                         const std::string& prefix,
+                         std::vector<CheckpointFile>* files, std::string* meta,
+                         PendingIndexCheckpoint* pending) EXCLUDES(mu_);
+
+  /// Phase 2, after the manifest published: registers the delta files and
+  /// drops the now-frozen blocks' in-memory trees (layered tails and MB
+  /// trees; the block index keeps its cheap in-memory tail).
+  void AdoptCheckpoint(BufferManager* pool,
+                       const PendingIndexCheckpoint& pending) EXCLUDES(mu_);
+
+  /// Abort path for a failed publish: drops the staged files from the pool.
+  /// The orphaned on-disk files are garbage-collected at the next
+  /// CheckpointManager::Open.
+  void AbortCheckpoint(BufferManager* pool,
+                       const PendingIndexCheckpoint& pending);
+
+  /// Rebuilds every index from a published checkpoint taken at `height`:
+  /// opens each recorded delta file from `dir` through `pool` and restores
+  /// the structures to exactly their state at the checkpoint (all blocks
+  /// frozen). Requires a fresh IndexSet. Manifest-listed indices the
+  /// checkpoint predates are backfilled from the block store over
+  /// [0, height). Any error leaves the set unusable — the caller falls back
+  /// to a fresh IndexSet and full replay.
+  Status RestoreCheckpoint(BufferManager* pool, const std::string& dir,
+                           uint64_t height, Slice meta) EXCLUDES(mu_);
+
  private:
   struct UserIndex {
     std::unique_ptr<LayeredIndex> layered;
     std::unique_ptr<AuthenticatedLayeredIndex> ali;  // null unless enabled
+    int schema_column_index = 0;
+    bool discrete = false;
+    std::vector<std::string> delta_files;  // checkpoint order
   };
 
   static ColumnExtractor MakeSystemExtractor(bool sender);
+  Env* env() const {
+    return options_.env != nullptr ? options_.env : Env::Default();
+  }
+  AuthenticatedLayeredIndex::BlockLoader MakeBlockLoader() const;
   Status BackfillIndex(UserIndex* index, bool continuous,
                        const ColumnExtractor& extractor) REQUIRES(mu_);
   Status CreateLayeredIndexLocked(const std::string& table,
@@ -86,6 +161,9 @@ class IndexSet {
   void LoadManifest() EXCLUDES(mu_);
   void AppendManifest(const std::string& table, const std::string& column,
                       int schema_column_index, bool discrete) REQUIRES(mu_);
+  Status OpenDeltaFiles(BufferManager* pool, const std::string& dir,
+                        Slice* in, std::vector<std::string>* names,
+                        std::vector<BufferManager::FileId>* ids);
 
   BlockStore* store_;
   IndexSetOptions options_;
@@ -103,6 +181,12 @@ class IndexSet {
   std::map<std::pair<std::string, std::string>, UserIndex> user_indexes_
       GUARDED_BY(mu_);
   uint64_t num_blocks_ GUARDED_BY(mu_) = 0;
+
+  // Delta file names per structure, checkpoint order (serialized into every
+  // checkpoint meta so restore can reopen them).
+  std::vector<std::string> bidx_files_ GUARDED_BY(mu_);
+  std::vector<std::string> senid_files_ GUARDED_BY(mu_);
+  std::vector<std::string> tname_files_ GUARDED_BY(mu_);
 };
 
 }  // namespace sebdb

@@ -26,6 +26,32 @@ uint64_t TxnCacheKey(BlockId height, uint32_t index) {
 
 }  // namespace
 
+void TrustedPrefix::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, static_cast<uint32_t>(segments.size()));
+  for (const auto& seg : segments) {
+    PutVarint32(dst, static_cast<uint32_t>(seg.size()));
+    for (uint32_t len : seg) PutVarint32(dst, len);
+  }
+}
+
+bool TrustedPrefix::DecodeFrom(Slice* in, TrustedPrefix* out) {
+  uint32_t nsegs;
+  if (!GetVarint32(in, &nsegs) || nsegs > in->size()) return false;
+  out->segments.clear();
+  out->segments.resize(nsegs);
+  for (uint32_t s = 0; s < nsegs; s++) {
+    uint32_t nrecs;
+    if (!GetVarint32(in, &nrecs) || nrecs > in->size()) return false;
+    out->segments[s].reserve(nrecs);
+    for (uint32_t i = 0; i < nrecs; i++) {
+      uint32_t len;
+      if (!GetVarint32(in, &len)) return false;
+      out->segments[s].push_back(len);
+    }
+  }
+  return true;
+}
+
 Status BlockStore::Open(const BlockStoreOptions& options,
                         const std::string& dir) {
   MutexLock lock(&mu_);
@@ -56,14 +82,14 @@ Status BlockStore::Open(const BlockStoreOptions& options,
 // truncated back to it (crash self-healing), anywhere else the store
 // refuses to open (real mid-chain corruption, not a crash artifact).
 Status BlockStore::ScanSegment(uint32_t seg_id, const std::string& name,
-                               bool is_tail) {
+                               bool is_tail, uint64_t start_offset) {
   const std::string path = dir_ + "/" + name;
   RandomAccessFile file;
   Status s = file.Open(path, env_);
   if (!s.ok()) return s;
 
   const uint64_t file_size = file.size();
-  uint64_t offset = 0;  // end of the valid prefix
+  uint64_t offset = start_offset;  // end of the valid prefix
   std::string defect;
   size_t valid_records = 0;
   while (defect.empty() && offset + kFrameHeaderSize <= file_size) {
@@ -138,10 +164,17 @@ Status BlockStore::RecoverSegments() {
 
   locations_.clear();
   recovery_ = RecoveryStats{};
-  for (uint32_t seg_id = 0; seg_id < segments.size(); seg_id++) {
-    s = ScanSegment(seg_id, segments[seg_id],
-                    /*is_tail=*/seg_id + 1 == segments.size());
-    if (!s.ok()) return s;
+  if (options_.trusted_prefix == nullptr ||
+      !TryTrustedRecover(*options_.trusted_prefix, segments)) {
+    // Full validating scan (no checkpoint, or the prefix did not match).
+    locations_.clear();
+    recovery_ = RecoveryStats{};
+    for (uint32_t seg_id = 0; seg_id < segments.size(); seg_id++) {
+      s = ScanSegment(seg_id, segments[seg_id],
+                      /*is_tail=*/seg_id + 1 == segments.size(),
+                      /*start_offset=*/0);
+      if (!s.ok()) return s;
+    }
   }
   recovery_.blocks_recovered = locations_.size();
   recovery_.segments_scanned = static_cast<uint32_t>(segments.size());
@@ -149,6 +182,81 @@ Status BlockStore::RecoverSegments() {
   active_segment_ =
       segments.empty() ? 0 : static_cast<uint32_t>(segments.size() - 1);
   return OpenSegmentForAppend(active_segment_);
+}
+
+// Adopts the checkpoint's layout digest: rebuild Locations arithmetically,
+// verify segment sizes are consistent with the claimed record lists, CRC
+// spot-check the newest trusted record, then scan only the bytes past the
+// prefix. Returns false (caller falls back to the full scan) on any
+// mismatch — a digest is an optimization, never a source of truth.
+bool BlockStore::TryTrustedRecover(const TrustedPrefix& trusted,
+                                   const std::vector<std::string>& segments) {
+  const size_t nt = trusted.segments.size();
+  if (nt == 0 || nt > segments.size() || trusted.num_records() == 0) {
+    return false;
+  }
+
+  Location last_loc{0, 0, 0};
+  std::vector<uint64_t> seg_end(nt, 0);
+  for (size_t t = 0; t < nt; t++) {
+    uint64_t offset = 0;
+    for (uint32_t len : trusted.segments[t]) {
+      if (len > options_.segment_size) return false;
+      locations_.push_back({static_cast<uint32_t>(t),
+                            offset + kFrameHeaderSize, len});
+      last_loc = locations_.back();
+      offset += kFrameHeaderSize + len + kFrameTrailerSize;
+    }
+    seg_end[t] = offset;
+    uint64_t actual = 0;
+    if (!env_->FileSize(dir_ + "/" + segments[t], &actual).ok()) return false;
+    // Rolled-past segments never grow, so anything but an exact size match
+    // means the digest describes some other history. The last trusted
+    // segment may legitimately have grown (appends since the checkpoint).
+    if (t + 1 < nt ? actual != offset : actual < offset) return false;
+  }
+
+  // One CRC spot-check of the newest trusted record guards against the
+  // pathological "same sizes, different bytes" case (e.g. a restored
+  // backup); per-record validation stays where it always was: on read.
+  std::string payload;
+  {
+    RandomAccessFile file;
+    if (!file.Open(dir_ + "/" + segments[last_loc.segment], env_).ok()) {
+      return false;
+    }
+    Status s = file.Read(last_loc.offset,
+                         last_loc.length + kFrameTrailerSize, &payload);
+    (void)file.Close();
+    if (!s.ok() || payload.size() != last_loc.length + kFrameTrailerSize) {
+      return false;
+    }
+  }
+  uint32_t stored_crc = DecodeFixed32(payload.data() + last_loc.length);
+  if (Crc32(0, payload.data(), last_loc.length) != stored_crc) return false;
+
+  recovery_.blocks_trusted = locations_.size();
+  recovery_.used_trusted_prefix = true;
+
+  // Scan the unverified remainder: the tail of the last trusted segment,
+  // then every later segment in full.
+  for (size_t seg = nt - 1; seg < segments.size(); seg++) {
+    Status s = ScanSegment(static_cast<uint32_t>(seg), segments[seg],
+                           /*is_tail=*/seg + 1 == segments.size(),
+                           /*start_offset=*/seg == nt - 1 ? seg_end[seg] : 0);
+    if (!s.ok()) return false;
+  }
+  return true;
+}
+
+TrustedPrefix BlockStore::trusted_prefix_snapshot() const {
+  MutexLock lock(&mu_);
+  TrustedPrefix out;
+  out.segments.resize(active_segment_ + 1);
+  for (const Location& loc : locations_) {
+    out.segments[loc.segment].push_back(loc.length);
+  }
+  return out;
 }
 
 Status BlockStore::OpenSegmentForAppend(uint32_t segment_id) {

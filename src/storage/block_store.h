@@ -26,6 +26,26 @@
 
 namespace sebdb {
 
+/// A digest of the record layout the store had at some earlier moment (a
+/// checkpoint): per segment, in order, the payload length of every frame.
+/// Frames are back-to-back from offset 0, so lengths alone reconstruct every
+/// Location arithmetically — recovery can adopt the prefix after cheap size
+/// checks plus one CRC spot-check instead of re-reading gigabytes of chain.
+/// Any inconsistency falls back to the full validating scan.
+struct TrustedPrefix {
+  /// segments[s] = payload lengths of segment s's records, append order.
+  std::vector<std::vector<uint32_t>> segments;
+
+  uint64_t num_records() const {
+    uint64_t n = 0;
+    for (const auto& seg : segments) n += seg.size();
+    return n;
+  }
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* in, TrustedPrefix* out);
+};
+
 struct BlockStoreOptions {
   /// Maximum bytes per segment file before rolling to a new one.
   uint64_t segment_size = 256ull << 20;
@@ -39,6 +59,11 @@ struct BlockStoreOptions {
   /// File system to use; nullptr means Env::Default(). Tests plug a
   /// FaultInjectionEnv here.
   Env* env = nullptr;
+  /// When set, Open first tries to adopt this layout digest (from the latest
+  /// index checkpoint) instead of scanning: earlier segments are verified by
+  /// size, the last trusted record by CRC, and only bytes past the prefix
+  /// are scanned. Must outlive Open. Mismatch → silent full-scan fallback.
+  const TrustedPrefix* trusted_prefix = nullptr;
 };
 
 /// Cumulative I/O counters; disk "seeks" count distinct pread/append block
@@ -87,8 +112,10 @@ class BlockStore {
     uint64_t blocks_recovered = 0;  // valid records found across segments
     uint64_t bytes_truncated = 0;   // torn/corrupt tail bytes dropped
     uint64_t records_dropped = 0;   // whole records lost to tail truncation
+    uint64_t blocks_trusted = 0;    // records adopted from a trusted prefix
     uint32_t segments_scanned = 0;
     bool tail_truncated = false;
+    bool used_trusted_prefix = false;
 
     bool clean() const { return !tail_truncated; }
   };
@@ -140,6 +167,9 @@ class BlockStore {
   /// Snapshot of what the last Open found on disk (by value: the stats are
   /// rewritten by a concurrent reopen, so a reference would escape mu_).
   RecoveryStats recovery_stats() const EXCLUDES(mu_);
+  /// Digest of the current record layout, for embedding in a checkpoint so
+  /// the next Open can skip re-scanning everything below it.
+  TrustedPrefix trusted_prefix_snapshot() const EXCLUDES(mu_);
   const std::string& dir() const { return dir_; }
 
  private:
@@ -151,8 +181,11 @@ class BlockStore {
 
   Status OpenSegmentForAppend(uint32_t segment_id) REQUIRES(mu_);
   Status RecoverSegments() REQUIRES(mu_);
-  Status ScanSegment(uint32_t seg_id, const std::string& name, bool is_tail)
+  bool TryTrustedRecover(const TrustedPrefix& trusted,
+                         const std::vector<std::string>& segments)
       REQUIRES(mu_);
+  Status ScanSegment(uint32_t seg_id, const std::string& name, bool is_tail,
+                     uint64_t start_offset) REQUIRES(mu_);
   Status ReadPayload(const Location& loc, std::string* out) const
       EXCLUDES(mu_);
   Status ReadAt(uint32_t segment, uint64_t offset, size_t n,

@@ -1,0 +1,302 @@
+#include "storage/buffer_manager.h"
+
+#include <algorithm>
+
+namespace sebdb {
+
+// A resident page. `data` is the full encoded page; payload_off/len index
+// into it. The bytes are written once (on fault or append) and immutable
+// afterwards, so pinned readers touch them without the pool lock.
+struct BufferManager::Frame {
+  FileId file = 0;
+  PageId page = 0;
+  std::string data;
+  PageType type = PageType::kBlob;
+  uint32_t payload_len = 0;
+  int pins = 0;
+  bool dirty = false;
+  bool in_lru = false;
+  std::list<Frame*>::iterator lru_pos;
+};
+
+PageType BufferManager::PageRef::type() const { return frame_->type; }
+
+Slice BufferManager::PageRef::payload() const {
+  return Slice(frame_->data.data() + kPageHeaderSize, frame_->payload_len);
+}
+
+void BufferManager::PageRef::Release() {
+  if (frame_ != nullptr) {
+    bm_->Unpin(frame_);
+    frame_ = nullptr;
+    bm_ = nullptr;
+  }
+}
+
+BufferManager::BufferManager(BufferPoolOptions options)
+    : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()) {}
+
+BufferManager::~BufferManager() = default;
+
+Status BufferManager::OpenFile(const std::string& path, FileId* id) {
+  uint64_t size = 0;
+  Status s = env_->FileSize(path, &size);
+  if (!s.ok()) return s;
+  if (size % kPageSize != 0) {
+    return Status::Corruption("page file " + path +
+                              " is not a whole number of pages");
+  }
+  MutexLock lock(&mu_);
+  auto fs = std::make_unique<FileState>();
+  fs->path = path;
+  fs->num_pages = static_cast<PageId>(size / kPageSize);
+  fs->flushed_pages = fs->num_pages;
+  *id = static_cast<FileId>(files_.size());
+  files_.push_back(std::move(fs));
+  return Status::OK();
+}
+
+Status BufferManager::CreateFile(const std::string& path, FileId* id) {
+  uint64_t size = 0;
+  if (env_->FileSize(path, &size).ok() && size > 0) {
+    // Env's writable files are append-only; a leftover file (crashed
+    // checkpoint build) must be removed first so pages land at offset 0.
+    Status s = env_->RemoveFile(path);
+    if (!s.ok()) return s;
+  }
+  std::unique_ptr<WritableFile> writer;
+  Status s = env_->NewWritableFile(path, &writer);
+  if (!s.ok()) return s;
+  MutexLock lock(&mu_);
+  auto fs = std::make_unique<FileState>();
+  fs->path = path;
+  fs->writable = true;
+  fs->writer = std::move(writer);
+  *id = static_cast<FileId>(files_.size());
+  files_.push_back(std::move(fs));
+  return Status::OK();
+}
+
+void BufferManager::DropFile(FileId id) {
+  MutexLock lock(&mu_);
+  if (id >= files_.size() || files_[id] == nullptr) return;
+  FileState* fs = files_[id].get();
+  for (PageId p = 0; p < fs->num_pages; p++) {
+    auto it = frames_.find(FrameKey(id, p));
+    if (it == frames_.end()) continue;
+    Frame* frame = it->second.get();
+    if (frame->in_lru) lru_.erase(frame->lru_pos);
+    if (frame->dirty) dirty_bytes_ -= kPageSize;
+    usage_ -= kPageSize;
+    frames_.erase(it);
+  }
+  fs->dirty.clear();
+  if (fs->writer != nullptr) fs->writer->Close().ok();
+  files_[id] = nullptr;
+}
+
+Status BufferManager::Pin(FileId file, PageId page, PageRef* out) {
+  const ReadableFile* reader = nullptr;
+  std::string path;
+  {
+    MutexLock lock(&mu_);
+    if (file >= files_.size() || files_[file] == nullptr) {
+      return Status::InvalidArgument("unknown buffer pool file");
+    }
+    FileState* fs = files_[file].get();
+    if (page >= fs->num_pages) {
+      return Status::InvalidArgument("page " + std::to_string(page) +
+                                     " past end of " + fs->path);
+    }
+    auto it = frames_.find(FrameKey(file, page));
+    if (it != frames_.end()) {
+      Frame* frame = it->second.get();
+      hits_++;
+      if (frame->in_lru) {
+        lru_.erase(frame->lru_pos);
+        frame->in_lru = false;
+      }
+      if (frame->pins++ == 0) pinned_++;
+      *out = PageRef(this, frame);
+      return Status::OK();
+    }
+    misses_++;
+    // Every unflushed page has a resident dirty frame, so a miss is always
+    // below the flushed prefix and readable from disk.
+    if (fs->reader == nullptr) {
+      Status s = env_->NewReadableFile(fs->path, &fs->reader);
+      if (!s.ok()) return s;
+    }
+    // The reader pointer stays valid outside the lock: it is only destroyed
+    // by DropFile/destruction, which callers must not race with Pin.
+    reader = fs->reader.get();
+    path = fs->path;
+  }
+
+  std::string buf;
+  Status s =
+      reader->Read(static_cast<uint64_t>(page) * kPageSize, kPageSize, &buf);
+  if (!s.ok()) return s;
+  if (buf.size() != kPageSize) {
+    return Status::IOError("short page read from " + path);
+  }
+  PageType type;
+  Slice payload;
+  s = DecodePage(Slice(buf), &type, &payload);
+  if (!s.ok()) return s;
+
+  MutexLock lock(&mu_);
+  // Re-check: a concurrent fault may have installed the frame meanwhile.
+  auto it = frames_.find(FrameKey(file, page));
+  if (it == frames_.end()) {
+    auto frame = std::make_unique<Frame>();
+    frame->file = file;
+    frame->page = page;
+    frame->data = std::move(buf);
+    frame->type = type;
+    frame->payload_len = static_cast<uint32_t>(payload.size());
+    it = frames_.emplace(FrameKey(file, page), std::move(frame)).first;
+    usage_ += kPageSize;
+    EvictIfNeeded();
+  }
+  Frame* frame = it->second.get();
+  if (frame->in_lru) {
+    lru_.erase(frame->lru_pos);
+    frame->in_lru = false;
+  }
+  if (frame->pins++ == 0) pinned_++;
+  *out = PageRef(this, frame);
+  return Status::OK();
+}
+
+void BufferManager::Unpin(Frame* frame) {
+  MutexLock lock(&mu_);
+  if (--frame->pins == 0) {
+    pinned_--;
+    if (!frame->dirty) {
+      lru_.push_front(frame);
+      frame->lru_pos = lru_.begin();
+      frame->in_lru = true;
+      EvictIfNeeded();
+    }
+  }
+}
+
+void BufferManager::EvictIfNeeded() {
+  while (usage_ > options_.capacity_bytes && !lru_.empty()) {
+    Frame* victim = lru_.back();
+    lru_.pop_back();
+    usage_ -= kPageSize;
+    evictions_++;
+    frames_.erase(FrameKey(victim->file, victim->page));
+  }
+}
+
+Status BufferManager::AppendPage(FileId file, PageType type,
+                                 const Slice& payload, PageId* page) {
+  MutexLock lock(&mu_);
+  if (file >= files_.size() || files_[file] == nullptr) {
+    return Status::InvalidArgument("unknown buffer pool file");
+  }
+  FileState* fs = files_[file].get();
+  if (!fs->writable) {
+    return Status::InvalidArgument("file " + fs->path + " is read-only");
+  }
+  if (fs->failed) {
+    return Status::IOError("file " + fs->path +
+                           " wedged by an earlier write failure");
+  }
+  auto frame = std::make_unique<Frame>();
+  Status s = EncodePage(type, payload, &frame->data);
+  if (!s.ok()) return s;
+  frame->file = file;
+  frame->page = fs->num_pages;
+  frame->type = type;
+  frame->payload_len = static_cast<uint32_t>(payload.size());
+  frame->dirty = true;
+  *page = frame->page;
+  fs->dirty.push_back(frame.get());
+  frames_.emplace(FrameKey(file, frame->page), std::move(frame));
+  fs->num_pages++;
+  usage_ += kPageSize;
+  dirty_bytes_ += kPageSize;
+  EvictIfNeeded();
+  if (dirty_bytes_ > options_.capacity_bytes / 2) {
+    return FlushLocked(file, fs);
+  }
+  return Status::OK();
+}
+
+Status BufferManager::FlushLocked(FileId file, FileState* fs) {
+  (void)file;
+  if (fs->dirty.empty()) return Status::OK();
+  for (Frame* frame : fs->dirty) {
+    Status s = fs->writer->Append(frame->data);
+    if (!s.ok()) {
+      fs->failed = true;  // unknown how much reached the file
+      return s;
+    }
+    dirty_writes_++;
+  }
+  Status s = fs->writer->Sync();
+  if (!s.ok()) {
+    fs->failed = true;
+    return s;
+  }
+  for (Frame* frame : fs->dirty) {
+    frame->dirty = false;
+    dirty_bytes_ -= kPageSize;
+    if (frame->pins == 0) {
+      lru_.push_front(frame);
+      frame->lru_pos = lru_.begin();
+      frame->in_lru = true;
+    }
+  }
+  fs->dirty.clear();
+  fs->flushed_pages = fs->num_pages;
+  EvictIfNeeded();
+  return Status::OK();
+}
+
+Status BufferManager::Flush(FileId file) {
+  MutexLock lock(&mu_);
+  if (file >= files_.size() || files_[file] == nullptr) {
+    return Status::InvalidArgument("unknown buffer pool file");
+  }
+  FileState* fs = files_[file].get();
+  if (!fs->writable) return Status::OK();
+  if (fs->failed) {
+    return Status::IOError("file " + fs->path +
+                           " wedged by an earlier write failure");
+  }
+  return FlushLocked(file, fs);
+}
+
+uint64_t BufferManager::file_pages(FileId file) const {
+  MutexLock lock(&mu_);
+  if (file >= files_.size() || files_[file] == nullptr) return 0;
+  return files_[file]->num_pages;
+}
+
+BufferManager::Stats BufferManager::stats() const {
+  MutexLock lock(&mu_);
+  Stats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.dirty_writes = dirty_writes_;
+  out.pages = frames_.size();
+  out.pinned = pinned_;
+  out.dirty = dirty_bytes_ / kPageSize;
+  out.usage = usage_;
+  out.capacity = options_.capacity_bytes;
+  uint64_t files = 0;
+  for (const auto& fs : files_) {
+    if (fs != nullptr) files++;
+  }
+  out.files = files;
+  return out;
+}
+
+}  // namespace sebdb

@@ -1,0 +1,244 @@
+#include "storage/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "storage/page.h"
+
+namespace sebdb {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x5ebdbc45;
+constexpr size_t kFrameHeaderSize = 8;   // magic + payload length
+constexpr size_t kFrameTrailerSize = 4;  // crc32 of the payload
+constexpr char kManifestName[] = "MANIFEST";
+// Generous bound: a manifest record lists file names and sizes, not data.
+constexpr uint32_t kMaxRecordSize = 64u << 20;
+
+}  // namespace
+
+void CheckpointManager::EncodeManifestRecord(const CheckpointRecord& rec,
+                                             std::string* dst) {
+  PutVarint64(dst, rec.id);
+  PutVarint64(dst, rec.height);
+  PutVarint32(dst, static_cast<uint32_t>(rec.files.size()));
+  for (const CheckpointFile& f : rec.files) {
+    PutLengthPrefixed(dst, f.name);
+    PutVarint64(dst, f.size);
+  }
+}
+
+bool CheckpointManager::DecodeManifestRecord(Slice* in, CheckpointRecord* rec) {
+  uint32_t nfiles;
+  if (!GetVarint64(in, &rec->id) || !GetVarint64(in, &rec->height) ||
+      !GetVarint32(in, &nfiles)) {
+    return false;
+  }
+  // A name needs at least its one-byte length prefix.
+  if (nfiles > in->size()) return false;
+  rec->files.clear();
+  rec->files.reserve(nfiles);
+  for (uint32_t i = 0; i < nfiles; i++) {
+    CheckpointFile f;
+    Slice name;
+    if (!GetLengthPrefixed(in, &name) || !GetVarint64(in, &f.size)) {
+      return false;
+    }
+    if (name.empty() ||
+        name.ToString().find('/') != std::string::npos) {
+      return false;  // names are flat, within the checkpoint dir
+    }
+    f.name = name.ToString();
+    rec->files.push_back(std::move(f));
+  }
+  return true;
+}
+
+Status CheckpointManager::Open(Env* env, const std::string& dir,
+                               std::unique_ptr<CheckpointManager>* out) {
+  Status s = env->CreateDirIfMissing(dir);
+  if (!s.ok()) return s;
+  std::unique_ptr<CheckpointManager> mgr(new CheckpointManager(env, dir));
+  s = mgr->Load();
+  if (!s.ok()) return s;
+  mgr->DropUnreferencedFiles();
+  s = env->NewWritableFile(mgr->FilePath(kManifestName), &mgr->writer_);
+  if (!s.ok()) return s;
+  *out = std::move(mgr);
+  return Status::OK();
+}
+
+Status CheckpointManager::Load() {
+  const std::string path = FilePath(kManifestName);
+  uint64_t file_size = 0;
+  if (!env_->FileSize(path, &file_size).ok() || file_size == 0) {
+    return Status::OK();  // fresh directory
+  }
+  std::unique_ptr<ReadableFile> reader;
+  Status s = env_->NewReadableFile(path, &reader);
+  if (!s.ok()) return s;
+  std::string buf;
+  s = reader->Read(0, file_size, &buf);
+  if (!s.ok()) return s;
+
+  // Valid prefix of CRC frames wins; anything after the first defect is a
+  // torn append and is truncated away (same self-heal as block segments).
+  size_t offset = 0;
+  while (offset + kFrameHeaderSize <= buf.size()) {
+    const char* p = buf.data() + offset;
+    if (DecodeFixed32(p) != kManifestMagic) break;
+    uint32_t len = DecodeFixed32(p + 4);
+    if (len > kMaxRecordSize ||
+        offset + kFrameHeaderSize + len + kFrameTrailerSize > buf.size()) {
+      break;
+    }
+    const char* payload = p + kFrameHeaderSize;
+    uint32_t crc = DecodeFixed32(payload + len);
+    if (Crc32(0, payload, len) != crc) break;
+    Slice in(payload, len);
+    CheckpointRecord rec;
+    if (!DecodeManifestRecord(&in, &rec) || !in.empty()) break;
+    records_.push_back(std::move(rec));
+    offset += kFrameHeaderSize + len + kFrameTrailerSize;
+  }
+  if (offset < buf.size()) {
+    s = env_->TruncateFile(path, offset);
+    if (!s.ok()) return s;
+    manifest_truncated_ = true;
+    std::fprintf(stderr,
+                 "[sebdb] checkpoint manifest %s: dropped torn tail "
+                 "(%llu -> %llu bytes)\n",
+                 path.c_str(), static_cast<unsigned long long>(buf.size()),
+                 static_cast<unsigned long long>(offset));
+  }
+
+  // Newest record whose files all survived intact is the one recovery uses;
+  // a crash between page-file writes and the manifest append leaves the
+  // newest record pointing at missing/short files, so walk backwards.
+  for (size_t i = records_.size(); i-- > 0;) {
+    if (RecordUsable(records_[i])) {
+      usable_ = i;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+bool CheckpointManager::RecordUsable(const CheckpointRecord& rec) const {
+  for (const CheckpointFile& f : rec.files) {
+    uint64_t size = 0;
+    if (!env_->FileSize(FilePath(f.name), &size).ok() || size != f.size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CheckpointManager::DropUnreferencedFiles() {
+  std::vector<std::string> entries;
+  if (!env_->ListDir(dir_, &entries).ok()) return;
+  // Cumulative records re-list every surviving ancestor file, so a
+  // name-by-name scan over all records is quadratic in checkpoint count;
+  // one set keeps startup GC linear in directory size.
+  std::unordered_set<std::string> referenced;
+  for (const CheckpointRecord& rec : records_) {
+    for (const CheckpointFile& f : rec.files) referenced.insert(f.name);
+  }
+  for (const std::string& name : entries) {
+    if (name == kManifestName) continue;
+    if (referenced.find(name) == referenced.end()) {
+      // Leftover from a build whose manifest record never landed.
+      (void)env_->RemoveFile(FilePath(name));
+    }
+  }
+}
+
+uint64_t CheckpointManager::next_id() const {
+  uint64_t max_id = 0;
+  for (const CheckpointRecord& rec : records_) {
+    max_id = std::max(max_id, rec.id);
+  }
+  return max_id + 1;
+}
+
+Status CheckpointManager::Publish(const CheckpointRecord& rec) {
+  std::string frame;
+  std::string payload;
+  EncodeManifestRecord(rec, &payload);
+  PutFixed32(&frame, kManifestMagic);
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  PutFixed32(&frame, Crc32(0, payload.data(), payload.size()));
+  Status s = writer_->Append(frame);
+  if (s.ok()) s = writer_->Sync();
+  if (s.ok()) s = env_->SyncDir(dir_);
+  if (!s.ok()) return s;
+
+  // The new record is durable; drop files only the superseded one used.
+  // Cumulative file lists grow with the chain, so membership goes through
+  // a set rather than a nested scan.
+  const CheckpointRecord* prev = latest();
+  if (prev != nullptr) {
+    std::unordered_set<std::string> kept;
+    for (const CheckpointFile& nf : rec.files) kept.insert(nf.name);
+    for (const CheckpointFile& f : prev->files) {
+      if (kept.find(f.name) == kept.end()) {
+        (void)env_->RemoveFile(FilePath(f.name));
+      }
+    }
+  }
+  records_.push_back(rec);
+  usable_ = records_.size() - 1;
+  return Status::OK();
+}
+
+Status CheckpointManager::WriteBlobFile(BufferManager* pool,
+                                        BufferManager::FileId file,
+                                        const Slice& bytes) {
+  size_t offset = 0;
+  do {
+    size_t n = std::min(bytes.size() - offset, kMaxPagePayload);
+    PageId pid;
+    Status s = pool->AppendPage(file, PageType::kBlob,
+                                Slice(bytes.data() + offset, n), &pid);
+    if (!s.ok()) return s;
+    offset += n;
+  } while (offset < bytes.size());
+  return Status::OK();
+}
+
+Status CheckpointManager::ReadBlobFile(Env* env, const std::string& path,
+                                       std::string* out) {
+  out->clear();
+  std::unique_ptr<ReadableFile> reader;
+  Status s = env->NewReadableFile(path, &reader);
+  if (!s.ok()) return s;
+  uint64_t size = reader->size();
+  if (size % kPageSize != 0) {
+    return Status::Corruption("blob file " + path +
+                              " is not a whole number of pages");
+  }
+  for (uint64_t off = 0; off < size; off += kPageSize) {
+    std::string buf;
+    s = reader->Read(off, kPageSize, &buf);
+    if (!s.ok()) return s;
+    if (buf.size() != kPageSize) {
+      return Status::IOError("short page read from " + path);
+    }
+    PageType type;
+    Slice payload;
+    s = DecodePage(Slice(buf), &type, &payload);
+    if (!s.ok()) return s;
+    if (type != PageType::kBlob) {
+      return Status::Corruption("unexpected page type in blob file " + path);
+    }
+    out->append(payload.data(), payload.size());
+  }
+  return Status::OK();
+}
+
+}  // namespace sebdb

@@ -1,0 +1,100 @@
+// CheckpointManager: shadow-paging publication protocol for index
+// checkpoints. A checkpoint is a set of immutable page files plus one
+// manifest record binding them to a chain height. Page files are written
+// first (through the BufferManager) and synced; only then is the record
+// appended to the MANIFEST — a CRC-framed, append-only log reusing the block
+// store's frame/fsync discipline (the Env seam has no rename, so atomic
+// swap is "append one record whose frame either wholly survives or is
+// truncated away"). The newest record whose files all exist at their exact
+// recorded sizes wins at recovery; anything later that was torn by a crash
+// — mid-page-file or mid-manifest-append — self-heals by falling back to
+// the previous usable record. Files referenced by no decoded record are
+// garbage from crashed builds and are removed at Open; files a new record
+// stops referencing are removed after Publish.
+//
+// Externally synchronized: ChainManager drives Open/Publish from one thread
+// (checkpointing happens under its commit lock).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/buffer_manager.h"
+
+namespace sebdb {
+
+struct CheckpointFile {
+  std::string name;  // relative to the checkpoint directory
+  uint64_t size = 0;
+};
+
+struct CheckpointRecord {
+  uint64_t id = 0;      // monotone per-checkpoint ordinal (file name prefix)
+  uint64_t height = 0;  // blocks [0, height) are covered
+  std::vector<CheckpointFile> files;
+};
+
+class CheckpointManager {
+ public:
+  /// Scans `dir` (created if missing): parses the MANIFEST, truncates any
+  /// torn tail, selects the newest usable record, and removes orphaned
+  /// files. Always succeeds on a healthy-but-empty directory.
+  static Status Open(Env* env, const std::string& dir,
+                     std::unique_ptr<CheckpointManager>* out);
+
+  /// Newest record whose files all exist at their exact sizes, or nullptr.
+  const CheckpointRecord* latest() const {
+    return usable_ < records_.size() ? &records_[usable_] : nullptr;
+  }
+  size_t num_records() const { return records_.size(); }
+  /// True when Open dropped a torn manifest tail.
+  bool manifest_truncated() const { return manifest_truncated_; }
+
+  /// Id for the next checkpoint build (max decoded id + 1).
+  uint64_t next_id() const;
+
+  /// Durably appends `rec` (append + Sync + SyncDir) and then deletes files
+  /// the superseded record referenced but `rec` does not.
+  Status Publish(const CheckpointRecord& rec);
+
+  const std::string& dir() const { return dir_; }
+  std::string FilePath(const std::string& name) const {
+    return dir_ + "/" + name;
+  }
+  Env* env() const { return env_; }
+
+  /// Manifest record frame payload codec (fuzzed: fuzz_manifest_decode).
+  static void EncodeManifestRecord(const CheckpointRecord& rec,
+                                   std::string* dst);
+  static bool DecodeManifestRecord(Slice* in, CheckpointRecord* rec);
+
+  /// Chunks `bytes` into kBlob pages appended to `file`. The caller flushes.
+  static Status WriteBlobFile(BufferManager* pool, BufferManager::FileId file,
+                              const Slice& bytes);
+  /// Reassembles a standalone blob page file (validating every page) without
+  /// going through a pool — used for checkpoint meta before indexes exist.
+  static Status ReadBlobFile(Env* env, const std::string& path,
+                             std::string* out);
+
+ private:
+  CheckpointManager(Env* env, std::string dir)
+      : env_(env), dir_(std::move(dir)) {}
+
+  Status Load();
+  bool RecordUsable(const CheckpointRecord& rec) const;
+  void DropUnreferencedFiles();
+
+  Env* env_;
+  std::string dir_;
+  std::unique_ptr<WritableFile> writer_;
+  std::vector<CheckpointRecord> records_;
+  size_t usable_ = static_cast<size_t>(-1);  // index into records_
+  bool manifest_truncated_ = false;
+};
+
+}  // namespace sebdb

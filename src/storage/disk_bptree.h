@@ -1,0 +1,361 @@
+// Disk-resident, immutable, bulk-loaded B+-tree stored as pages in a
+// BufferManager file — the persistent counterpart of index/bptree.h. Blocks
+// are immutable once chained, so checkpointed trees are built once, bottom
+// up, leaves packed full, and never rebalanced: a builder streams sorted
+// entries into leaf pages (chained by sequential page ids, since nothing
+// interleaves between leaves of one tree), then writes the internal levels.
+// Several trees can share one file (per-block trees of a layered index); a
+// tree is identified by {file, root page, entry count}.
+//
+// Read paths mirror BpTree: Begin / SeekGE / SeekFirstTrue (monotone
+// predicate descent — the co-monotone block-index trick works unchanged on
+// disk) / RangeScan, with a linked-leaf Iterator. Every page fault goes
+// through the buffer pool (CRC-validated, LRU-evicted); iterators decode a
+// whole leaf and release the pin immediately, so long scans never pin more
+// than one page. I/O errors surface through Iterator::status().
+//
+// Codec supplies the key/value serialization:
+//   static void EncodeKey(std::string*, const Key&);
+//   static bool DecodeKey(Slice*, Key*);
+//   static void EncodeVal(std::string*, const Val&);
+//   static bool DecodeVal(Slice*, Val*);
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/buffer_manager.h"
+#include "storage/page.h"
+
+namespace sebdb {
+
+template <typename Key, typename Val, typename Codec,
+          typename Cmp = std::less<Key>>
+class DiskBpTree {
+ public:
+  struct Ref {
+    BufferManager::FileId file = BufferManager::kInvalidFileId;
+    PageId root = kInvalidPageId;  // kInvalidPageId = empty tree (no pages)
+    uint64_t entries = 0;
+  };
+
+  DiskBpTree() = default;
+  DiskBpTree(BufferManager* pool, Ref ref, Cmp cmp = Cmp())
+      : pool_(pool), ref_(ref), cmp_(std::move(cmp)) {}
+
+  uint64_t size() const { return ref_.entries; }
+  bool empty() const { return ref_.entries == 0; }
+  const Ref& ref() const { return ref_; }
+
+  class Iterator {
+   public:
+    Iterator() = default;
+    bool Valid() const { return pos_ < entries_.size(); }
+    const Key& key() const { return entries_[pos_].first; }
+    const Val& value() const { return entries_[pos_].second; }
+    /// OK while iterating and at a clean end; an I/O or decode error
+    /// invalidates the iterator and is reported here.
+    const Status& status() const { return status_; }
+
+    void Next() {
+      if (!Valid()) return;
+      if (++pos_ < entries_.size()) return;
+      AdvanceLeaf();
+    }
+
+   private:
+    friend class DiskBpTree;
+    Iterator(const DiskBpTree* tree) : tree_(tree) {}
+
+    // Loads leaves (skipping empty ones) until entries arrive or the chain
+    // ends; clears state on error.
+    void AdvanceLeaf() {
+      entries_.clear();
+      pos_ = 0;
+      while (next_ != kInvalidPageId) {
+        PageId pid = next_;
+        status_ = tree_->LoadLeaf(pid, &entries_, &next_);
+        if (!status_.ok()) {
+          entries_.clear();
+          next_ = kInvalidPageId;
+          return;
+        }
+        if (!entries_.empty()) return;
+      }
+    }
+
+    const DiskBpTree* tree_ = nullptr;
+    std::vector<std::pair<Key, Val>> entries_;
+    size_t pos_ = 0;
+    PageId next_ = kInvalidPageId;
+    Status status_;
+  };
+
+  Iterator Begin() const {
+    return SeekFirstTrue([](const Key&) { return true; });
+  }
+
+  Iterator SeekGE(const Key& target) const {
+    return SeekFirstTrue([&](const Key& k) { return !cmp_(k, target); });
+  }
+
+  Iterator SeekGT(const Key& target) const {
+    return SeekFirstTrue([&](const Key& k) { return cmp_(target, k); });
+  }
+
+  /// First entry where pred(key) is true; pred must be monotone (false
+  /// prefix, then true) over the key order.
+  Iterator SeekFirstTrue(const std::function<bool(const Key&)>& pred) const {
+    Iterator it(this);
+    if (ref_.root == kInvalidPageId) return it;
+    PageId pid = ref_.root;
+    std::vector<Key> keys;
+    std::vector<PageId> children;
+    for (;;) {
+      bool is_leaf = false;
+      it.status_ = LoadNode(pid, &keys, &children, &it.entries_, &it.next_,
+                            &is_leaf);
+      if (!it.status_.ok()) {
+        it.entries_.clear();
+        return it;
+      }
+      if (is_leaf) break;
+      // First separator where pred holds: descend left of it.
+      size_t lo = 0, hi = keys.size();
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (pred(keys[mid])) hi = mid;
+        else lo = mid + 1;
+      }
+      pid = children[lo];
+    }
+    size_t lo = 0, hi = it.entries_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (pred(it.entries_[mid].first)) hi = mid;
+      else lo = mid + 1;
+    }
+    if (lo < it.entries_.size()) {
+      it.pos_ = lo;
+      return it;
+    }
+    // The first true key, if any, starts the next leaf.
+    it.AdvanceLeaf();
+    if (it.Valid() && !pred(it.key())) {
+      it.entries_.clear();
+      it.pos_ = 0;
+      it.next_ = kInvalidPageId;
+    }
+    return it;
+  }
+
+  /// Collects values for keys in [lo, hi] into *out; returns the count.
+  /// I/O errors are reported through *status when non-null.
+  size_t RangeScan(const Key& lo, const Key& hi, std::vector<Val>* out,
+                   Status* status = nullptr) const {
+    size_t n = 0;
+    Iterator it = SeekGE(lo);
+    for (; it.Valid() && !cmp_(hi, it.key()); it.Next()) {
+      out->push_back(it.value());
+      n++;
+    }
+    if (status != nullptr) *status = it.status();
+    return n;
+  }
+
+ private:
+  friend class Iterator;
+
+  Status LoadLeaf(PageId pid, std::vector<std::pair<Key, Val>>* entries,
+                  PageId* next) const {
+    std::vector<Key> keys;
+    std::vector<PageId> children;
+    bool is_leaf = false;
+    Status s = LoadNode(pid, &keys, &children, entries, next, &is_leaf);
+    if (s.ok() && !is_leaf) {
+      return Status::Corruption("expected a leaf page");
+    }
+    return s;
+  }
+
+  Status LoadNode(PageId pid, std::vector<Key>* keys,
+                  std::vector<PageId>* children,
+                  std::vector<std::pair<Key, Val>>* entries, PageId* next,
+                  bool* is_leaf) const {
+    BufferManager::PageRef ref;
+    Status s = pool_->Pin(ref_.file, pid, &ref);
+    if (!s.ok()) return s;
+    Slice in = ref.payload();
+    if (ref.type() == PageType::kBTreeLeaf) {
+      *is_leaf = true;
+      entries->clear();
+      uint32_t next_pid, count;
+      if (!GetFixed32(&in, &next_pid) || !GetVarint32(&in, &count)) {
+        return Status::Corruption("truncated leaf page header");
+      }
+      *next = next_pid;
+      entries->reserve(count);
+      for (uint32_t i = 0; i < count; i++) {
+        Key k;
+        Val v;
+        if (!Codec::DecodeKey(&in, &k) || !Codec::DecodeVal(&in, &v)) {
+          return Status::Corruption("truncated leaf entry");
+        }
+        entries->emplace_back(std::move(k), std::move(v));
+      }
+      return Status::OK();
+    }
+    if (ref.type() != PageType::kBTreeInternal) {
+      return Status::Corruption("unexpected page type in tree");
+    }
+    *is_leaf = false;
+    keys->clear();
+    children->clear();
+    uint32_t nkeys;
+    if (!GetVarint32(&in, &nkeys)) {
+      return Status::Corruption("truncated internal page header");
+    }
+    children->reserve(nkeys + 1);
+    for (uint32_t i = 0; i <= nkeys; i++) {
+      uint32_t child;
+      if (!GetFixed32(&in, &child)) {
+        return Status::Corruption("truncated child pointer");
+      }
+      children->push_back(child);
+    }
+    keys->reserve(nkeys);
+    for (uint32_t i = 0; i < nkeys; i++) {
+      Key k;
+      if (!Codec::DecodeKey(&in, &k)) {
+        return Status::Corruption("truncated separator key");
+      }
+      keys->push_back(std::move(k));
+    }
+    return Status::OK();
+  }
+
+  BufferManager* pool_ = nullptr;
+  Ref ref_;
+  Cmp cmp_{};
+};
+
+/// Streams sorted entries into a new tree appended to `file`. Usage:
+///   DiskBpTreeBuilder<...> b(pool, file);
+///   for (...) b.Add(key, val);        // keys non-decreasing
+///   b.Finish(&ref);                    // writes pending pages
+/// The caller flushes the file (BufferManager::Flush) once all trees sharing
+/// it are built.
+template <typename Key, typename Val, typename Codec,
+          typename Cmp = std::less<Key>>
+class DiskBpTreeBuilder {
+ public:
+  using Tree = DiskBpTree<Key, Val, Codec, Cmp>;
+
+  DiskBpTreeBuilder(BufferManager* pool, BufferManager::FileId file)
+      : pool_(pool), file_(file) {}
+
+  Status Add(const Key& key, const Val& val) {
+    std::string enc;
+    Codec::EncodeKey(&enc, key);
+    Codec::EncodeVal(&enc, val);
+    // 4 bytes next pointer + up to 5 bytes count prefix.
+    if (enc.size() + 9 > kMaxPagePayload) {
+      return Status::InvalidArgument("index entry too large for a page");
+    }
+    if (leaf_buf_.size() + enc.size() + 9 > kMaxPagePayload) {
+      Status s = FlushLeaf(/*has_next=*/true);
+      if (!s.ok()) return s;
+    }
+    if (leaf_count_ == 0) leaf_first_key_ = key;
+    leaf_buf_.append(enc);
+    leaf_count_++;
+    entries_++;
+    return Status::OK();
+  }
+
+  /// Writes the last leaf and the internal levels; fills *out.
+  Status Finish(typename Tree::Ref* out) {
+    out->file = file_;
+    out->entries = entries_;
+    out->root = kInvalidPageId;
+    if (entries_ == 0) return Status::OK();
+    Status s = FlushLeaf(/*has_next=*/false);
+    if (!s.ok()) return s;
+
+    // Build internal levels bottom-up from (first key, child pid) pairs.
+    std::vector<std::pair<std::string, PageId>> level =
+        std::move(level_entries_);
+    while (level.size() > 1) {
+      std::vector<std::pair<std::string, PageId>> up;
+      size_t i = 0;
+      while (i < level.size()) {
+        // Pack children while the payload fits: varint nkeys + (n+1) pids +
+        // n separator keys (first keys of children 1..n).
+        std::string pids, keys;
+        size_t take = 0;
+        while (i + take < level.size()) {
+          const auto& child = level[i + take];
+          size_t added = 4 + (take > 0 ? child.first.size() : 0);
+          if (take >= 2 && 5 + pids.size() + keys.size() + added + 4 >
+                               kMaxPagePayload) {
+            break;
+          }
+          PutFixed32(&pids, child.second);
+          if (take > 0) keys.append(child.first);
+          take++;
+        }
+        std::string payload;
+        PutVarint32(&payload, static_cast<uint32_t>(take - 1));
+        payload.append(pids);
+        payload.append(keys);
+        PageId pid;
+        s = pool_->AppendPage(file_, PageType::kBTreeInternal, payload, &pid);
+        if (!s.ok()) return s;
+        up.emplace_back(level[i].first, pid);
+        i += take;
+      }
+      level = std::move(up);
+    }
+    out->root = level[0].second;
+    return Status::OK();
+  }
+
+ private:
+  Status FlushLeaf(bool has_next) {
+    std::string payload;
+    // The next leaf, if any, is the very next page appended: internal pages
+    // are only written at Finish, after every leaf.
+    PageId pid = static_cast<PageId>(pool_->file_pages(file_));
+    PutFixed32(&payload, has_next ? pid + 1 : kInvalidPageId);
+    PutVarint32(&payload, leaf_count_);
+    payload.append(leaf_buf_);
+    PageId got;
+    Status s = pool_->AppendPage(file_, PageType::kBTreeLeaf, payload, &got);
+    if (!s.ok()) return s;
+    if (got != pid) {
+      return Status::IOError("concurrent append to index file");
+    }
+    std::string first_key;
+    Codec::EncodeKey(&first_key, leaf_first_key_);
+    level_entries_.emplace_back(std::move(first_key), pid);
+    leaf_buf_.clear();
+    leaf_count_ = 0;
+    return Status::OK();
+  }
+
+  BufferManager* pool_;
+  BufferManager::FileId file_;
+  std::string leaf_buf_;
+  uint32_t leaf_count_ = 0;
+  Key leaf_first_key_{};
+  uint64_t entries_ = 0;
+  // (encoded first key, pid) per leaf, consumed by Finish.
+  std::vector<std::pair<std::string, PageId>> level_entries_;
+};
+
+}  // namespace sebdb

@@ -1,0 +1,60 @@
+#include "storage/page.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace sebdb {
+
+namespace {
+constexpr uint32_t kPageMagic = 0x5ebdba6e;
+}  // namespace
+
+Status EncodePage(PageType type, const Slice& payload, std::string* dst) {
+  if (payload.size() > kMaxPagePayload) {
+    return Status::InvalidArgument("page payload exceeds " +
+                                   std::to_string(kMaxPagePayload) + " bytes");
+  }
+  const size_t base = dst->size();
+  dst->reserve(base + kPageSize);
+  PutFixed32(dst, kPageMagic);
+  PutFixed32(dst, 0);  // crc patched below
+  dst->push_back(static_cast<char>(type));
+  dst->push_back(0);  // reserved
+  PutFixed16(dst, static_cast<uint16_t>(payload.size()));
+  dst->append(payload.data(), payload.size());
+  dst->resize(base + kPageSize, '\0');
+  // CRC over type..payload: bytes [base + 8, base + 12 + len).
+  uint32_t crc = Crc32(0, dst->data() + base + 8, 4 + payload.size());
+  EncodeFixed32(dst->data() + base + 4, crc);
+  return Status::OK();
+}
+
+Status DecodePage(const Slice& page, PageType* type, Slice* payload) {
+  if (page.size() != kPageSize) {
+    return Status::Corruption("page size mismatch");
+  }
+  const char* p = page.data();
+  if (DecodeFixed32(p) != kPageMagic) {
+    return Status::Corruption("bad page magic");
+  }
+  uint32_t stored_crc = DecodeFixed32(p + 4);
+  uint8_t type_byte = static_cast<uint8_t>(p[8]);
+  uint16_t len = static_cast<uint16_t>(static_cast<uint8_t>(p[10]) |
+                                       (static_cast<uint8_t>(p[11]) << 8));
+  if (len > kMaxPagePayload) {
+    return Status::Corruption("page payload length out of range");
+  }
+  if (type_byte != static_cast<uint8_t>(PageType::kBTreeLeaf) &&
+      type_byte != static_cast<uint8_t>(PageType::kBTreeInternal) &&
+      type_byte != static_cast<uint8_t>(PageType::kBlob)) {
+    return Status::Corruption("unknown page type");
+  }
+  if (Crc32(0, p + 8, 4 + len) != stored_crc) {
+    return Status::Corruption("page crc mismatch");
+  }
+  *type = static_cast<PageType>(type_byte);
+  *payload = Slice(p + kPageHeaderSize, len);
+  return Status::OK();
+}
+
+}  // namespace sebdb

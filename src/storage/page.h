@@ -1,0 +1,45 @@
+// Fixed-size page abstraction for disk-resident index structures. Every
+// index checkpoint file is a dense array of 4 KB pages; a page frames its
+// payload with a magic, a type tag, the payload length and a CRC32, so a
+// single corrupt page is detected at fault time (the same
+// validate-on-every-read discipline as the block store's record frames).
+// Page ids are file-relative ordinals: page p lives at byte offset
+// p * kPageSize, which is what lets the buffer manager fault pages with one
+// positional read and lets builders reconstruct next-leaf links from
+// sequential ids alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace sebdb {
+
+/// File-relative page ordinal.
+using PageId = uint32_t;
+constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+constexpr size_t kPageSize = 4096;
+
+enum class PageType : uint8_t {
+  kBTreeLeaf = 1,
+  kBTreeInternal = 2,
+  kBlob = 3,  // raw byte-stream chunk (checkpoint meta blobs)
+};
+
+// Header layout: magic u32 | crc32 u32 | type u8 | reserved u8 | len u16.
+// The CRC covers type..payload (everything the magic and crc do not).
+constexpr size_t kPageHeaderSize = 12;
+constexpr size_t kMaxPagePayload = kPageSize - kPageHeaderSize;
+
+/// Frames `payload` (at most kMaxPagePayload bytes) into a full page,
+/// zero-padded to kPageSize, appended to *dst.
+Status EncodePage(PageType type, const Slice& payload, std::string* dst);
+
+/// Validates a page image (must be exactly kPageSize bytes): magic, length
+/// bounds, CRC. On success *type and *payload (pointing into `page`) are set.
+Status DecodePage(const Slice& page, PageType* type, Slice* payload);
+
+}  // namespace sebdb

@@ -88,6 +88,10 @@ TEST(FuzzCorpusTest, VoVerify) {
   ReplayCorpus("vo_verify", fuzz::FuzzVoVerify);
 }
 
+TEST(FuzzCorpusTest, PageDecode) {
+  ReplayCorpus("page_decode", fuzz::FuzzPageDecode);
+}
+
 // The transaction seeds are valid encodings: decode must accept them and
 // re-encoding must reproduce the input bytes exactly (a byte of slack would
 // mean hashes — and therefore consensus — diverge between encoder versions).

@@ -219,8 +219,11 @@ TEST(LayeredIndexTest, ContinuousCandidateFiltering) {
   ASSERT_TRUE(index.SearchBlock(1, &lo, &hi, &pointers).ok());
   EXPECT_EQ(pointers.size(), 11u);  // 510..520 inclusive
 
-  EXPECT_EQ(index.BlockTree(2), nullptr);
-  EXPECT_NE(index.BlockTree(0), nullptr);
+  std::shared_ptr<const LayeredIndex::SecondLevelTree> tree;
+  ASSERT_TRUE(index.Tree(2, &tree).ok());
+  EXPECT_EQ(tree, nullptr);  // block 2 has no entries for this index
+  ASSERT_TRUE(index.Tree(0, &tree).ok());
+  EXPECT_NE(tree, nullptr);
   Bitmap with_entries = index.BlocksWithEntries();
   EXPECT_TRUE(with_entries.Test(0));
   EXPECT_FALSE(with_entries.Test(2));
