@@ -1,0 +1,257 @@
+// Replica catch-up benchmark (DESIGN.md §12): a replica that fell `gap`
+// blocks behind a peer catches up either by replaying the gap block by
+// block (the gossip / block-repair path: decode + Merkle + hash-chain
+// validation per block, index apply per block) or by checkpoint state sync
+// (fetch the peer's newest checkpoint transfer images, verify each against
+// its descriptor SHA-256, decompress, splice the bridge blocks, restore
+// indexes from the serialized state, then replay only the delta above the
+// checkpoint). Replay cost is O(gap) index work; state sync is
+// O(checkpoint + delta), so past a modest gap the install wins and the
+// margin widens with the gap. Both paths run in-process against the same
+// peer chain — the bench measures the catch-up work itself, not the
+// network. Writes a JSON summary to $SEBDB_BENCH_JSON (default
+// BENCH_catchup.json).
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bchainbench/bench_chain.h"
+#include "common/sha256.h"
+#include "storage/checkpoint.h"
+#include "storage/file.h"
+
+namespace sebdb {
+namespace bench {
+namespace {
+
+Transaction MakeCatchupTxn(const std::string& table, const std::string& sender,
+                           Timestamp ts, std::vector<Value> values) {
+  Transaction txn(table, std::move(values));
+  txn.set_sender(sender);
+  txn.set_ts(ts);
+  txn.set_signature("bench-sig");
+  return txn;
+}
+
+ChainOptions CatchupChainOptions(uint64_t checkpoint_interval) {
+  ChainOptions options;
+  options.verify_signatures = false;
+  options.checkpoint.interval_blocks = checkpoint_interval;
+  options.checkpoint.pool_bytes = 64ull << 20;
+  return options;
+}
+
+// Appends blocks [from, to) of the shared deterministic workload: 32
+// transactions per block across two tables, one user-indexed — consensus
+// batches are dense (the paper's evaluation runs ~1000 txns/block), so
+// per-block catch-up cost is dominated by txn work, not block framing.
+void AppendBlocks(ChainManager* chain, int from, int to) {
+  for (int b = from; b < to; b++) {
+    Timestamp ts = 1000 + b;
+    std::vector<Transaction> txns;
+    for (int j = 0; j < 16; j++) {
+      txns.push_back(
+          MakeCatchupTxn("t", "org" + std::to_string((b + j) % 4), ts,
+                         {Value::Int((b * 16 + j) % 1000), Value::Str("x")}));
+      txns.push_back(MakeCatchupTxn("u", "org" + std::to_string((b + j) % 3),
+                                    ts, {Value::Str("y")}));
+    }
+    if (!chain->AppendBatch(static_cast<uint64_t>(b), std::move(txns), ts,
+                            "bench-node", "sig")
+             .ok()) {
+      abort();
+    }
+  }
+}
+
+// A fresh replica stuck at `prefix` blocks of the workload, in its own dir,
+// carrying the continuous user index on t.v.
+std::string BuildLaggingDir(int prefix) {
+  static std::atomic<uint64_t> counter{0};
+  const std::string dir = "/tmp/sebdb_bench_catchup_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(counter.fetch_add(1));
+  (void)RemoveDirRecursive(dir);
+  if (!CreateDirIfMissing(dir).ok()) abort();
+  ChainManager chain("bench-node", nullptr);
+  if (!chain.Open(CatchupChainOptions(0), dir).ok()) abort();
+  if (!chain.indexes()
+           ->CreateLayeredIndex("t", "v", Schema::kNumSystemColumns,
+                                /*discrete=*/false)
+           .ok()) {
+    abort();
+  }
+  AppendBlocks(&chain, 0, prefix);
+  if (!chain.Close().ok()) abort();
+  return dir;
+}
+
+struct Row {
+  int gap;
+  double replay_ms;
+  double statesync_ms;
+  uint64_t ckpt_height;
+  uint64_t delta_blocks;
+  uint64_t raw_bytes;       // checkpoint files as stored
+  uint64_t transfer_bytes;  // what actually crosses the wire (and is hashed)
+};
+
+void Main() {
+  const int scale = BenchScale();
+  const int kPrefix = 64;
+  const uint64_t kCkptInterval = 256;
+  const char* json_path_env = std::getenv("SEBDB_BENCH_JSON");
+  const std::string json_path =
+      json_path_env != nullptr ? json_path_env : "BENCH_catchup.json";
+
+  ReportHeader("catchup",
+               "replica catch-up: block-by-block replay vs checkpoint state "
+               "sync, by gap (256-block checkpoint interval)");
+
+  std::vector<Row> rows;
+  for (int gap : {256, 2048, 8192}) {
+    const int total = kPrefix + gap * scale;
+
+    // The up-to-date peer both paths catch up from. Checkpointing every 256
+    // blocks, so its newest checkpoint sits at most 255 blocks below tip.
+    const std::string peer_dir = BuildLaggingDir(0);
+    ChainManager peer("bench-peer", nullptr);
+    if (!peer.Open(CatchupChainOptions(kCkptInterval), peer_dir).ok()) abort();
+    AppendBlocks(&peer, 0, total);
+
+    Row row;
+    row.gap = total - kPrefix;
+
+    // Path 1: block-by-block replay — exactly what gossip anti-entropy and
+    // block repair do, minus the network hop.
+    {
+      const std::string dir = BuildLaggingDir(kPrefix);
+      ChainManager lagging("bench-node", nullptr);
+      if (!lagging.Open(CatchupChainOptions(0), dir).ok()) abort();
+      WallTimer timer;
+      for (int h = kPrefix; h < total; h++) {
+        std::string record;
+        if (!peer.store()->ReadRawRecord(h, &record).ok()) abort();
+        if (!lagging.ApplyBlockRecord(h, record).ok()) abort();
+      }
+      row.replay_ms = timer.ElapsedMicros() / 1000.0;
+      if (lagging.height() != static_cast<uint64_t>(total)) abort();
+      if (!lagging.Close().ok()) abort();
+      (void)RemoveDirRecursive(dir);
+    }
+
+    // Path 2: checkpoint state sync — describe, fetch each transfer image
+    // in chunks, hash it against the descriptor, decompress, splice the
+    // bridge, install, then replay only the delta above the checkpoint
+    // (what RepairCoordinator does, minus the network hop).
+    {
+      const std::string dir = BuildLaggingDir(kPrefix);
+      ChainManager lagging("bench-node", nullptr);
+      if (!lagging.Open(CatchupChainOptions(0), dir).ok()) abort();
+      WallTimer timer;
+      ChainManager::CheckpointDescriptor desc;
+      if (!peer.DescribeCheckpoint(&desc).ok()) abort();
+      ChainManager::StateSyncPackage pkg;
+      pkg.record = desc.record;
+      row.raw_bytes = 0;
+      row.transfer_bytes = 0;
+      for (size_t i = 0; i < desc.record.files.size(); i++) {
+        std::string transfer;
+        uint64_t offset = 0;
+        while (offset < desc.transfer_sizes[i]) {
+          std::string chunk;
+          if (!peer.ReadCheckpointTransfer(desc.record.files[i].name, offset,
+                                           256 * 1024, &chunk)
+                   .ok()) {
+            abort();
+          }
+          offset += chunk.size();
+          transfer += chunk;
+        }
+        // verify: the fetched transfer image must hash to the offered
+        // descriptor before anything is decompressed or installed.
+        if (!(Sha256::Digest(Slice(transfer)) == desc.file_hashes[i])) abort();
+        std::string raw;
+        if (!CheckpointManager::DecompressZeroRuns(
+                 Slice(transfer), desc.record.files[i].size, &raw)
+                 .ok()) {
+          abort();
+        }
+        row.raw_bytes += raw.size();
+        row.transfer_bytes += transfer.size();
+        pkg.files.push_back(std::move(raw));
+      }
+      pkg.first_height = lagging.height();
+      for (uint64_t h = pkg.first_height; h < desc.record.height; h++) {
+        std::string record;
+        if (!peer.store()->ReadRawRecord(h, &record).ok()) abort();
+        pkg.blocks.push_back(std::move(record));
+      }
+      // verify: every package file passed its SHA-256 check above; the
+      // bridge blocks are verified by the install itself.
+      if (!lagging.InstallStateSync(pkg).ok()) abort();
+      for (uint64_t h = desc.record.height; h < static_cast<uint64_t>(total);
+           h++) {
+        std::string record;
+        if (!peer.store()->ReadRawRecord(h, &record).ok()) abort();
+        if (!lagging.ApplyBlockRecord(h, record).ok()) abort();
+      }
+      row.statesync_ms = timer.ElapsedMicros() / 1000.0;
+      row.ckpt_height = desc.record.height;
+      row.delta_blocks = total - desc.record.height;
+      if (lagging.height() != static_cast<uint64_t>(total)) abort();
+      if (!lagging.Close().ok()) abort();
+      (void)RemoveDirRecursive(dir);
+    }
+
+    ReportPoint("catchup", "replay", std::to_string(row.gap), "ms",
+                row.replay_ms);
+    ReportPoint("catchup", "statesync", std::to_string(row.gap), "ms",
+                row.statesync_ms);
+    ReportPoint("catchup", "speedup", std::to_string(row.gap), "x",
+                row.replay_ms / row.statesync_ms);
+    ReportPoint("catchup", "transfer", std::to_string(row.gap), "KB",
+                row.transfer_bytes / 1024.0);
+    rows.push_back(row);
+
+    if (!peer.Close().ok()) abort();
+    (void)RemoveDirRecursive(peer_dir);
+  }
+
+  std::string json = "{\n  \"bench\": \"catchup\",\n  \"scale\": " +
+                     std::to_string(scale) +
+                     ",\n  \"checkpoint_interval\": " +
+                     std::to_string(kCkptInterval) + ",\n  \"runs\": [\n";
+  for (size_t i = 0; i < rows.size(); i++) {
+    char buf[400];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"gap\": %d, \"replay_ms\": %.3f, \"statesync_ms\": %.3f, "
+        "\"ckpt_height\": %llu, \"delta_blocks\": %llu, "
+        "\"raw_bytes\": %llu, \"transfer_bytes\": %llu, \"speedup\": %.3f}",
+        rows[i].gap, rows[i].replay_ms, rows[i].statesync_ms,
+        static_cast<unsigned long long>(rows[i].ckpt_height),
+        static_cast<unsigned long long>(rows[i].delta_blocks),
+        static_cast<unsigned long long>(rows[i].raw_bytes),
+        static_cast<unsigned long long>(rows[i].transfer_bytes),
+        rows[i].replay_ms / rows[i].statesync_ms);
+    json += buf;
+    json += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  std::ofstream out(json_path);
+  out << json;
+  printf("\nwrote %s\n", json_path.c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sebdb
+
+int main() {
+  sebdb::bench::Main();
+  return 0;
+}

@@ -64,6 +64,19 @@ if [ -n "${unbounded_mempool}" ]; then
   fail "mempool push without an \"admitted:\" marker (charge it against AdmissionController or annotate why it is already charged):" "${unbounded_mempool}"
 fi
 
+# Peer-fetched bytes must be hash-verified before they enter the chain:
+# every call that splices a raw block record (AppendRaw) or installs a
+# fetched checkpoint (InstallStateSync) must sit on or directly under a
+# "verify:" marker asserting which check the bytes already passed (CRC +
+# SHA-256 descriptor for checkpoint files, Merkle + hash-chain for block
+# records). Declarations and the implementing modules are exempt.
+unverified_splice=$(grep -rnE '(\.|->)?\b(AppendRaw|InstallStateSync)\(' \
+  src/ --include='*.h' --include='*.cc' \
+  | grep -vE 'verify:|^src/storage/block_store\.(h|cc):|^src/core/chain_manager\.h:|^src/core/chain_checkpoint\.cc:' || true)
+if [ -n "${unverified_splice}" ]; then
+  fail "peer-fetched bytes spliced/installed without a \"verify:\" marker (state the hash check the bytes passed):" "${unverified_splice}"
+fi
+
 # Raw file / directory I/O outside the Env implementation. Every byte the
 # node persists or reads back must flow through the Env seam (and from there
 # the page/buffer layer), or fault injection, crash tests, and the

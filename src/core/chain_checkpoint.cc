@@ -17,6 +17,36 @@ std::string CheckpointPrefix(uint64_t id) {
   return "ckpt_" + std::to_string(id);
 }
 
+// Decoded view of a checkpoint's chain-meta blob. The Slice fields alias
+// the blob's backing string, which must outlive this struct.
+struct ChainMetaBlob {
+  uint64_t height = 0;
+  Hash256 tip;
+  int64_t last_ts = 0;
+  uint64_t next_tid = 1;
+  Slice prefix_blob;
+  Slice catalog_blob;
+  Slice index_blob;
+};
+
+Status ParseChainMeta(Slice in, ChainMetaBlob* out) {
+  uint32_t version;
+  if (!GetVarint32(&in, &version) || version != kChainMetaVersion ||
+      !GetVarint64(&in, &out->height) || in.size() < 32) {
+    return Status::Corruption("bad checkpoint meta header");
+  }
+  std::memcpy(out->tip.bytes.data(), in.data(), 32);
+  in.remove_prefix(32);
+  if (!GetVarSigned64(&in, &out->last_ts) ||
+      !GetVarint64(&in, &out->next_tid) ||
+      !GetLengthPrefixed(&in, &out->prefix_blob) ||
+      !GetLengthPrefixed(&in, &out->catalog_blob) ||
+      !GetLengthPrefixed(&in, &out->index_blob)) {
+    return Status::Corruption("truncated checkpoint meta");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 // Stages every index's delta plus one chain-meta blob (tip cursors, trusted
@@ -98,34 +128,20 @@ Status ChainManager::OpenFromCheckpoint(const CheckpointRecord& rec,
                                         const IndexSetOptions& index_options,
                                         const std::string& dir) {
   // 1. Chain meta blob (standalone read — the pool never sees this file).
-  std::string meta;
+  std::string meta_bytes;
   Status s = CheckpointManager::ReadBlobFile(
       ckpt_->env(), ckpt_->FilePath(CheckpointPrefix(rec.id) + "_meta"),
-      &meta);
+      &meta_bytes);
   if (!s.ok()) return s;
-  Slice in(meta);
-  uint32_t version;
-  uint64_t height, next_tid;
-  int64_t last_ts;
-  Slice prefix_blob, catalog_blob, index_blob;
-  Hash256 tip;
-  if (!GetVarint32(&in, &version) || version != kChainMetaVersion ||
-      !GetVarint64(&in, &height) || in.size() < 32) {
-    return Status::Corruption("bad checkpoint meta header");
-  }
-  std::memcpy(tip.bytes.data(), in.data(), 32);
-  in.remove_prefix(32);
-  if (!GetVarSigned64(&in, &last_ts) || !GetVarint64(&in, &next_tid) ||
-      !GetLengthPrefixed(&in, &prefix_blob) ||
-      !GetLengthPrefixed(&in, &catalog_blob) ||
-      !GetLengthPrefixed(&in, &index_blob)) {
-    return Status::Corruption("truncated checkpoint meta");
-  }
+  ChainMetaBlob meta;
+  s = ParseChainMeta(Slice(meta_bytes), &meta);
+  if (!s.ok()) return s;
+  const uint64_t height = meta.height;
   if (height != rec.height) {
     return Status::Corruption("checkpoint meta height mismatch");
   }
   TrustedPrefix trusted;
-  Slice p = prefix_blob;
+  Slice p = meta.prefix_blob;
   if (!TrustedPrefix::DecodeFrom(&p, &trusted)) {
     return Status::Corruption("bad trusted prefix in checkpoint meta");
   }
@@ -144,24 +160,292 @@ Status ChainManager::OpenFromCheckpoint(const CheckpointRecord& rec,
   }
 
   // 3. Catalog + indexes at the checkpoint height.
-  Slice c = catalog_blob;
+  Slice c = meta.catalog_blob;
   s = catalog_.RestoreFrom(&c);
   if (!s.ok()) return s;
   indexes_ = std::make_unique<IndexSet>(&store_, index_options);
   s = indexes_->RestoreCheckpoint(pool_.get(), ckpt_->dir(), height,
-                                  index_blob);
+                                  meta.index_blob);
   if (!s.ok()) return s;
 
   // 4. Chain cursors as of the checkpoint, then tail-only replay.
-  tip_hash_ = tip;
-  last_ts_ = last_ts;
-  next_tid_ = next_tid;
+  tip_hash_ = meta.tip;
+  last_ts_ = meta.last_ts;
+  next_tid_ = meta.next_tid;
   const uint64_t n = store_.num_blocks();
   s = ReplayChain(height, n);
   if (!s.ok()) return s;
   startup_.from_checkpoint = true;
   startup_.checkpoint_height = height;
   startup_.replayed_blocks = n - height;
+  return Status::OK();
+}
+
+Status ChainManager::DescribeCheckpoint(CheckpointDescriptor* out) {
+  // Held across the file reads: published checkpoint files are immutable,
+  // but a concurrent Publish may garbage-collect superseded ones. Offers
+  // are rare (one per state-sync session), so serializing with appends is
+  // acceptable.
+  MutexLock lock(&mu_);
+  if (!open_ || ckpt_ == nullptr) return Status::Aborted("chain not open");
+  const CheckpointRecord* latest = ckpt_->latest();
+  if (latest == nullptr) return Status::NotFound("no checkpoint published");
+  out->record = *latest;
+  out->file_hashes.clear();
+  out->file_hashes.reserve(latest->files.size());
+  out->transfer_sizes.clear();
+  out->transfer_sizes.reserve(latest->files.size());
+  Env* env = ckpt_->env();
+  for (const CheckpointFile& f : latest->files) {
+    std::unique_ptr<ReadableFile> reader;
+    Status s = env->NewReadableFile(ckpt_->FilePath(f.name), &reader);
+    if (!s.ok()) return s;
+    std::string bytes;
+    s = reader->Read(0, f.size, &bytes);
+    Status close = reader->Close();
+    if (s.ok()) s = close;
+    if (s.ok() && bytes.size() != f.size) {
+      s = Status::IOError("short checkpoint file read: " + f.name);
+    }
+    if (!s.ok()) return s;
+    // Hash the transfer image, not the raw pages: the fetching peer can then
+    // verify every byte it pulls off the wire against this hash before it
+    // spends any work decompressing or installing.
+    std::string transfer;
+    CheckpointManager::CompressZeroRuns(Slice(bytes), &transfer);
+    out->transfer_sizes.push_back(transfer.size());
+    out->file_hashes.push_back(Sha256::Digest(Slice(transfer)));
+  }
+  return Status::OK();
+}
+
+Status ChainManager::ReadCheckpointTransfer(const std::string& name,
+                                            uint64_t offset, uint64_t n,
+                                            std::string* out) {
+  MutexLock lock(&mu_);
+  if (!open_ || ckpt_ == nullptr) return Status::Aborted("chain not open");
+  const CheckpointRecord* latest = ckpt_->latest();
+  const CheckpointFile* file = nullptr;
+  if (latest != nullptr) {
+    for (const CheckpointFile& f : latest->files) {
+      if (f.name == name) {
+        file = &f;
+        break;
+      }
+    }
+  }
+  if (file == nullptr) {
+    return Status::NotFound("not a file of the newest checkpoint: " + name);
+  }
+  // Recompress the (immutable, already-published) file and slice the
+  // requested window out of the deterministic transfer image. O(file) per
+  // chunk, but checkpoint files are small once compressed and state-sync
+  // sessions are rare; trading CPU here keeps the serving side stateless.
+  std::unique_ptr<ReadableFile> reader;
+  Status s = ckpt_->env()->NewReadableFile(ckpt_->FilePath(name), &reader);
+  if (!s.ok()) return s;
+  std::string bytes;
+  s = reader->Read(0, file->size, &bytes);
+  Status close = reader->Close();
+  if (s.ok()) s = close;
+  if (s.ok() && bytes.size() != file->size) {
+    s = Status::IOError("short checkpoint file read: " + name);
+  }
+  if (!s.ok()) return s;
+  std::string transfer;
+  CheckpointManager::CompressZeroRuns(Slice(bytes), &transfer);
+  if (offset > transfer.size()) {
+    return Status::InvalidArgument("offset past end of " + name);
+  }
+  n = std::min(n, transfer.size() - offset);
+  out->assign(transfer, offset, n);
+  return Status::OK();
+}
+
+Status ChainManager::RecoverSpliceLocked(uint64_t from, const Status& cause) {
+  state_sync_.fallbacks++;
+  Status s = ReplayChain(from, store_.num_blocks());
+  if (!s.ok()) return s;
+  return cause;
+}
+
+Status ChainManager::RebuildAfterFailedInstallLocked(const Status& cause) {
+  state_sync_.fallbacks++;
+  fprintf(stderr,
+          "[sebdb] chain %s: state-sync install failed (%s); rebuilding from "
+          "a full replay\n",
+          store_.dir().c_str(), cause.ToString().c_str());
+  BufferPoolOptions pool_options;
+  pool_options.capacity_bytes = options_.checkpoint.pool_bytes;
+  pool_options.env = ckpt_ != nullptr ? ckpt_->env() : index_options_.env;
+  catalog_.Clear();
+  if (indexes_ != nullptr) {
+    retired_.push_back({std::move(indexes_), std::move(pool_)});
+  }
+  pool_ = std::make_unique<BufferManager>(pool_options);
+  indexes_ = std::make_unique<IndexSet>(&store_, index_options_);
+  tip_hash_ = Hash256{};
+  last_ts_ = 0;
+  next_tid_ = 1;
+  Status s = ReplayChain(0, store_.num_blocks());
+  if (!s.ok()) return s;  // chain state itself is unrecoverable locally
+  return cause;
+}
+
+// State-sync install (DESIGN.md §12). Order of operations is chosen so a
+// crash at any point self-heals on the next open: bridge blocks are plain
+// verified chain extensions (a reopen replays them), and the checkpoint
+// directory swap publishes its manifest record last (until then the next
+// open simply finds no usable checkpoint and falls back to full replay).
+Status ChainManager::InstallStateSync(const StateSyncPackage& pkg) {
+  MutexLock lock(&mu_);
+  if (!open_) return Status::Aborted("chain not open");
+  if (ckpt_ == nullptr || pool_ == nullptr) {
+    return Status::InvalidArgument("checkpointing not initialized");
+  }
+  const uint64_t local = store_.num_blocks();
+  if (pkg.record.height <= local) {
+    return Status::InvalidArgument("state-sync checkpoint behind local tip");
+  }
+  if (pkg.first_height > local ||
+      pkg.first_height + pkg.blocks.size() != pkg.record.height) {
+    return Status::InvalidArgument(
+        "state-sync bridge does not cover the gap");
+  }
+  if (pkg.files.size() != pkg.record.files.size()) {
+    return Status::InvalidArgument("state-sync file count mismatch");
+  }
+  for (size_t i = 0; i < pkg.files.size(); i++) {
+    if (pkg.files[i].size() != pkg.record.files[i].size) {
+      return Status::InvalidArgument("state-sync file size mismatch: " +
+                                     pkg.record.files[i].name);
+    }
+  }
+
+  // Parse the chain meta up front: reject a package that cannot possibly
+  // install before mutating anything.
+  const std::string meta_name = CheckpointPrefix(pkg.record.id) + "_meta";
+  std::string meta_bytes;
+  Status s = Status::NotFound("checkpoint meta missing from package");
+  for (size_t i = 0; i < pkg.record.files.size(); i++) {
+    if (pkg.record.files[i].name == meta_name) {
+      s = CheckpointManager::DecodeBlobPages(Slice(pkg.files[i]),
+                                             &meta_bytes);
+      break;
+    }
+  }
+  if (!s.ok()) return s;
+  ChainMetaBlob meta;
+  s = ParseChainMeta(Slice(meta_bytes), &meta);
+  if (!s.ok()) return s;
+  if (meta.height != pkg.record.height) {
+    return Status::Corruption("state-sync meta height mismatch");
+  }
+
+  // 1. Splice the bridge: every record is decoded, Merkle-validated,
+  //    hash-chain-linked from the local tip and (when enabled) signature-
+  //    checked before it is appended raw.
+  uint64_t spliced = 0;
+  Hash256 tip = tip_hash_;
+  for (uint64_t h = local; h < pkg.record.height; h++) {
+    const std::string& record = pkg.blocks[h - pkg.first_height];
+    Block block;
+    Slice in(record);
+    s = Block::DecodeFrom(&in, &block);
+    if (s.ok() && block.height() != h) {
+      s = Status::Corruption("bridge record height mismatch at " +
+                             std::to_string(h));
+    }
+    if (s.ok()) s = block.Validate();
+    if (s.ok() && h > 0 && block.header().prev_hash != tip) {
+      s = Status::Corruption("bridge record breaks the hash chain at " +
+                             std::to_string(h));
+    }
+    if (s.ok() && options_.verify_signatures && keystore_ != nullptr) {
+      const auto& txns = block.transactions();
+      s = ParallelForStatus(options_.pool, txns.size(), [&](uint64_t i) {
+        return keystore_->VerifyTransaction(txns[i]);
+      });
+    }
+    if (s.ok()) {
+      // verify: decode + Merkle + prev-hash link (+ signatures) just above.
+      s = store_.AppendRaw(h, record);
+    }
+    if (!s.ok()) return RecoverSpliceLocked(local, s);
+    tip = block.header().block_hash;
+    spliced++;
+  }
+  // The spliced chain must land exactly on the checkpoint's tip: otherwise
+  // the bridge, though internally consistent, extends a different history
+  // than the checkpoint state we are about to install on top of it.
+  if (tip != meta.tip) {
+    return RecoverSpliceLocked(
+        local, Status::Corruption("state-sync bridge tip does not match "
+                                  "checkpoint meta tip"));
+  }
+
+  // 2. Replace the local checkpoint directory with the package contents.
+  //    The old directory (and any checkpoint of the shorter local history)
+  //    is discarded wholesale; the manifest record is published last.
+  Env* env = ckpt_->env();
+  const std::string ckpt_dir = ckpt_->dir();
+  ckpt_.reset();  // closes the MANIFEST writer
+  s = env->RemoveDirRecursive(ckpt_dir);
+  if (s.ok()) s = CheckpointManager::Open(env, ckpt_dir, &ckpt_);
+  for (size_t i = 0; s.ok() && i < pkg.files.size(); i++) {
+    std::unique_ptr<WritableFile> f;
+    s = env->NewWritableFile(ckpt_->FilePath(pkg.record.files[i].name), &f);
+    if (!s.ok()) break;
+    s = f->Append(Slice(pkg.files[i]));
+    if (s.ok()) s = f->Sync();
+    Status close = f->Close();
+    if (s.ok()) s = close;
+  }
+  if (s.ok()) s = env->SyncDir(ckpt_dir);
+  if (s.ok()) s = ckpt_->Publish(pkg.record);
+  if (!s.ok()) {
+    // Leave a working (possibly empty) checkpoint manager behind, then
+    // resync indexes with the spliced blocks.
+    if (ckpt_ == nullptr) {
+      (void)CheckpointManager::Open(env, ckpt_dir, &ckpt_);
+    }
+    return RecoverSpliceLocked(local, s);
+  }
+
+  // 3. Restore catalog + indexes from the installed checkpoint through the
+  //    same path a restart uses. The superseded index set (and its pool)
+  //    retires instead of dying: in-flight queries may still be reading it.
+  BufferPoolOptions pool_options;
+  pool_options.capacity_bytes = options_.checkpoint.pool_bytes;
+  pool_options.env = env;
+  retired_.push_back({std::move(indexes_), std::move(pool_)});
+  pool_ = std::make_unique<BufferManager>(pool_options);
+  catalog_.Clear();
+  Slice c = meta.catalog_blob;
+  s = catalog_.RestoreFrom(&c);
+  if (s.ok()) {
+    indexes_ = std::make_unique<IndexSet>(&store_, index_options_);
+    s = indexes_->RestoreCheckpoint(pool_.get(), ckpt_->dir(),
+                                    pkg.record.height, meta.index_blob);
+  }
+  if (s.ok()) {
+    tip_hash_ = meta.tip;
+    last_ts_ = meta.last_ts;
+    next_tid_ = meta.next_tid;
+    s = ReplayChain(pkg.record.height, store_.num_blocks());
+  }
+  if (!s.ok()) return RebuildAfterFailedInstallLocked(s);
+
+  last_checkpoint_height_ = pkg.record.height;
+  state_sync_.installs++;
+  state_sync_.blocks_spliced += spliced;
+  state_sync_.installed_height = pkg.record.height;
+  fprintf(stderr,
+          "[sebdb] chain %s: installed peer checkpoint id=%llu height=%llu "
+          "(%zu files, %llu bridge blocks)\n",
+          store_.dir().c_str(), static_cast<unsigned long long>(pkg.record.id),
+          static_cast<unsigned long long>(pkg.record.height),
+          pkg.files.size(), static_cast<unsigned long long>(spliced));
   return Status::OK();
 }
 

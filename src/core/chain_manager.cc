@@ -12,6 +12,9 @@ Status ChainManager::Open(const ChainOptions& options,
   options_ = options;
   startup_ = StartupStats{};
   last_checkpoint_height_ = 0;
+  state_sync_ = StateSyncStats{};
+  degraded_carry_ = BlockStore::RecoveryStats{};
+  retired_.clear();
 
   Env* env =
       options.store.env != nullptr ? options.store.env : Env::Default();
@@ -27,6 +30,7 @@ Status ChainManager::Open(const ChainOptions& options,
     index_options.manifest_path = dir + "/indexes.manifest";
   }
   if (index_options.env == nullptr) index_options.env = env;
+  index_options_ = index_options;
 
   // Tail-only recovery: restore the newest usable checkpoint, replay only
   // the blocks above it. Any failure falls back to the full rebuild below.
@@ -44,6 +48,10 @@ Status ChainManager::Open(const ChainOptions& options,
             "to full replay\n",
             dir.c_str(), s.ToString().c_str());
     startup_ = StartupStats{};
+    // The failed open may have quarantined segments (degraded open); the
+    // clean reopen below must not erase that fact for the repair path.
+    const BlockStore::RecoveryStats first = store_.recovery_stats();
+    if (first.degraded) degraded_carry_ = first;
     (void)store_.Close();
     catalog_.Clear();
     indexes_.reset();
@@ -168,6 +176,22 @@ Status ChainManager::WriteCheckpoint() {
 ChainManager::StartupStats ChainManager::startup_stats() const {
   MutexLock lock(&mu_);
   return startup_;
+}
+
+BlockStore::RecoveryStats ChainManager::recovery_stats() const {
+  BlockStore::RecoveryStats out = store_.recovery_stats();
+  MutexLock lock(&mu_);
+  if (degraded_carry_.degraded && !out.degraded) {
+    out.degraded = true;
+    out.segments_quarantined += degraded_carry_.segments_quarantined;
+    out.bytes_quarantined += degraded_carry_.bytes_quarantined;
+  }
+  return out;
+}
+
+ChainManager::StateSyncStats ChainManager::state_sync_stats() const {
+  MutexLock lock(&mu_);
+  return state_sync_;
 }
 
 BufferManager::Stats ChainManager::buffer_stats() const {

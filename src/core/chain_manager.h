@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sha256.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -91,11 +92,11 @@ class ChainManager {
   Catalog* catalog() { return &catalog_; }
 
   /// What the last Open found on disk (torn-tail truncation, records
-  /// recovered); see BlockStore::RecoveryStats. A value snapshot: the
-  /// stats are rewritten by a concurrent reopen.
-  BlockStore::RecoveryStats recovery_stats() const {
-    return store_.recovery_stats();
-  }
+  /// recovered, quarantined segments); see BlockStore::RecoveryStats. A
+  /// value snapshot. Degraded-open facts survive the checkpoint→full-replay
+  /// fallback, which reopens the store and would otherwise report a clean
+  /// second open.
+  BlockStore::RecoveryStats recovery_stats() const EXCLUDES(mu_);
 
   /// Block/transaction cache counters (hits, misses, evictions, occupancy).
   BlockStore::CacheStats cache_stats() const { return store_.cache_stats(); }
@@ -119,6 +120,61 @@ class ChainManager {
   /// by the periodic interval_blocks policy and, optionally, by Close).
   Status WriteCheckpoint() EXCLUDES(mu_);
 
+  // ---- Peer state sync (DESIGN.md §12) ----
+
+  /// Newest published checkpoint plus, per file, the size and SHA-256 of its
+  /// zero-run-compressed *transfer image* — the bytes a lagging peer
+  /// actually fetches (page files are mostly padding; the wire image is
+  /// 10-100x smaller). The hashes bind every chunk the peer later fetches
+  /// to exactly this checkpoint before anything is installed: what you hash
+  /// is what you ship.
+  struct CheckpointDescriptor {
+    CheckpointRecord record;
+    std::vector<Hash256> file_hashes;       // parallel to record.files,
+    std::vector<uint64_t> transfer_sizes;   //   over the transfer image
+  };
+  Status DescribeCheckpoint(CheckpointDescriptor* out) EXCLUDES(mu_);
+
+  /// Chunk-serving side: reads up to `n` bytes at `offset` of the transfer
+  /// image of a file of the newest published checkpoint (the same
+  /// compressed image DescribeCheckpoint hashed — recompressed per call;
+  /// checkpoint files are immutable once published, so the image is
+  /// deterministic). Anything not listed in the latest record is NotFound
+  /// (a peer can never read outside the published set).
+  Status ReadCheckpointTransfer(const std::string& name, uint64_t offset,
+                                uint64_t n, std::string* out) EXCLUDES(mu_);
+
+  /// A complete peer checkpoint plus the bridge of raw block records from
+  /// the local tip to the checkpoint height: files[i] holds the full
+  /// contents of record.files[i]; blocks[j] is the record of height
+  /// first_height + j, and the range must cover [local tip, record.height).
+  struct StateSyncPackage {
+    CheckpointRecord record;
+    std::vector<std::string> files;
+    BlockId first_height = 0;
+    std::vector<std::string> blocks;
+  };
+
+  struct StateSyncStats {
+    uint64_t installs = 0;          // peer checkpoints installed
+    uint64_t fallbacks = 0;         // failed installs recovered by replay
+    uint64_t blocks_spliced = 0;    // verified bridge records appended raw
+    uint64_t installed_height = 0;  // height of the newest install
+  };
+
+  /// Installs a peer checkpoint (state sync): verifies and splices the
+  /// bridge blocks (decode + Merkle + hash-chain link from the local tip,
+  /// optionally signatures), replaces the local checkpoint directory with
+  /// the package contents, and restores catalog + indexes through the same
+  /// RestoreCheckpoint path a restart uses — catch-up work is
+  /// O(checkpoint + bridge), not O(gap replay). On any failure past the
+  /// up-front validation the chain recovers to a consistent state (spliced
+  /// blocks are replayed into the live indexes, or everything is rebuilt)
+  /// and the original error returns. Callers must have hash-bound the
+  /// package bytes to the offering peer's descriptor (lint: `verify:`).
+  Status InstallStateSync(const StateSyncPackage& pkg) EXCLUDES(mu_);
+  StateSyncStats state_sync_stats() const EXCLUDES(mu_);
+
  private:
   Status ApplyBlock(const Block& block) REQUIRES(mu_);  // index + catalog
   /// Recovery replay of heights [from, n): block reads (readahead-batched)
@@ -131,10 +187,20 @@ class ChainManager {
                             const std::string& dir) REQUIRES(mu_);
   Status WriteCheckpointLocked() REQUIRES(mu_);
   void MaybeCheckpointLocked() REQUIRES(mu_);
+  /// Re-syncs indexes/cursors with bridge records spliced before a state
+  /// sync failed (they are verified chain extensions — kept, not dropped),
+  /// then returns `cause`.
+  Status RecoverSpliceLocked(uint64_t from, const Status& cause)
+      REQUIRES(mu_);
+  /// Full local rebuild (fresh pool + indexes, replay from genesis) after a
+  /// state-sync install failed mid-way; returns `cause` when the rebuild
+  /// itself succeeds.
+  Status RebuildAfterFailedInstallLocked(const Status& cause) REQUIRES(mu_);
 
   const std::string node_id_;
   const KeyStore* keystore_;
   ChainOptions options_;
+  IndexSetOptions index_options_;  // resolved at Open; reused by state sync
 
   mutable Mutex mu_;
   // store_/indexes_/catalog_/pool_ are internally synchronized; mu_
@@ -152,6 +218,18 @@ class ChainManager {
   Timestamp last_ts_ GUARDED_BY(mu_) = 0;
   TransactionId next_tid_ GUARDED_BY(mu_) = 1;
   bool open_ GUARDED_BY(mu_) = false;
+  // Superseded index sets + pools stay alive until the next Open: executors
+  // hold raw IndexSet*/page references, and queries in flight when a state
+  // sync swaps in the restored state may still be walking the old one.
+  struct RetiredState {
+    std::unique_ptr<IndexSet> indexes;
+    std::unique_ptr<BufferManager> pool;
+  };
+  std::vector<RetiredState> retired_ GUARDED_BY(mu_);
+  StateSyncStats state_sync_ GUARDED_BY(mu_);
+  // First-open recovery stats when that open went degraded but a later
+  // fallback reopened the store cleanly (see recovery_stats()).
+  BlockStore::RecoveryStats degraded_carry_ GUARDED_BY(mu_);
 };
 
 }  // namespace sebdb

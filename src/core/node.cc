@@ -26,6 +26,10 @@ ChainOptions DefaultNodeChainOptions() {
   chain.checkpoint.interval_blocks = 1024;
   chain.checkpoint.pool_bytes = 64ull << 20;
   chain.checkpoint.checkpoint_on_close = true;
+  // A corrupt non-tail segment quarantines instead of refusing to open: the
+  // node serves its verified prefix and the repair coordinator refetches the
+  // quarantined blocks from peers (DESIGN.md §12).
+  chain.store.degraded_open = true;
   return chain;
 }
 
@@ -49,7 +53,7 @@ Status SebdbNode::Start(SimNetwork* network) {
 
   Status s = chain_.Open(options_.chain, options_.data_dir);
   if (!s.ok()) return s;
-  const BlockStore::RecoveryStats& recovery = chain_.recovery_stats();
+  const BlockStore::RecoveryStats recovery = chain_.recovery_stats();
   if (!recovery.clean()) {
     fprintf(stderr,
             "[sebdb] node %s: storage self-healed on startup — %llu block(s) "
@@ -58,6 +62,14 @@ Status SebdbNode::Start(SimNetwork* network) {
             options_.node_id.c_str(),
             static_cast<unsigned long long>(recovery.blocks_recovered),
             static_cast<unsigned long long>(recovery.bytes_truncated));
+  }
+  if (recovery.degraded) {
+    fprintf(stderr,
+            "[sebdb] node %s: DEGRADED open — %u corrupt segment(s) "
+            "quarantined (%llu byte(s)); serving the verified prefix while "
+            "peer repair refetches the rest\n",
+            options_.node_id.c_str(), recovery.segments_quarantined,
+            static_cast<unsigned long long>(recovery.bytes_quarantined));
   }
   const ChainManager::StartupStats startup = chain_.startup_stats();
   if (startup.from_checkpoint) {
@@ -105,10 +117,13 @@ Status SebdbNode::Start(SimNetwork* network) {
             static_cast<unsigned long long>(caches.txn_hits),
             static_cast<unsigned long long>(caches.txn_misses));
   }
-  executor_ = std::make_unique<Executor>(chain_.store(), chain_.indexes(),
-                                         chain_.catalog(),
-                                         offchain_connector_.get(),
-                                         options_.chain.pool);
+  {
+    MutexLock lock(&executor_mu_);
+    executor_ = std::make_shared<Executor>(chain_.store(), chain_.indexes(),
+                                           chain_.catalog(),
+                                           offchain_connector_.get(),
+                                           options_.chain.pool);
+  }
 
   SetupRpcMethods();
   rpc_dispatcher_.Start(options_.rpc_server);
@@ -157,13 +172,19 @@ Status SebdbNode::Start(SimNetwork* network) {
     }
   }
 
+  std::vector<std::string> peers;
+  for (const auto& peer : options_.participants) {
+    if (peer != options_.node_id) peers.push_back(peer);
+  }
   if (options_.enable_gossip) {
-    std::vector<std::string> peers;
-    for (const auto& peer : options_.participants) {
-      if (peer != options_.node_id) peers.push_back(peer);
-    }
     gossip_ = std::make_unique<GossipAgent>(options_.node_id, network_, this,
-                                            std::move(peers), options_.gossip);
+                                            peers, options_.gossip);
+  }
+  if (options_.enable_repair) {
+    repair_ = std::make_unique<RepairCoordinator>(
+        options_.node_id, network_, this, &chain_, std::move(peers),
+        options_.repair, [this] { RefreshExecutorAfterStateSync(); });
+    if (recovery.degraded) repair_->ArmDegradedRepair();
   }
 
   // Register only after engine_ and gossip_ are fully constructed: the
@@ -189,6 +210,7 @@ Status SebdbNode::Start(SimNetwork* network) {
     }
   }
   if (gossip_ != nullptr) gossip_->Start();
+  if (repair_ != nullptr) repair_->Start();
   started_ = true;
   return Status::OK();
 }
@@ -196,6 +218,31 @@ Status SebdbNode::Start(SimNetwork* network) {
 void SebdbNode::Stop() {
   if (!started_) return;
   started_ = false;
+  if (repair_ != nullptr) {
+    repair_->Stop();
+    // One line on what self-healing did over the node's lifetime, next to
+    // the admission summary.
+    const RepairStats rs = repair_->stats();
+    const ChainManager::StateSyncStats ss = chain_.state_sync_stats();
+    if (rs.blocks_repaired > 0 || rs.state_syncs_started > 0 ||
+        rs.retries > 0 || ss.fallbacks > 0) {
+      fprintf(stderr,
+              "[sebdb] node %s: repair blocks=%llu records=%llu "
+              "state_syncs=%llu/%llu (installed height %llu, spliced %llu) "
+              "chunks=%llu verified_bytes=%llu retries=%llu fallbacks=%llu\n",
+              options_.node_id.c_str(),
+              static_cast<unsigned long long>(rs.blocks_repaired),
+              static_cast<unsigned long long>(rs.records_fetched),
+              static_cast<unsigned long long>(rs.state_syncs_completed),
+              static_cast<unsigned long long>(rs.state_syncs_started),
+              static_cast<unsigned long long>(ss.installed_height),
+              static_cast<unsigned long long>(ss.blocks_spliced),
+              static_cast<unsigned long long>(rs.chunks_fetched),
+              static_cast<unsigned long long>(rs.bytes_verified),
+              static_cast<unsigned long long>(rs.retries),
+              static_cast<unsigned long long>(rs.fallbacks + ss.fallbacks));
+    }
+  }
   if (gossip_ != nullptr) gossip_->Stop();
   if (engine_ != nullptr) {
     engine_->Stop();
@@ -233,6 +280,10 @@ void SebdbNode::Stop() {
 void SebdbNode::OnMessage(const Message& message) {
   if (message.type.rfind("gossip.", 0) == 0) {
     if (gossip_ != nullptr) gossip_->HandleMessage(message);
+    return;
+  }
+  if (message.type.rfind("repair.", 0) == 0) {
+    if (repair_ != nullptr) repair_->HandleMessage(message);
     return;
   }
   if (message.type == RpcDispatcher::kRequestType) {
@@ -529,7 +580,33 @@ Status SebdbNode::ExecuteSql(std::string_view sql, const ExecOptions& options,
       if (!s.ok()) return s;
     }
   }
-  return executor_->Execute(*stmt, options, result);
+  // Snapshot: a concurrent checkpoint state sync may swap the executor; the
+  // shared_ptr keeps the old one (and, via the chain's retire list, the old
+  // index set) alive for the duration of this query.
+  return executor_snapshot()->Execute(*stmt, options, result);
+}
+
+std::shared_ptr<Executor> SebdbNode::executor_snapshot() const {
+  MutexLock lock(&executor_mu_);
+  return executor_;
+}
+
+void SebdbNode::RefreshExecutorAfterStateSync() {
+  auto fresh = std::make_shared<Executor>(chain_.store(), chain_.indexes(),
+                                          chain_.catalog(),
+                                          offchain_connector_.get(),
+                                          options_.chain.pool);
+  MutexLock lock(&executor_mu_);
+  executor_ = std::move(fresh);
+}
+
+RepairStats SebdbNode::repair_stats() const {
+  return repair_ != nullptr ? repair_->stats() : RepairStats();
+}
+
+void SebdbNode::OnPeerAdvertisedHeight(const std::string& peer,
+                                       uint64_t height) {
+  if (repair_ != nullptr) repair_->NotePeerHeight(peer, height);
 }
 
 Status SebdbNode::GetHeaders(BlockId from, std::vector<BlockHeader>* out) {

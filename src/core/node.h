@@ -13,6 +13,7 @@
 #include "consensus/engine.h"
 #include "core/access_control.h"
 #include "core/chain_manager.h"
+#include "core/repair.h"
 #include "core/signer.h"
 #include "network/gossip.h"
 #include "network/rpc.h"
@@ -42,6 +43,10 @@ struct NodeOptions {
   ChainOptions chain = DefaultNodeChainOptions();
   bool enable_gossip = true;
   GossipOptions gossip;
+  /// Peer-assisted repair + checkpoint state sync (DESIGN.md §12). Repair
+  /// rides on gossip height observations, so it is inert without gossip.
+  bool enable_repair = true;
+  RepairOptions repair;
   /// How long a blocking write waits for its commit.
   int64_t write_timeout_millis = 30000;
   /// Thin-client RPC server bounds. The default (workers = 0) keeps the
@@ -99,10 +104,19 @@ class SebdbNode : public GossipDelegate {
   }
 
   ChainManager& chain() { return chain_; }
-  Executor* executor() { return executor_.get(); }
+  /// The current executor; invalidated by a checkpoint state sync (use
+  /// ExecuteSql, which snapshots, unless the node is known quiescent).
+  Executor* executor() { return executor_snapshot().get(); }
   AccessControl* access_control() { return &access_control_; }
   ConsensusEngine* consensus() { return engine_.get(); }
   GossipAgent* gossip() { return gossip_.get(); }
+  RepairCoordinator* repair() { return repair_.get(); }
+
+  /// Repair/state-sync counters (empty when repair is disabled).
+  RepairStats repair_stats() const;
+  ChainManager::StateSyncStats state_sync_stats() const {
+    return chain_.state_sync_stats();
+  }
 
   // --- thin-client server API (in-process "RPC") ---
 
@@ -136,9 +150,16 @@ class SebdbNode : public GossipDelegate {
   uint64_t ChainHeight() override;
   Status GetBlockRecord(BlockId height, std::string* record) override;
   Status ApplyBlockRecord(BlockId height, const std::string& record) override;
+  void OnPeerAdvertisedHeight(const std::string& peer,
+                              uint64_t height) override;
 
  private:
   void OnMessage(const Message& message);
+  /// A state sync retired the chain's index set: rebind the executor to the
+  /// restored one. In-flight queries keep the old executor alive via the
+  /// shared_ptr snapshot (and the chain retires the old indexes, not frees).
+  void RefreshExecutorAfterStateSync();
+  std::shared_ptr<Executor> executor_snapshot() const;
   void OnBatchCommitted(uint64_t seq, std::vector<Transaction> txns);
   void SetupRpcMethods();
   Status ExecInsert(const InsertStmt& stmt, const ExecOptions& options,
@@ -152,11 +173,13 @@ class SebdbNode : public GossipDelegate {
   OffchainDb* offchain_db_;
   std::unique_ptr<LocalOffchainConnector> offchain_connector_;
   ChainManager chain_;
-  std::unique_ptr<Executor> executor_;
+  mutable Mutex executor_mu_;
+  std::shared_ptr<Executor> executor_ GUARDED_BY(executor_mu_);
   AccessControl access_control_;
   SimNetwork* network_ = nullptr;
   std::unique_ptr<ConsensusEngine> engine_;
   std::unique_ptr<GossipAgent> gossip_;
+  std::unique_ptr<RepairCoordinator> repair_;
   // Serves the thin-client API over the network (see thin_client_transport).
   RpcDispatcher rpc_dispatcher_;
   bool started_ = false;

@@ -1,0 +1,566 @@
+#include "core/repair.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/sha256.h"
+
+namespace sebdb {
+
+namespace {
+
+constexpr char kFetchType[] = "repair.fetch";
+constexpr char kBlocksType[] = "repair.blocks";
+constexpr char kCkptOfferType[] = "repair.ckpt_offer";
+constexpr char kCkptMetaType[] = "repair.ckpt_meta";
+constexpr char kCkptFetchType[] = "repair.ckpt_fetch";
+constexpr char kCkptChunkType[] = "repair.ckpt_chunk";
+
+}  // namespace
+
+RepairCoordinator::RepairCoordinator(std::string node_id, SimNetwork* network,
+                                     GossipDelegate* delegate,
+                                     ChainManager* chain,
+                                     std::vector<std::string> peers,
+                                     const RepairOptions& options,
+                                     std::function<void()> on_state_sync)
+    : node_id_(std::move(node_id)),
+      network_(network),
+      delegate_(delegate),
+      chain_(chain),
+      peers_(std::move(peers)),
+      options_(options),
+      on_state_sync_(std::move(on_state_sync)),
+      rng_(options.seed ^ std::hash<std::string>{}(node_id_)) {}
+
+RepairCoordinator::~RepairCoordinator() { Stop(); }
+
+void RepairCoordinator::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  ticker_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      Tick();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.tick_interval_millis));
+    }
+  });
+}
+
+void RepairCoordinator::Stop() {
+  running_.store(false, std::memory_order_release);
+  if (ticker_.joinable()) ticker_.join();
+}
+
+void RepairCoordinator::ArmDegradedRepair() {
+  MutexLock lock(&mu_);
+  armed_degraded_ = true;
+}
+
+RepairStats RepairCoordinator::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+bool RepairCoordinator::active() const {
+  MutexLock lock(&mu_);
+  return mode_ != Mode::kIdle;
+}
+
+void RepairCoordinator::NotePeerHeight(const std::string& peer,
+                                       uint64_t height) {
+  if (peers_.empty()) return;
+  MutexLock lock(&mu_);
+  const uint64_t my = delegate_->ChainHeight();
+  if (height <= my) return;
+  if (mode_ != Mode::kIdle) {
+    // A session is running; remember the furthest advertised tip so block
+    // repair keeps going until the real network height, not a stale one.
+    if (height > target_height_) target_height_ = height;
+    return;
+  }
+  const uint64_t gap = height - my;
+  const bool want_state_sync = chain_ != nullptr &&
+                               options_.state_sync_gap > 0 &&
+                               gap >= options_.state_sync_gap;
+  // Small gaps on a healthy node are gossip's job; the coordinator steps in
+  // for degraded opens (any gap) and for catch-up beyond the state-sync
+  // threshold.
+  if (!want_state_sync && !armed_degraded_) return;
+  peer_ = peer;
+  target_height_ = height;
+  session_retries_ = 0;
+  if (want_state_sync) {
+    mode_ = Mode::kCkptMeta;
+    stats_.state_syncs_started++;
+    fprintf(stderr,
+            "[sebdb] node %s: %llu block(s) behind %s — starting checkpoint "
+            "state sync\n",
+            node_id_.c_str(), static_cast<unsigned long long>(gap),
+            peer.c_str());
+    SendCkptOfferLocked();
+  } else {
+    mode_ = Mode::kBlockRepair;
+    fprintf(stderr,
+            "[sebdb] node %s: degraded chain %llu block(s) behind %s — "
+            "starting peer-assisted block repair\n",
+            node_id_.c_str(), static_cast<unsigned long long>(gap),
+            peer.c_str());
+    SendFetchLocked(my);
+  }
+  ArmDeadlineLocked();
+}
+
+void RepairCoordinator::HandleMessage(const Message& message) {
+  if (message.type == kBlocksType) {
+    OnBlocks(message);
+  } else if (message.type == kCkptMetaType) {
+    OnCkptMeta(message);
+  } else if (message.type == kFetchType) {
+    ServeFetch(message);
+  } else if (message.type == kCkptOfferType) {
+    ServeCkptOffer(message);
+  } else if (message.type == kCkptFetchType) {
+    ServeCkptFetch(message);
+  } else if (message.type == kCkptChunkType) {
+    OnCkptChunk(message);
+  }
+}
+
+// ---- client side -----------------------------------------------------------
+
+void RepairCoordinator::OnBlocks(const Message& message) {
+  MutexLock lock(&mu_);
+  Slice input(message.payload);
+  uint32_t count;
+  if (!GetVarint32(&input, &count)) return;
+
+  if (mode_ == Mode::kBlockRepair) {
+    const uint64_t before = delegate_->ChainHeight();
+    for (uint32_t i = 0; i < count; i++) {
+      uint64_t height;
+      Slice record;
+      if (!GetVarint64(&input, &height) ||
+          !GetLengthPrefixed(&input, &record)) {
+        break;
+      }
+      stats_.records_fetched++;
+      // The chain validates everything (decode, Merkle, prev-hash link,
+      // optionally signatures); a bad record from a peer is just rejected.
+      delegate_->ApplyBlockRecord(height, record.ToString());
+    }
+    const uint64_t after = delegate_->ChainHeight();
+    if (after > before) stats_.blocks_repaired += after - before;
+    if (after >= target_height_) {
+      stats_.repairs_completed++;
+      armed_degraded_ = false;
+      fprintf(stderr,
+              "[sebdb] node %s: block repair complete at height %llu "
+              "(%llu repaired so far)\n",
+              node_id_.c_str(), static_cast<unsigned long long>(after),
+              static_cast<unsigned long long>(stats_.blocks_repaired));
+      EndSessionLocked();
+      return;
+    }
+    if (after > before) {
+      session_retries_ = 0;
+      SendFetchLocked(after);
+      ArmDeadlineLocked();
+    }
+    // No progress: leave the deadline armed; Tick re-issues elsewhere.
+    return;
+  }
+
+  if (mode_ == Mode::kCkptBlocks) {
+    bool progressed = false;
+    for (uint32_t i = 0; i < count; i++) {
+      uint64_t height;
+      Slice record;
+      if (!GetVarint64(&input, &height) ||
+          !GetLengthPrefixed(&input, &record)) {
+        break;
+      }
+      const uint64_t expected = first_height_ + fetched_blocks_.size();
+      if (height != expected || expected >= remote_.record.height) continue;
+      fetched_blocks_.push_back(record.ToString());
+      stats_.records_fetched++;
+      progressed = true;
+    }
+    if (first_height_ + fetched_blocks_.size() >= remote_.record.height) {
+      FinishStateSyncLocked();
+      return;
+    }
+    if (progressed) {
+      session_retries_ = 0;
+      SendFetchLocked(first_height_ + fetched_blocks_.size());
+      ArmDeadlineLocked();
+    }
+  }
+}
+
+void RepairCoordinator::OnCkptMeta(const Message& message) {
+  MutexLock lock(&mu_);
+  if (mode_ != Mode::kCkptMeta || message.from != peer_) return;
+  Slice input(message.payload);
+  uint32_t has;
+  if (!GetVarint32(&input, &has)) return;
+  if (has == 0) {
+    FallBackToBlockRepairLocked("peer has no published checkpoint");
+    return;
+  }
+  Slice encoded;
+  CheckpointRecord record;
+  if (!GetLengthPrefixed(&input, &encoded) ||
+      !CheckpointManager::DecodeManifestRecord(&encoded, &record)) {
+    FallBackToBlockRepairLocked("undecodable checkpoint descriptor");
+    return;
+  }
+  if (record.height <= delegate_->ChainHeight()) {
+    FallBackToBlockRepairLocked("peer checkpoint is not ahead of us");
+    return;
+  }
+  // Per file: the SHA-256 of its transfer image plus that image's size —
+  // everything fetched below lives in transfer (compressed) space.
+  std::vector<Hash256> hashes(record.files.size());
+  std::vector<uint64_t> transfer_sizes(record.files.size());
+  bool ok = true;
+  for (size_t i = 0; ok && i < record.files.size(); i++) {
+    if (input.size() < 32) {
+      ok = false;
+      break;
+    }
+    std::copy_n(reinterpret_cast<const uint8_t*>(input.data()), 32,
+                hashes[i].bytes.begin());
+    input.remove_prefix(32);
+    ok = GetVarint64(&input, &transfer_sizes[i]);
+  }
+  if (!ok || !input.empty()) {
+    FallBackToBlockRepairLocked("descriptor hash list truncated");
+    return;
+  }
+  remote_.record = std::move(record);
+  remote_.file_hashes = std::move(hashes);
+  remote_.transfer_sizes = std::move(transfer_sizes);
+  fetched_files_.assign(remote_.record.files.size(), std::string());
+  file_idx_ = 0;
+  mode_ = Mode::kCkptChunks;
+  session_retries_ = 0;
+  ProgressChunksLocked();
+}
+
+void RepairCoordinator::OnCkptChunk(const Message& message) {
+  MutexLock lock(&mu_);
+  if (mode_ != Mode::kCkptChunks || message.from != peer_) return;
+  Slice input(message.payload);
+  Slice name, payload;
+  uint64_t offset;
+  uint32_t crc;
+  if (!GetLengthPrefixed(&input, &name) || !GetVarint64(&input, &offset) ||
+      !GetLengthPrefixed(&input, &payload) || !GetFixed32(&input, &crc)) {
+    return;
+  }
+  if (file_idx_ >= remote_.record.files.size()) return;
+  const CheckpointFile& cur = remote_.record.files[file_idx_];
+  // Stale or duplicate chunk (a retried fetch answered twice): ignore.
+  if (name != Slice(cur.name) || offset != fetched_files_[file_idx_].size()) {
+    return;
+  }
+  // Frame-level integrity; a damaged chunk is dropped and re-fetched by the
+  // timeout path. The end-to-end check is the per-file SHA-256 below.
+  if (Crc32(payload) != crc) return;
+  if (fetched_files_[file_idx_].size() + payload.size() >
+      remote_.transfer_sizes[file_idx_]) {
+    return;
+  }
+  fetched_files_[file_idx_].append(payload.data(), payload.size());
+  stats_.chunks_fetched++;
+  session_retries_ = 0;
+  ProgressChunksLocked();
+}
+
+void RepairCoordinator::ProgressChunksLocked() {
+  while (file_idx_ < remote_.record.files.size() &&
+         fetched_files_[file_idx_].size() ==
+             remote_.transfer_sizes[file_idx_]) {
+    // verify: the fully fetched transfer image must hash to the descriptor
+    // the peer offered up front — nothing below this line (including the
+    // decompressor) sees unbound bytes.
+    const Hash256 got = Sha256::Digest(Slice(fetched_files_[file_idx_]));
+    if (!(got == remote_.file_hashes[file_idx_])) {
+      FallBackToBlockRepairLocked("checkpoint file failed its SHA-256 check");
+      return;
+    }
+    stats_.bytes_verified += remote_.transfer_sizes[file_idx_];
+    // Expand the verified transfer image to the raw page file the install
+    // expects; the decoded size must be exactly what the record declares.
+    std::string raw;
+    if (!CheckpointManager::DecompressZeroRuns(
+             Slice(fetched_files_[file_idx_]),
+             remote_.record.files[file_idx_].size, &raw)
+             .ok()) {
+      FallBackToBlockRepairLocked("checkpoint transfer failed to decompress");
+      return;
+    }
+    fetched_files_[file_idx_] = std::move(raw);
+    file_idx_++;
+  }
+  if (file_idx_ < remote_.record.files.size()) {
+    SendChunkFetchLocked();
+    ArmDeadlineLocked();
+    return;
+  }
+  // Every file fetched and verified: collect the bridge block records from
+  // the local tip to the checkpoint height (not applied — spliced by the
+  // install after their own verification).
+  mode_ = Mode::kCkptBlocks;
+  first_height_ = delegate_->ChainHeight();
+  fetched_blocks_.clear();
+  if (first_height_ >= remote_.record.height) {
+    // Gossip caught us up past the checkpoint while we were fetching.
+    FallBackToBlockRepairLocked("local chain passed the peer checkpoint");
+    return;
+  }
+  session_retries_ = 0;
+  SendFetchLocked(first_height_);
+  ArmDeadlineLocked();
+}
+
+void RepairCoordinator::FinishStateSyncLocked() {
+  ChainManager::StateSyncPackage pkg;
+  pkg.record = remote_.record;
+  pkg.files = std::move(fetched_files_);
+  pkg.first_height = first_height_;
+  pkg.blocks = std::move(fetched_blocks_);
+  // Every file in pkg passed its SHA-256 check against the offered
+  // descriptor (ProgressChunksLocked); the bridge blocks are verified by the
+  // install itself (decode + Merkle + hash-chain link).
+  Status s = chain_->InstallStateSync(pkg);  // verify: SHA-256 per file above
+  if (!s.ok()) {
+    fprintf(stderr, "[sebdb] node %s: state-sync install failed: %s\n",
+            node_id_.c_str(), s.ToString().c_str());
+    FallBackToBlockRepairLocked("install rejected the package");
+    return;
+  }
+  stats_.state_syncs_completed++;
+  if (on_state_sync_) on_state_sync_();
+  const uint64_t now_height = delegate_->ChainHeight();
+  fprintf(stderr,
+          "[sebdb] node %s: checkpoint state sync complete — installed "
+          "height %llu, %llu chunk(s), %llu byte(s) verified\n",
+          node_id_.c_str(),
+          static_cast<unsigned long long>(remote_.record.height),
+          static_cast<unsigned long long>(stats_.chunks_fetched),
+          static_cast<unsigned long long>(stats_.bytes_verified));
+  if (now_height < target_height_) {
+    // Delta repair: the network moved on while we synced.
+    mode_ = Mode::kBlockRepair;
+    session_retries_ = 0;
+    SendFetchLocked(now_height);
+    ArmDeadlineLocked();
+    return;
+  }
+  armed_degraded_ = false;
+  EndSessionLocked();
+}
+
+void RepairCoordinator::FallBackToBlockRepairLocked(const char* why) {
+  stats_.fallbacks++;
+  fprintf(stderr,
+          "[sebdb] node %s: state sync fell back to block repair (%s)\n",
+          node_id_.c_str(), why);
+  if (delegate_->ChainHeight() >= target_height_) {
+    EndSessionLocked();
+    return;
+  }
+  mode_ = Mode::kBlockRepair;
+  session_retries_ = 0;
+  SendFetchLocked(delegate_->ChainHeight());
+  ArmDeadlineLocked();
+}
+
+void RepairCoordinator::EndSessionLocked() {
+  mode_ = Mode::kIdle;
+  peer_.clear();
+  target_height_ = 0;
+  deadline_millis_ = 0;
+  session_retries_ = 0;
+  remote_ = ChainManager::CheckpointDescriptor();
+  fetched_files_.clear();
+  file_idx_ = 0;
+  first_height_ = 0;
+  fetched_blocks_.clear();
+}
+
+void RepairCoordinator::Tick() {
+  MutexLock lock(&mu_);
+  if (mode_ == Mode::kIdle) return;
+  if (SteadyNowMillis() < deadline_millis_) return;
+  if (delegate_->ChainHeight() >= target_height_) {
+    // Gossip (or another path) finished the job while we waited.
+    if (mode_ == Mode::kBlockRepair) stats_.repairs_completed++;
+    armed_degraded_ = false;
+    EndSessionLocked();
+    return;
+  }
+  session_retries_++;
+  stats_.retries++;
+  if (session_retries_ > options_.max_retries) {
+    if (mode_ != Mode::kBlockRepair) {
+      FallBackToBlockRepairLocked("too many timeouts");
+      return;
+    }
+    // Out of retries on the last rung: disarm the session and leave the gap
+    // to gossip anti-entropy. armed_degraded_ stays set so a future digest
+    // can start a fresh session.
+    fprintf(stderr,
+            "[sebdb] node %s: block repair gave up after %u retries; gossip "
+            "continues\n",
+            node_id_.c_str(), options_.max_retries);
+    EndSessionLocked();
+    return;
+  }
+  ResendLocked();
+  ArmDeadlineLocked();
+}
+
+void RepairCoordinator::ResendLocked() {
+  switch (mode_) {
+    case Mode::kIdle:
+      break;
+    case Mode::kBlockRepair:
+      // Spread retries: the stuck peer may be partitioned away.
+      peer_ = peers_[rng_.Uniform(peers_.size())];
+      SendFetchLocked(delegate_->ChainHeight());
+      break;
+    case Mode::kCkptMeta:
+      SendCkptOfferLocked();
+      break;
+    case Mode::kCkptChunks:
+      // Chunks must keep coming from the descriptor's peer — another node
+      // may have published a different checkpoint.
+      SendChunkFetchLocked();
+      break;
+    case Mode::kCkptBlocks:
+      SendFetchLocked(first_height_ + fetched_blocks_.size());
+      break;
+  }
+}
+
+void RepairCoordinator::ArmDeadlineLocked() {
+  const int64_t timeout = options_.request_timeout_millis;
+  deadline_millis_ =
+      SteadyNowMillis() + timeout +
+      static_cast<int64_t>(rng_.Uniform(static_cast<uint64_t>(timeout / 2) + 1));
+}
+
+void RepairCoordinator::SendFetchLocked(uint64_t from) {
+  uint32_t count = options_.fetch_batch;
+  if (mode_ == Mode::kCkptBlocks) {
+    const uint64_t remaining = remote_.record.height - from;
+    count = static_cast<uint32_t>(
+        std::min<uint64_t>(count, remaining));
+  }
+  std::string payload;
+  PutVarint64(&payload, from);
+  PutVarint32(&payload, count);
+  network_->Send(Message{kFetchType, node_id_, peer_, payload});
+}
+
+void RepairCoordinator::SendCkptOfferLocked() {
+  std::string payload;
+  PutVarint64(&payload, delegate_->ChainHeight());
+  network_->Send(Message{kCkptOfferType, node_id_, peer_, payload});
+}
+
+void RepairCoordinator::SendChunkFetchLocked() {
+  const CheckpointFile& cur = remote_.record.files[file_idx_];
+  const uint64_t offset = fetched_files_[file_idx_].size();
+  const uint32_t n = static_cast<uint32_t>(std::min<uint64_t>(
+      options_.chunk_bytes, remote_.transfer_sizes[file_idx_] - offset));
+  std::string payload;
+  PutLengthPrefixed(&payload, cur.name);
+  PutVarint64(&payload, offset);
+  PutVarint32(&payload, n);
+  network_->Send(Message{kCkptFetchType, node_id_, peer_, payload});
+}
+
+// ---- serving side ----------------------------------------------------------
+
+void RepairCoordinator::ServeFetch(const Message& message) {
+  Slice input(message.payload);
+  uint64_t from;
+  uint32_t count;
+  if (!GetVarint64(&input, &from) || !GetVarint32(&input, &count)) return;
+  count = std::min(count, options_.fetch_batch);
+  const uint64_t my = delegate_->ChainHeight();
+  std::string body;
+  uint32_t served = 0;
+  uint64_t bytes = 0;
+  for (uint64_t h = from; h < my && served < count; h++) {
+    std::string record;
+    if (!delegate_->GetBlockRecord(h, &record).ok()) break;
+    if (served > 0 && bytes + record.size() > options_.fetch_response_bytes) {
+      break;
+    }
+    PutVarint64(&body, h);
+    PutLengthPrefixed(&body, record);
+    bytes += record.size();
+    served++;
+  }
+  if (served == 0) return;
+  std::string payload;
+  PutVarint32(&payload, served);
+  payload.append(body);
+  network_->Send(Message{kBlocksType, node_id_, message.from, payload});
+}
+
+void RepairCoordinator::ServeCkptOffer(const Message& message) {
+  ChainManager::CheckpointDescriptor desc;
+  const bool has =
+      chain_ != nullptr && chain_->DescribeCheckpoint(&desc).ok();
+  std::string payload;
+  PutVarint32(&payload, has ? 1 : 0);
+  if (has) {
+    std::string encoded;
+    CheckpointManager::EncodeManifestRecord(desc.record, &encoded);
+    PutLengthPrefixed(&payload, encoded);
+    for (size_t i = 0; i < desc.file_hashes.size(); i++) {
+      payload.append(
+          reinterpret_cast<const char*>(desc.file_hashes[i].bytes.data()),
+          desc.file_hashes[i].bytes.size());
+      PutVarint64(&payload, desc.transfer_sizes[i]);
+    }
+  }
+  network_->Send(Message{kCkptMetaType, node_id_, message.from, payload});
+}
+
+void RepairCoordinator::ServeCkptFetch(const Message& message) {
+  if (chain_ == nullptr) return;
+  Slice input(message.payload);
+  Slice name;
+  uint64_t offset;
+  uint32_t n;
+  if (!GetLengthPrefixed(&input, &name) || !GetVarint64(&input, &offset) ||
+      !GetVarint32(&input, &n)) {
+    return;
+  }
+  std::string bytes;
+  if (!chain_->ReadCheckpointTransfer(name.ToString(), offset, n, &bytes)
+           .ok()) {
+    // No reply: the requester's timeout re-fetches (or falls back) — e.g.
+    // our checkpoint advanced and GC'd the file it wanted.
+    return;
+  }
+  std::string payload;
+  PutLengthPrefixed(&payload, name);
+  PutVarint64(&payload, offset);
+  PutLengthPrefixed(&payload, bytes);
+  PutFixed32(&payload, Crc32(Slice(bytes)));
+  network_->Send(Message{kCkptChunkType, node_id_, message.from, payload});
+}
+
+}  // namespace sebdb

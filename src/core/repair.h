@@ -1,0 +1,172 @@
+// RepairCoordinator: peer-assisted self-healing (DESIGN.md §12). Two
+// recovery paths share one session state machine:
+//
+//  * Block repair — a node that opened degraded (a corrupt non-tail segment
+//    was quarantined and the chain truncated to the verified prefix) fetches
+//    the missing block records from peers in batches and re-applies them
+//    through the chain's full validation path (decode, Merkle root, prev-hash
+//    link, optionally signatures). Gossip would eventually heal the same gap;
+//    the coordinator does it eagerly, in large batches, with retry/timeout
+//    tracking and counters.
+//
+//  * Checkpoint state sync — a replica whose gap to an advertised peer
+//    height exceeds `state_sync_gap` fetches the peer's newest published
+//    checkpoint as CRC-framed chunks, verifies every file against the
+//    SHA-256 descriptor the peer offered up front, collects the bridge of
+//    raw block records from the local tip to the checkpoint height, and
+//    installs the package through ChainManager::InstallStateSync — catch-up
+//    cost is O(checkpoint + delta) instead of O(gap replay).
+//
+// Fallback ladder: state sync that fails at any rung (no peer checkpoint,
+// hash mismatch, install error, too many timeouts) falls back to block
+// repair; block repair that exhausts its retries disarms and leaves the gap
+// to gossip anti-entropy, which remains running throughout.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/chain_manager.h"
+#include "network/gossip.h"
+#include "network/sim_network.h"
+
+namespace sebdb {
+
+struct RepairOptions {
+  /// Block records requested per repair.fetch.
+  uint32_t fetch_batch = 64;
+  /// Byte cap on one repair.blocks response (serving side).
+  uint64_t fetch_response_bytes = 4ull << 20;
+  /// Arm checkpoint state sync when a peer advertises a height at least
+  /// this far ahead; 0 disables state sync (block repair still runs).
+  uint64_t state_sync_gap = 1024;
+  /// Bytes per checkpoint-file chunk fetch.
+  uint32_t chunk_bytes = 64 * 1024;
+  /// A request with no useful reply within this window is re-issued
+  /// (jittered); for block repair, to a fresh random peer.
+  int64_t request_timeout_millis = 200;
+  /// Re-issues before the session gives up (state sync falls back to block
+  /// repair; block repair disarms and leaves the rest to gossip).
+  uint32_t max_retries = 32;
+  /// Background timeout-check cadence. Tests call Tick() directly.
+  int64_t tick_interval_millis = 25;
+  uint64_t seed = 17;
+};
+
+struct RepairStats {
+  uint64_t blocks_repaired = 0;       // chain growth while in block repair
+  uint64_t records_fetched = 0;       // block records received over repair.*
+  uint64_t chunks_fetched = 0;        // checkpoint chunks received
+  uint64_t bytes_verified = 0;        // checkpoint bytes that passed SHA-256
+  uint64_t state_syncs_started = 0;
+  uint64_t state_syncs_completed = 0;
+  uint64_t fallbacks = 0;             // state-sync rungs abandoned
+  uint64_t retries = 0;               // timed-out requests re-issued
+  uint64_t repairs_completed = 0;     // block-repair sessions that caught up
+};
+
+class RepairCoordinator {
+ public:
+  /// `delegate` supplies chain height / block records / the validated apply
+  /// path (the node itself); `chain` serves and installs checkpoints (may
+  /// be nullptr to disable state sync); `on_state_sync` runs after a
+  /// successful install so the node can rebind derived state (executor).
+  RepairCoordinator(std::string node_id, SimNetwork* network,
+                    GossipDelegate* delegate, ChainManager* chain,
+                    std::vector<std::string> peers,
+                    const RepairOptions& options,
+                    std::function<void()> on_state_sync);
+  ~RepairCoordinator();
+
+  /// Starts the background timeout ticker.
+  void Start();
+  void Stop();
+
+  /// Marks the local chain as degraded-opened: the next peer that advertises
+  /// a greater height starts a block-repair session even below the
+  /// state-sync gap.
+  void ArmDegradedRepair() EXCLUDES(mu_);
+
+  /// Height observation feed (wired to GossipDelegate::OnPeerAdvertisedHeight).
+  void NotePeerHeight(const std::string& peer, uint64_t height) EXCLUDES(mu_);
+
+  /// Routes "repair.*" messages; call from the node's network handler.
+  void HandleMessage(const Message& message) EXCLUDES(mu_);
+
+  /// One timeout check (also driven by the ticker thread).
+  void Tick() EXCLUDES(mu_);
+
+  RepairStats stats() const EXCLUDES(mu_);
+  /// True while a repair or state-sync session is running.
+  bool active() const EXCLUDES(mu_);
+
+ private:
+  enum class Mode {
+    kIdle,
+    kBlockRepair,  // fetching + applying block records
+    kCkptMeta,     // asked a peer for its checkpoint descriptor
+    kCkptChunks,   // fetching checkpoint file chunks
+    kCkptBlocks,   // collecting (not applying) the bridge block records
+  };
+
+  // Client side (session driving).
+  void OnBlocks(const Message& message) EXCLUDES(mu_);
+  void OnCkptMeta(const Message& message) EXCLUDES(mu_);
+  void OnCkptChunk(const Message& message) EXCLUDES(mu_);
+  // Serving side (stateless; any node answers from its chain).
+  void ServeFetch(const Message& message);
+  void ServeCkptOffer(const Message& message);
+  void ServeCkptFetch(const Message& message);
+
+  /// Verifies completed files against the descriptor hashes, requests the
+  /// next chunk, or transitions to bridge-block collection.
+  void ProgressChunksLocked() REQUIRES(mu_);
+  void SendFetchLocked(uint64_t from) REQUIRES(mu_);
+  void SendCkptOfferLocked() REQUIRES(mu_);
+  void SendChunkFetchLocked() REQUIRES(mu_);
+  /// Re-issues the request the current mode is waiting on.
+  void ResendLocked() REQUIRES(mu_);
+  void ArmDeadlineLocked() REQUIRES(mu_);
+  /// Assembles the package and installs it; advances to delta block repair
+  /// or idle. Any failure falls back to block repair.
+  void FinishStateSyncLocked() REQUIRES(mu_);
+  /// Abandons the state-sync rung and continues with block repair.
+  void FallBackToBlockRepairLocked(const char* why) REQUIRES(mu_);
+  void EndSessionLocked() REQUIRES(mu_);
+
+  const std::string node_id_;
+  SimNetwork* network_;
+  GossipDelegate* delegate_;
+  ChainManager* chain_;  // may be nullptr (no state sync, no serving)
+  const std::vector<std::string> peers_;
+  const RepairOptions options_;
+  const std::function<void()> on_state_sync_;
+
+  std::thread ticker_;
+  std::atomic<bool> running_{false};
+
+  mutable Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
+  RepairStats stats_ GUARDED_BY(mu_);
+  Mode mode_ GUARDED_BY(mu_) = Mode::kIdle;
+  bool armed_degraded_ GUARDED_BY(mu_) = false;
+  std::string peer_ GUARDED_BY(mu_);           // session peer
+  uint64_t target_height_ GUARDED_BY(mu_) = 0;
+  int64_t deadline_millis_ GUARDED_BY(mu_) = 0;
+  uint32_t session_retries_ GUARDED_BY(mu_) = 0;
+  // Checkpoint state-sync session state.
+  ChainManager::CheckpointDescriptor remote_ GUARDED_BY(mu_);
+  std::vector<std::string> fetched_files_ GUARDED_BY(mu_);
+  size_t file_idx_ GUARDED_BY(mu_) = 0;
+  uint64_t first_height_ GUARDED_BY(mu_) = 0;
+  std::vector<std::string> fetched_blocks_ GUARDED_BY(mu_);
+};
+
+}  // namespace sebdb

@@ -83,11 +83,24 @@ void GossipAgent::MaybeRetryPull() {
     if (SteadyNowMillis() < pull_deadline_millis_) return;
     pull_backoff_millis_ =
         std::min(pull_backoff_millis_ * 2, options_.pull_retry_max_millis);
-    pull_deadline_millis_ = SteadyNowMillis() + pull_backoff_millis_;
+    pull_deadline_millis_ =
+        SteadyNowMillis() + JitteredWindow(pull_backoff_millis_);
     pull_retries_.fetch_add(1, std::memory_order_relaxed);
     peer = peers_[rng_.Uniform(peers_.size())];
   }
   SendPull(peer);
+}
+
+// Pure doubling re-arms every lagging peer on the same schedule: after a
+// partition heals they all discover the gap in the same round and then
+// re-pull in synchronized bursts forever. Drawing each window uniformly
+// from [window/2, window] keeps the expected backoff shape while spreading
+// the retry instants.
+int64_t GossipAgent::JitteredWindow(int64_t window) {
+  if (window <= 1) return window;
+  const int64_t half = window / 2;
+  return half + static_cast<int64_t>(
+                    rng_.Uniform(static_cast<uint64_t>(window - half) + 1));
 }
 
 void GossipAgent::SendDigest(const std::string& peer) {
@@ -116,6 +129,7 @@ void GossipAgent::OnDigest(const Message& message) {
   Slice input(message.payload);
   uint64_t peer_height;
   if (!GetVarint64(&input, &peer_height)) return;
+  delegate_->OnPeerAdvertisedHeight(message.from, peer_height);
   uint64_t my_height = delegate_->ChainHeight();
   if (peer_height > my_height) {
     // Behind: pull from our height onward, and arm the retry timer so a
@@ -127,7 +141,8 @@ void GossipAgent::OnDigest(const Message& message) {
       }
       if (pull_backoff_millis_ == 0 || pull_deadline_millis_ == 0) {
         pull_backoff_millis_ = options_.pull_retry_initial_millis;
-        pull_deadline_millis_ = SteadyNowMillis() + pull_backoff_millis_;
+        pull_deadline_millis_ =
+            SteadyNowMillis() + JitteredWindow(pull_backoff_millis_);
       }
       pull_last_height_ = my_height;
     }
@@ -188,7 +203,8 @@ void GossipAgent::OnBlocks(const Message& message) {
         // Progress: restart the backoff window from the initial value.
         pull_last_height_ = my_height;
         pull_backoff_millis_ = options_.pull_retry_initial_millis;
-        pull_deadline_millis_ = SteadyNowMillis() + pull_backoff_millis_;
+        pull_deadline_millis_ =
+            SteadyNowMillis() + JitteredWindow(pull_backoff_millis_);
       }
     }
   }

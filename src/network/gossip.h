@@ -29,6 +29,14 @@ class GossipDelegate {
   virtual uint64_t ChainHeight() = 0;
   virtual Status GetBlockRecord(BlockId height, std::string* record) = 0;
   virtual Status ApplyBlockRecord(BlockId height, const std::string& record) = 0;
+  /// Observation hook: every received digest reports the sender's
+  /// advertised chain height. The repair/state-sync coordinator keys off
+  /// this to detect gaps worth healing; default is a no-op.
+  virtual void OnPeerAdvertisedHeight(const std::string& peer,
+                                      uint64_t height) {
+    (void)peer;
+    (void)height;
+  }
 };
 
 struct GossipOptions {
@@ -42,7 +50,9 @@ struct GossipOptions {
   /// A pull (or its response) can be lost on a lossy network. While we know
   /// a peer is ahead of us and no progress arrives within the backoff
   /// window, RunRound re-issues the pull to a random peer, doubling the
-  /// window up to the max.
+  /// window up to the max. Each window is jittered (uniform in
+  /// [window/2, window]) so lagging peers that armed at the same instant —
+  /// e.g. when a partition heals — don't re-pull in lockstep.
   int64_t pull_retry_initial_millis = 100;
   int64_t pull_retry_max_millis = 2000;
 };
@@ -84,6 +94,8 @@ class GossipAgent {
   /// Called from RunRound: re-issues the armed pull when its backoff window
   /// expired without the chain reaching the known target height.
   void MaybeRetryPull() EXCLUDES(pull_mu_);
+  /// Uniform draw in [window/2, window] (anti-storm jitter).
+  int64_t JitteredWindow(int64_t window) REQUIRES(pull_mu_);
 
   std::string node_id_;
   SimNetwork* network_;

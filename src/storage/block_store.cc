@@ -20,6 +20,9 @@ std::string SegmentName(uint32_t id) {
   return buf;
 }
 
+// Sentinel for "no defect found" in ScanSegment's degraded out-param.
+constexpr uint64_t kNoDefect = ~0ull;
+
 uint64_t TxnCacheKey(BlockId height, uint32_t index) {
   return (height << 20) | index;  // blocks hold far fewer than 2^20 txns
 }
@@ -80,9 +83,11 @@ Status BlockStore::Open(const BlockStoreOptions& options,
 // locations. Any invalid frame — bad magic, implausible length, torn bytes,
 // CRC mismatch — ends the valid prefix: in the tail segment the file is
 // truncated back to it (crash self-healing), anywhere else the store
-// refuses to open (real mid-chain corruption, not a crash artifact).
+// refuses to open (real mid-chain corruption, not a crash artifact) unless
+// degraded handling is armed via `defect_offset`.
 Status BlockStore::ScanSegment(uint32_t seg_id, const std::string& name,
-                               bool is_tail, uint64_t start_offset) {
+                               bool is_tail, uint64_t start_offset,
+                               uint64_t* defect_offset) {
   const std::string path = dir_ + "/" + name;
   RandomAccessFile file;
   Status s = file.Open(path, env_);
@@ -127,6 +132,15 @@ Status BlockStore::ScanSegment(uint32_t seg_id, const std::string& name,
 
   if (defect.empty()) return Status::OK();
   if (!is_tail) {
+    if (options_.degraded_open && defect_offset != nullptr) {
+      *defect_offset = offset;
+      fprintf(stderr,
+              "[sebdb] block store %s: %s in non-tail segment %s at offset "
+              "%llu; degraded open, quarantining chain suffix\n",
+              dir_.c_str(), defect.c_str(), name.c_str(),
+              static_cast<unsigned long long>(offset));
+      return Status::OK();
+    }
     return Status::Corruption(defect + " in non-tail segment " + name +
                               " at offset " + std::to_string(offset));
   }
@@ -164,24 +178,95 @@ Status BlockStore::RecoverSegments() {
 
   locations_.clear();
   recovery_ = RecoveryStats{};
+  uint32_t tail_seg =
+      segments.empty() ? 0 : static_cast<uint32_t>(segments.size() - 1);
   if (options_.trusted_prefix == nullptr ||
       !TryTrustedRecover(*options_.trusted_prefix, segments)) {
     // Full validating scan (no checkpoint, or the prefix did not match).
     locations_.clear();
     recovery_ = RecoveryStats{};
     for (uint32_t seg_id = 0; seg_id < segments.size(); seg_id++) {
+      uint64_t defect_offset = kNoDefect;
       s = ScanSegment(seg_id, segments[seg_id],
                       /*is_tail=*/seg_id + 1 == segments.size(),
-                      /*start_offset=*/0);
+                      /*start_offset=*/0, &defect_offset);
       if (!s.ok()) return s;
+      if (defect_offset != kNoDefect) {
+        // Degraded open: set the defective suffix aside and resume appends
+        // at the end of the verified prefix. Later segments are never
+        // scanned — without a valid predecessor their records cannot be
+        // trusted to be the chain consensus committed.
+        s = QuarantineSuffix(seg_id, defect_offset, segments);
+        if (!s.ok()) return s;
+        tail_seg = seg_id;
+        break;
+      }
     }
   }
   recovery_.blocks_recovered = locations_.size();
   recovery_.segments_scanned = static_cast<uint32_t>(segments.size());
 
-  active_segment_ =
-      segments.empty() ? 0 : static_cast<uint32_t>(segments.size() - 1);
+  active_segment_ = tail_seg;
   return OpenSegmentForAppend(active_segment_);
+}
+
+// Copies the defective byte range and every later segment to .quar files
+// (post-mortem evidence), then drops them from the live chain: later
+// segments are removed highest-first so the live set stays dense, and the
+// defective segment is truncated back to its verified prefix last. A crash
+// anywhere in between leaves a state the next open self-heals: either the
+// defect is re-detected (re-quarantine) or the defective segment has become
+// the tail and ordinary tail truncation finishes the job.
+Status BlockStore::QuarantineSuffix(uint32_t defect_seg, uint64_t defect_offset,
+                                    const std::vector<std::string>& segments) {
+  uint64_t bytes = 0;
+  for (size_t seg = defect_seg; seg < segments.size(); seg++) {
+    const std::string src_path = dir_ + "/" + segments[seg];
+    const std::string quar_path = src_path + ".quar";
+    const uint64_t from = seg == defect_seg ? defect_offset : 0;
+    RandomAccessFile src;
+    Status s = src.Open(src_path, env_);
+    if (!s.ok()) return s;
+    std::string contents;
+    if (src.size() > from) {
+      s = src.Read(from, src.size() - from, &contents);
+      if (!s.ok()) {
+        (void)src.Close();
+        return s;
+      }
+    }
+    s = src.Close();
+    if (!s.ok()) return s;
+    (void)env_->RemoveFile(quar_path);  // stale copy from an earlier repair
+    AppendOnlyFile quar;
+    s = quar.Open(quar_path, env_);
+    if (!s.ok()) return s;
+    s = quar.Append(contents);
+    if (s.ok()) s = quar.Sync();
+    Status close = quar.Close();
+    if (s.ok()) s = close;
+    if (!s.ok()) return s;
+    bytes += contents.size();
+  }
+  Status s;
+  for (size_t seg = segments.size(); seg-- > defect_seg + 1;) {
+    s = env_->RemoveFile(dir_ + "/" + segments[seg]);
+    if (!s.ok()) return s;
+  }
+  s = env_->TruncateFile(dir_ + "/" + segments[defect_seg], defect_offset);
+  if (!s.ok()) return s;
+  s = env_->SyncDir(dir_);
+  if (!s.ok()) return s;
+  recovery_.degraded = true;
+  recovery_.segments_quarantined =
+      static_cast<uint32_t>(segments.size() - defect_seg);
+  recovery_.bytes_quarantined = bytes;
+  fprintf(stderr,
+          "[sebdb] block store %s: quarantined %u segment(s), %llu byte(s); "
+          "serving verified prefix of %zu record(s)\n",
+          dir_.c_str(), recovery_.segments_quarantined,
+          static_cast<unsigned long long>(bytes), locations_.size());
+  return Status::OK();
 }
 
 // Adopts the checkpoint's layout digest: rebuild Locations arithmetically,
@@ -239,11 +324,14 @@ bool BlockStore::TryTrustedRecover(const TrustedPrefix& trusted,
   recovery_.used_trusted_prefix = true;
 
   // Scan the unverified remainder: the tail of the last trusted segment,
-  // then every later segment in full.
+  // then every later segment in full. Degraded handling stays disarmed here
+  // (null defect pointer): a non-tail defect fails the trusted path and the
+  // full-scan fallback quarantines with complete knowledge of the layout.
   for (size_t seg = nt - 1; seg < segments.size(); seg++) {
     Status s = ScanSegment(static_cast<uint32_t>(seg), segments[seg],
                            /*is_tail=*/seg + 1 == segments.size(),
-                           /*start_offset=*/seg == nt - 1 ? seg_end[seg] : 0);
+                           /*start_offset=*/seg == nt - 1 ? seg_end[seg] : 0,
+                           /*defect_offset=*/nullptr);
     if (!s.ok()) return false;
   }
   return true;
@@ -297,7 +385,27 @@ Status BlockStore::Append(const Block& block) {
 
   std::string payload;
   block.EncodeTo(&payload);
+  return AppendPayload(payload);
+}
 
+Status BlockStore::AppendRaw(BlockId height, const Slice& payload) {
+  MutexLock lock(&mu_);
+  if (!open_) return Status::IOError("block store not open");
+  if (wedged_) {
+    return Status::IOError(
+        "block store wedged by an earlier write failure; reopen to recover");
+  }
+  if (height != locations_.size()) {
+    return Status::InvalidArgument(
+        "non-consecutive block height " + std::to_string(height) +
+        " (expected " + std::to_string(locations_.size()) + ")");
+  }
+  return AppendPayload(payload);
+}
+
+// Shared framing path for Append/AppendRaw: rolls the segment when the
+// frame would overflow it, then writes magic | len | payload | crc32.
+Status BlockStore::AppendPayload(const Slice& payload) {
   if (writer_.size() + kFrameHeaderSize + payload.size() + kFrameTrailerSize >
           options_.segment_size &&
       writer_.size() > 0) {
@@ -313,8 +421,8 @@ Status BlockStore::Append(const Block& block) {
   PutFixed32(&frame, kRecordMagic);
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   uint64_t payload_offset = writer_.size() + frame.size();
-  frame.append(payload);
-  PutFixed32(&frame, Crc32(payload));
+  frame.append(payload.data(), payload.size());
+  PutFixed32(&frame, Crc32(0, payload.data(), payload.size()));
 
   Status s = writer_.Append(frame);
   if (!s.ok()) {

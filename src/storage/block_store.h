@@ -8,7 +8,11 @@
 // Durability contract (see DESIGN.md §"Durability contract"): recovery
 // CRC-validates every record; a torn or corrupt suffix of the *tail* segment
 // is truncated away (self-healing, the writer resumes at the last valid
-// record), while corruption in any non-tail segment refuses to open.
+// record), while corruption in any non-tail segment refuses to open — unless
+// degraded_open is set, in which case the defective segment and everything
+// after it are quarantined (set aside as .quar files) and the store serves
+// the verified prefix while a repair orchestrator re-fetches the missing
+// blocks from peers (DESIGN.md §12).
 #pragma once
 
 #include <atomic>
@@ -64,6 +68,13 @@ struct BlockStoreOptions {
   /// size, the last trusted record by CRC, and only bytes past the prefix
   /// are scanned. Must outlive Open. Mismatch → silent full-scan fallback.
   const TrustedPrefix* trusted_prefix = nullptr;
+  /// Degraded open: corruption in a non-tail segment no longer refuses to
+  /// open. The defective byte range and every later segment are quarantined
+  /// (copied to seg_NNNNNN.blk.quar for post-mortem, then dropped from the
+  /// live chain) and the store serves the verified prefix; a peer-assisted
+  /// repair path re-appends the missing blocks (DESIGN.md §12). Off by
+  /// default so standalone stores keep the refuse-to-open contract.
+  bool degraded_open = false;
 };
 
 /// Cumulative I/O counters; disk "seeks" count distinct pread/append block
@@ -114,10 +125,15 @@ class BlockStore {
     uint64_t records_dropped = 0;   // whole records lost to tail truncation
     uint64_t blocks_trusted = 0;    // records adopted from a trusted prefix
     uint32_t segments_scanned = 0;
+    uint32_t segments_quarantined = 0;  // non-tail segments set aside
+    uint64_t bytes_quarantined = 0;     // bytes from the defect to chain end
     bool tail_truncated = false;
     bool used_trusted_prefix = false;
+    /// Degraded open took effect: the store serves a verified prefix and the
+    /// quarantined remainder must be repaired from peers.
+    bool degraded = false;
 
-    bool clean() const { return !tail_truncated; }
+    bool clean() const { return !tail_truncated && !degraded; }
   };
 
   BlockStore() = default;
@@ -133,6 +149,12 @@ class BlockStore {
 
   /// Appends a block; its height must equal num_blocks().
   Status Append(const Block& block);
+
+  /// Appends a pre-encoded block record (peer repair / state-sync splice).
+  /// `height` must equal num_blocks(). The caller is responsible for having
+  /// verified the payload — decode, Merkle root, and hash-chain linkage —
+  /// before splicing; call sites carry a `verify:` marker (lint-enforced).
+  Status AppendRaw(BlockId height, const Slice& payload);
 
   /// Number of blocks stored; block heights are dense in [0, num_blocks()).
   uint64_t num_blocks() const;
@@ -184,8 +206,21 @@ class BlockStore {
   bool TryTrustedRecover(const TrustedPrefix& trusted,
                          const std::vector<std::string>& segments)
       REQUIRES(mu_);
+  /// `defect_offset`, when non-null, arms degraded handling: a non-tail
+  /// defect sets *defect_offset to the end of the valid prefix and returns
+  /// OK instead of Corruption (the caller quarantines from there). A null
+  /// pointer keeps the strict refuse-to-open behavior.
   Status ScanSegment(uint32_t seg_id, const std::string& name, bool is_tail,
-                     uint64_t start_offset) REQUIRES(mu_);
+                     uint64_t start_offset, uint64_t* defect_offset)
+      REQUIRES(mu_);
+  /// Sets aside the chain suffix starting at `defect_offset` in segment
+  /// `defect_seg`: copies the defective range and all later segments to
+  /// .quar files, truncates the defective segment back to its valid prefix,
+  /// and removes the later segments from the live set.
+  Status QuarantineSuffix(uint32_t defect_seg, uint64_t defect_offset,
+                          const std::vector<std::string>& segments)
+      REQUIRES(mu_);
+  Status AppendPayload(const Slice& payload) REQUIRES(mu_);
   Status ReadPayload(const Location& loc, std::string* out) const
       EXCLUDES(mu_);
   Status ReadAt(uint32_t segment, uint64_t offset, size_t n,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <unordered_set>
 
 #include "common/coding.h"
@@ -218,25 +219,110 @@ Status CheckpointManager::ReadBlobFile(Env* env, const std::string& path,
   Status s = env->NewReadableFile(path, &reader);
   if (!s.ok()) return s;
   uint64_t size = reader->size();
-  if (size % kPageSize != 0) {
-    return Status::Corruption("blob file " + path +
-                              " is not a whole number of pages");
+  std::string bytes;
+  s = reader->Read(0, size, &bytes);
+  if (!s.ok()) return s;
+  if (bytes.size() != size) {
+    return Status::IOError("short blob file read from " + path);
   }
-  for (uint64_t off = 0; off < size; off += kPageSize) {
-    std::string buf;
-    s = reader->Read(off, kPageSize, &buf);
-    if (!s.ok()) return s;
-    if (buf.size() != kPageSize) {
-      return Status::IOError("short page read from " + path);
-    }
+  s = DecodeBlobPages(Slice(bytes), out);
+  if (!s.ok()) {
+    return Status::Corruption(s.message() + " (blob file " + path + ")");
+  }
+  return Status::OK();
+}
+
+Status CheckpointManager::DecodeBlobPages(const Slice& bytes,
+                                          std::string* out) {
+  out->clear();
+  if (bytes.size() % kPageSize != 0) {
+    return Status::Corruption("blob is not a whole number of pages");
+  }
+  for (uint64_t off = 0; off < bytes.size(); off += kPageSize) {
     PageType type;
     Slice payload;
-    s = DecodePage(Slice(buf), &type, &payload);
+    Status s = DecodePage(Slice(bytes.data() + off, kPageSize), &type,
+                          &payload);
     if (!s.ok()) return s;
     if (type != PageType::kBlob) {
-      return Status::Corruption("unexpected page type in blob file " + path);
+      return Status::Corruption("unexpected page type in blob");
     }
     out->append(payload.data(), payload.size());
+  }
+  return Status::OK();
+}
+
+void CheckpointManager::CompressZeroRuns(const Slice& raw, std::string* out) {
+  out->clear();
+  const char* data = raw.data();
+  const size_t size = raw.size();
+  size_t i = 0;
+  while (i < size) {
+    // Literal runs until a zero run long enough to pay for its varint
+    // (>= 4 bytes); shorter zero stretches stay literal. memchr skips the
+    // literal bytes, a word-wise loop skips the zeros — page files are
+    // mostly padding, so both legs run at memory speed.
+    const size_t lit_start = i;
+    size_t lit_end;
+    size_t run_end;
+    for (;;) {
+      const void* z = memchr(data + i, 0, size - i);
+      if (z == nullptr) {
+        lit_end = run_end = size;
+        break;
+      }
+      size_t j = static_cast<size_t>(static_cast<const char*>(z) - data);
+      size_t k = j;
+      while (k + 8 <= size) {
+        uint64_t word;
+        memcpy(&word, data + k, 8);
+        if (word != 0) break;
+        k += 8;
+      }
+      while (k < size && data[k] == 0) k++;
+      if (k - j >= 4 || k == size) {
+        lit_end = j;
+        run_end = k;
+        break;
+      }
+      i = k;  // short zero stretch: keep it literal, scan on
+    }
+    // Varint32 is enough: page files are capped well below 4 GiB, and the
+    // record size check at decompress time re-enforces the bound anyway.
+    PutVarint32(out, static_cast<uint32_t>(lit_end - lit_start));
+    out->append(data + lit_start, lit_end - lit_start);
+    PutVarint32(out, static_cast<uint32_t>(run_end - lit_end));
+    i = run_end;
+  }
+}
+
+Status CheckpointManager::DecompressZeroRuns(const Slice& transfer,
+                                             uint64_t raw_size,
+                                             std::string* out) {
+  out->clear();
+  out->reserve(raw_size);
+  Slice in = transfer;
+  while (!in.empty()) {
+    uint32_t lit_len = 0;
+    uint32_t run_len = 0;
+    if (!GetVarint32(&in, &lit_len) || in.size() < lit_len) {
+      return Status::Corruption("truncated transfer literal");
+    }
+    if (out->size() + lit_len > raw_size) {
+      return Status::Corruption("transfer decodes past declared file size");
+    }
+    out->append(in.data(), lit_len);
+    in.remove_prefix(lit_len);
+    if (!GetVarint32(&in, &run_len)) {
+      return Status::Corruption("truncated transfer zero run");
+    }
+    if (out->size() + run_len > raw_size) {
+      return Status::Corruption("transfer decodes past declared file size");
+    }
+    out->append(run_len, '\0');
+  }
+  if (out->size() != raw_size) {
+    return Status::Corruption("transfer decodes short of declared file size");
   }
   return Status::OK();
 }

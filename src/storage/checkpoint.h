@@ -80,6 +80,22 @@ class CheckpointManager {
   /// going through a pool — used for checkpoint meta before indexes exist.
   static Status ReadBlobFile(Env* env, const std::string& path,
                              std::string* out);
+  /// Same reassembly over bytes already in memory — the receive side of
+  /// checkpoint state sync, where the page file arrived over the network.
+  static Status DecodeBlobPages(const Slice& bytes, std::string* out);
+
+  /// Zero-run transfer codec for checkpoint state sync. Page files are
+  /// fixed-size frames whose nodes rarely fill them, so the raw images are
+  /// mostly zero padding; shipping (and SHA-256-binding) a run-length
+  /// transfer image cuts the bytes a lagging peer must fetch and hash by
+  /// 10-100x. Format: repeated [varint32 literal_len][literal bytes]
+  /// [varint32 zero_run], consuming the input exactly. Deterministic, so
+  /// the descriptor hash of the transfer image identifies the raw file.
+  static void CompressZeroRuns(const Slice& raw, std::string* out);
+  /// Inverse; fails on truncated/garbled input or if the decoded size is
+  /// not exactly `raw_size` (the size the checkpoint record declares).
+  static Status DecompressZeroRuns(const Slice& transfer, uint64_t raw_size,
+                                   std::string* out);
 
  private:
   CheckpointManager(Env* env, std::string dir)

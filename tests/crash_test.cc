@@ -6,13 +6,17 @@
 // a crashed data directory.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/coding.h"
 #include "common/env.h"
 #include "common/fault_env.h"
 #include "core/node.h"
 #include "storage/block_store.h"
+#include "storage/file.h"
 #include "tests/test_util.h"
 
 namespace sebdb {
@@ -186,6 +190,166 @@ TEST(CrashLoopTest, SyncFailureWedgesStore) {
   ASSERT_TRUE(reopened.Open(options, dir.path()).ok());
   EXPECT_EQ(reopened.num_blocks(), 2u);
   reopened.Close();
+}
+
+// ---- corruption-position sweep (degraded open) -----------------------------
+
+std::vector<std::string> SegmentFiles(const std::string& dir) {
+  std::vector<std::string> files, segments;
+  EXPECT_TRUE(ListDir(dir, &files).ok());
+  for (const auto& f : files) {
+    if (f.size() == 14 && f.rfind("seg_", 0) == 0 && f.rfind(".blk") == 10) {
+      segments.push_back(f);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::string bytes;
+  FILE* f = fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  fclose(f);
+  return bytes;
+}
+
+// Byte offsets of every frame start in a segment image:
+// [magic u32][len u32][payload][crc u32].
+std::vector<size_t> FrameOffsets(const std::string& image) {
+  std::vector<size_t> offsets;
+  size_t offset = 0;
+  while (offset + 12 <= image.size()) {
+    offsets.push_back(offset);
+    offset += 8 + DecodeFixed32(image.data() + offset + 4) + 4;
+  }
+  return offsets;
+}
+
+enum class Field { kMagic, kLen, kPayload, kCrc };
+
+const char* FieldName(Field f) {
+  switch (f) {
+    case Field::kMagic: return "magic";
+    case Field::kLen: return "len";
+    case Field::kPayload: return "payload";
+    case Field::kCrc: return "crc";
+  }
+  return "?";
+}
+
+// Where in the chain the corrupted segment sits (position within the
+// segment is swept by the chaos matrix; here we sweep the segment itself).
+// Every field × every position: a defect anywhere but the tail must refuse
+// a strict open, and a degraded open must expose exactly the records
+// strictly before the defect, bit-identical to the clean replay.
+TEST(CrashLoopTest, CorruptionPositionSweepDegradedOpen) {
+  const std::vector<Block> blocks = MakeWorkload();
+  BlockStoreOptions small;
+  small.segment_size = 4096;
+
+  // Clean reference run: on-disk bytes and the frame layout per segment.
+  ScratchDir clean_dir("sweep_clean");
+  {
+    BlockStore store;
+    ASSERT_TRUE(store.Open(small, clean_dir.path()).ok());
+    for (const auto& block : blocks) ASSERT_TRUE(store.Append(block).ok());
+    store.Close();
+  }
+  const std::vector<std::string> segments = SegmentFiles(clean_dir.path());
+  ASSERT_GE(segments.size(), 4u) << "workload too small for the sweep";
+  std::vector<uint64_t> frames_before(segments.size() + 1, 0);
+  for (size_t i = 0; i < segments.size(); i++) {
+    frames_before[i + 1] =
+        frames_before[i] +
+        FrameOffsets(ReadFileBytes(clean_dir.path() + "/" + segments[i]))
+            .size();
+  }
+  ASSERT_EQ(frames_before.back(), blocks.size());
+
+  const size_t kSegmentPositions[] = {0, segments.size() / 2,
+                                      segments.size() - 2};
+  for (size_t seg : kSegmentPositions) {
+    for (Field field :
+         {Field::kMagic, Field::kLen, Field::kPayload, Field::kCrc}) {
+      SCOPED_TRACE("segment " + std::to_string(seg) + "/" +
+                   std::to_string(segments.size()) + ", " + FieldName(field) +
+                   " field");
+      ScratchDir dir("sweep_pt");
+      {
+        BlockStore store;
+        ASSERT_TRUE(store.Open(small, dir.path()).ok());
+        for (const auto& block : blocks) ASSERT_TRUE(store.Append(block).ok());
+        store.Close();
+      }
+
+      // Corrupt the middle frame of the target segment.
+      const std::string path = dir.path() + "/" + segments[seg];
+      std::string image = ReadFileBytes(path);
+      const std::vector<size_t> frames = FrameOffsets(image);
+      const size_t idx = frames.size() / 2;
+      const size_t frame = frames[idx];
+      const uint32_t len = DecodeFixed32(image.data() + frame + 4);
+      size_t target = frame;
+      switch (field) {
+        case Field::kMagic: target = frame + 1; break;
+        case Field::kLen: target = frame + 4; break;
+        case Field::kPayload: target = frame + 8 + len / 2; break;
+        case Field::kCrc: target = frame + 8 + len + 2; break;
+      }
+      image[target] = static_cast<char>(image[target] ^ 0x40);
+      {
+        FILE* f = fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(fwrite(image.data(), 1, image.size(), f), image.size());
+        fclose(f);
+      }
+      // First record the defect can reach: everything before it is trusted.
+      const uint64_t defect_height = frames_before[seg] + idx;
+
+      // Strict mode (the default) keeps the refuse-to-open contract.
+      {
+        BlockStore strict;
+        Status s = strict.Open(small, dir.path());
+        ASSERT_FALSE(s.ok());
+        EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+      }
+
+      // Degraded open exposes exactly the trusted prefix...
+      BlockStoreOptions lenient = small;
+      lenient.degraded_open = true;
+      BlockStore store;
+      ASSERT_TRUE(store.Open(lenient, dir.path()).ok());
+      const BlockStore::RecoveryStats recovery = store.recovery_stats();
+      EXPECT_TRUE(recovery.degraded);
+      EXPECT_GE(recovery.segments_quarantined, 1u);
+      EXPECT_GT(recovery.bytes_quarantined, 0u);
+      ASSERT_EQ(store.num_blocks(), defect_height);
+      for (uint64_t h = 0; h < defect_height; h++) {
+        std::string record;
+        ASSERT_TRUE(store.ReadRawRecord(h, &record).ok()) << "height " << h;
+        ASSERT_EQ(record, Encoded(blocks[h])) << "height " << h;
+      }
+
+      // ...and re-appending the quarantined remainder (what peer repair
+      // does) restores a store byte-identical to the clean replay.
+      for (uint64_t h = defect_height; h < blocks.size(); h++) {
+        ASSERT_TRUE(store.Append(blocks[h]).ok()) << "height " << h;
+      }
+      ASSERT_EQ(store.num_blocks(), blocks.size());
+      store.Close();
+      ASSERT_EQ(SegmentFiles(dir.path()), segments);
+      for (const auto& name : segments) {
+        EXPECT_EQ(ReadFileBytes(dir.path() + "/" + name),
+                  ReadFileBytes(clean_dir.path() + "/" + name))
+            << name;
+      }
+    }
+  }
 }
 
 // Full-node variant at sampled crash points: a SebdbNode whose block store

@@ -558,5 +558,75 @@ TEST(CheckpointManagerTest, BlobFileRoundTrip) {
   }
 }
 
+TEST(CheckpointManagerTest, ZeroRunCodecRoundTrip) {
+  // Empty, all-literal, all-zero, zero runs at head/middle/tail, runs too
+  // short to encode (< 4 bytes stay literal), and a page-like mix.
+  std::vector<std::string> inputs;
+  inputs.push_back("");
+  inputs.push_back("abcdefgh");
+  inputs.push_back(std::string(4096, '\0'));
+  inputs.push_back(std::string(100, '\0') + "payload");
+  inputs.push_back("payload" + std::string(100, '\0'));
+  inputs.push_back("head" + std::string(64, '\0') + "tail");
+  inputs.push_back(std::string("a\0\0b", 4));             // 2-zero stretch
+  inputs.push_back(std::string("a\0\0\0b", 5));           // 3-zero stretch
+  inputs.push_back(std::string("a\0\0\0\0b", 6));         // exactly 4
+  std::string mixed;
+  for (int i = 0; i < 50; i++) {
+    mixed += "rec" + std::to_string(i);
+    mixed += std::string(static_cast<size_t>(i % 7) * 3, '\0');
+  }
+  inputs.push_back(mixed);
+
+  for (const std::string& raw : inputs) {
+    std::string transfer;
+    CheckpointManager::CompressZeroRuns(Slice(raw), &transfer);
+    std::string back;
+    ASSERT_TRUE(CheckpointManager::DecompressZeroRuns(Slice(transfer),
+                                                      raw.size(), &back)
+                    .ok())
+        << "raw size " << raw.size();
+    EXPECT_EQ(back, raw);
+  }
+
+  // Mostly-zero page images (the checkpoint shape the codec exists for)
+  // must shrink by well over an order of magnitude.
+  std::string page(64 * 1024, '\0');
+  for (size_t i = 0; i < 2000; i++) page[i] = static_cast<char>(i * 13 + 1);
+  std::string transfer;
+  CheckpointManager::CompressZeroRuns(Slice(page), &transfer);
+  EXPECT_LT(transfer.size(), page.size() / 10);
+}
+
+TEST(CheckpointManagerTest, ZeroRunCodecRejectsBadTransfers) {
+  const std::string raw = "head" + std::string(64, '\0') + "tail";
+  std::string transfer;
+  CheckpointManager::CompressZeroRuns(Slice(raw), &transfer);
+
+  // Every truncation must fail (the image consumes its input exactly).
+  for (size_t len = 0; len < transfer.size(); len++) {
+    std::string out;
+    EXPECT_FALSE(CheckpointManager::DecompressZeroRuns(
+                     Slice(transfer.data(), len), raw.size(), &out)
+                     .ok())
+        << "length " << len;
+  }
+  // Wrong declared size, both directions.
+  std::string out;
+  EXPECT_FALSE(CheckpointManager::DecompressZeroRuns(Slice(transfer),
+                                                     raw.size() - 1, &out)
+                   .ok());
+  EXPECT_FALSE(CheckpointManager::DecompressZeroRuns(Slice(transfer),
+                                                     raw.size() + 1, &out)
+                   .ok());
+  // A zero run that would blow past the declared size is rejected before
+  // any allocation of that size happens.
+  std::string evil;
+  PutVarint32(&evil, 0);                    // empty literal
+  PutVarint32(&evil, 0xFFFFFFFF);           // 4 GiB of zeros
+  EXPECT_FALSE(
+      CheckpointManager::DecompressZeroRuns(Slice(evil), 1024, &out).ok());
+}
+
 }  // namespace
 }  // namespace sebdb
