@@ -74,8 +74,7 @@ Status BenchChain::CreateDonationSchema() {
                          {"amount", ValueType::kInt64}});
   if (!s.ok()) return s;
   uint64_t seq = chain_->height() - 1;
-  return chain_->AppendBatch(seq, std::move(schema_txns), ts_, "bench-node",
-                             "sig");
+  return chain_->AppendBatch(seq, std::move(schema_txns), ts_, "sig");
 }
 
 Status BenchChain::Fill(std::vector<Transaction> special,
@@ -111,7 +110,7 @@ Status BenchChain::Fill(std::vector<Transaction> special,
     block_ts_.push_back(ts_);
     uint64_t seq = chain_->height() - 1;
     Status s =
-        chain_->AppendBatch(seq, std::move(txns), ts_, "bench-node", "sig");
+        chain_->AppendBatch(seq, std::move(txns), ts_, "sig");
     if (!s.ok()) return s;
   }
   return Status::OK();

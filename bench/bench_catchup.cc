@@ -58,8 +58,7 @@ void AppendBlocks(ChainManager* chain, int from, int to) {
       txns.push_back(MakeCatchupTxn("u", "org" + std::to_string((b + j) % 3),
                                     ts, {Value::Str("y")}));
     }
-    if (!chain->AppendBatch(static_cast<uint64_t>(b), std::move(txns), ts,
-                            "bench-node", "sig")
+    if (!chain->AppendBatch(static_cast<uint64_t>(b), std::move(txns), ts, "sig")
              .ok()) {
       abort();
     }

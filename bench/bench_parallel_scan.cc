@@ -154,7 +154,7 @@ void BuildChain(int blocks) {
     txn.set_ts(ts += 10);
     schema_txns.push_back(std::move(txn));
   }
-  CHECK_OK(chain.AppendBatch(0, std::move(schema_txns), ts, "bench", "sig"));
+  CHECK_OK(chain.AppendBatch(0, std::move(schema_txns), ts, "sig"));
 
   int amount = 0;
   for (int b = 0; b < blocks; b++) {
@@ -174,8 +174,7 @@ void BuildChain(int blocks) {
              Value::Int(amount % 4096)}));
       }
     }
-    CHECK_OK(chain.AppendBatch(chain.height() - 1, std::move(txns), ts,
-                               "bench", "sig"));
+    CHECK_OK(chain.AppendBatch(chain.height() - 1, std::move(txns), ts, "sig"));
   }
   CHECK_OK(chain.Close());
 }

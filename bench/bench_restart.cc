@@ -64,8 +64,7 @@ void BuildChain(const std::string& dir, int blocks) {
                                   {Value::Int(b % 1000), Value::Str("x")}));
     txns.push_back(MakeRestartTxn("u", "org" + std::to_string(b % 3), ts,
                                   {Value::Str("y")}));
-    if (!chain.AppendBatch(static_cast<uint64_t>(b), std::move(txns), ts,
-                           "bench-node", "sig")
+    if (!chain.AppendBatch(static_cast<uint64_t>(b), std::move(txns), ts, "sig")
              .ok()) {
       abort();
     }

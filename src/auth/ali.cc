@@ -79,14 +79,40 @@ Status AuthenticatedLayeredIndex::SetHistogram(EqualDepthHistogram histogram) {
 }
 
 Status AuthenticatedLayeredIndex::AddBlock(const Block& block) {
-  Status s = layered_.AddBlock(block);
+  // Extraction + MergeTxnDeltas, like LayeredIndex::AddBlock: one extractor
+  // pass feeds both the layered entries and the MB-tree entries, and the
+  // merge half is shared with the parallel apply pipeline.
+  std::vector<std::pair<Value, uint32_t>> layered_entries;
+  std::vector<MbTree::Entry> mb_entries;
+  const auto& txns = block.transactions();
+  for (uint32_t i = 0; i < txns.size(); i++) {
+    Value key;
+    if (!extractor_(txns[i], &key)) continue;
+    MbTree::Entry entry;
+    entry.key = key;
+    txns[i].EncodeTo(&entry.record);
+    mb_entries.push_back(std::move(entry));
+    layered_entries.emplace_back(std::move(key), i);
+  }
+  return MergeTxnDeltas(block.height(), std::move(layered_entries),
+                        std::move(mb_entries));
+}
+
+Status AuthenticatedLayeredIndex::MergeTxnDeltas(
+    uint64_t height, std::vector<std::pair<Value, uint32_t>> layered_entries,
+    std::vector<MbTree::Entry> mb_entries) {
+  Status s = layered_.MergeTxnDeltas(height, std::move(layered_entries));
   if (!s.ok()) return s;
 
-  std::vector<MbTree::Entry> entries = ExtractEntries(block, extractor_);
+  std::stable_sort(mb_entries.begin(), mb_entries.end(),
+                   [](const MbTree::Entry& a, const MbTree::Entry& b) {
+                     return a.key.CompareTotal(b.key) < 0;
+                   });
   std::shared_ptr<const MbTree> tree =
-      entries.empty() ? nullptr
-                      : std::shared_ptr<const MbTree>(
-                            MbTree::Build(std::move(entries), mb_options_));
+      mb_entries.empty() ? nullptr
+                         : std::shared_ptr<const MbTree>(
+                               MbTree::Build(std::move(mb_entries),
+                                             mb_options_));
   roots_.push_back(tree == nullptr ? Hash256{} : tree->root_hash());
   block_trees_.push_back(std::move(tree));
   return Status::OK();

@@ -77,6 +77,16 @@ class AuthenticatedLayeredIndex {
   /// the block's MB-tree over (attribute value, encoded transaction).
   Status AddBlock(const Block& block);
 
+  /// Merge step of the parallel apply pipeline: ingests one block from
+  /// deltas the execute phase prepared — `layered_entries` as
+  /// LayeredIndex::MergeTxnDeltas (block position order), `mb_entries` the
+  /// per-covered-transaction (key, encoded record, precomputed SHA-256)
+  /// triples in the same order. Stable-sorts by key and builds the MB-tree
+  /// without re-hashing, byte-identical to AddBlock.
+  Status MergeTxnDeltas(uint64_t height,
+                        std::vector<std::pair<Value, uint32_t>> layered_entries,
+                        std::vector<MbTree::Entry> mb_entries);
+
   uint64_t num_blocks() const { return layered_.num_blocks(); }
   const LayeredIndex& layered() const { return layered_; }
 

@@ -138,7 +138,9 @@ std::unique_ptr<MbTree> MbTree::Build(std::vector<Entry> sorted_entries,
   tree->records_.reserve(n);
   tree->record_hashes_.reserve(n);
   for (auto& entry : sorted_entries) {
-    tree->record_hashes_.push_back(Sha256::Digest(entry.record));
+    tree->record_hashes_.push_back(entry.has_record_hash
+                                       ? entry.record_hash
+                                       : Sha256::Digest(entry.record));
     tree->keys_.push_back(std::move(entry.key));
     tree->records_.push_back(std::move(entry.record));
   }

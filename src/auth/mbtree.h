@@ -67,6 +67,11 @@ class MbTree {
   struct Entry {
     Value key;
     std::string record;
+    /// Precomputed SHA-256 of `record`. The parallel apply pipeline hashes
+    /// each transaction once on a worker during the execute phase and every
+    /// MB-tree built from it skips re-hashing; when unset, Build hashes.
+    Hash256 record_hash{};
+    bool has_record_hash = false;
   };
 
   /// Builds the tree from entries sorted by key (duplicates allowed).

@@ -232,7 +232,9 @@ void KafkaOrderer::DeliverReady() {
         done_.erase(done_it);
       }
     }
-    // Invoke the commit hook and callbacks outside the lock.
+    // Invoke the commit hook and callbacks outside the lock. Execution of
+    // the ordered batch happens behind commit_fn_ through the shared
+    // order-then-execute apply scheduler (DESIGN.md §13).
     mu_.Unlock();
     if (commit_fn_) commit_fn_(seq, std::move(batch));
     for (auto& done : to_fire) {

@@ -326,8 +326,11 @@ void TendermintEngine::MaybeCommitLocked() {
   if (!mempool_.empty()) first_mempool_micros_ = NowMicros();
 
   mu_.Unlock();
-  // Serial DeliverTx: one transaction at a time into the application.
-  SerialWork(batch.size());
+  // Deliver hands the ordered batch to the application in one call; the
+  // execute stage lives behind commit_fn_ (ChainManager's order-then-execute
+  // scheduler, DESIGN.md §13), which applies non-conflicting transactions
+  // concurrently — so no per-txn serial DeliverTx spin here anymore.
+  // CheckTx (Submit) keeps its serial cost model.
   if (commit_fn_) commit_fn_(seq, std::move(batch));
   for (auto& done : to_fire) done(Status::OK());
   mu_.Lock();

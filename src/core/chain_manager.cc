@@ -10,6 +10,11 @@ Status ChainManager::Open(const ChainOptions& options,
   MutexLock lock(&mu_);
   if (open_) return Status::Busy("chain already open");
   options_ = options;
+  TxnSchedulerOptions scheduler_options;
+  scheduler_options.pool = options.pool;
+  scheduler_options.execute_cost_micros = options.execute_cost_micros;
+  scheduler_options.serial = options.serial_apply;
+  scheduler_ = std::make_unique<TxnScheduler>(scheduler_options);
   startup_ = StartupStats{};
   last_checkpoint_height_ = 0;
   state_sync_ = StateSyncStats{};
@@ -198,17 +203,23 @@ BufferManager::Stats ChainManager::buffer_stats() const {
   return pool_ != nullptr ? pool_->stats() : BufferManager::Stats{};
 }
 
+TxnSchedulerStats ChainManager::apply_stats() const {
+  return scheduler_ != nullptr ? scheduler_->stats() : TxnSchedulerStats{};
+}
+
 uint64_t ChainManager::checkpoints_written() const {
   MutexLock lock(&mu_);
   return checkpoints_written_;
 }
 
 Status ChainManager::ApplyBlock(const Block& block) {
-  Status s = indexes_->AddBlock(block);
+  // Order-then-execute scheduled apply (or the serial baseline when
+  // options_.serial_apply is set): indexes + catalog advance together,
+  // byte-identical to serial apply for any pool size. Startup replay,
+  // gossip apply and consensus apply all land here, so one scheduler
+  // covers every path a block reaches the indexes through.
+  Status s = scheduler_->Apply(block, indexes_.get(), &catalog_);
   if (!s.ok()) return s;
-  for (const auto& txn : block.transactions()) {
-    catalog_.MaybeApplySchemaTransaction(txn);
-  }
   tip_hash_ = block.header().block_hash;
   last_ts_ = block.header().timestamp;
   if (block.header().num_transactions > 0) {
@@ -219,7 +230,6 @@ Status ChainManager::ApplyBlock(const Block& block) {
 
 Status ChainManager::AppendBatch(uint64_t seq, std::vector<Transaction> txns,
                                  Timestamp timestamp,
-                                 const std::string& packager,
                                  const std::string& packager_signature) {
   uint64_t expected_height = seq + 1;  // genesis occupies height 0
   Hash256 prev_hash;
@@ -254,7 +264,6 @@ Status ChainManager::AppendBatch(uint64_t seq, std::vector<Transaction> txns,
       .SetFirstTid(first_tid);
   for (auto& txn : txns) builder.AddTransaction(std::move(txn));
   Block block = std::move(builder).Build(packager_signature);
-  (void)packager;
 
   MutexLock lock(&mu_);
   if (!open_) return Status::Aborted("chain not open");

@@ -23,6 +23,7 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/signer.h"
+#include "core/txn_scheduler.h"
 #include "sql/catalog.h"
 #include "sql/index_set.h"
 #include "storage/block_store.h"
@@ -49,10 +50,20 @@ struct ChainOptions {
   CheckpointPolicy checkpoint;
   /// Verify every transaction signature when applying foreign blocks.
   bool verify_signatures = true;
-  /// Worker pool for parallel startup replay and concurrent signature
-  /// verification; nullptr runs both serially. SebdbNode defaults this to
-  /// ThreadPool::Default() (see DefaultNodeChainOptions).
+  /// Worker pool for parallel startup replay, concurrent signature
+  /// verification and the scheduled block apply; nullptr runs all three
+  /// serially. SebdbNode defaults this to ThreadPool::Default() (see
+  /// DefaultNodeChainOptions).
   ThreadPool* pool = nullptr;
+  /// Force the legacy one-transaction-at-a-time apply instead of the
+  /// order-then-execute wave scheduler (DESIGN.md §13). Equivalence baseline
+  /// for tests and benches; production keeps the scheduler, which degrades
+  /// to the same cost on all-conflicting blocks and nullptr pools.
+  bool serial_apply = false;
+  /// Simulated per-transaction execution cost (micros) charged during block
+  /// apply — models stored-procedure / off-chain work per transaction so
+  /// benches can expose wave overlap. 0 (default) disables.
+  uint32_t execute_cost_micros = 0;
 };
 
 class ChainManager {
@@ -68,8 +79,11 @@ class ChainManager {
 
   /// Packages a committed batch as the next block and applies it. `seq` is
   /// the consensus sequence (block height seq + 1; genesis is height 0).
+  /// The packager is identified by `packager_signature` (its signature over
+  /// the batch digest, carried in the block body); a separate packager-id
+  /// parameter existed once but was never recorded, so it is gone.
   Status AppendBatch(uint64_t seq, std::vector<Transaction> txns,
-                     Timestamp timestamp, const std::string& packager,
+                     Timestamp timestamp,
                      const std::string& packager_signature);
 
   /// Gossip path: decodes, validates (height, prev hash, merkle root, block
@@ -112,6 +126,11 @@ class ChainManager {
 
   /// Checkpoint page-pool counters (empty when the chain is not open).
   BufferManager::Stats buffer_stats() const;
+
+  /// Conflict-tracking counters of the block apply scheduler (waves/block,
+  /// conflict rate, cumulative apply wall time). Covers startup replay,
+  /// gossip apply and consensus apply — they share one scheduler.
+  TxnSchedulerStats apply_stats() const;
 
   /// Number of checkpoints written by this ChainManager since Open.
   uint64_t checkpoints_written() const;
@@ -209,6 +228,9 @@ class ChainManager {
   BlockStore store_;
   std::unique_ptr<IndexSet> indexes_;
   Catalog catalog_;
+  // Recreated at Open (options may change); stateless w.r.t. indexes_, so
+  // checkpoint-restore and state-sync swaps need no re-wiring.
+  std::unique_ptr<TxnScheduler> scheduler_;
   std::unique_ptr<BufferManager> pool_;
   std::unique_ptr<CheckpointManager> ckpt_ GUARDED_BY(mu_);
   StartupStats startup_ GUARDED_BY(mu_);

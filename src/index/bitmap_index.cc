@@ -67,14 +67,18 @@ Status DiscreteBitmapIndex::RestoreFrom(Slice* in) {
   return Status::OK();
 }
 
-void TableBitmapIndex::AddBlock(const Block& block) {
+std::vector<std::string> TableBitmapIndex::CollectTables(const Block& block) {
   std::vector<std::string> tables;
   for (const auto& txn : block.transactions()) {
     if (std::find(tables.begin(), tables.end(), txn.tname()) == tables.end()) {
       tables.push_back(txn.tname());
     }
   }
-  index_.AddBlock(block.height(), tables);
+  return tables;
+}
+
+void TableBitmapIndex::AddBlock(const Block& block) {
+  MergeTxnDeltas(block.height(), CollectTables(block));
 }
 
 }  // namespace sebdb

@@ -55,8 +55,18 @@ class DiscreteBitmapIndex {
 class TableBitmapIndex {
  public:
   /// Scans the block's transactions and flips the bit of every table that
-  /// appears in it.
+  /// appears in it. CollectTables + MergeTxnDeltas.
   void AddBlock(const Block& block);
+
+  /// The tables appearing in `block`, first-occurrence order — the delta the
+  /// parallel apply pipeline hands to MergeTxnDeltas.
+  static std::vector<std::string> CollectTables(const Block& block);
+
+  /// Merge step of the parallel apply pipeline: ingests one block from its
+  /// pre-collected table list.
+  void MergeTxnDeltas(BlockId bid, const std::vector<std::string>& tables) {
+    index_.AddBlock(bid, tables);
+  }
 
   uint64_t num_blocks() const { return index_.num_blocks(); }
   Bitmap BlocksWithTable(const std::string& table_name) const {

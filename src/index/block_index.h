@@ -95,7 +95,9 @@ class BlockIndex {
   BlockIndex() : tree_(BlockIndexKeyCmp{}) {}
 
   /// Appends the entry for a newly chained block; heights must be dense and
-  /// ascending.
+  /// ascending. During a scheduled apply this runs as one merge-phase task
+  /// under IndexSet::mu_ (DESIGN.md §13) — one task per independent index
+  /// structure, so no two tasks touch the same BlockIndex concurrently.
   Status Add(const BlockHeader& header);
 
   uint64_t num_blocks() const { return frozen_blocks_ + tree_.size(); }

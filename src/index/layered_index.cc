@@ -22,16 +22,20 @@ Status LayeredIndex::SetHistogram(EqualDepthHistogram histogram) {
 }
 
 Status LayeredIndex::AddBlock(const Block& block) {
-  if (block.height() != num_blocks_) {
-    return Status::InvalidArgument("layered index blocks must arrive in order");
-  }
-
   // Gather (value, position) pairs for transactions this index covers.
   std::vector<std::pair<Value, uint32_t>> entries;
   const auto& txns = block.transactions();
   for (uint32_t i = 0; i < txns.size(); i++) {
     Value v;
     if (extractor_(txns[i], &v)) entries.emplace_back(std::move(v), i);
+  }
+  return MergeTxnDeltas(block.height(), std::move(entries));
+}
+
+Status LayeredIndex::MergeTxnDeltas(
+    uint64_t height, std::vector<std::pair<Value, uint32_t>> entries) {
+  if (height != num_blocks_) {
+    return Status::InvalidArgument("layered index blocks must arrive in order");
   }
 
   // An index created on an empty chain has no history to sample; bootstrap
@@ -57,7 +61,7 @@ Status LayeredIndex::AddBlock(const Block& block) {
   // First level.
   if (options_.discrete) {
     for (const auto& [v, pos] : entries) {
-      value_blocks_[v].SetGrow(block.height());
+      value_blocks_[v].SetGrow(height);
     }
   } else {
     Bitmap buckets(histogram_.num_buckets());

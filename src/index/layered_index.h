@@ -97,7 +97,23 @@ class LayeredIndex {
 
   /// Indexes a newly chained block: appends the first-level entry and
   /// bulk-loads the block's second-level tree. Blocks must arrive in order.
+  /// Extraction + MergeTxnDeltas; the scheduled apply path runs the two
+  /// halves on different threads (see IndexSet::ApplyBlockScheduled).
   Status AddBlock(const Block& block);
+
+  /// The installed extractor. The parallel apply pipeline's execute phase
+  /// runs it off-index into per-transaction delta slots, so the merge step
+  /// can ingest a block without re-touching the transactions.
+  const ColumnExtractor& extractor() const { return extractor_; }
+
+  /// Merge step of the parallel apply pipeline: ingests one block from
+  /// pre-extracted (value, block position) pairs, which MUST be in block
+  /// position (= original transaction) order — exactly what AddBlock
+  /// gathers. Sorting, histogram bootstrap, first-level update and the
+  /// bulk-load all happen here, so serial and scheduled apply share one
+  /// deterministic code path and produce byte-identical state.
+  Status MergeTxnDeltas(uint64_t height,
+                        std::vector<std::pair<Value, uint32_t>> entries);
 
   uint64_t num_blocks() const { return num_blocks_; }
   /// Blocks below this height are disk-backed; at or above, in memory.

@@ -46,14 +46,18 @@ Transaction Catalog::MakeSchemaTransaction(const Schema& schema) {
   return Transaction(kSchemaTable, {Value::Str(std::move(encoded))});
 }
 
-bool Catalog::MaybeApplySchemaTransaction(const Transaction& txn) {
+bool Catalog::DecodeSchemaTransaction(const Transaction& txn, Schema* out) {
   if (txn.tname() != kSchemaTable || txn.values().size() != 1 ||
       txn.values()[0].type() != ValueType::kString) {
     return false;
   }
   Slice input(txn.values()[0].AsString());
+  return Schema::DecodeFrom(&input, out).ok();
+}
+
+bool Catalog::MaybeApplySchemaTransaction(const Transaction& txn) {
   Schema schema;
-  if (!Schema::DecodeFrom(&input, &schema).ok()) return false;
+  if (!DecodeSchemaTransaction(txn, &schema)) return false;
   RegisterSchema(std::move(schema)).ok();
   return true;
 }

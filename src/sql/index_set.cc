@@ -126,6 +126,140 @@ Status IndexSet::AddBlock(const Block& block) {
   return Status::OK();
 }
 
+Status IndexSet::ApplyBlockScheduled(
+    const Block& block, const std::vector<std::vector<uint32_t>>& waves,
+    ThreadPool* pool, const ScheduledApplyHooks& hooks) {
+  MutexLock lock(&mu_);
+  if (block.height() != num_blocks_) {
+    return Status::InvalidArgument("index set blocks must arrive in order");
+  }
+  const auto& txns = block.transactions();
+
+  // The waves must partition [0, num txns): every delta slot below is
+  // written exactly once before the merge phase reads it.
+  std::vector<bool> covered(txns.size(), false);
+  for (const auto& wave : waves) {
+    for (uint32_t i : wave) {
+      if (i >= txns.size() || covered[i]) {
+        return Status::InvalidArgument("waves do not partition the block");
+      }
+      covered[i] = true;
+    }
+  }
+  for (bool c : covered) {
+    if (!c) return Status::InvalidArgument("waves do not partition the block");
+  }
+
+  // Layered/ALI targets, pointer-stable for the whole apply (mu_ serializes
+  // against CreateLayeredIndex; accessors hand out raw pointers, so the
+  // pointees never move). An ALI shares its plain twin's extractor, so one
+  // extraction per pair feeds both.
+  struct Target {
+    LayeredIndex* layered = nullptr;
+    AuthenticatedLayeredIndex* ali = nullptr;
+  };
+  std::vector<Target> targets;
+  targets.push_back({senid_index_.get(), senid_ali_.get()});
+  targets.push_back({tname_index_.get(), tname_ali_.get()});
+  for (auto& [key, index] : user_indexes_) {
+    targets.push_back({index.layered.get(), index.ali.get()});
+  }
+  const size_t num_targets = targets.size();
+
+  // Execute phase: waves in order; within a wave, each transaction's
+  // footprint lands in its own slot — workers never share a slot, and the
+  // loop body takes no locks, so fanning out while holding mu_ is safe (the
+  // ParallelFor caller participates and drains its own chunks).
+  struct Extracted {
+    bool present = false;
+    Value value;
+  };
+  struct TxnDelta {
+    std::vector<Extracted> values;  // one per target
+    std::string record;             // encoded transaction (the ALI record)
+    Hash256 record_hash{};          // SHA-256(record) — the MB-tree leaf
+    bool has_record = false;
+  };
+  std::vector<TxnDelta> deltas(txns.size());
+  for (uint32_t w = 0; w < waves.size(); w++) {
+    const std::vector<uint32_t>& wave = waves[w];
+    auto execute_one = [&](uint64_t j) {
+      const uint32_t i = wave[j];
+      if (hooks.execute) hooks.execute(i);
+      TxnDelta& d = deltas[i];
+      d.values.resize(num_targets);
+      bool covered_by_ali = false;
+      for (size_t t = 0; t < num_targets; t++) {
+        d.values[t].present =
+            targets[t].layered->extractor()(txns[i], &d.values[t].value);
+        covered_by_ali |= d.values[t].present && targets[t].ali != nullptr;
+      }
+      if (covered_by_ali) {
+        txns[i].EncodeTo(&d.record);
+        d.record_hash = Sha256::Digest(d.record);
+        d.has_record = true;
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(wave.size(), execute_one,
+                        hooks.execute != nullptr ? 1 : 8);
+    } else {
+      for (uint64_t j = 0; j < wave.size(); j++) execute_one(j);
+    }
+    if (hooks.wave_done) hooks.wave_done(w);
+  }
+
+  // Merge phase: each structure ingests the deltas in original transaction
+  // order (MergeTxnDeltas — the same code serial AddBlock runs after its
+  // gather), so the committed state is byte-identical to serial apply for
+  // any pool size. Structures are independent, so they fan out in parallel;
+  // order across structures does not affect any structure's bytes.
+  const uint64_t height = block.height();
+  std::vector<std::function<Status()>> merges;
+  merges.push_back([&]() -> Status {
+    Status s = block_index_.Add(block.header());
+    if (!s.ok()) return s;
+    table_index_.MergeTxnDeltas(height,
+                                TableBitmapIndex::CollectTables(block));
+    return Status::OK();
+  });
+  for (size_t t = 0; t < num_targets; t++) {
+    merges.push_back([&, t]() -> Status {
+      std::vector<std::pair<Value, uint32_t>> entries;
+      for (uint32_t i = 0; i < txns.size(); i++) {
+        if (deltas[i].values[t].present) {
+          entries.emplace_back(deltas[i].values[t].value, i);
+        }
+      }
+      return targets[t].layered->MergeTxnDeltas(height, std::move(entries));
+    });
+    if (targets[t].ali != nullptr) {
+      merges.push_back([&, t]() -> Status {
+        std::vector<std::pair<Value, uint32_t>> entries;
+        std::vector<MbTree::Entry> mb_entries;
+        for (uint32_t i = 0; i < txns.size(); i++) {
+          const TxnDelta& d = deltas[i];
+          if (!d.values[t].present) continue;
+          entries.emplace_back(d.values[t].value, i);
+          MbTree::Entry entry;
+          entry.key = d.values[t].value;
+          entry.record = d.record;
+          entry.record_hash = d.record_hash;
+          entry.has_record_hash = d.has_record;
+          mb_entries.push_back(std::move(entry));
+        }
+        return targets[t].ali->MergeTxnDeltas(height, std::move(entries),
+                                              std::move(mb_entries));
+      });
+    }
+  }
+  Status s = ParallelForStatus(pool, merges.size(),
+                               [&](uint64_t m) { return merges[m](); });
+  if (!s.ok()) return s;
+  num_blocks_++;
+  return Status::OK();
+}
+
 uint64_t IndexSet::num_blocks() const {
   MutexLock lock(&mu_);
   return num_blocks_;

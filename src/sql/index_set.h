@@ -24,6 +24,7 @@
 #include "common/thread_annotations.h"
 #include "index/bitmap_index.h"
 #include "index/block_index.h"
+#include "common/thread_pool.h"
 #include "index/layered_index.h"
 #include "storage/block_store.h"
 #include "storage/buffer_manager.h"
@@ -72,8 +73,42 @@ class IndexSet {
   IndexSet(BlockStore* store, IndexSetOptions options = IndexSetOptions());
 
   /// Indexes a newly chained block in every structure. Must be called once
-  /// per block, in height order.
+  /// per block, in height order. Serial reference path; the production apply
+  /// flows through ApplyBlockScheduled (byte-identical state either way).
   Status AddBlock(const Block& block);
+
+  /// Hooks of the scheduled (order-then-execute) apply; see
+  /// ApplyBlockScheduled.
+  struct ScheduledApplyHooks {
+    /// Runs on a worker for each transaction (by block position) during its
+    /// wave's execute phase — the seam where per-transaction execution work
+    /// (stored procedures, off-chain reads, simulated execute cost) lives.
+    std::function<void(uint32_t)> execute;
+    /// Runs on the calling thread after wave `w`'s deltas are complete and
+    /// before wave w+1 executes — the MVCC snapshot advance point (the
+    /// ChainManager applies the wave's schema ops to the catalog here).
+    std::function<void(uint32_t)> wave_done;
+  };
+
+  /// Order-then-execute parallel apply of one block (DESIGN.md §13).
+  /// `waves[w]` lists the block positions of wave w's transactions in
+  /// ascending order; together the waves must partition [0, num txns).
+  ///
+  /// Execute phase: waves run in order; within a wave every transaction's
+  /// footprint — one extracted value per layered/ALI target plus the
+  /// encoded record and its SHA-256 (the MB-tree leaf) — is computed on the
+  /// pool into a private per-transaction delta slot. Transactions in one
+  /// wave are conflict-free by construction, so any interleaving is safe.
+  ///
+  /// Merge phase: every index ingests the deltas in original transaction
+  /// order (MergeTxnDeltas); independent indexes fan out across the pool.
+  /// The merge is deterministic, so the resulting bitmaps, trees, MB roots
+  /// and histograms are byte-identical to serial AddBlock for any pool size
+  /// — a nullptr pool runs the same code serially.
+  Status ApplyBlockScheduled(const Block& block,
+                             const std::vector<std::vector<uint32_t>>& waves,
+                             ThreadPool* pool,
+                             const ScheduledApplyHooks& hooks) EXCLUDES(mu_);
 
   uint64_t num_blocks() const;
 

@@ -51,7 +51,7 @@ std::vector<Transaction> BatchFor(uint64_t seq) {
 }
 
 Status AppendSeq(ChainManager* chain, uint64_t seq) {
-  return chain->AppendBatch(seq, BatchFor(seq), 1000 + seq, "node", "sig");
+  return chain->AppendBatch(seq, BatchFor(seq), 1000 + seq, "sig");
 }
 
 // One comparable answer sheet for the chain prefix [0, height): every block

@@ -72,7 +72,7 @@ void RunWorkload(ChainManager* chain, const Workload& w) {
     Timestamp ts = 0;
     for (const auto& txn : txns) ts = std::max(ts, txn.ts());
     ASSERT_TRUE(
-        chain->AppendBatch(seq, std::move(txns), ts, "node", "sig").ok());
+        chain->AppendBatch(seq, std::move(txns), ts, "sig").ok());
   }
 }
 
@@ -305,7 +305,7 @@ TEST(CheckpointEquivalenceTest, RestartMidWorkloadConverges) {
       Timestamp ts = 0;
       for (const auto& txn : txns) ts = std::max(ts, txn.ts());
       ASSERT_TRUE(
-          chain.AppendBatch(next_seq, std::move(txns), ts, "node", "sig")
+          chain.AppendBatch(next_seq, std::move(txns), ts, "sig")
               .ok());
     }
     if (next_seq == w.batches.size()) {

@@ -74,9 +74,9 @@ TEST(ChainManagerTest, GenesisAndAppend) {
   EXPECT_EQ(chain.chain().height(), 2u);
   EXPECT_EQ(chain.chain().next_tid(), 2u);
   // Duplicate seq is a no-op, future seq is rejected.
-  EXPECT_TRUE(chain.chain().AppendBatch(0, {}, 0, "x", "s").ok());
+  EXPECT_TRUE(chain.chain().AppendBatch(0, {}, 0, "s").ok());
   EXPECT_TRUE(
-      chain.chain().AppendBatch(5, {}, 0, "x", "s").IsInvalidArgument());
+      chain.chain().AppendBatch(5, {}, 0, "s").IsInvalidArgument());
 }
 
 TEST(ChainManagerTest, RecoveryReplaysIndexesAndCatalog) {
@@ -93,12 +93,12 @@ TEST(ChainManagerTest, RecoveryReplaysIndexesAndCatalog) {
     schema_txn.set_sender("admin");
     schema_txn.set_ts(1);
     ASSERT_TRUE(
-        chain.AppendBatch(0, {std::move(schema_txn)}, 1, "n", "s").ok());
+        chain.AppendBatch(0, {std::move(schema_txn)}, 1, "s").ok());
     ASSERT_TRUE(chain
                     .AppendBatch(1,
                                  {MakeTxn("donate", "a", 2, {Value::Int(5)}),
                                   MakeTxn("donate", "b", 3, {Value::Int(6)})},
-                                 3, "n", "s")
+                                 3, "s")
                     .ok());
     chain.Close();
   }

@@ -288,7 +288,7 @@ TEST(ParallelReplayTest, ReplayMatchesSerial) {
       for (const auto& txn : txns) block_ts = std::max(block_ts, txn.ts());
       ASSERT_TRUE(writer
                       .AppendBatch(writer.height() - 1, std::move(txns),
-                                   block_ts, "writer", "sig")
+                                   block_ts, "sig")
                       .ok());
     }
     ASSERT_TRUE(writer.Close().ok());

@@ -62,7 +62,7 @@ class TestChain {
     Timestamp ts = 0;
     for (const auto& txn : txns) ts = std::max(ts, txn.ts());
     uint64_t seq = chain_.height() - 1;  // genesis at height 0
-    return chain_.AppendBatch(seq, std::move(txns), ts, "test-node", "sig");
+    return chain_.AppendBatch(seq, std::move(txns), ts, "sig");
   }
 
   ChainManager& chain() { return chain_; }
