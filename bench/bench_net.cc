@@ -1,0 +1,276 @@
+// Transport benchmark (DESIGN.md §15): the same thin-client workload —
+// signed thin.submit writes, then thin.stats point queries — driven against
+// one full node over three transports:
+//
+//   sim        SimNetwork, the in-process simulation every test uses
+//   tcp        TcpNetwork over loopback: real sockets, framing, CRC,
+//              heartbeats, supervised reconnect
+//   tcp_lossy  TcpNetwork with the socket-level fault shim dropping every
+//              8th request frame and stalling the writer 1 ms per frame;
+//              the client's RetryPolicy owns recovery
+//
+// Consensus batches are capped at one transaction so the measured latency
+// is transport + commit + apply, not batching delay. Reports throughput and
+// p50/p99 latency per phase; the lossy series shows what loss costs once
+// retries absorb it (drops surface as retries and a fat p99, never as lost
+// acks). Writes a JSON summary to $SEBDB_BENCH_JSON (default BENCH_net.json).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bchainbench/bench_chain.h"
+#include "core/node.h"
+#include "core/thin_client_transport.h"
+#include "network/sim_network.h"
+#include "network/tcp_network.h"
+#include "storage/file.h"
+
+namespace sebdb {
+namespace bench {
+namespace {
+
+constexpr const char* kNodeId = "node1";
+constexpr const char* kClientId = "client-0";
+
+struct Phase {
+  double ops_per_sec = 0;
+  double p50_micros = 0;
+  double p99_micros = 0;
+};
+
+struct Row {
+  std::string name;
+  Phase submit;
+  Phase query;
+  uint64_t retries = 0;       // client-side RPC re-attempts
+  uint64_t random_drops = 0;  // frames the fault shim ate
+};
+
+Phase Summarize(std::vector<int64_t> lat_micros, int64_t total_micros) {
+  Phase phase;
+  if (lat_micros.empty() || total_micros <= 0) return phase;
+  std::sort(lat_micros.begin(), lat_micros.end());
+  phase.ops_per_sec =
+      static_cast<double>(lat_micros.size()) * 1e6 / total_micros;
+  phase.p50_micros = static_cast<double>(lat_micros[lat_micros.size() / 2]);
+  phase.p99_micros =
+      static_cast<double>(lat_micros[lat_micros.size() * 99 / 100]);
+  return phase;
+}
+
+NodeOptions BenchNodeOptions(const std::string& dir) {
+  NodeOptions options;
+  options.node_id = kNodeId;
+  options.data_dir = dir;
+  options.participants = {kNodeId};
+  // One txn per batch: submit latency measures the round trip, not how
+  // long the batcher waited for company.
+  options.consensus_options.max_batch_txns = 1;
+  options.consensus_options.batch_timeout_millis = 5;
+  options.enable_gossip = false;  // single node: nothing to anti-entropy
+  options.rpc_server.workers = 4;
+  options.rpc_server.max_queue = 256;
+  return options;
+}
+
+RetryPolicy BenchRetryPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 20;
+  policy.attempt_timeout_millis = 250;
+  policy.initial_backoff_millis = 5;
+  policy.max_backoff_millis = 50;
+  return policy;
+}
+
+// Runs the two phases against a started node through `transport`. Aborts on
+// any terminal failure: the bench asserts the retry layer makes every
+// scenario lossless.
+Row Drive(const std::string& name, KeyStore* keystore,
+          RpcThinTransport* transport, int txns) {
+  Row row;
+  row.name = name;
+
+  // Submits: signed single-row inserts, one block each.
+  std::vector<int64_t> lat;
+  lat.reserve(txns);
+  WallTimer submit_timer;
+  for (int i = 0; i < txns; i++) {
+    const std::string key = name + "-" + std::to_string(i);
+    Transaction txn("kv", {Value::Str(key), Value::Str("payload-" + key)});
+    txn.set_ts(1000 + i);
+    if (!keystore->SignTransaction(kClientId, &txn).ok()) abort();
+    WallTimer one;
+    if (!transport->Submit(kNodeId, txn, nullptr).ok()) abort();
+    lat.push_back(one.ElapsedMicros());
+  }
+  row.submit = Summarize(std::move(lat), submit_timer.ElapsedMicros());
+
+  // Queries: thin.stats point reads (height + tip hash).
+  lat.clear();
+  WallTimer query_timer;
+  for (int i = 0; i < txns; i++) {
+    RpcThinTransport::NodeStats stats;
+    WallTimer one;
+    if (!transport->GetNodeStats(kNodeId, &stats).ok()) abort();
+    lat.push_back(one.ElapsedMicros());
+    if (i + 1 == txns && stats.height == 0) abort();
+  }
+  row.query = Summarize(std::move(lat), query_timer.ElapsedMicros());
+  row.retries = transport->retries();
+  return row;
+}
+
+std::string ScratchDir(const std::string& tag) {
+  const std::string dir =
+      "/tmp/sebdb_bench_net_" + tag + "_" + std::to_string(::getpid());
+  (void)RemoveDirRecursive(dir);
+  if (!CreateDirIfMissing(dir).ok()) abort();
+  return dir;
+}
+
+void StartNode(SebdbNode* node, Network* network) {
+  if (!node->Start(network).ok()) abort();
+  ResultSet rs;
+  if (!node->ExecuteSql("CREATE kv (k string, v string)", {}, &rs).ok()) {
+    abort();
+  }
+}
+
+Row RunSim(KeyStore* keystore, int txns) {
+  const std::string dir = ScratchDir("sim");
+  SimNetwork network;
+  SebdbNode node(BenchNodeOptions(dir), keystore, /*offchain=*/nullptr);
+  StartNode(&node, &network);
+  RpcThinTransport transport(kClientId, &network, {kNodeId},
+                             BenchRetryPolicy());
+  Row row = Drive("sim", keystore, &transport, txns);
+  node.Stop();
+  (void)RemoveDirRecursive(dir);
+  return row;
+}
+
+Row RunTcp(KeyStore* keystore, int txns, bool lossy) {
+  const std::string name = lossy ? "tcp_lossy" : "tcp";
+  const std::string dir = ScratchDir(name);
+
+  // The node listens on an ephemeral loopback port; the client supervises
+  // the one link and the node's replies ride the learned return route —
+  // the same shape as a remote thin client against a deployed cluster.
+  TcpNetworkOptions server_options;
+  server_options.local_id = kNodeId;
+  TcpNetwork server_net(server_options);
+  if (!server_net.Start().ok()) abort();
+
+  TcpNetworkOptions client_options;
+  client_options.local_id = kClientId;
+  client_options.peers.push_back(
+      TcpPeer{kNodeId, "127.0.0.1", server_net.listen_port()});
+  if (lossy) {
+    // Every frame pays 1 ms on the wire; every 8th request vanishes. The
+    // counter makes the loss pattern deterministic across runs.
+    auto counter = std::make_shared<uint64_t>(0);
+    client_options.send_fault = [counter](const Message&) {
+      TcpNetworkOptions::Fault fault;
+      fault.delay_millis = 1;
+      fault.drop = (++*counter % 8 == 0);
+      return fault;
+    };
+  }
+  TcpNetwork client_net(client_options);
+  if (!client_net.Start().ok()) abort();
+
+  SebdbNode node(BenchNodeOptions(dir), keystore, /*offchain=*/nullptr);
+  StartNode(&node, &server_net);
+  RpcThinTransport transport(kClientId, &client_net, {kNodeId},
+                             BenchRetryPolicy());
+
+  // Warm up until the supervised link carries a round trip, so connect
+  // backoff is not billed to the first submit.
+  RpcThinTransport::NodeStats stats;
+  for (int i = 0; i < 100 && !transport.GetNodeStats(kNodeId, &stats).ok();
+       i++) {
+  }
+
+  Row row = Drive(name, keystore, &transport, txns);
+  row.random_drops = client_net.stats().random_drops;
+  node.Stop();
+  client_net.Shutdown();
+  server_net.Shutdown();
+  (void)RemoveDirRecursive(dir);
+  return row;
+}
+
+void AppendRow(const Row& row, bool last, std::string* json) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"transport\": \"%s\",\n"
+      "     \"submit_tps\": %.1f, \"submit_p50_us\": %.0f, "
+      "\"submit_p99_us\": %.0f,\n"
+      "     \"query_qps\": %.1f, \"query_p50_us\": %.0f, "
+      "\"query_p99_us\": %.0f,\n"
+      "     \"retries\": %llu, \"random_drops\": %llu}%s\n",
+      row.name.c_str(), row.submit.ops_per_sec, row.submit.p50_micros,
+      row.submit.p99_micros, row.query.ops_per_sec, row.query.p50_micros,
+      row.query.p99_micros, static_cast<unsigned long long>(row.retries),
+      static_cast<unsigned long long>(row.random_drops), last ? "" : ",");
+  *json += buf;
+}
+
+void Main() {
+  const int txns = 128 * BenchScale();
+  const char* json_path_env = std::getenv("SEBDB_BENCH_JSON");
+  const std::string json_path =
+      json_path_env != nullptr ? json_path_env : "BENCH_net.json";
+
+  ReportHeader("net",
+               "thin-client submit/query over SimNetwork vs TCP loopback vs "
+               "TCP with induced loss (1/8 drop) and latency (1 ms/frame)");
+
+  KeyStore keystore;
+  if (!keystore.AddIdentity(kNodeId, std::string("sk:") + kNodeId).ok() ||
+      !keystore.AddIdentity(kClientId, std::string("sk:") + kClientId).ok()) {
+    abort();
+  }
+
+  std::vector<Row> rows;
+  rows.push_back(RunSim(&keystore, txns));
+  rows.push_back(RunTcp(&keystore, txns, /*lossy=*/false));
+  rows.push_back(RunTcp(&keystore, txns, /*lossy=*/true));
+
+  for (const Row& row : rows) {
+    ReportPoint("net", row.name, "submit", "tps", row.submit.ops_per_sec);
+    ReportPoint("net", row.name, "submit", "p50_us", row.submit.p50_micros);
+    ReportPoint("net", row.name, "submit", "p99_us", row.submit.p99_micros);
+    ReportPoint("net", row.name, "query", "qps", row.query.ops_per_sec);
+    ReportPoint("net", row.name, "query", "p50_us", row.query.p50_micros);
+    ReportPoint("net", row.name, "query", "p99_us", row.query.p99_micros);
+    ReportPoint("net", row.name, "loss", "retries",
+                static_cast<double>(row.retries));
+  }
+
+  std::string json = "{\n  \"bench\": \"net\",\n";
+  json += "  \"txns_per_phase\": " + std::to_string(txns) + ",\n";
+  json += "  \"scenarios\": [\n";
+  for (size_t i = 0; i < rows.size(); i++) {
+    AppendRow(rows[i], i + 1 == rows.size(), &json);
+  }
+  json += "  ]\n}\n";
+
+  std::ofstream out(json_path);
+  out << json;
+  std::printf("wrote %s\n", json_path.c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sebdb
+
+int main() {
+  sebdb::bench::Main();
+  return 0;
+}

@@ -20,6 +20,7 @@
 
 #include "bchainbench/bench_chain.h"
 #include "core/node.h"
+#include "network/sim_network.h"
 
 namespace sebdb {
 namespace bench {

@@ -11,6 +11,7 @@
 
 #include "bchainbench/bench_chain.h"
 #include "core/node.h"
+#include "network/sim_network.h"
 
 namespace sebdb {
 namespace bench {

@@ -7,6 +7,7 @@
 
 #include "core/node.h"
 #include "storage/file.h"
+#include "network/sim_network.h"
 
 using namespace sebdb;
 

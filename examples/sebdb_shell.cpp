@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/node.h"
+#include "network/sim_network.h"
 
 using namespace sebdb;
 

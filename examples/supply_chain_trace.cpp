@@ -10,6 +10,7 @@
 
 #include "core/node.h"
 #include "storage/file.h"
+#include "network/sim_network.h"
 
 using namespace sebdb;
 

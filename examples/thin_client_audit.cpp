@@ -11,6 +11,7 @@
 #include "core/node.h"
 #include "core/thin_client.h"
 #include "storage/file.h"
+#include "network/sim_network.h"
 
 using namespace sebdb;
 

@@ -12,6 +12,7 @@
 //   - SQL lexer + parser (client-submitted statements)
 //   - MB-tree verification-object decode + range verification (query proofs)
 //   - checkpoint page images + manifest records (index persistence files)
+//   - TCP wire frames (every byte an accepted socket delivers)
 #pragma once
 
 #include <cstddef>
@@ -26,6 +27,7 @@ int FuzzCoding(const uint8_t* data, size_t size);
 int FuzzSqlParser(const uint8_t* data, size_t size);
 int FuzzVoVerify(const uint8_t* data, size_t size);
 int FuzzPageDecode(const uint8_t* data, size_t size);
+int FuzzTcpFrame(const uint8_t* data, size_t size);
 
 }  // namespace fuzz
 }  // namespace sebdb

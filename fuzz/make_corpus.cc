@@ -14,6 +14,7 @@
 
 #include "auth/mbtree.h"
 #include "common/coding.h"
+#include "network/frame.h"
 #include "storage/block.h"
 #include "storage/checkpoint.h"
 #include "storage/page.h"
@@ -208,6 +209,49 @@ void VoSeeds(const std::string& dir) {
   }
 }
 
+void TcpFrameSeeds(const std::string& dir) {
+  {
+    std::string bytes;
+    EncodeFrame(Message{"gossip.digest", "node1", "node2", "digest-body"},
+                &bytes);
+    WriteFile(dir, "frame_gossip", bytes);
+  }
+  {
+    std::string bytes;
+    EncodeFrame(Message{"rpc.request", "client-0", "node1",
+                        std::string("\x01\x00\x00\x00\x00\x00\x00\x00", 8) +
+                            "body"},
+                &bytes);
+    WriteFile(dir, "frame_rpc_request", bytes);
+  }
+  {
+    std::string bytes;
+    EncodeFrame(Message{"net.ping", "node1", "node2", ""}, &bytes);
+    WriteFile(dir, "frame_heartbeat", bytes);
+  }
+  {
+    // Empty body, minimal ids: the smallest accepted frame.
+    std::string bytes;
+    EncodeFrame(Message{"tm.vote", "a", "b", ""}, &bytes);
+    WriteFile(dir, "frame_min", bytes);
+  }
+  {
+    // Two frames back to back: the decoder must consume exactly one.
+    std::string bytes;
+    EncodeFrame(Message{"repair.pull", "node2", "node3", "range"}, &bytes);
+    EncodeFrame(Message{"repair.push", "node3", "node2", "blocks"}, &bytes);
+    WriteFile(dir, "frame_pair", bytes);
+  }
+  {
+    // Boundary seed: maximum-length endpoint ids.
+    std::string bytes;
+    EncodeFrame(Message{"kafka.submit", std::string(kMaxEndpointIdBytes, 'f'),
+                        std::string(kMaxEndpointIdBytes, 't'), "x"},
+                &bytes);
+    WriteFile(dir, "frame_max_ids", bytes);
+  }
+}
+
 void PageSeeds(const std::string& dir) {
   {
     std::string bytes;
@@ -280,6 +324,7 @@ int main(int argc, char** argv) {
       {"sql_parser", sebdb::SqlSeeds},
       {"vo_verify", sebdb::VoSeeds},
       {"page_decode", sebdb::PageSeeds},
+      {"tcp_frame", sebdb::TcpFrameSeeds},
   };
   for (const auto& set : kSets) {
     const std::string dir = root + "/" + set.name;

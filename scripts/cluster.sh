@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Local multi-process cluster harness: N sebdb_server processes over real
+# TCP plus C traffic clients, with optional kill -9 chaos on a follower.
+#
+#   scripts/cluster.sh                 # 3 nodes, 2 clients, 100 txns each
+#   scripts/cluster.sh -n 5 -c 4 -t 500
+#   scripts/cluster.sh --chaos         # kill -9 + restart a follower mid-run
+#
+# Exits 0 iff every client transaction was acked and every node stopped at
+# the same height (byte-identical tips are asserted by tests/cluster_test).
+set -u
+
+NODES=3
+CLIENTS=2
+TXNS=100
+CHAOS=0
+BUILD_DIR="$(dirname "$0")/../build"
+PORT_BASE=$(( 7000 + RANDOM % 2000 ))
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -n) NODES="$2"; shift 2 ;;
+    -c) CLIENTS="$2"; shift 2 ;;
+    -t) TXNS="$2"; shift 2 ;;
+    --chaos) CHAOS=1; shift ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    *) echo "unknown arg: $1" >&2; exit 2 ;;
+  esac
+done
+
+SERVER="$BUILD_DIR/tools/sebdb_server"
+CLIENT="$BUILD_DIR/tools/sebdb_cluster_client"
+for bin in "$SERVER" "$CLIENT"; do
+  [ -x "$bin" ] || { echo "missing $bin (build first)" >&2; exit 2; }
+done
+
+WORK="$(mktemp -d /tmp/sebdb-cluster.XXXXXX)"
+CONF="$WORK/cluster.conf"
+trap 'pkill -9 -P $$ 2>/dev/null; rm -rf "$WORK"' EXIT
+
+for i in $(seq 1 "$NODES"); do
+  echo "node node$i 127.0.0.1 $(( PORT_BASE + i ))" >> "$CONF"
+done
+echo "== cluster config =="
+cat "$CONF"
+
+declare -a NODE_PID
+start_node() { # $1 = index
+  local id="node$1"
+  local -a args=(--id="$id" --config="$CONF" --data="$WORK/$id"
+                 --gossip-interval-ms=25 --heartbeat-ms=100 --peer-down-ms=500)
+  [ "$1" = "1" ] && args+=("--init-sql=CREATE kv (k string, v string)")
+  "$SERVER" "${args[@]}" >> "$WORK/$id.log" 2>&1 &
+  NODE_PID[$1]=$!
+}
+
+for i in $(seq 1 "$NODES"); do start_node "$i"; done
+
+# Wait for every node to report READY.
+for i in $(seq 1 "$NODES"); do
+  for _ in $(seq 1 100); do
+    grep -q "^READY node$i " "$WORK/node$i.log" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q "^READY node$i " "$WORK/node$i.log" || {
+    echo "node$i never became ready:" >&2; cat "$WORK/node$i.log" >&2; exit 1; }
+done
+echo "== $NODES nodes ready =="
+
+declare -a CLIENT_PID
+for c in $(seq 1 "$CLIENTS"); do
+  "$CLIENT" --id="client-$c" --config="$CONF" --txns="$TXNS" \
+    > "$WORK/client-$c.log" 2>&1 &
+  CLIENT_PID[$c]=$!
+done
+
+if [ "$CHAOS" = "1" ] && [ "$NODES" -ge 3 ]; then
+  # Never the broker (node1 orders for Kafka consensus): kill a follower
+  # mid-traffic, leave it dead for a while, then restart it to catch up.
+  VICTIM=$(( 2 + RANDOM % (NODES - 1) ))
+  sleep 1
+  echo "== chaos: kill -9 node$VICTIM =="
+  kill -9 "${NODE_PID[$VICTIM]}" 2>/dev/null
+  sleep 2
+  echo "== chaos: restart node$VICTIM =="
+  start_node "$VICTIM"
+fi
+
+FAILED=0
+for c in $(seq 1 "$CLIENTS"); do
+  wait "${CLIENT_PID[$c]}" || FAILED=1
+  tail -1 "$WORK/client-$c.log"
+done
+
+# Let replication settle, then stop everything gracefully and compare the
+# heights each node reported on the way out.
+sleep 3
+for i in $(seq 1 "$NODES"); do kill -TERM "${NODE_PID[$i]}" 2>/dev/null; done
+for i in $(seq 1 "$NODES"); do wait "${NODE_PID[$i]}" 2>/dev/null; done
+
+HEIGHTS=$(grep -h "^STOPPING" "$WORK"/node*.log | awk '{print $3}' | sort -u)
+echo "== stop heights: $(echo $HEIGHTS | tr '\n' ' ') =="
+ACKED=$(cat "$WORK"/client-*.log | grep -c "^ACK ")
+echo "== acked: $ACKED =="
+
+if [ "$FAILED" != "0" ]; then
+  echo "FAIL: a client had unacked transactions" >&2; exit 1
+fi
+if [ "$(echo "$HEIGHTS" | wc -l)" != "1" ]; then
+  echo "FAIL: nodes stopped at different heights" >&2
+  grep -h "^STOPPING" "$WORK"/node*.log >&2
+  exit 1
+fi
+echo "OK"

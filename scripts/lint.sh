@@ -47,7 +47,7 @@ fi
 # (Assignments, returns, conditions, and explicit (void) casts don't match.)
 dropped_status=$(grep -rnE '^[[:space:]]*[A-Za-z_]+(\.|->)(Open|Close|Append|Sync|Flush|Truncate|Remove[A-Za-z]*|Write[A-Za-z]*)\(' \
   src/ --include='*.h' --include='*.cc' \
-  | grep -vE '=|\breturn\b|\(void\)|\bif\b' || true)
+  | grep -vE '=|\breturn\b|\(void\)|\bif\b|RemovePeerWatcher' || true)
 if [ -n "${dropped_status}" ]; then
   fail "storage call discards its Status (assign, return, or check it):" "${dropped_status}"
 fi
@@ -86,6 +86,18 @@ raw_io=$(grep -rnE '\bfopen\(|\bFILE[[:space:]]*\*|std::(i|o)?fstream|\bopendir\
   | grep -vE '^src/common/env\.(h|cc):' || true)
 if [ -n "${raw_io}" ]; then
   fail "raw file I/O outside common/env.* (route it through Env so fault injection and crash tests see it):" "${raw_io}"
+fi
+
+# Raw socket syscalls and socket headers outside the TCP transport. The
+# Network seam (DESIGN.md §15) is the only place bytes may touch a socket;
+# anywhere else must hold a Network* so SimNetwork keeps every protocol
+# deterministic under test. TcpNetwork writes its syscalls ::-prefixed,
+# which is what this rule matches.
+raw_sockets=$(grep -rnE '::(socket|connect|bind|listen|accept|recv|send|sendto|recvfrom|setsockopt|getsockname|shutdown|poll)\(|#include <(sys/socket|netinet/in|netinet/tcp|arpa/inet|netdb|poll)\.h>' \
+  src/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/network/tcp_network\.cc:' || true)
+if [ -n "${raw_sockets}" ]; then
+  fail "raw socket call or socket header outside src/network/tcp_network.cc (talk through the Network seam):" "${raw_sockets}"
 fi
 
 # Clock access outside the sanctioned helpers.

@@ -39,6 +39,9 @@ std::string Status::ToString() const {
     case Code::kResourceExhausted:
       name = "ResourceExhausted";
       break;
+    case Code::kUnavailable:
+      name = "Unavailable";
+      break;
   }
   std::string out = name;
   if (!message().empty()) {

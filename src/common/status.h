@@ -23,6 +23,7 @@ class Status {
     kVerificationFailed = 8,
     kTimedOut = 9,
     kResourceExhausted = 10,
+    kUnavailable = 11,
   };
 
   /// Creates an OK status.
@@ -60,6 +61,12 @@ class Status {
                                   int64_t retry_after_millis = 0) {
     return Status(Code::kResourceExhausted, msg, retry_after_millis);
   }
+  /// The peer is known to be down right now (supervised connection lost,
+  /// endpoint unregistered). Unlike TimedOut, it arrives immediately —
+  /// callers fail over to another node instead of waiting out a deadline.
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
 
   bool ok() const { return rep_ == nullptr; }
   bool IsNotFound() const { return code() == Code::kNotFound; }
@@ -76,6 +83,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == Code::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code() == Code::kUnavailable; }
 
   Code code() const { return rep_ == nullptr ? Code::kOk : rep_->code; }
 

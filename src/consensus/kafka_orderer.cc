@@ -31,7 +31,7 @@ std::string TxnKey(const Transaction& txn) {
 
 KafkaOrderer::KafkaOrderer(std::string node_id, std::string broker_id,
                            std::vector<std::string> participants,
-                           SimNetwork* network, ConsensusOptions options,
+                           Network* network, ConsensusOptions options,
                            BatchCommitFn commit_fn)
     : node_id_(std::move(node_id)),
       broker_id_(std::move(broker_id)),

@@ -16,14 +16,14 @@
 #include "common/admission.h"
 #include "common/thread_annotations.h"
 #include "consensus/engine.h"
-#include "network/sim_network.h"
+#include "network/network.h"
 
 namespace sebdb {
 
 class KafkaOrderer : public ConsensusEngine {
  public:
   KafkaOrderer(std::string node_id, std::string broker_id,
-               std::vector<std::string> participants, SimNetwork* network,
+               std::vector<std::string> participants, Network* network,
                ConsensusOptions options, BatchCommitFn commit_fn);
   ~KafkaOrderer() override;
 
@@ -54,7 +54,7 @@ class KafkaOrderer : public ConsensusEngine {
   const std::string node_id_;
   const std::string broker_id_;
   const std::vector<std::string> participants_;
-  SimNetwork* network_;
+  Network* network_;
   const ConsensusOptions options_;
   BatchCommitFn commit_fn_;
   // Submit-side controller: charges txns this node originated, released

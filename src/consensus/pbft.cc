@@ -33,7 +33,7 @@ bool GetHash(Slice* input, Hash256* out) {
 
 PbftEngine::PbftEngine(std::string node_id,
                        std::vector<std::string> participants,
-                       SimNetwork* network, ConsensusOptions options,
+                       Network* network, ConsensusOptions options,
                        BatchCommitFn commit_fn, PbftOptions pbft_options)
     : node_id_(std::move(node_id)),
       participants_(std::move(participants)),

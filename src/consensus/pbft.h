@@ -22,7 +22,7 @@
 #include "common/sha256.h"
 #include "common/thread_annotations.h"
 #include "consensus/engine.h"
-#include "network/sim_network.h"
+#include "network/network.h"
 
 namespace sebdb {
 
@@ -41,7 +41,7 @@ class PbftEngine : public ConsensusEngine {
   /// `participants` is the agreed replica list; its order defines replica
   /// numbering and the view's primary: primary(view) = participants[view % n].
   PbftEngine(std::string node_id, std::vector<std::string> participants,
-             SimNetwork* network, ConsensusOptions options,
+             Network* network, ConsensusOptions options,
              BatchCommitFn commit_fn, PbftOptions pbft_options = PbftOptions());
   ~PbftEngine() override;
 
@@ -96,7 +96,7 @@ class PbftEngine : public ConsensusEngine {
 
   const std::string node_id_;
   const std::vector<std::string> participants_;
-  SimNetwork* network_;
+  Network* network_;
   const ConsensusOptions options_;
   BatchCommitFn commit_fn_;
   const PbftOptions pbft_options_;

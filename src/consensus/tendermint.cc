@@ -29,7 +29,7 @@ bool GetHash(Slice* input, Hash256* out) {
 
 TendermintEngine::TendermintEngine(std::string node_id,
                                    std::vector<std::string> participants,
-                                   SimNetwork* network,
+                                   Network* network,
                                    ConsensusOptions options,
                                    BatchCommitFn commit_fn,
                                    TendermintOptions tm_options)

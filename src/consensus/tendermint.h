@@ -20,7 +20,7 @@
 #include "common/sha256.h"
 #include "common/thread_annotations.h"
 #include "consensus/engine.h"
-#include "network/sim_network.h"
+#include "network/network.h"
 
 namespace sebdb {
 
@@ -38,7 +38,7 @@ struct TendermintOptions {
 class TendermintEngine : public ConsensusEngine {
  public:
   TendermintEngine(std::string node_id, std::vector<std::string> participants,
-                   SimNetwork* network, ConsensusOptions options,
+                   Network* network, ConsensusOptions options,
                    BatchCommitFn commit_fn,
                    TendermintOptions tm_options = TendermintOptions());
   ~TendermintEngine() override;
@@ -87,7 +87,7 @@ class TendermintEngine : public ConsensusEngine {
 
   const std::string node_id_;
   const std::vector<std::string> participants_;
-  SimNetwork* network_;
+  Network* network_;
   const ConsensusOptions options_;
   BatchCommitFn commit_fn_;
   const TendermintOptions tm_options_;

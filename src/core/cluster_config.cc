@@ -1,0 +1,110 @@
+#include "core/cluster_config.h"
+
+#include <sstream>
+
+namespace sebdb {
+
+std::vector<std::string> ClusterConfig::NodeIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(nodes.size());
+  for (const auto& node : nodes) ids.push_back(node.id);
+  return ids;
+}
+
+const ClusterNodeSpec* ClusterConfig::Find(const std::string& id) const {
+  for (const auto& node : nodes) {
+    if (node.id == id) return &node;
+  }
+  return nullptr;
+}
+
+Status ParseClusterConfig(const std::string& text, ClusterConfig* out) {
+  out->nodes.clear();
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    lineno++;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank / comment-only line
+    if (directive != "node") {
+      return Status::InvalidArgument("cluster config line " +
+                                     std::to_string(lineno) +
+                                     ": unknown directive '" + directive + "'");
+    }
+    ClusterNodeSpec spec;
+    int port = 0;
+    if (!(fields >> spec.id >> spec.host >> port) || port <= 0 ||
+        port > 65535) {
+      return Status::InvalidArgument("cluster config line " +
+                                     std::to_string(lineno) +
+                                     ": expected 'node <id> <host> <port>'");
+    }
+    spec.port = static_cast<uint16_t>(port);
+    if (out->Find(spec.id) != nullptr) {
+      return Status::InvalidArgument("cluster config: duplicate node id '" +
+                                     spec.id + "'");
+    }
+    out->nodes.push_back(std::move(spec));
+  }
+  if (out->nodes.empty()) {
+    return Status::InvalidArgument("cluster config: no nodes");
+  }
+  return Status::OK();
+}
+
+Status LoadClusterConfig(Env* env, const std::string& path,
+                         ClusterConfig* out) {
+  std::unique_ptr<ReadableFile> file;
+  Status s = env->NewReadableFile(path, &file);
+  if (!s.ok()) return s;
+  std::string text;
+  s = file->Read(0, file->size(), &text);
+  if (!s.ok()) return s;
+  return ParseClusterConfig(text, out);
+}
+
+std::string DevSecret(const std::string& id) { return "sk:" + id; }
+
+Status SeedDevKeyStore(const ClusterConfig& config,
+                       const std::vector<std::string>& extras,
+                       KeyStore* keystore) {
+  for (const auto& node : config.nodes) {
+    Status s = keystore->AddIdentity(node.id, DevSecret(node.id));
+    if (!s.ok()) return s;
+  }
+  for (const auto& id : extras) {
+    Status s = keystore->AddIdentity(id, DevSecret(id));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+TcpNetworkOptions MakeClusterTcpOptions(const ClusterConfig& config,
+                                        const std::string& local_id) {
+  TcpNetworkOptions options;
+  options.local_id = local_id;
+  const ClusterNodeSpec* self = config.Find(local_id);
+  if (self != nullptr) {
+    options.listen_host = self->host;
+    options.listen_port = self->port;
+  } else {
+    options.listen_host = "127.0.0.1";
+    options.listen_port = 0;  // clients accept nothing; ephemeral is fine
+  }
+  for (const auto& node : config.nodes) {
+    if (node.id == local_id) continue;
+    options.peers.push_back(TcpPeer{node.id, node.host, node.port});
+  }
+  // Distinct per-process jitter streams: two nodes restarting together must
+  // not re-dial in lockstep.
+  uint64_t seed = 0x7cb5ebdbULL;
+  for (char c : local_id) seed = seed * 131 + static_cast<unsigned char>(c);
+  options.seed = seed;
+  return options;
+}
+
+}  // namespace sebdb

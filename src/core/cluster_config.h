@@ -1,0 +1,60 @@
+// Minimal cluster deployment config shared by sebdb_server, the cluster
+// harness (scripts/cluster.sh), the process-level chaos test and bench_net.
+//
+// File format — one directive per line, '#' comments:
+//
+//   # id        host       port
+//   node node1  127.0.0.1  7101
+//   node node2  127.0.0.1  7102
+//   node node3  127.0.0.1  7103
+//
+// Node order matters: participants are listed in file order, and Kafka
+// consensus makes participants[0] the broker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "core/signer.h"
+#include "network/tcp_network.h"
+
+namespace sebdb {
+
+struct ClusterNodeSpec {
+  std::string id;
+  std::string host;
+  uint16_t port = 0;
+};
+
+struct ClusterConfig {
+  std::vector<ClusterNodeSpec> nodes;
+
+  std::vector<std::string> NodeIds() const;
+  const ClusterNodeSpec* Find(const std::string& id) const;
+};
+
+Status ParseClusterConfig(const std::string& text, ClusterConfig* out);
+Status LoadClusterConfig(Env* env, const std::string& path,
+                         ClusterConfig* out);
+
+/// Deterministic development/test signing secret for an identity. Every
+/// process of a dev cluster derives the same directory, standing in for a
+/// provisioned PKI; real deployments would load per-identity secrets.
+std::string DevSecret(const std::string& id);
+
+/// Seeds `keystore` with DevSecret() for every cluster node plus `extras`
+/// (client identities).
+Status SeedDevKeyStore(const ClusterConfig& config,
+                       const std::vector<std::string>& extras,
+                       KeyStore* keystore);
+
+/// Transport options for one process of the cluster. If `local_id` is a
+/// configured node, it listens on its configured address and supervises
+/// links to every other node; otherwise (a client id) it listens on an
+/// ephemeral port and supervises links to all nodes.
+TcpNetworkOptions MakeClusterTcpOptions(const ClusterConfig& config,
+                                        const std::string& local_id);
+
+}  // namespace sebdb

@@ -47,7 +47,7 @@ SebdbNode::SebdbNode(NodeOptions options, KeyStore* keystore,
 
 SebdbNode::~SebdbNode() { Stop(); }
 
-Status SebdbNode::Start(SimNetwork* network) {
+Status SebdbNode::Start(Network* network) {
   if (started_) return Status::Busy("node already started");
   network_ = network;
 
@@ -199,9 +199,13 @@ Status SebdbNode::Start(SimNetwork* network) {
                                             peers, options_.gossip);
   }
   if (options_.enable_repair) {
+    RepairOptions repair_options = options_.repair;
+    // Without gossip there is no anti-entropy to absorb small gaps: the
+    // coordinator is the only healer, so it must take any gap.
+    if (!options_.enable_gossip) repair_options.heal_all_gaps = true;
     repair_ = std::make_unique<RepairCoordinator>(
         options_.node_id, network_, this, &chain_, std::move(peers),
-        options_.repair, [this] { RefreshExecutorAfterStateSync(); });
+        repair_options, [this] { RefreshExecutorAfterStateSync(); });
     if (recovery.degraded) repair_->ArmDegradedRepair();
   }
 
@@ -229,6 +233,17 @@ Status SebdbNode::Start(SimNetwork* network) {
   }
   if (gossip_ != nullptr) gossip_->Start();
   if (repair_ != nullptr) repair_->Start();
+  if (gossip_ != nullptr) {
+    // A peer coming (back) up is the moment it is most likely behind: run an
+    // anti-entropy round now so repair and catch-up start immediately
+    // instead of waiting out the gossip interval.
+    const std::string self = options_.node_id;
+    GossipAgent* gossip = gossip_.get();
+    peer_watcher_token_ = network_->AddPeerWatcher(
+        [self, gossip](const std::string& peer, bool up) {
+          if (up && peer != self) gossip->RunRound();
+        });
+  }
   started_ = true;
   return Status::OK();
 }
@@ -236,6 +251,12 @@ Status SebdbNode::Start(SimNetwork* network) {
 void SebdbNode::Stop() {
   if (!started_) return;
   started_ = false;
+  if (peer_watcher_token_ != 0 && network_ != nullptr) {
+    // Unsubscribe before tearing down gossip: the watcher runs on network
+    // threads and must never see a half-destroyed agent.
+    network_->RemovePeerWatcher(peer_watcher_token_);
+    peer_watcher_token_ = 0;
+  }
   if (repair_ != nullptr) {
     repair_->Stop();
     // One line on what self-healing did over the node's lifetime, next to
@@ -386,6 +407,37 @@ void SebdbNode::SetupRpcMethods() {
           return Status::Corruption("bad get_raw_block request");
         }
         return GetRawBlock(height, response);
+      });
+  rpc_dispatcher_.RegisterMethod(
+      thin_rpc::kSubmit,
+      [this](const Slice& request, std::string* response) -> Status {
+        Slice input = request;
+        Transaction txn;
+        Status s = Transaction::DecodeFrom(&input, &txn);
+        if (!s.ok()) return s;
+        s = SubmitAndWait(std::move(txn));
+        if (!s.ok()) return s;
+        PutVarint64(response, chain_.height());
+        return Status::OK();
+      });
+  rpc_dispatcher_.RegisterMethod(
+      thin_rpc::kStats,
+      [this](const Slice& request, std::string* response) -> Status {
+        (void)request;
+        const uint64_t height = chain_.height();
+        PutVarint64(response, height);
+        BlockHeader tip;
+        if (height > 0) {
+          Status s = chain_.GetHeader(height - 1, &tip);
+          if (!s.ok()) return s;
+        }
+        response->append(
+            reinterpret_cast<const char*>(tip.block_hash.bytes.data()), 32);
+        const NetworkStats net =
+            network_ != nullptr ? network_->stats() : NetworkStats{};
+        PutVarint64(response, net.frames_rejected);
+        PutVarint64(response, net.overflow_drops);
+        return Status::OK();
       });
   rpc_dispatcher_.RegisterMethod(
       thin_rpc::kProveRange,

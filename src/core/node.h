@@ -17,7 +17,7 @@
 #include "core/signer.h"
 #include "network/gossip.h"
 #include "network/rpc.h"
-#include "network/sim_network.h"
+#include "network/network.h"
 #include "offchain/offchain_db.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
@@ -63,7 +63,7 @@ class SebdbNode : public GossipDelegate {
   ~SebdbNode() override;
 
   /// Opens the chain, registers on the network, starts consensus and gossip.
-  Status Start(SimNetwork* network);
+  Status Start(Network* network);
   void Stop();
 
   const std::string& node_id() const { return options_.node_id; }
@@ -180,12 +180,15 @@ class SebdbNode : public GossipDelegate {
   mutable Mutex executor_mu_;
   std::shared_ptr<Executor> executor_ GUARDED_BY(executor_mu_);
   AccessControl access_control_;
-  SimNetwork* network_ = nullptr;
+  Network* network_ = nullptr;
   std::unique_ptr<ConsensusEngine> engine_;
   std::unique_ptr<GossipAgent> gossip_;
   std::unique_ptr<RepairCoordinator> repair_;
   // Serves the thin-client API over the network (see thin_client_transport).
   RpcDispatcher rpc_dispatcher_;
+  /// Peer-up catch-up trigger (0 = not subscribed): a reconnected peer gets
+  /// an immediate anti-entropy round instead of waiting out the interval.
+  uint64_t peer_watcher_token_ = 0;
   bool started_ = false;
 };
 

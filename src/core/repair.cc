@@ -22,7 +22,7 @@ constexpr char kCkptChunkType[] = "repair.ckpt_chunk";
 
 }  // namespace
 
-RepairCoordinator::RepairCoordinator(std::string node_id, SimNetwork* network,
+RepairCoordinator::RepairCoordinator(std::string node_id, Network* network,
                                      GossipDelegate* delegate,
                                      ChainManager* chain,
                                      std::vector<std::string> peers,
@@ -88,9 +88,9 @@ void RepairCoordinator::NotePeerHeight(const std::string& peer,
                                options_.state_sync_gap > 0 &&
                                gap >= options_.state_sync_gap;
   // Small gaps on a healthy node are gossip's job; the coordinator steps in
-  // for degraded opens (any gap) and for catch-up beyond the state-sync
-  // threshold.
-  if (!want_state_sync && !armed_degraded_) return;
+  // for degraded opens (any gap), for catch-up beyond the state-sync
+  // threshold, and for everything when it is the node's only healer.
+  if (!want_state_sync && !armed_degraded_ && !options_.heal_all_gaps) return;
   peer_ = peer;
   target_height_ = height;
   session_retries_ = 0;
@@ -106,10 +106,10 @@ void RepairCoordinator::NotePeerHeight(const std::string& peer,
   } else {
     mode_ = Mode::kBlockRepair;
     fprintf(stderr,
-            "[sebdb] node %s: degraded chain %llu block(s) behind %s — "
+            "[sebdb] node %s: %s%llu block(s) behind %s — "
             "starting peer-assisted block repair\n",
-            node_id_.c_str(), static_cast<unsigned long long>(gap),
-            peer.c_str());
+            node_id_.c_str(), armed_degraded_ ? "degraded chain " : "",
+            static_cast<unsigned long long>(gap), peer.c_str());
     SendFetchLocked(my);
   }
   ArmDeadlineLocked();

@@ -35,7 +35,7 @@
 #include "common/thread_annotations.h"
 #include "core/chain_manager.h"
 #include "network/gossip.h"
-#include "network/sim_network.h"
+#include "network/network.h"
 
 namespace sebdb {
 
@@ -55,6 +55,11 @@ struct RepairOptions {
   /// Re-issues before the session gives up (state sync falls back to block
   /// repair; block repair disarms and leaves the rest to gossip).
   uint32_t max_retries = 32;
+  /// Step in for any gap, not only degraded opens and state-sync-sized
+  /// ones. Nodes that run without gossip set this: there is no
+  /// anti-entropy to absorb small gaps, so the coordinator is the only
+  /// healer left.
+  bool heal_all_gaps = false;
   /// Background timeout-check cadence. Tests call Tick() directly.
   int64_t tick_interval_millis = 25;
   uint64_t seed = 17;
@@ -78,7 +83,7 @@ class RepairCoordinator {
   /// path (the node itself); `chain` serves and installs checkpoints (may
   /// be nullptr to disable state sync); `on_state_sync` runs after a
   /// successful install so the node can rebind derived state (executor).
-  RepairCoordinator(std::string node_id, SimNetwork* network,
+  RepairCoordinator(std::string node_id, Network* network,
                     GossipDelegate* delegate, ChainManager* chain,
                     std::vector<std::string> peers,
                     const RepairOptions& options,
@@ -142,7 +147,7 @@ class RepairCoordinator {
   void EndSessionLocked() REQUIRES(mu_);
 
   const std::string node_id_;
-  SimNetwork* network_;
+  Network* network_;
   GossipDelegate* delegate_;
   ChainManager* chain_;  // may be nullptr (no state sync, no serving)
   const std::vector<std::string> peers_;

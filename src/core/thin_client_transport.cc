@@ -1,5 +1,7 @@
 #include "core/thin_client_transport.h"
 
+#include <cstring>
+
 #include "common/coding.h"
 #include "core/node.h"
 
@@ -191,7 +193,7 @@ Status DirectTransport::DigestTrace(const std::string& node, bool by_sender,
 
 // ---- RpcThinTransport ----
 
-RpcThinTransport::RpcThinTransport(std::string client_id, SimNetwork* network,
+RpcThinTransport::RpcThinTransport(std::string client_id, Network* network,
                                    std::vector<std::string> nodes,
                                    int64_t call_timeout_millis)
     : client_(std::move(client_id), network), nodes_(std::move(nodes)) {
@@ -199,7 +201,7 @@ RpcThinTransport::RpcThinTransport(std::string client_id, SimNetwork* network,
   policy_.attempt_timeout_millis = call_timeout_millis;
 }
 
-RpcThinTransport::RpcThinTransport(std::string client_id, SimNetwork* network,
+RpcThinTransport::RpcThinTransport(std::string client_id, Network* network,
                                    std::vector<std::string> nodes,
                                    const RetryPolicy& policy)
     : client_(std::move(client_id), network),
@@ -210,6 +212,40 @@ Status RpcThinTransport::DoCall(const std::string& node, const char* method,
                                 const std::string& request,
                                 std::string* response) {
   return client_.Call(node, method, request, response, policy_);
+}
+
+Status RpcThinTransport::Submit(const std::string& node,
+                                const Transaction& txn, uint64_t* height) {
+  std::string request;
+  txn.EncodeTo(&request);
+  std::string response;
+  Status s = DoCall(node, thin_rpc::kSubmit, request, &response);
+  if (!s.ok()) return s;
+  if (height != nullptr) {
+    Slice input(response);
+    if (!GetVarint64(&input, height)) {
+      return Status::Corruption("bad submit response");
+    }
+  }
+  return Status::OK();
+}
+
+Status RpcThinTransport::GetNodeStats(const std::string& node,
+                                      NodeStats* out) {
+  std::string response;
+  Status s = DoCall(node, thin_rpc::kStats, "", &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  if (!GetVarint64(&input, &out->height) || input.size() < 32) {
+    return Status::Corruption("bad stats response");
+  }
+  std::memcpy(out->tip_hash.bytes.data(), input.data(), 32);
+  input.remove_prefix(32);
+  if (!GetVarint64(&input, &out->frames_rejected) ||
+      !GetVarint64(&input, &out->overflow_drops)) {
+    return Status::Corruption("bad stats response");
+  }
+  return Status::OK();
 }
 
 Status RpcThinTransport::GetHeaders(const std::string& node, BlockId from,

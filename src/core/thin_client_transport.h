@@ -86,13 +86,13 @@ class RpcThinTransport : public ThinClientTransport {
  public:
   /// `client_id` registers on the network; `nodes` are the full-node ids.
   /// This form performs exactly one attempt per call (no retries).
-  RpcThinTransport(std::string client_id, SimNetwork* network,
+  RpcThinTransport(std::string client_id, Network* network,
                    std::vector<std::string> nodes,
                    int64_t call_timeout_millis = 5000);
 
   /// Retrying form: every call is governed by `policy` (backoff, jitter,
   /// per-attempt timeouts, overall deadline).
-  RpcThinTransport(std::string client_id, SimNetwork* network,
+  RpcThinTransport(std::string client_id, Network* network,
                    std::vector<std::string> nodes, const RetryPolicy& policy);
 
   std::vector<std::string> Nodes() override { return nodes_; }
@@ -119,6 +119,21 @@ class RpcThinTransport : public ThinClientTransport {
   /// Retry attempts performed across all calls so far.
   uint64_t retries() const { return client_.retries(); }
 
+  /// Remote write (thin.submit): returns once `node` has committed and
+  /// applied the transaction; *height (optional) is the node's chain height
+  /// right after the commit.
+  Status Submit(const std::string& node, const Transaction& txn,
+                uint64_t* height = nullptr);
+
+  /// Node observability (thin.stats) for harnesses and benchmarks.
+  struct NodeStats {
+    uint64_t height = 0;
+    Hash256 tip_hash;
+    uint64_t frames_rejected = 0;
+    uint64_t overflow_drops = 0;
+  };
+  Status GetNodeStats(const std::string& node, NodeStats* out);
+
  private:
   Status DoCall(const std::string& node, const char* method,
                 const std::string& request, std::string* response);
@@ -134,6 +149,13 @@ namespace thin_rpc {
 
 constexpr const char* kGetHeaders = "thin.get_headers";
 constexpr const char* kGetRawBlock = "thin.get_raw_block";
+/// Remote write: body is one signed Transaction; the node runs it through
+/// consensus and replies OK only after local commit+apply (the ack the
+/// cluster chaos test holds kill -9 against).
+constexpr const char* kSubmit = "thin.submit";
+/// Node observability for harnesses: chain height, tip hash, and transport
+/// frames_rejected, varint/fixed-encoded (see node.cc for layout).
+constexpr const char* kStats = "thin.stats";
 constexpr const char* kProveRange = "thin.prove_range";
 constexpr const char* kDigestRange = "thin.digest_range";
 constexpr const char* kProveTrace = "thin.prove_trace";

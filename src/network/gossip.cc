@@ -17,7 +17,7 @@ constexpr char kBlocksType[] = "gossip.blocks";
 
 }  // namespace
 
-GossipAgent::GossipAgent(std::string node_id, SimNetwork* network,
+GossipAgent::GossipAgent(std::string node_id, Network* network,
                          GossipDelegate* delegate,
                          std::vector<std::string> peers,
                          const GossipOptions& options)

@@ -15,7 +15,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
-#include "network/sim_network.h"
+#include "network/network.h"
 #include "storage/block.h"
 
 namespace sebdb {
@@ -59,7 +59,7 @@ struct GossipOptions {
 
 class GossipAgent {
  public:
-  GossipAgent(std::string node_id, SimNetwork* network,
+  GossipAgent(std::string node_id, Network* network,
               GossipDelegate* delegate, std::vector<std::string> peers,
               const GossipOptions& options = GossipOptions());
   ~GossipAgent();
@@ -98,7 +98,7 @@ class GossipAgent {
   int64_t JitteredWindow(int64_t window) REQUIRES(pull_mu_);
 
   std::string node_id_;
-  SimNetwork* network_;
+  Network* network_;
   GossipDelegate* delegate_;
   const std::vector<std::string> peers_;  // immutable after construction
   GossipOptions options_;

@@ -47,7 +47,7 @@ void RpcDispatcher::Stop() {
   }
 }
 
-void RpcDispatcher::Reply(SimNetwork* network, const std::string& self_id,
+void RpcDispatcher::Reply(Network* network, const std::string& self_id,
                           const std::string& reply_to, uint64_t request_id,
                           const Status& status, const std::string& body) {
   std::string payload;
@@ -62,7 +62,7 @@ void RpcDispatcher::Reply(SimNetwork* network, const std::string& self_id,
       Message{RpcDispatcher::kResponseType, self_id, reply_to, payload});
 }
 
-void RpcDispatcher::Execute(SimNetwork* network, const std::string& self_id,
+void RpcDispatcher::Execute(Network* network, const std::string& self_id,
                             const std::string& reply_to, uint64_t request_id,
                             const std::string& method, const Slice& body) {
   Status status;
@@ -105,42 +105,44 @@ void RpcDispatcher::WorkerLoop() {
   }
 }
 
-void RpcDispatcher::HandleMessage(SimNetwork* network,
+void RpcDispatcher::HandleMessage(Network* network,
                                   const std::string& self_id,
                                   const Message& message) {
   Slice input(message.payload);
-  uint64_t request_id, deadline_millis;
+  uint64_t request_id, budget_millis;
   Slice method_name, body;
   if (!GetFixed64(&input, &request_id) ||
-      !GetFixed64(&input, &deadline_millis) ||
+      !GetFixed64(&input, &budget_millis) ||
       !GetLengthPrefixed(&input, &method_name) ||
       !GetLengthPrefixed(&input, &body)) {
     return;  // malformed request: nothing to answer
   }
+  // Re-anchor the client's remaining-time budget against OUR steady clock.
+  // The wire never carries absolute instants: the two processes' steady
+  // clocks share no epoch, so comparing a remote instant against
+  // SteadyNowMillis() here would be garbage (and was, before budgets —
+  // every cross-process request looked expired or immortal at random).
+  const int64_t deadline_millis =
+      budget_millis > 0
+          ? SteadyNowMillis() + static_cast<int64_t>(budget_millis)
+          : 0;
 
-  enum class Action { kExecuteInline, kQueued, kExpired, kRejected };
+  enum class Action { kExecuteInline, kQueued, kRejected };
   Action action;
   int64_t hint = 0;
   {
     MutexLock lock(&mu_);
     stats_.received++;
-    if (deadline_millis > 0 &&
-        SteadyNowMillis() > static_cast<int64_t>(deadline_millis)) {
-      // Drop expired work before execution: the client stopped waiting, an
-      // answer would be wasted effort under overload.
-      stats_.expired_on_arrival++;
-      action = Action::kExpired;
-    } else if (!running_) {
+    if (!running_) {
       action = Action::kExecuteInline;
     } else if (queue_.size() >= options_.max_queue) {
       stats_.rejected_queue_full++;
       hint = options_.retry_after_base_millis * 2;
       action = Action::kRejected;
     } else {
-      queue_.push_back(QueuedRequest{
-          network, self_id, message.from, request_id,
-          static_cast<int64_t>(deadline_millis), method_name.ToString(),
-          body.ToString()});
+      queue_.push_back(QueuedRequest{network, self_id, message.from,
+                                     request_id, deadline_millis,
+                                     method_name.ToString(), body.ToString()});
       cv_.NotifyOne();
       action = Action::kQueued;
     }
@@ -151,10 +153,6 @@ void RpcDispatcher::HandleMessage(SimNetwork* network,
     case Action::kExecuteInline:
       Execute(network, self_id, message.from, request_id,
               method_name.ToString(), body);
-      break;
-    case Action::kExpired:
-      Reply(network, self_id, message.from, request_id,
-            Status::TimedOut("deadline expired before execution"), "");
       break;
     case Action::kRejected:
       Reply(network, self_id, message.from, request_id,
@@ -168,13 +166,33 @@ RpcServerStats RpcDispatcher::stats() const {
   return stats_;
 }
 
-RpcClient::RpcClient(std::string client_id, SimNetwork* network)
+RpcClient::RpcClient(std::string client_id, Network* network)
     : client_id_(std::move(client_id)), network_(network) {
   network_->Register(client_id_,
                      [this](const Message& m) { OnResponse(m); });
+  watcher_token_ = network_->AddPeerWatcher(
+      [this](const std::string& peer, bool up) {
+        if (!up) OnPeerDown(peer);
+      });
 }
 
-RpcClient::~RpcClient() { network_->Unregister(client_id_); }
+RpcClient::~RpcClient() {
+  network_->RemovePeerWatcher(watcher_token_);
+  network_->Unregister(client_id_);
+}
+
+void RpcClient::OnPeerDown(const std::string& peer) {
+  MutexLock lock(&mu_);
+  bool failed_any = false;
+  for (auto& [id, pending] : pending_) {
+    if (pending.done || pending.server != peer) continue;
+    pending.done = true;
+    pending.status =
+        Status::Unavailable("peer " + peer + " down (connection lost)");
+    failed_any = true;
+  }
+  if (failed_any) cv_.NotifyAll();
+}
 
 void RpcClient::OnResponse(const Message& message) {
   if (message.type != RpcDispatcher::kResponseType) return;
@@ -233,6 +251,9 @@ void RpcClient::OnResponse(const Message& message) {
           Status::ResourceExhausted(status_msg.ToStringView(),
                                     static_cast<int64_t>(retry_after));
       break;
+    case Status::Code::kUnavailable:
+      it->second.status = Status::Unavailable(status_msg.ToStringView());
+      break;
   }
   it->second.body = body.ToString();
   cv_.NotifyAll();
@@ -245,14 +266,16 @@ Status RpcClient::Call(const std::string& server, const std::string& method,
   {
     MutexLock lock(&mu_);
     request_id = next_request_id_++;
-    pending_[request_id] = Pending{};
+    pending_[request_id].server = server;
   }
   const int64_t wait_deadline = SteadyNowMillis() + timeout_millis;
   std::string payload;
   PutFixed64(&payload, request_id);
-  // Deadline propagation: the server drops the request (before execution)
-  // once this absolute steady-clock instant passes.
-  PutFixed64(&payload, static_cast<uint64_t>(wait_deadline));
+  // Deadline propagation as a remaining-time budget: the server re-anchors
+  // it against its own steady clock (absolute instants don't survive a
+  // process boundary) and sheds the request once it runs out in the queue.
+  PutFixed64(&payload, static_cast<uint64_t>(std::max<int64_t>(
+                           timeout_millis, 0)));
   PutLengthPrefixed(&payload, method);
   PutLengthPrefixed(&payload, request);
   network_->Send(
@@ -277,7 +300,7 @@ Status RpcClient::Call(const std::string& server, const std::string& method,
 
 bool RpcClient::IsRetryable(const Status& status) {
   return status.IsTimedOut() || status.IsIOError() || status.IsBusy() ||
-         status.IsResourceExhausted();
+         status.IsResourceExhausted() || status.IsUnavailable();
 }
 
 Status RpcClient::Call(const std::string& server, const std::string& method,

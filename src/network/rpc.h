@@ -4,15 +4,19 @@
 // via in-process pointers.
 //
 // Wire format: an "rpc.request" message whose payload is
-//   [request_id u64][deadline_millis u64][method lp][body lp]
+//   [request_id u64][budget_millis u64][method lp][body lp]
 // answered by an "rpc.response" to the caller:
 //   [request_id u64][status_code u8][status_msg lp][body lp][retry_after vi]
 //
-// `deadline_millis` is the client's absolute deadline (steady clock, 0 =
-// none); the server drops requests whose deadline already passed instead of
-// wasting execution on answers nobody waits for. `retry_after` carries the
-// server-driven backoff hint of ResourceExhausted rejections; RetryPolicy
-// honors it in place of the client-side exponential backoff.
+// `budget_millis` is the client's REMAINING time budget at send (0 = none),
+// never an absolute instant: steady clocks are process-local, so an
+// absolute deadline is meaningless the moment the request crosses a
+// process boundary (TcpNetwork). The server re-anchors the budget against
+// its own clock on arrival and drops requests whose re-anchored deadline
+// passes while queued, instead of wasting execution on answers nobody
+// waits for. `retry_after` carries the server-driven backoff hint of
+// ResourceExhausted rejections; RetryPolicy honors it in place of the
+// client-side exponential backoff.
 #pragma once
 
 #include <atomic>
@@ -28,7 +32,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
-#include "network/sim_network.h"
+#include "network/network.h"
 
 namespace sebdb {
 
@@ -53,9 +57,10 @@ struct RpcServerOptions {
 struct RpcServerStats {
   uint64_t received = 0;
   uint64_t executed = 0;
-  uint64_t rejected_queue_full = 0;   // shed with ResourceExhausted
-  uint64_t expired_on_arrival = 0;    // client deadline passed before queueing
-  uint64_t expired_in_queue = 0;      // client deadline passed while queued
+  uint64_t rejected_queue_full = 0;  // shed with ResourceExhausted
+  /// Client budget (re-anchored on arrival) ran out while queued. Arrival
+  /// itself can never be expired: the budget starts counting here.
+  uint64_t expired_in_queue = 0;
 };
 
 /// Dispatch table a node plugs into its network handler.
@@ -81,7 +86,7 @@ class RpcDispatcher {
   /// `self_id`. Unknown methods answer with NotFound; expired deadlines
   /// answer with TimedOut before execution; a full queue answers with
   /// ResourceExhausted plus a retry_after hint.
-  void HandleMessage(SimNetwork* network, const std::string& self_id,
+  void HandleMessage(Network* network, const std::string& self_id,
                      const Message& message);
 
   RpcServerStats stats() const;
@@ -91,20 +96,22 @@ class RpcDispatcher {
 
  private:
   struct QueuedRequest {
-    SimNetwork* network = nullptr;
+    Network* network = nullptr;
     std::string self_id;
     std::string reply_to;
     uint64_t request_id = 0;
+    /// Local steady-clock deadline, re-anchored from the wire budget at
+    /// arrival (0 = none).
     int64_t deadline_millis = 0;
     std::string method;
     std::string body;
   };
 
   /// Looks up and runs the method, then sends the response.
-  void Execute(SimNetwork* network, const std::string& self_id,
+  void Execute(Network* network, const std::string& self_id,
                const std::string& reply_to, uint64_t request_id,
                const std::string& method, const Slice& body);
-  static void Reply(SimNetwork* network, const std::string& self_id,
+  static void Reply(Network* network, const std::string& self_id,
                     const std::string& reply_to, uint64_t request_id,
                     const Status& status, const std::string& body);
   void WorkerLoop();
@@ -124,7 +131,7 @@ class RpcDispatcher {
 /// per-attempt deadlines, and an overall deadline. The default policy
 /// (max_attempts = 1) performs no retries, so zero-retry callers are
 /// unchanged. Only transient failures — TimedOut, IOError, Busy,
-/// ResourceExhausted — are retried; semantic errors (NotFound,
+/// ResourceExhausted, Unavailable — are retried; semantic errors (NotFound,
 /// InvalidArgument, Corruption, …) surface immediately. When a rejection
 /// carries a server retry_after_millis hint, the hint replaces the
 /// client-side backoff for that sleep (still capped by the overall
@@ -150,10 +157,14 @@ struct RetryPolicy {
 };
 
 /// Blocking client: registers itself on the network under `client_id`,
-/// correlates responses by request id.
+/// correlates responses by request id. Subscribes to the network's peer
+/// watcher: when the connection to a server is lost, every call pending
+/// against it fails immediately with Unavailable (retryable) instead of
+/// hanging until its deadline — the reconnect supervisor owns the link,
+/// RetryPolicy owns the retry.
 class RpcClient {
  public:
-  RpcClient(std::string client_id, SimNetwork* network);
+  RpcClient(std::string client_id, Network* network);
   ~RpcClient();
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
@@ -184,14 +195,18 @@ class RpcClient {
 
  private:
   struct Pending {
+    std::string server;  // fail-fast matching on peer-down
     bool done = false;
     Status status;
     std::string body;
   };
   void OnResponse(const Message& message);
+  /// Peer-watcher callback: fails every pending call against `peer`.
+  void OnPeerDown(const std::string& peer);
 
   const std::string client_id_;
-  SimNetwork* network_;
+  Network* network_;
+  uint64_t watcher_token_ = 0;
   Mutex mu_;
   CondVar cv_;
   uint64_t next_request_id_ GUARDED_BY(mu_) = 1;

@@ -24,15 +24,18 @@ SimNetwork::~SimNetwork() { Shutdown(); }
 int64_t SimNetwork::NowMicros() const { return SteadyNowMicros(); }
 
 Status SimNetwork::Register(const std::string& node_id, Handler handler) {
-  MutexLock lock(&mu_);
-  if (shutdown_) return Status::Aborted("network shut down");
-  if (endpoints_.contains(node_id)) {
-    return Status::InvalidArgument("node already registered: " + node_id);
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) return Status::Aborted("network shut down");
+    if (endpoints_.contains(node_id)) {
+      return Status::InvalidArgument("node already registered: " + node_id);
+    }
+    auto endpoint = std::make_unique<Endpoint>(std::move(handler));
+    Endpoint* ep = endpoint.get();
+    endpoints_[node_id] = std::move(endpoint);
+    ep->worker = std::thread([this, node_id, ep] { WorkerLoop(node_id, ep); });
   }
-  auto endpoint = std::make_unique<Endpoint>(std::move(handler));
-  Endpoint* ep = endpoint.get();
-  endpoints_[node_id] = std::move(endpoint);
-  ep->worker = std::thread([this, node_id, ep] { WorkerLoop(node_id, ep); });
+  NotifyPeerWatchers(node_id, /*up=*/true);
   return Status::OK();
 }
 
@@ -50,7 +53,30 @@ Status SimNetwork::Unregister(const std::string& node_id) {
     endpoint->cv.NotifyAll();
   }
   if (endpoint->worker.joinable()) endpoint->worker.join();
+  NotifyPeerWatchers(node_id, /*up=*/false);
   return Status::OK();
+}
+
+void SimNetwork::NotifyPeerWatchers(const std::string& peer, bool up) {
+  std::vector<PeerWatcher> watchers;
+  {
+    MutexLock lock(&mu_);
+    watchers.reserve(watchers_.size());
+    for (const auto& [token, watcher] : watchers_) watchers.push_back(watcher);
+  }
+  for (const auto& watcher : watchers) watcher(peer, up);
+}
+
+uint64_t SimNetwork::AddPeerWatcher(PeerWatcher watcher) {
+  MutexLock lock(&mu_);
+  const uint64_t token = next_watcher_token_++;
+  watchers_[token] = std::move(watcher);
+  return token;
+}
+
+void SimNetwork::RemovePeerWatcher(uint64_t token) {
+  MutexLock lock(&mu_);
+  watchers_.erase(token);
 }
 
 void SimNetwork::Send(Message message) {

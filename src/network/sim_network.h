@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -20,6 +21,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "network/message.h"
+#include "network/network.h"
 
 namespace sebdb {
 
@@ -40,46 +42,27 @@ struct SimNetworkOptions {
   size_t max_gossip_queue_per_endpoint = 0;
 };
 
-struct NetworkStats {
-  uint64_t messages_sent = 0;
-  uint64_t messages_delivered = 0;
-  /// Total drops; always equals unreachable_drops + link_drops +
-  /// random_drops + overflow_drops.
-  uint64_t messages_dropped = 0;
-  uint64_t bytes_sent = 0;
-  /// Destination was never registered (or already unregistered).
-  uint64_t unreachable_drops = 0;
-  /// Swallowed by a SetLinkDown partition.
-  uint64_t link_drops = 0;
-  /// Lost to the probabilistic drop_rate.
-  uint64_t random_drops = 0;
-  /// Shed oldest-first by a per-endpoint queue cap.
-  uint64_t overflow_drops = 0;
-};
-
-class SimNetwork {
+class SimNetwork : public Network {
  public:
-  using Handler = std::function<void(const Message&)>;
-
   explicit SimNetwork(const SimNetworkOptions& options = SimNetworkOptions());
-  ~SimNetwork();
+  ~SimNetwork() override;
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;
 
   /// Registers a node; its handler runs on the node's own delivery thread
   /// (handlers must be thread-safe with respect to the caller's state).
-  Status Register(const std::string& node_id, Handler handler);
-  Status Unregister(const std::string& node_id);
+  Status Register(const std::string& node_id, Handler handler) override;
+  Status Unregister(const std::string& node_id) override;
 
   /// Queues a message for delivery. Unknown destinations and down links
   /// swallow the message (like a real network).
-  void Send(Message message);
+  void Send(Message message) override;
 
   /// Sends to every registered node except the sender.
   void Broadcast(const std::string& from, const std::string& type,
-                 const std::string& payload);
+                 const std::string& payload) override;
 
-  std::vector<std::string> Nodes() const;
+  std::vector<std::string> Nodes() const override;
 
   /// Partition control: while down, messages in either direction vanish.
   void SetLinkDown(const std::string& a, const std::string& b, bool down);
@@ -88,9 +71,16 @@ class SimNetwork {
   /// Only meaningful with zero latency (deterministic tests).
   void DrainAll();
 
-  NetworkStats stats() const;
+  NetworkStats stats() const override;
 
-  void Shutdown();
+  void Shutdown() override;
+
+  /// Peer watchers observe endpoint registration: Register fires (id, up),
+  /// Unregister fires (id, down) — the in-process analogue of a connection
+  /// establishing / dropping, so fail-fast paths can be tested without
+  /// sockets.
+  uint64_t AddPeerWatcher(PeerWatcher watcher) override;
+  void RemovePeerWatcher(uint64_t token) override;
 
  private:
   // All mutable Endpoint state (queue/stop/busy) is guarded by the outer
@@ -108,6 +98,9 @@ class SimNetwork {
 
   void WorkerLoop(const std::string& node_id, Endpoint* endpoint);
   int64_t NowMicros() const;
+  /// Invokes every watcher with (peer, up). Never called with mu_ held —
+  /// watchers may re-enter Send/Register.
+  void NotifyPeerWatchers(const std::string& peer, bool up) EXCLUDES(mu_);
 
   SimNetworkOptions options_;
   mutable Mutex mu_;
@@ -116,6 +109,8 @@ class SimNetwork {
   std::set<std::pair<std::string, std::string>> down_links_ GUARDED_BY(mu_);
   Random rng_ GUARDED_BY(mu_);
   NetworkStats stats_ GUARDED_BY(mu_);
+  uint64_t next_watcher_token_ GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, PeerWatcher> watchers_ GUARDED_BY(mu_);
   bool shutdown_ GUARDED_BY(mu_) = false;
 };
 

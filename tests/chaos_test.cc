@@ -26,6 +26,7 @@
 #include "core/node.h"
 #include "storage/file.h"
 #include "tests/test_util.h"
+#include "network/sim_network.h"
 
 namespace sebdb {
 namespace {

@@ -18,6 +18,7 @@
 #include "storage/block_store.h"
 #include "storage/file.h"
 #include "tests/test_util.h"
+#include "network/sim_network.h"
 
 namespace sebdb {
 namespace {

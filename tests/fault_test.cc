@@ -11,6 +11,7 @@
 #include "core/thin_client.h"
 #include "storage/block_store.h"
 #include "tests/test_util.h"
+#include "network/sim_network.h"
 
 namespace sebdb {
 namespace {

@@ -7,6 +7,7 @@
 #include "core/node.h"
 #include "core/thin_client.h"
 #include "tests/test_util.h"
+#include "network/sim_network.h"
 
 namespace sebdb {
 namespace {

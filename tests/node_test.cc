@@ -10,6 +10,7 @@
 #include "core/procedure.h"
 #include "core/thin_client.h"
 #include "tests/test_util.h"
+#include "network/sim_network.h"
 
 namespace sebdb {
 namespace {

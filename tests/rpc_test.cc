@@ -13,6 +13,7 @@
 #include "core/thin_client_transport.h"
 #include "network/rpc.h"
 #include "tests/test_util.h"
+#include "network/sim_network.h"
 
 namespace sebdb {
 namespace {
@@ -370,7 +371,15 @@ TEST(RpcTest, BoundedQueueShedsWithRetryAfterHint) {
   dispatcher.Stop();
 }
 
-TEST(RpcTest, ExpiredDeadlineDroppedBeforeExecution) {
+// Regression (cross-process deadlines): the wire carries a remaining-time
+// BUDGET, not an absolute steady-clock instant. Before the fix the client
+// shipped `SteadyNowMillis() + timeout` and the server compared it against
+// its own steady clock — two clocks with unrelated epochs, so across real
+// processes (TcpNetwork) a fresh request could look long-expired (dropped
+// on arrival) or immortal at random. A hand-crafted frame carrying a small
+// budget value, which the old decoding would have misread as an instant
+// from the distant past and shed, must execute.
+TEST(RpcTest, DeadlineBudgetSurvivesProcessBoundary) {
   SimNetwork net;
   RpcDispatcher dispatcher;
   std::atomic<int> executions{0};
@@ -383,36 +392,117 @@ TEST(RpcTest, ExpiredDeadlineDroppedBeforeExecution) {
   dispatcher.Start(server_options);
   ASSERT_TRUE(net.Register("client-1", [](const Message&) {}).ok());
 
-  // Craft a request whose client deadline already passed: the server must
-  // drop it before execution instead of wasting work on it.
+  // 5000ms of remaining budget. As an absolute instant this is ancient
+  // history on any server that has been up a few seconds (the old bug).
   std::string payload;
   PutFixed64(&payload, 7);  // request id
-  PutFixed64(&payload, static_cast<uint64_t>(SteadyNowMillis() - 50));
+  PutFixed64(&payload, 5000);
   PutLengthPrefixed(&payload, "count");
   PutLengthPrefixed(&payload, "");
   dispatcher.HandleMessage(
       &net, "server",
       Message{RpcDispatcher::kRequestType, "client-1", "server", payload});
 
-  // A live deadline executes normally.
-  std::string fresh;
-  PutFixed64(&fresh, 8);
-  PutFixed64(&fresh, static_cast<uint64_t>(SteadyNowMillis() + 5000));
-  PutLengthPrefixed(&fresh, "count");
-  PutLengthPrefixed(&fresh, "");
-  dispatcher.HandleMessage(
-      &net, "server",
-      Message{RpcDispatcher::kRequestType, "client-1", "server", fresh});
-
   for (int i = 0; i < 500 && executions.load() < 1; i++) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_EQ(executions.load(), 1);
   RpcServerStats stats = dispatcher.stats();
-  EXPECT_EQ(stats.expired_on_arrival, 1u);
-  EXPECT_EQ(stats.received, 2u);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.received, 1u);
   dispatcher.Stop();
   net.Unregister("client-1");
+}
+
+// The re-anchored budget still bounds queue time: a request whose budget
+// runs out while stuck behind a slow one is shed (expired_in_queue), not
+// executed.
+TEST(RpcTest, BudgetExpiresInQueueAfterReanchoring) {
+  SimNetwork net;
+  RpcDispatcher dispatcher;
+  Mutex gate_mu;
+  CondVar gate_cv;
+  bool gate_open = false;
+  std::atomic<int> executions{0};
+  dispatcher.RegisterMethod("slow", [&](const Slice&, std::string*) {
+    MutexLock lock(&gate_mu);
+    while (!gate_open) gate_cv.Wait(gate_mu);
+    return Status::OK();
+  });
+  dispatcher.RegisterMethod("count", [&](const Slice&, std::string*) {
+    executions++;
+    return Status::OK();
+  });
+  RpcServerOptions server_options;
+  server_options.workers = 1;  // one worker: "slow" blocks the queue
+  dispatcher.Start(server_options);
+  ASSERT_TRUE(net.Register("client-1", [](const Message&) {}).ok());
+
+  auto send = [&](uint64_t id, const std::string& method, uint64_t budget) {
+    std::string payload;
+    PutFixed64(&payload, id);
+    PutFixed64(&payload, budget);
+    PutLengthPrefixed(&payload, method);
+    PutLengthPrefixed(&payload, "");
+    dispatcher.HandleMessage(
+        &net, "server",
+        Message{RpcDispatcher::kRequestType, "client-1", "server", payload});
+  };
+  send(1, "slow", 0);       // occupies the only worker
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  send(2, "count", 30);     // 30ms budget, will die waiting
+  send(3, "count", 0);      // no budget = no deadline, must execute
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  {
+    MutexLock lock(&gate_mu);
+    gate_open = true;
+    gate_cv.NotifyAll();
+  }
+  for (int i = 0; i < 500 && executions.load() < 1; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(executions.load(), 1);  // id 3 only
+  RpcServerStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.expired_in_queue, 1u);
+  dispatcher.Stop();
+  net.Unregister("client-1");
+}
+
+// Regression (request-id lifecycle across reconnects): calls pending
+// against a peer whose connection drops must fail immediately with
+// Unavailable — a retryable status RetryPolicy turns into a failover —
+// instead of hanging until the call deadline.
+TEST(RpcTest, PendingCallsFailFastOnPeerDown) {
+  SimNetwork net;
+  RpcDispatcher dispatcher;  // never answers: no methods, never registered
+  (void)dispatcher;
+  ASSERT_TRUE(
+      net.Register("server", [](const Message&) { /* swallow */ }).ok());
+
+  RpcClient client("client-1", &net);
+  std::atomic<bool> returned{false};
+  Status observed;
+  std::thread caller([&] {
+    std::string response;
+    // 60s deadline: only the fail-fast path can return quickly.
+    observed = client.Call("server", "rpc.echo", "x", &response,
+                           /*timeout_millis=*/60000);
+    returned = true;
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_FALSE(returned.load());
+  // The server endpoint goes away — SimNetwork fires the peer watcher just
+  // like TcpNetwork does when a supervised connection dies.
+  net.Unregister("server");
+  for (int i = 0; i < 500 && !returned.load(); i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(returned.load()) << "call hung past peer-down";
+  caller.join();
+  EXPECT_TRUE(observed.IsUnavailable()) << observed.ToString();
+  EXPECT_TRUE(RpcClient::IsRetryable(observed));
 }
 
 TEST(RpcTest, PartitionedServerTimesOut) {

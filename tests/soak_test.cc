@@ -27,6 +27,7 @@
 #include "core/node.h"
 #include "storage/block.h"
 #include "tests/test_util.h"
+#include "network/sim_network.h"
 
 namespace sebdb {
 namespace {

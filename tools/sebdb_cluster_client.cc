@@ -1,0 +1,140 @@
+// sebdb_cluster_client: BChainBench-style traffic generator for a running
+// multi-process cluster (scripts/cluster.sh). Builds signed transactions
+// locally (dev identity directory, see DevSecret), submits them over TCP via
+// thin.submit with failover across nodes, and prints one "ACK <key>" line
+// per acknowledged transaction — the ground truth the harness later audits
+// against the chain (an acked key must survive any kill -9).
+//
+//   sebdb_cluster_client --id=client-0 --config=cluster.conf --txns=200
+//
+// Exit code 0 iff every transaction was acked by some node.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/cluster_config.h"
+#include "core/thin_client_transport.h"
+#include "network/tcp_network.h"
+#include "types/transaction.h"
+
+namespace {
+
+struct Flags {
+  std::string id = "client-0";
+  std::string config;
+  std::string table = "kv";
+  int64_t txns = 100;
+  int64_t attempt_timeout_ms = 2000;
+  int64_t failover_rounds = 20;  // full passes over the node list per txn
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+bool ParseFlag(const char* arg, const char* name, int64_t* out) {
+  std::string value;
+  if (!ParseFlag(arg, name, &value)) return false;
+  *out = std::strtoll(value.c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sebdb;
+
+  Flags flags;
+  for (int i = 1; i < argc; i++) {
+    if (ParseFlag(argv[i], "id", &flags.id) ||
+        ParseFlag(argv[i], "config", &flags.config) ||
+        ParseFlag(argv[i], "table", &flags.table) ||
+        ParseFlag(argv[i], "txns", &flags.txns) ||
+        ParseFlag(argv[i], "attempt-timeout-ms", &flags.attempt_timeout_ms) ||
+        ParseFlag(argv[i], "failover-rounds", &flags.failover_rounds)) {
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: %s --id=<client-id> --config=<cluster.conf>\n"
+                 "          [--table=kv] [--txns=N] [--attempt-timeout-ms=N]\n"
+                 "          [--failover-rounds=N]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (flags.config.empty()) {
+    std::fprintf(stderr, "--config is required\n");
+    return 2;
+  }
+
+  ClusterConfig config;
+  Status s = LoadClusterConfig(Env::Default(), flags.config, &config);
+  if (!s.ok()) {
+    std::fprintf(stderr, "config: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  KeyStore keystore;
+  s = keystore.AddIdentity(flags.id, DevSecret(flags.id));
+  if (!s.ok()) {
+    std::fprintf(stderr, "keystore: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  TcpNetwork network(MakeClusterTcpOptions(config, flags.id));
+  s = network.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "network: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::string> nodes = config.NodeIds();
+  RpcThinTransport transport(flags.id, &network, nodes,
+                             flags.attempt_timeout_ms);
+
+  int64_t acked = 0;
+  int64_t failed = 0;
+  for (int64_t i = 0; i < flags.txns; i++) {
+    const std::string key = flags.id + "-" + std::to_string(i);
+    Transaction txn(flags.table,
+                    {Value::Str(key), Value::Str("payload-" + key)});
+    txn.set_ts(SystemClock::Default()->NowMicros());
+    s = keystore.SignTransaction(flags.id, &txn);
+    if (!s.ok()) {
+      std::fprintf(stderr, "sign: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    // Failover submit: walk the node list (starting at a per-txn offset so
+    // clients spread load) until some node acks. A timeout leaves the
+    // outcome unknown — the txn may still commit — so the key is only
+    // printed as ACK when a node confirmed the commit.
+    bool ok = false;
+    for (int64_t round = 0; round < flags.failover_rounds && !ok; round++) {
+      for (size_t n = 0; n < nodes.size() && !ok; n++) {
+        const std::string& node =
+            nodes[(static_cast<size_t>(i) + n) % nodes.size()];
+        Status submit = transport.Submit(node, txn);
+        if (submit.ok()) ok = true;
+      }
+    }
+    if (ok) {
+      acked++;
+      std::printf("ACK %s\n", key.c_str());
+    } else {
+      failed++;
+      std::printf("FAIL %s\n", key.c_str());
+    }
+  }
+  std::printf("DONE %s acked=%lld failed=%lld retries=%llu\n",
+              flags.id.c_str(), static_cast<long long>(acked),
+              static_cast<long long>(failed),
+              static_cast<unsigned long long>(transport.retries()));
+  std::fflush(stdout);
+  network.Shutdown();
+  return failed == 0 ? 0 : 1;
+}
